@@ -1,0 +1,113 @@
+// Fig. 4 reproduction: PIT Pareto frontiers from a single seed.
+//
+// Top: ResTCN seed on the (synthetic) Nottingham dataset — #parameters vs
+// frame NLL. Bottom: TEMPONet seed on (synthetic) PPG-Dalia — #parameters
+// vs MAE (BPM). Each plot also shows the d=1 seed (square in the paper) and
+// the hand-tuned dilated network (triangle). The sweep knobs are the
+// regularization strength lambda and the warmup length, as in Sec. IV-B.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace pit::bench {
+namespace {
+
+void print_points(const char* tag, const std::vector<core::SearchPoint>& pts) {
+  for (const auto& p : pts) {
+    std::printf("  %-8s lambda=%-8.1e warmup=%d  params=%8lld  loss=%8.4f  "
+                "dilations=%s\n",
+                tag, p.lambda, p.warmup_epochs,
+                static_cast<long long>(p.total_params), p.val_loss,
+                dilation_string(p.dilations).c_str());
+  }
+}
+
+void run_temponet_sweep() {
+  std::printf("\n--- Fig. 4 (bottom): TEMPONet seed on PPG-Dalia ---\n");
+  std::printf("paper: seed 939k params / 5.08 MAE; hand-tuned 423k / 5.31;\n");
+  std::printf("       PIT frontier spans ~381k-694k params, 5.43-4.92 MAE\n\n");
+  const auto cfg = scaled_temponet_config();
+  Loaders loaders = make_ppg_loaders();
+
+  // Reference points: seed (d=1 everywhere) and the hand-tuned network.
+  const std::vector<index_t> seed_d(7, 1);
+  const BaselinePoint seed =
+      train_temponet_baseline(cfg, seed_d, *loaders.train, *loaders.val, 42);
+  std::printf("  seed (dil=1)      params=%8lld  MAE=%8.4f\n",
+              static_cast<long long>(seed.params), seed.val_loss);
+  const BaselinePoint hand = train_temponet_baseline(
+      cfg, cfg.dilations, *loaders.train, *loaders.val, 43);
+  std::printf("  hand-tuned        params=%8lld  MAE=%8.4f\n\n",
+              static_cast<long long>(hand.params), hand.val_loss);
+
+  core::DilationSearch search(
+      temponet_pit_factory(cfg, 1000), mae_loss_fn(),
+      [&cfg](const std::vector<index_t>& d) {
+        return models::TempoNet::params_with_dilations(cfg, d);
+      });
+  core::SearchConfig sweep;
+  sweep.lambdas = {1e-7, 3e-6, 3e-5, 3e-4};
+  sweep.warmup_epochs = {3};
+  sweep.trainer.max_prune_epochs = 16;
+  sweep.trainer.finetune_epochs = 12;
+  sweep.trainer.patience = 4;
+  sweep.trainer.lr_weights = 2e-3;
+  sweep.trainer.lr_gamma = 2e-2;
+  const auto result = search.run(*loaders.train, *loaders.val, sweep);
+
+  print_points("PIT", result.all);
+  std::printf("  Pareto frontier (%zu points):\n", result.pareto.size());
+  print_points("pareto", result.pareto);
+}
+
+void run_restcn_sweep() {
+  std::printf("\n--- Fig. 4 (top): ResTCN seed on Nottingham ---\n");
+  std::printf("paper: seed 3.53M params / 3.12 NLL; hand-tuned 1.05M / 3.07;\n");
+  std::printf("       PIT frontier spans ~0.4M-3M params, 3.79-2.72 NLL\n\n");
+  const auto cfg = scaled_restcn_config();
+  Loaders loaders = make_nottingham_loaders();
+
+  const std::vector<index_t> seed_d(8, 1);
+  const BaselinePoint seed =
+      train_restcn_baseline(cfg, seed_d, *loaders.train, *loaders.val, 52);
+  std::printf("  seed (dil=1)      params=%8lld  NLL=%8.4f\n",
+              static_cast<long long>(seed.params), seed.val_loss);
+  const BaselinePoint hand = train_restcn_baseline(
+      cfg, cfg.dilations, *loaders.train, *loaders.val, 53);
+  std::printf("  hand-tuned        params=%8lld  NLL=%8.4f\n\n",
+              static_cast<long long>(hand.params), hand.val_loss);
+
+  core::DilationSearch search(
+      restcn_pit_factory(cfg, 2000), nll_loss_fn(),
+      [&cfg](const std::vector<index_t>& d) {
+        return models::ResTCN::params_with_dilations(cfg, d);
+      });
+  core::SearchConfig sweep;
+  sweep.lambdas = {1e-7, 3e-6, 3e-5};
+  sweep.warmup_epochs = {2};
+  sweep.trainer.max_prune_epochs = 16;
+  sweep.trainer.finetune_epochs = 14;
+  sweep.trainer.patience = 4;
+  sweep.trainer.lr_weights = 4e-3;
+  sweep.trainer.lr_gamma = 2e-2;
+  const auto result = search.run(*loaders.train, *loaders.val, sweep);
+
+  print_points("PIT", result.all);
+  std::printf("  Pareto frontier (%zu points):\n", result.pareto.size());
+  print_points("pareto", result.pareto);
+}
+
+}  // namespace
+}  // namespace pit::bench
+
+int main() {
+  pit::bench::print_header(
+      "Fig. 4 — PIT Pareto frontiers from a single seed",
+      "Risso et al., DAC 2021, Fig. 4");
+  pit::bench::run_temponet_sweep();
+  pit::bench::run_restcn_sweep();
+  std::printf("\nExpected shape: PIT points trace a frontier dominating or\n"
+              "matching the hand-tuned triangle; the d=1 seed square sits\n"
+              "far to the high-parameter side at similar-or-worse loss.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark): kernel-level costs underpinning the
+// experiments — dense vs masked convolution (the PIT overhead the paper
+// calls "lightweight"), mask construction, binarization, and the backward
+// passes that dominate search time.
+#include <benchmark/benchmark.h>
+
+#include "core/mask.hpp"
+#include "core/pit_conv1d.hpp"
+#include "core/regularizer.hpp"
+#include "nn/conv1d.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit {
+namespace {
+
+void BM_Conv1dForward(benchmark::State& state) {
+  const index_t channels = state.range(0);
+  const index_t k = state.range(1);
+  RandomEngine rng(1);
+  Tensor x = Tensor::randn(Shape{8, channels, 64}, rng);
+  Tensor w = Tensor::randn(Shape{channels, channels, k}, rng);
+  Tensor b = Tensor::randn(Shape{channels}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor y = nn::causal_conv1d(x, w, b, 1, 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * channels * channels * k *
+                          64);
+}
+BENCHMARK(BM_Conv1dForward)->Args({16, 5})->Args({16, 17})->Args({32, 9});
+
+void BM_Conv1dForwardDilated(benchmark::State& state) {
+  const index_t d = state.range(0);
+  RandomEngine rng(2);
+  Tensor x = Tensor::randn(Shape{8, 16, 64}, rng);
+  Tensor w = Tensor::randn(Shape{16, 16, 5}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor y = nn::causal_conv1d(x, w, Tensor(), d, 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv1dForwardDilated)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_MaskedConvVsDense(benchmark::State& state) {
+  // The PIT layer's forward at rf_max taps with an all-ones mask: the
+  // masking overhead relative to BM_Conv1dForward at the same size.
+  RandomEngine rng(3);
+  Tensor x = Tensor::randn(Shape{8, 16, 64}, rng);
+  Tensor w = Tensor::randn(Shape{16, 16, 17}, rng);
+  Tensor m = Tensor::ones(Shape{17});
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor y = core::masked_causal_conv1d(x, w, Tensor(), m, 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MaskedConvVsDense);
+
+void BM_MaskedConvPruned(benchmark::State& state) {
+  // Same layer with a d=8 mask: zero taps are skipped by the kernels, so
+  // pruning pays off during the search as well, not only after export.
+  RandomEngine rng(4);
+  Tensor x = Tensor::randn(Shape{8, 16, 64}, rng);
+  Tensor w = Tensor::randn(Shape{16, 16, 17}, rng);
+  Tensor m = Tensor::from_vector(core::mask_for_dilation(8, 17), Shape{17});
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor y = core::masked_causal_conv1d(x, w, Tensor(), m, 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MaskedConvPruned);
+
+void BM_BuildMask(benchmark::State& state) {
+  const index_t rf = state.range(0);
+  Tensor gamma = Tensor::ones(Shape{core::num_gamma_levels(rf) - 1});
+  for (auto _ : state) {
+    Tensor m = core::build_mask(gamma, rf);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_BuildMask)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_BinarizeSTE(benchmark::State& state) {
+  RandomEngine rng(5);
+  Tensor gamma = Tensor::uniform(Shape{64}, 0.0F, 1.0F, rng);
+  for (auto _ : state) {
+    Tensor b = binarize(gamma, 0.5F);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_BinarizeSTE);
+
+void BM_PitLayerTrainingStep(benchmark::State& state) {
+  // One full forward+backward through a PIT layer (what each pruning-phase
+  // step pays per layer), including the mask graph and the STE.
+  RandomEngine rng(6);
+  core::PITConv1d layer(16, 16, 17, {}, rng);
+  Tensor x = Tensor::randn(Shape{8, 16, 64}, rng);
+  for (auto _ : state) {
+    layer.zero_grad();
+    Tensor loss = mean(square(layer.forward(x)));
+    loss.backward();
+    benchmark::DoNotOptimize(layer.weight().grad_data());
+  }
+}
+BENCHMARK(BM_PitLayerTrainingStep);
+
+void BM_DenseConvTrainingStep(benchmark::State& state) {
+  // Baseline for BM_PitLayerTrainingStep: the same geometry without masks.
+  RandomEngine rng(7);
+  nn::Conv1d layer(16, 16, 17, {}, rng);
+  Tensor x = Tensor::randn(Shape{8, 16, 64}, rng);
+  for (auto _ : state) {
+    layer.zero_grad();
+    Tensor loss = mean(square(layer.forward(x)));
+    loss.backward();
+    benchmark::DoNotOptimize(layer.weight().grad_data());
+  }
+}
+BENCHMARK(BM_DenseConvTrainingStep);
+
+void BM_SizeRegularizer(benchmark::State& state) {
+  RandomEngine rng(8);
+  std::vector<std::unique_ptr<core::PITConv1d>> storage;
+  std::vector<core::PITConv1d*> layers;
+  for (int i = 0; i < 8; ++i) {
+    storage.push_back(
+        std::make_unique<core::PITConv1d>(16, 16, 33, core::PitConv1dOptions{},
+                                          rng));
+    layers.push_back(storage.back().get());
+  }
+  for (auto _ : state) {
+    Tensor reg = core::size_regularizer(layers, 1e-6);
+    benchmark::DoNotOptimize(reg.data());
+  }
+}
+BENCHMARK(BM_SizeRegularizer);
+
+}  // namespace
+}  // namespace pit
+
+BENCHMARK_MAIN();

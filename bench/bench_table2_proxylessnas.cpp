@@ -1,0 +1,102 @@
+// Table II reproduction: PIT vs ProxylessNAS on TEMPONet / PPG-Dalia.
+//
+// Both tools search the same space (power-of-two dilations per layer, fixed
+// channels). Three size targets are produced per tool by sweeping the
+// size-cost strength; the paper reports (#weights, MAE) pairs and finds PIT
+// equal or better, with the "large" PIT model both smaller and more
+// accurate than ProxylessNAS's.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "nas/proxyless.hpp"
+
+namespace pit::bench {
+namespace {
+
+struct Row {
+  long long params;
+  double mae;
+};
+
+Row run_pit(double lambda, const models::TempoNetConfig& cfg, Loaders& loaders,
+            std::uint64_t seed) {
+  auto factory = temponet_pit_factory(cfg, seed);
+  core::PitModelBundle bundle = factory();
+  core::PitTrainerOptions options;
+  options.lambda = lambda;
+  options.warmup_epochs = 3;
+  options.max_prune_epochs = 14;
+  options.finetune_epochs = 12;
+  options.patience = 4;
+  options.lr_weights = 2e-3;
+  options.lr_gamma = 2e-2;
+  core::PitTrainer trainer(*bundle.model, bundle.pit_layers, mae_loss_fn(),
+                           options);
+  const auto result = trainer.run(*loaders.train, *loaders.val);
+  return {static_cast<long long>(
+              models::TempoNet::params_with_dilations(cfg, result.dilations)),
+          result.val_loss};
+}
+
+Row run_proxyless(double lambda_size, const models::TempoNetConfig& cfg,
+                  Loaders& loaders, std::uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<nas::MixedConv1d*> layers;
+  models::TempoNet supernet(cfg, nas::mixed_conv_factory(rng, layers), rng);
+  nas::ProxylessOptions options;
+  options.lambda_size = lambda_size;
+  options.warmup_epochs = 3;
+  options.max_search_epochs = 30;
+  options.finetune_epochs = 12;
+  options.patience = 4;
+  options.lr_weights = 2e-3;
+  options.lr_alpha = 0.4;
+  options.sample_seed = seed + 7;
+  nas::ProxylessTrainer trainer(supernet, layers, mae_loss_fn(), options);
+  const auto result = trainer.run(*loaders.train, *loaders.val);
+  return {static_cast<long long>(
+              models::TempoNet::params_with_dilations(cfg, result.dilations)),
+          result.val_loss};
+}
+
+}  // namespace
+}  // namespace pit::bench
+
+int main() {
+  using namespace pit::bench;
+  print_header("Table II — PIT vs ProxylessNAS (TEMPONet / PPG-Dalia)",
+               "Risso et al., DAC 2021, Table II");
+  std::printf("paper: small  381k/5.43 (both tools converge to the same net)\n");
+  std::printf("       medium Proxyless 517k/5.21 vs PIT 440k/5.28\n");
+  std::printf("       large  Proxyless 731k/5.15 vs PIT 694k/4.92\n\n");
+
+  const auto cfg = scaled_temponet_config();
+  Loaders loaders = make_ppg_loaders();
+
+  struct Target {
+    const char* name;
+    double pit_lambda;
+    double proxyless_lambda;
+  };
+  const Target targets[] = {
+      {"small", 3e-4, 1.0},
+      {"medium", 3e-5, 0.3},
+      {"large", 1e-6, 0.05},
+  };
+
+  std::printf("%-8s | %-22s | %-22s\n", "", "ProxylessNAS", "Pruning in Time");
+  std::printf("%-8s | %10s %11s | %10s %11s\n", "target", "# weights",
+              "MAE [BPM]", "# weights", "MAE [BPM]");
+  std::printf("---------+------------------------+-----------------------\n");
+  std::uint64_t seed = 5000;
+  for (const Target& t : targets) {
+    const Row proxyless = run_proxyless(t.proxyless_lambda, cfg, loaders,
+                                        seed++);
+    const Row pit = run_pit(t.pit_lambda, cfg, loaders, seed++);
+    std::printf("%-8s | %10lld %11.3f | %10lld %11.3f\n", t.name,
+                proxyless.params, proxyless.mae, pit.params, pit.mae);
+  }
+  std::printf("\nExpected shape: comparable accuracy at each size target,\n"
+              "with PIT matching or dominating at the large end.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Pedagogical walkthrough of the PIT mask construction (paper Fig. 2-3).
+//
+// Prints, for rf_max = 9 (L = 4): the constant T and K matrices of Eq. 4,
+// the Gamma products for each gamma assignment, and the resulting masks /
+// dilation patterns. No training — pure mechanics.
+#include <cstdio>
+
+#include "core/gamma.hpp"
+#include "core/mask.hpp"
+
+namespace {
+
+using namespace pit;
+
+void print_matrix(const char* name, const Tensor& m) {
+  std::printf("%s (%lld x %lld):\n", name,
+              static_cast<long long>(m.dim(0)),
+              static_cast<long long>(m.dim(1)));
+  for (index_t r = 0; r < m.dim(0); ++r) {
+    std::printf("  ");
+    for (index_t c = 0; c < m.dim(1); ++c) {
+      std::printf("%d ", static_cast<int>(m.at({r, c})));
+    }
+    std::printf("\n");
+  }
+}
+
+void print_mask_row(const std::vector<int>& bits) {
+  const auto mask = core::reference_mask(bits, 9);
+  const index_t d = core::dilation_from_bits(bits);
+  std::printf("  gamma = (1");
+  for (const int b : bits) {
+    std::printf(", %d", b);
+  }
+  std::printf(")  ->  M = [");
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    std::printf("%s%d", i > 0 ? " " : "", static_cast<int>(mask[i]));
+  }
+  std::printf("]  => dilation %lld, %lld alive taps\n",
+              static_cast<long long>(d),
+              static_cast<long long>((9 - 1) / d + 1));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PIT mask mechanics for rf_max = 9 (paper Fig. 2 and Fig. 3)\n");
+  std::printf("============================================================\n\n");
+  const index_t levels = core::num_gamma_levels(9);
+  std::printf("L = floor(log2(rf_max - 1)) + 1 = %lld gamma elements\n",
+              static_cast<long long>(levels));
+  std::printf("(gamma_0 is the constant 1; gamma_1..gamma_3 are trainable)\n\n");
+
+  print_matrix("T matrix (upper triangle, inverted columns)",
+               core::t_matrix(levels));
+  std::printf("\n");
+  print_matrix("K matrix (tap -> Gamma product selector)",
+               core::k_matrix(levels, 9));
+
+  std::printf("\nGamma products (Eq. 3): Gamma_i = gamma_0 * ... * "
+              "gamma_{L-1-i}\n");
+  std::printf("  Gamma_0 = g1*g2*g3  (odd taps: 1, 3, 5, 7)\n");
+  std::printf("  Gamma_1 = g1*g2     (taps 2, 6)\n");
+  std::printf("  Gamma_2 = g1        (tap 4)\n");
+  std::printf("  Gamma_3 = 1         (taps 0, 8 — always alive)\n\n");
+
+  std::printf("canonical dilation encodings (paper Fig. 2):\n");
+  print_mask_row({1, 1, 1});
+  print_mask_row({1, 1, 0});
+  print_mask_row({1, 0, 0});
+  print_mask_row({0, 0, 0});
+
+  std::printf("\nnon-canonical assignments collapse to the same patterns\n"
+              "(a zero in gamma_j kills every Gamma product that contains "
+              "it):\n");
+  print_mask_row({1, 0, 1});
+  print_mask_row({0, 1, 1});
+  print_mask_row({0, 1, 0});
+
+  std::printf("\nEq. 4 (differentiable tensor form) reproduces all of the\n"
+              "above exactly — property-tested for every gamma assignment\n"
+              "and rf_max in 2..64 in tests/test_mask.cpp.\n");
+  return 0;
+}

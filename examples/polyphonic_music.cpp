@@ -1,0 +1,78 @@
+// PIT on the polyphonic-music benchmark: ResTCN over 88-key piano rolls
+// (synthetic Nottingham stand-in), with a small lambda sweep showing the
+// accuracy/size trade-off of Fig. 4 (top).
+#include <cstdio>
+
+#include "core/search.hpp"
+#include "data/dataloader.hpp"
+#include "data/nottingham.hpp"
+#include "models/restcn.hpp"
+#include "nn/losses.hpp"
+
+int main() {
+  using namespace pit;
+  std::printf("PIT on ResTCN / Nottingham (synthetic): lambda sweep\n");
+  std::printf("====================================================\n\n");
+
+  models::ResTcnConfig cfg;
+  cfg.hidden_channels = 16;  // CPU-sized; 150 reproduces the paper model
+  cfg.dropout = 0.05F;
+
+  data::NottinghamOptions data_opts;
+  data_opts.num_sequences = 112;
+  data_opts.seq_len = 49;
+  data_opts.seed = 5;
+  data::NottinghamDataset dataset(data_opts);
+  data::SubsetDataset train_view(dataset, 0, 84);
+  data::SubsetDataset val_view(dataset, 84, 28);
+  data::DataLoader train(train_view, 16, true, 15);
+  data::DataLoader val(val_view, 16, false);
+  std::printf("dataset: %lld tunes (%.1f%% of piano-roll cells active)\n\n",
+              static_cast<long long>(dataset.size()),
+              100.0 * dataset.active_fraction());
+
+  auto loss = [](const Tensor& p, const Tensor& t) {
+    return nn::polyphonic_nll(p, t);
+  };
+  auto seed_counter = std::make_shared<std::uint64_t>(70);
+  core::DilationSearch search(
+      [&cfg, seed_counter]() {
+        RandomEngine rng((*seed_counter)++);
+        core::PitModelBundle bundle;
+        std::vector<core::PITConv1d*> layers;
+        bundle.model = std::make_unique<models::ResTCN>(
+            cfg, core::pit_conv_factory(rng, layers), rng);
+        bundle.pit_layers = std::move(layers);
+        return bundle;
+      },
+      loss,
+      [&cfg](const std::vector<index_t>& d) {
+        return models::ResTCN::params_with_dilations(cfg, d);
+      });
+
+  core::SearchConfig sweep;
+  sweep.lambdas = {1e-6, 1e-4};
+  sweep.warmup_epochs = {2};
+  sweep.trainer.max_prune_epochs = 10;
+  sweep.trainer.finetune_epochs = 8;
+  sweep.trainer.patience = 3;
+  sweep.trainer.lr_weights = 2e-3;
+  sweep.trainer.lr_gamma = 2e-2;
+  const auto result = search.run(train, val, sweep);
+
+  std::printf("results (frame NLL; lower is better):\n");
+  for (const auto& p : result.all) {
+    std::printf("  lambda=%.0e  params=%7lld  NLL=%.4f  dilations=(",
+                p.lambda, static_cast<long long>(p.total_params), p.val_loss);
+    for (std::size_t i = 0; i < p.dilations.size(); ++i) {
+      std::printf("%s%lld", i > 0 ? "," : "",
+                  static_cast<long long>(p.dilations[i]));
+    }
+    std::printf(")\n");
+  }
+  std::printf("\nPareto-optimal: %zu of %zu points\n", result.pareto.size(),
+              result.all.size());
+  std::printf("\nThe stronger lambda should buy a materially smaller network\n"
+              "at a modest NLL cost — the Fig. 4 (top) trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "core/channel_mask.hpp"
+
+#include <algorithm>
+
+#include "tensor/autograd.hpp"
+#include "tensor/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit::core {
+
+namespace {
+
+bool wants_grad(const TensorImpl& impl) {
+  return impl.requires_grad || impl.grad_fn != nullptr;
+}
+
+/// y[n,c,t] = x[n,c,t] * g[c]; dg[c] += sum_{n,t} dy * x.
+Tensor mul_channels(const Tensor& x, const Tensor& gate) {
+  PIT_CHECK(x.rank() == 2 || x.rank() == 3,
+            "mul_channels: input must be (N, C) or (N, C, T), got "
+                << x.shape().to_string());
+  PIT_CHECK(gate.rank() == 1 && gate.dim(0) == x.dim(1),
+            "mul_channels: gate shape " << gate.shape().to_string()
+                                        << " vs input "
+                                        << x.shape().to_string());
+  const index_t n = x.dim(0);
+  const index_t c = x.dim(1);
+  const index_t t = x.rank() == 3 ? x.dim(2) : 1;
+  Tensor out = Tensor::zeros(x.shape());
+  const float* xd = x.data();
+  const float* gd = gate.data();
+  float* od = out.data();
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t ci = 0; ci < c; ++ci) {
+      const float g = gd[ci];
+      const float* xrow = xd + (ni * c + ci) * t;
+      float* orow = od + (ni * c + ci) * t;
+      for (index_t ti = 0; ti < t; ++ti) {
+        orow[ti] = xrow[ti] * g;
+      }
+    }
+  }
+  const Tensor tx = x;
+  const Tensor tg = gate;
+  return make_op_output(
+      std::move(out), {x, gate}, "mul_channels",
+      [tx, tg, n, c, t](TensorImpl& o) {
+        const float* dy = o.grad.data();
+        if (wants_grad(*tx.impl())) {
+          auto xg = grad_span(*tx.impl());
+          const float* gd2 = tg.data();
+          for (index_t ni = 0; ni < n; ++ni) {
+            for (index_t ci = 0; ci < c; ++ci) {
+              const float g = gd2[ci];
+              const index_t base = (ni * c + ci) * t;
+              for (index_t ti = 0; ti < t; ++ti) {
+                xg[base + ti] += dy[base + ti] * g;
+              }
+            }
+          }
+        }
+        if (wants_grad(*tg.impl())) {
+          auto gg = grad_span(*tg.impl());
+          const float* xd2 = tx.data();
+          for (index_t ci = 0; ci < c; ++ci) {
+            float acc = 0.0F;
+            for (index_t ni = 0; ni < n; ++ni) {
+              const index_t base = (ni * c + ci) * t;
+              for (index_t ti = 0; ti < t; ++ti) {
+                acc += dy[base + ti] * xd2[base + ti];
+              }
+            }
+            gg[ci] += acc;
+          }
+        }
+      });
+}
+
+}  // namespace
+
+ChannelGate::ChannelGate(index_t channels, float binarize_threshold)
+    : channels_(channels), threshold_(binarize_threshold) {
+  PIT_CHECK(channels >= 1, "ChannelGate: channels must be >= 1");
+  PIT_CHECK(binarize_threshold > 0.0F && binarize_threshold < 1.0F,
+            "ChannelGate: threshold must be in (0, 1)");
+  gamma_ = register_parameter("channel_gamma", Tensor::ones(Shape{channels}));
+}
+
+Tensor ChannelGate::forward(const Tensor& input) {
+  if (frozen_) {
+    Tensor mask = Tensor::zeros(Shape{channels_});
+    const auto bits = binary_snapshot();
+    for (index_t i = 0; i < channels_; ++i) {
+      mask.data()[i] = static_cast<float>(bits[static_cast<std::size_t>(i)]);
+    }
+    return mul_channels(input, mask);
+  }
+  return mul_channels(input, binarize(gamma_, threshold_));
+}
+
+index_t ChannelGate::alive_channels() const {
+  index_t alive = 0;
+  for (const int b : binary_snapshot()) {
+    alive += b;
+  }
+  return alive;
+}
+
+std::vector<int> ChannelGate::binary_snapshot() const {
+  std::vector<int> bits(static_cast<std::size_t>(channels_));
+  const auto view = gamma_.span();
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] = view[i] >= threshold_ ? 1 : 0;
+  }
+  return bits;
+}
+
+void ChannelGate::clamp_values() {
+  for (float& v : gamma_.span()) {
+    v = std::clamp(v, 0.0F, 1.0F);
+  }
+}
+
+void ChannelGate::freeze() {
+  frozen_ = true;
+  gamma_.set_requires_grad(false);
+}
+
+Tensor channel_regularizer(const std::vector<ChannelGate*>& gates,
+                           double lambda,
+                           const std::vector<index_t>& cost_per_channel) {
+  PIT_CHECK(lambda >= 0.0, "channel_regularizer: lambda must be >= 0");
+  PIT_CHECK(cost_per_channel.size() == gates.size(),
+            "channel_regularizer: " << cost_per_channel.size()
+                                    << " costs for " << gates.size()
+                                    << " gates");
+  Tensor total = Tensor::scalar(0.0F);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    PIT_CHECK(gates[i] != nullptr, "channel_regularizer: null gate");
+    if (gates[i]->frozen()) {
+      continue;
+    }
+    Tensor term = sum(abs_op(gates[i]->gamma_values()));
+    total = add(total,
+                mul_scalar(term, static_cast<float>(cost_per_channel[i])));
+  }
+  return mul_scalar(total, static_cast<float>(lambda));
+}
+
+}  // namespace pit::core

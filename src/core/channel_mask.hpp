@@ -1,0 +1,55 @@
+// Channel-masking extension (paper Sec. III-C).
+//
+// "PIT can be easily integrated with other DMaskingNAS techniques that
+// affect different hyper-parameters, e.g. [MorphNet] to tune the number of
+// channels in each layer, simply by adding further regularization terms and
+// masking parameters." This module provides that integration: a
+// ChannelGate multiplies each channel of a (N, C, T) feature map with a
+// binarized trainable gamma (straight-through estimator, like the time
+// gammas), and channel_regularizer() adds the Lasso term that prunes them.
+// Stacking a gate after a PITConv1d searches channels and dilation jointly.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/random.hpp"
+
+namespace pit::core {
+
+/// Differentiable per-channel on/off gate over (N, C, T) or (N, C) inputs.
+class ChannelGate : public nn::Module {
+ public:
+  explicit ChannelGate(index_t channels, float binarize_threshold = 0.5F);
+
+  Tensor forward(const Tensor& input) override;
+
+  index_t channels() const { return channels_; }
+  /// Trainable float gammas (shape (C)), initialized to 1.
+  Tensor gamma_values() const { return gamma_; }
+  /// Channels whose binarized gamma is 1.
+  index_t alive_channels() const;
+  std::vector<int> binary_snapshot() const;
+
+  /// Clamps gammas to [0, 1] (call after each optimizer step).
+  void clamp_values();
+  /// Stops gradient flow; the gate becomes a constant mask.
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+ private:
+  index_t channels_;
+  float threshold_;
+  Tensor gamma_;
+  bool frozen_ = false;
+};
+
+/// Lasso penalty over the gates' float gammas. `cost_per_channel[i]` is the
+/// parameter count one channel of gate i controls (its filter slice plus
+/// everything downstream that consumes it), mirroring Eq. 6's Cin*Cout
+/// weighting for the time axis.
+Tensor channel_regularizer(const std::vector<ChannelGate*>& gates,
+                           double lambda,
+                           const std::vector<index_t>& cost_per_channel);
+
+}  // namespace pit::core

@@ -1,0 +1,122 @@
+#include "core/gamma.hpp"
+
+#include <algorithm>
+
+#include "tensor/error.hpp"
+
+namespace pit::core {
+
+index_t num_gamma_levels(index_t rf_max) {
+  PIT_CHECK(rf_max >= 1, "num_gamma_levels: rf_max must be >= 1");
+  if (rf_max < 2) {
+    return 1;
+  }
+  index_t levels = 1;
+  index_t span = rf_max - 1;
+  while (span >= 2) {
+    span /= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+index_t max_dilation(index_t rf_max) {
+  return index_t{1} << (num_gamma_levels(rf_max) - 1);
+}
+
+index_t dilation_from_bits(const std::vector<int>& bits) {
+  // Gamma_i multiplies gamma_1 .. gamma_{L-1-i}; find the smallest i with
+  // all of those equal to 1 (i = L-1 is always valid: empty product).
+  const auto levels = static_cast<index_t>(bits.size()) + 1;
+  for (index_t i = 0; i < levels; ++i) {
+    bool all_one = true;
+    for (index_t j = 0; j < levels - 1 - i; ++j) {
+      if (bits[static_cast<std::size_t>(j)] == 0) {
+        all_one = false;
+        break;
+      }
+    }
+    if (all_one) {
+      return index_t{1} << i;
+    }
+  }
+  return index_t{1} << (levels - 1);
+}
+
+std::vector<int> bits_for_dilation(index_t d, index_t rf_max) {
+  PIT_CHECK(d >= 1, "bits_for_dilation: d must be >= 1");
+  PIT_CHECK((d & (d - 1)) == 0, "bits_for_dilation: d must be a power of two");
+  PIT_CHECK(d <= max_dilation(rf_max),
+            "bits_for_dilation: d=" << d << " exceeds max dilation "
+                                    << max_dilation(rf_max) << " for rf_max "
+                                    << rf_max);
+  const index_t levels = num_gamma_levels(rf_max);
+  index_t log_d = 0;
+  while ((index_t{1} << log_d) < d) {
+    ++log_d;
+  }
+  // Trailing log_d knobs at zero: gamma_{L-log_d} .. gamma_{L-1} = 0.
+  std::vector<int> bits(static_cast<std::size_t>(levels - 1), 1);
+  for (index_t j = levels - 1 - log_d; j < levels - 1; ++j) {
+    bits[static_cast<std::size_t>(j)] = 0;
+  }
+  return bits;
+}
+
+GammaParameters::GammaParameters(index_t rf_max)
+    : rf_max_(rf_max), levels_(num_gamma_levels(rf_max)) {
+  if (num_trainable() > 0) {
+    // Paper Sec. III-C: all gamma elements start at 1 (seed has d = 1).
+    values_ = Tensor::ones(Shape{num_trainable()});
+    values_.set_requires_grad(true);
+  }
+}
+
+std::vector<int> GammaParameters::binary_snapshot(float threshold) const {
+  std::vector<int> bits(static_cast<std::size_t>(num_trainable()), 1);
+  if (values_.defined()) {
+    const auto view = values_.span();
+    for (std::size_t j = 0; j < view.size(); ++j) {
+      bits[j] = view[j] >= threshold ? 1 : 0;
+    }
+  }
+  return bits;
+}
+
+index_t GammaParameters::dilation(float threshold) const {
+  return dilation_from_bits(binary_snapshot(threshold));
+}
+
+index_t GammaParameters::alive_taps(float threshold) const {
+  return (rf_max_ - 1) / dilation(threshold) + 1;
+}
+
+void GammaParameters::clamp_values() {
+  if (!values_.defined()) {
+    return;
+  }
+  for (float& v : values_.span()) {
+    v = std::clamp(v, 0.0F, 1.0F);
+  }
+}
+
+void GammaParameters::set_dilation(index_t d) {
+  if (!values_.defined()) {
+    PIT_CHECK(d == 1, "GammaParameters: no knobs, only d=1 supported");
+    return;
+  }
+  const auto bits = bits_for_dilation(d, rf_max_);
+  auto view = values_.span();
+  for (std::size_t j = 0; j < view.size(); ++j) {
+    view[j] = static_cast<float>(bits[j]);
+  }
+}
+
+void GammaParameters::freeze() {
+  frozen_ = true;
+  if (values_.defined()) {
+    values_.set_requires_grad(false);
+  }
+}
+
+}  // namespace pit::core

@@ -1,0 +1,77 @@
+// Trainable dilation knobs (the paper's gamma vectors, Sec. III-A).
+//
+// A temporal conv with maximum receptive field rf_max carries
+// L = floor(log2(rf_max - 1)) + 1 gamma elements; gamma_0 is the constant 1
+// and the remaining L-1 are trainable floats in [0, 1], binarized with a
+// Heaviside step at 0.5 in forward passes (straight-through estimator in
+// backward). Zeroing trailing gammas doubles the layer's dilation:
+// all ones -> d = 1; gamma_{L-1} = 0 -> d = 2; ...; gamma_1 = 0 -> 2^(L-1).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pit::core {
+
+/// L = floor(log2(rf_max - 1)) + 1 for rf_max >= 2; rf_max == 1 has a
+/// single always-alive tap and no knobs (L = 1).
+index_t num_gamma_levels(index_t rf_max);
+
+/// Largest dilation reachable for the receptive field: 2^(L-1).
+index_t max_dilation(index_t rf_max);
+
+/// Dilation encoded by the binary gamma assignment (bits[j] is gamma_{j+1};
+/// gamma_0 is implicit). d = 2^i for the smallest i with Gamma_i = 1,
+/// where Gamma_i = gamma_0 * ... * gamma_{L-1-i} (paper Eq. 3).
+index_t dilation_from_bits(const std::vector<int>& bits);
+
+/// Binary gamma assignment that encodes dilation d (power of two,
+/// d <= max_dilation(rf_max)): the canonical pattern with the trailing
+/// log2(d) knobs at 0.
+std::vector<int> bits_for_dilation(index_t d, index_t rf_max);
+
+/// The trainable gamma vector attached to one PIT convolution.
+class GammaParameters {
+ public:
+  explicit GammaParameters(index_t rf_max);
+
+  index_t rf_max() const { return rf_max_; }
+  /// L, counting the constant gamma_0.
+  index_t levels() const { return levels_; }
+  /// Number of trainable knobs: L - 1 (0 when rf_max < 3).
+  index_t num_trainable() const { return levels_ - 1; }
+
+  /// The float gamma_hat tensor (shape (L-1)), requires_grad while not
+  /// frozen. Undefined when num_trainable() == 0.
+  Tensor values() const { return values_; }
+
+  /// Current binary snapshot (Heaviside at `threshold`), no autograd.
+  std::vector<int> binary_snapshot(float threshold = 0.5F) const;
+
+  /// Dilation currently encoded by the binary snapshot.
+  index_t dilation(float threshold = 0.5F) const;
+
+  /// Filter taps that survive at the current dilation:
+  /// floor((rf_max - 1) / d) + 1.
+  index_t alive_taps(float threshold = 0.5F) const;
+
+  /// Clamps gamma_hat to [0, 1] in place (BinaryConnect housekeeping;
+  /// call after each optimizer step).
+  void clamp_values();
+
+  /// Overwrites gamma_hat with the canonical encoding of dilation `d`.
+  void set_dilation(index_t d);
+
+  /// Stops gradient flow; the mask becomes a constant thereafter.
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+ private:
+  index_t rf_max_;
+  index_t levels_;
+  Tensor values_;
+  bool frozen_ = false;
+};
+
+}  // namespace pit::core

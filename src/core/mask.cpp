@@ -1,0 +1,106 @@
+#include "core/mask.hpp"
+
+#include "core/gamma.hpp"
+#include "tensor/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit::core {
+
+namespace {
+
+/// min(v2(t), levels-1), with t = 0 mapping to levels-1 (always alive).
+index_t gamma_index_for_tap(index_t t, index_t levels) {
+  if (t == 0) {
+    return levels - 1;
+  }
+  index_t v2 = 0;
+  while (t % 2 == 0) {
+    t /= 2;
+    ++v2;
+  }
+  return v2 < levels - 1 ? v2 : levels - 1;
+}
+
+}  // namespace
+
+Tensor t_matrix(index_t levels) {
+  PIT_CHECK(levels >= 1, "t_matrix: levels must be >= 1");
+  Tensor t = Tensor::zeros(Shape{levels, levels});
+  float* td = t.data();
+  for (index_t r = 0; r < levels; ++r) {
+    for (index_t c = 0; c < levels; ++c) {
+      td[r * levels + c] = (r <= levels - 1 - c) ? 1.0F : 0.0F;
+    }
+  }
+  return t;
+}
+
+Tensor k_matrix(index_t levels, index_t rf_max) {
+  PIT_CHECK(levels == num_gamma_levels(rf_max),
+            "k_matrix: levels " << levels << " inconsistent with rf_max "
+                                << rf_max);
+  Tensor k = Tensor::zeros(Shape{levels, rf_max});
+  float* kd = k.data();
+  for (index_t t = 0; t < rf_max; ++t) {
+    const index_t c = gamma_index_for_tap(t, levels);
+    kd[c * rf_max + t] = 1.0F;
+  }
+  return k;
+}
+
+Tensor build_mask(const Tensor& gamma_bin, index_t rf_max) {
+  const index_t levels = num_gamma_levels(rf_max);
+  if (levels <= 1) {
+    PIT_CHECK(!gamma_bin.defined() || gamma_bin.numel() == 0,
+              "build_mask: gammas supplied for a knob-free layer");
+    return Tensor::ones(Shape{rf_max});
+  }
+  PIT_CHECK(gamma_bin.defined() && gamma_bin.rank() == 1 &&
+                gamma_bin.dim(0) == levels - 1,
+            "build_mask: expected " << levels - 1 << " gammas for rf_max "
+                                    << rf_max);
+  // gamma_full = [1, gamma_1, ..., gamma_{L-1}]  (Eq. 3's gamma_0 = 1)
+  Tensor gamma_full = prepend_one(gamma_bin);
+  // A = (gamma · 1_{1xL}) ⊙ T + (1 − T): column c holds gammas 0..L-1-c,
+  // padded with ones.
+  Tensor t_mat = t_matrix(levels);
+  Tensor ones_minus_t = sub(Tensor::ones(Shape{levels, levels}), t_mat);
+  Tensor a = add(mul(replicate_cols(gamma_full, levels), t_mat), ones_minus_t);
+  // B = A · K scatters column products to taps; prod over rows forms M.
+  Tensor b = matmul(a, k_matrix(levels, rf_max));
+  return prod_dim0(b);
+}
+
+std::vector<float> reference_mask(const std::vector<int>& gamma_bits,
+                                  index_t rf_max) {
+  const index_t levels = num_gamma_levels(rf_max);
+  PIT_CHECK(static_cast<index_t>(gamma_bits.size()) == levels - 1,
+            "reference_mask: expected " << levels - 1 << " bits for rf_max "
+                                        << rf_max);
+  // Gamma_i = gamma_0 * ... * gamma_{L-1-i}  (Eq. 3), gamma_0 = 1.
+  std::vector<float> big_gamma(static_cast<std::size_t>(levels), 1.0F);
+  for (index_t i = 0; i < levels; ++i) {
+    float prod = 1.0F;
+    for (index_t j = 0; j < levels - 1 - i; ++j) {
+      prod *= static_cast<float>(gamma_bits[static_cast<std::size_t>(j)]);
+    }
+    big_gamma[static_cast<std::size_t>(i)] = prod;
+  }
+  std::vector<float> mask(static_cast<std::size_t>(rf_max), 0.0F);
+  for (index_t t = 0; t < rf_max; ++t) {
+    mask[static_cast<std::size_t>(t)] =
+        big_gamma[static_cast<std::size_t>(gamma_index_for_tap(t, levels))];
+  }
+  return mask;
+}
+
+std::vector<float> mask_for_dilation(index_t d, index_t rf_max) {
+  PIT_CHECK(d >= 1, "mask_for_dilation: d must be >= 1");
+  std::vector<float> mask(static_cast<std::size_t>(rf_max), 0.0F);
+  for (index_t t = 0; t < rf_max; t += d) {
+    mask[static_cast<std::size_t>(t)] = 1.0F;
+  }
+  return mask;
+}
+
+}  // namespace pit::core

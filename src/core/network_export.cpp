@@ -1,0 +1,120 @@
+#include "core/network_export.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tensor/error.hpp"
+
+namespace pit::core {
+
+std::vector<index_t> extract_dilations(const std::vector<PITConv1d*>& layers) {
+  std::vector<index_t> out;
+  out.reserve(layers.size());
+  for (const PITConv1d* layer : layers) {
+    PIT_CHECK(layer != nullptr, "extract_dilations: null layer");
+    out.push_back(layer->current_dilation());
+  }
+  return out;
+}
+
+namespace {
+
+/// dst tap j <- src tap j*d for all channel pairs.
+void copy_surviving_taps(const Tensor& src_weight, Tensor dst_weight,
+                         index_t d) {
+  const index_t pairs = src_weight.dim(0) * src_weight.dim(1);
+  const index_t src_k = src_weight.dim(2);
+  const index_t dst_k = dst_weight.dim(2);
+  PIT_CHECK(dst_k == (src_k - 1) / d + 1,
+            "export: kernel " << dst_k << " does not match rf " << src_k
+                              << " at dilation " << d);
+  const float* sd = src_weight.data();
+  float* dd = dst_weight.data();
+  for (index_t p = 0; p < pairs; ++p) {
+    for (index_t j = 0; j < dst_k; ++j) {
+      dd[p * dst_k + j] = sd[p * src_k + j * d];
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Conv1d> export_conv(const PITConv1d& layer,
+                                        RandomEngine& rng) {
+  const index_t d = layer.current_dilation();
+  const index_t k = layer.current_alive_taps();
+  auto conv = std::make_unique<nn::Conv1d>(
+      layer.in_channels(), layer.out_channels(), k,
+      nn::Conv1dOptions{.dilation = d,
+                        .stride = layer.stride(),
+                        .bias = layer.bias().defined()},
+      rng);
+  copy_surviving_taps(layer.weight(), conv->weight(), d);
+  if (layer.bias().defined()) {
+    Tensor dst_bias = conv->bias();
+    std::copy(layer.bias().span().begin(), layer.bias().span().end(),
+              dst_bias.span().begin());
+  }
+  return conv;
+}
+
+void export_weights(const nn::Module& src_model,
+                    const std::vector<PITConv1d*>& src_layers,
+                    nn::Module& dst_model) {
+  // Weight tensors owned by PIT layers need strided copies; match them by
+  // storage identity.
+  std::unordered_map<const TensorImpl*, const PITConv1d*> pit_weights;
+  for (const PITConv1d* layer : src_layers) {
+    PIT_CHECK(layer != nullptr, "export_weights: null layer");
+    pit_weights[layer->weight().impl().get()] = layer;
+  }
+
+  const auto src_params = src_model.named_parameters();
+  const auto dst_params = dst_model.named_parameters();
+  PIT_CHECK(src_params.size() >= dst_params.size(),
+            "export_weights: destination has more parameters than source");
+
+  // Walk both lists in order; skip source gamma tensors (they have no
+  // destination counterpart).
+  std::size_t di = 0;
+  for (const auto& sp : src_params) {
+    if (sp.name.size() >= 9 &&
+        sp.name.compare(sp.name.size() - 9, 9, "gamma_hat") == 0) {
+      continue;
+    }
+    PIT_CHECK(di < dst_params.size(),
+              "export_weights: ran out of destination parameters at "
+                  << sp.name);
+    const auto& dp = dst_params[di++];
+    const auto it = pit_weights.find(sp.value.impl().get());
+    if (it != pit_weights.end()) {
+      copy_surviving_taps(sp.value, dp.value, it->second->current_dilation());
+      continue;
+    }
+    PIT_CHECK(sp.value.shape() == dp.value.shape(),
+              "export_weights: shape mismatch " << sp.name << " "
+                                                << sp.value.shape().to_string()
+                                                << " vs " << dp.name << " "
+                                                << dp.value.shape().to_string());
+    Tensor dst = dp.value;
+    std::copy(sp.value.span().begin(), sp.value.span().end(),
+              dst.span().begin());
+  }
+  PIT_CHECK(di == dst_params.size(),
+            "export_weights: unmatched destination parameters remain");
+
+  const auto src_buffers = src_model.named_buffers();
+  const auto dst_buffers = dst_model.named_buffers();
+  PIT_CHECK(src_buffers.size() == dst_buffers.size(),
+            "export_weights: buffer count mismatch");
+  for (std::size_t i = 0; i < src_buffers.size(); ++i) {
+    PIT_CHECK(src_buffers[i].value.shape() == dst_buffers[i].value.shape(),
+              "export_weights: buffer shape mismatch at "
+                  << src_buffers[i].name);
+    Tensor dst = dst_buffers[i].value;
+    std::copy(src_buffers[i].value.span().begin(),
+              src_buffers[i].value.span().end(), dst.span().begin());
+  }
+}
+
+}  // namespace pit::core

@@ -1,0 +1,37 @@
+// Export of a searched PIT network to a plain dilated TCN.
+//
+// After Algorithm 1 converges, each PITConv1d encodes a power-of-two
+// dilation d over its rf_max taps; the surviving taps sit at offsets
+// 0, d, 2d, .... Export materializes a regular nn::Conv1d with
+// kernel = floor((rf_max-1)/d) + 1 and dilation d, copying the surviving
+// weight slices — the layout current MCU inference libraries support
+// (paper Sec. III-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/pit_conv1d.hpp"
+#include "nn/conv1d.hpp"
+
+namespace pit::core {
+
+/// Learned dilations of the searchable layers, in order.
+std::vector<index_t> extract_dilations(const std::vector<PITConv1d*>& layers);
+
+/// Builds the equivalent plain dilated conv and copies the surviving
+/// weights (dst.weight[..., j] = src.weight[..., j*d]) and the bias.
+std::unique_ptr<nn::Conv1d> export_conv(const PITConv1d& layer,
+                                        RandomEngine& rng);
+
+/// Copies every parameter of `src_model` into `dst_model`, which must be
+/// the same architecture built with plain dilated convs in place of the
+/// PIT layers (models::dilated_conv_factory with extract_dilations()).
+/// Same-shape parameters are copied verbatim; PIT conv weights are copied
+/// through their surviving taps. Buffers (batch-norm statistics) are copied
+/// verbatim. Throws if the structures do not line up.
+void export_weights(const nn::Module& src_model,
+                    const std::vector<PITConv1d*>& src_layers,
+                    nn::Module& dst_model);
+
+}  // namespace pit::core

@@ -1,0 +1,89 @@
+#include "core/regularizer.hpp"
+
+#include <cmath>
+
+#include "core/gamma.hpp"
+#include "tensor/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit::core {
+
+std::vector<float> gamma_slice_weights(index_t rf_max) {
+  const index_t levels = num_gamma_levels(rf_max);
+  std::vector<float> weights;
+  if (levels <= 1) {
+    return weights;
+  }
+  weights.reserve(static_cast<std::size_t>(levels - 1));
+  for (index_t i = 1; i <= levels - 1; ++i) {
+    // round((rf_max - 1) / 2^(L - i)): slices re-enabled by gamma_i.
+    const double denom = std::pow(2.0, static_cast<double>(levels - i));
+    weights.push_back(static_cast<float>(
+        std::llround(static_cast<double>(rf_max - 1) / denom)));
+  }
+  return weights;
+}
+
+namespace {
+
+Tensor weighted_gamma_term(const PITConv1d& layer,
+                           const std::vector<float>& slice_weights) {
+  // Cin*Cout * sum_i w_i * |gamma_hat_i| for one layer, differentiable.
+  Tensor w = Tensor::from_vector(std::vector<float>(slice_weights),
+                                 Shape{static_cast<index_t>(
+                                     slice_weights.size())});
+  Tensor term = sum(mul(abs_op(layer.gamma().values()), w));
+  const auto channel_product =
+      static_cast<float>(layer.in_channels() * layer.out_channels());
+  return mul_scalar(term, channel_product);
+}
+
+}  // namespace
+
+Tensor size_regularizer(const std::vector<PITConv1d*>& layers, double lambda) {
+  PIT_CHECK(lambda >= 0.0, "size_regularizer: lambda must be >= 0");
+  Tensor total = Tensor::scalar(0.0F);
+  for (const PITConv1d* layer : layers) {
+    PIT_CHECK(layer != nullptr, "size_regularizer: null layer");
+    if (layer->gamma().num_trainable() == 0 || layer->gamma().frozen()) {
+      continue;
+    }
+    total = add(total, weighted_gamma_term(*layer,
+                                           gamma_slice_weights(layer->rf_max())));
+  }
+  return mul_scalar(total, static_cast<float>(lambda));
+}
+
+Tensor flops_regularizer(const std::vector<PITConv1d*>& layers, double lambda,
+                         const std::vector<index_t>& t_out_per_layer) {
+  PIT_CHECK(lambda >= 0.0, "flops_regularizer: lambda must be >= 0");
+  PIT_CHECK(t_out_per_layer.size() == layers.size(),
+            "flops_regularizer: " << t_out_per_layer.size()
+                                  << " t_out entries for " << layers.size()
+                                  << " layers");
+  Tensor total = Tensor::scalar(0.0F);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const PITConv1d* layer = layers[i];
+    PIT_CHECK(layer != nullptr, "flops_regularizer: null layer");
+    if (layer->gamma().num_trainable() == 0 || layer->gamma().frozen()) {
+      continue;
+    }
+    auto weights = gamma_slice_weights(layer->rf_max());
+    for (float& w : weights) {
+      w *= static_cast<float>(t_out_per_layer[i]);
+    }
+    total = add(total, weighted_gamma_term(*layer, weights));
+  }
+  return mul_scalar(total, static_cast<float>(lambda));
+}
+
+index_t total_effective_params(const std::vector<PITConv1d*>& layers) {
+  index_t total = 0;
+  for (const PITConv1d* layer : layers) {
+    PIT_CHECK(layer != nullptr, "total_effective_params: null layer");
+    total += layer->effective_params();
+  }
+  return total;
+}
+
+}  // namespace pit::core

@@ -1,0 +1,43 @@
+// Cost regularizers driving the sparsification of the gammas (paper Eq. 6).
+//
+// L_R^size(gamma) = lambda * sum_layers Cin*Cout *
+//                     sum_{i=1..L-1} round((rf_max-1)/2^(L-i)) * |gamma_i|
+//
+// The per-knob weight round((rf_max-1)/2^(L-i)) is the number of filter
+// time slices that knob keeps alive (see Fig. 2), so the term is a linear
+// proxy of the layer's parameter count. The FLOPs variant additionally
+// multiplies by the layer's output time steps, steering the search toward
+// operation count instead of model size (Sec. III-B notes this
+// extensibility).
+#pragma once
+
+#include <vector>
+
+#include "core/pit_conv1d.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pit::core {
+
+enum class CostKind {
+  kSize,   // parameters (paper's target metric)
+  kFlops,  // multiply-accumulates
+};
+
+/// Per-knob slice weights for a layer: entry j (knob gamma_{j+1}) is
+/// round((rf_max - 1) / 2^(L-1-j)).
+std::vector<float> gamma_slice_weights(index_t rf_max);
+
+/// Eq. 6: differentiable scalar penalty over all layers' float gammas.
+/// Returns a zero scalar if no layer has trainable knobs.
+Tensor size_regularizer(const std::vector<PITConv1d*>& layers, double lambda);
+
+/// FLOPs-targeting variant: slice weights additionally scaled by each
+/// layer's output time steps. `t_out_per_layer` must align with `layers`.
+Tensor flops_regularizer(const std::vector<PITConv1d*>& layers, double lambda,
+                         const std::vector<index_t>& t_out_per_layer);
+
+/// The (non-differentiable) value Eq. 6 is a proxy for: total effective
+/// parameters of the searchable layers at their current binarized dilations.
+index_t total_effective_params(const std::vector<PITConv1d*>& layers);
+
+}  // namespace pit::core

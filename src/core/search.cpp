@@ -1,0 +1,102 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "tensor/error.hpp"
+
+namespace pit::core {
+
+std::vector<SearchPoint> pareto_front(std::vector<SearchPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const SearchPoint& a, const SearchPoint& b) {
+              if (a.total_params != b.total_params) {
+                return a.total_params < b.total_params;
+              }
+              return a.val_loss < b.val_loss;
+            });
+  std::vector<SearchPoint> front;
+  double best_loss = std::numeric_limits<double>::infinity();
+  for (const SearchPoint& p : points) {
+    if (p.val_loss < best_loss) {
+      front.push_back(p);
+      best_loss = p.val_loss;
+    }
+  }
+  return front;
+}
+
+DilationSearch::DilationSearch(ModelFactory factory, LossFn loss,
+                               ParamsFn params_fn)
+    : factory_(std::move(factory)),
+      loss_(std::move(loss)),
+      params_fn_(std::move(params_fn)) {
+  PIT_CHECK(factory_ != nullptr, "DilationSearch: null model factory");
+  PIT_CHECK(loss_ != nullptr, "DilationSearch: null loss");
+  PIT_CHECK(params_fn_ != nullptr, "DilationSearch: null params function");
+}
+
+SearchResult DilationSearch::run(data::DataLoader& train,
+                                 data::DataLoader& val,
+                                 const SearchConfig& config) {
+  PIT_CHECK(!config.lambdas.empty() && !config.warmup_epochs.empty(),
+            "DilationSearch: empty sweep grid");
+  SearchResult result;
+  for (const int warmup : config.warmup_epochs) {
+    for (const double lambda : config.lambdas) {
+      PitModelBundle bundle = factory_();
+      PIT_CHECK(bundle.model != nullptr && !bundle.pit_layers.empty(),
+                "DilationSearch: factory returned an empty bundle");
+      PitTrainerOptions options = config.trainer;
+      options.lambda = lambda;
+      options.warmup_epochs = warmup;
+      PitTrainer trainer(*bundle.model, bundle.pit_layers, loss_, options);
+      PitTrainingResult run_result = trainer.run(train, val);
+
+      SearchPoint point;
+      point.lambda = lambda;
+      point.warmup_epochs = warmup;
+      point.dilations = run_result.dilations;
+      point.searchable_params = run_result.searchable_params;
+      point.total_params = params_fn_(run_result.dilations);
+      point.val_loss = run_result.val_loss;
+      point.seconds = run_result.total_seconds;
+      if (config.trainer.verbose) {
+        std::printf("search: lambda=%.1e warmup=%d -> params=%lld loss=%.4f\n",
+                    lambda, warmup,
+                    static_cast<long long>(point.total_params),
+                    point.val_loss);
+      }
+      result.all.push_back(std::move(point));
+    }
+  }
+  result.pareto = pareto_front(result.all);
+  return result;
+}
+
+SmallMediumLarge select_small_medium_large(
+    const std::vector<SearchPoint>& points, index_t reference_params) {
+  PIT_CHECK(!points.empty(), "select_small_medium_large: no points");
+  const SearchPoint* small = &points[0];
+  const SearchPoint* large = &points[0];
+  const SearchPoint* medium = &points[0];
+  for (const SearchPoint& p : points) {
+    if (p.total_params < small->total_params) {
+      small = &p;
+    }
+    if (p.total_params > large->total_params) {
+      large = &p;
+    }
+    const auto dist = [reference_params](const SearchPoint& q) {
+      return std::llabs(static_cast<long long>(q.total_params) -
+                        static_cast<long long>(reference_params));
+    };
+    if (dist(p) < dist(*medium)) {
+      medium = &p;
+    }
+  }
+  return {*small, *medium, *large};
+}
+
+}  // namespace pit::core

@@ -1,0 +1,78 @@
+#include "data/dataloader.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/error.hpp"
+
+namespace pit::data {
+
+Tensor stack_examples(const std::vector<Tensor>& items) {
+  PIT_CHECK(!items.empty(), "stack_examples: empty batch");
+  const Shape& item_shape = items[0].shape();
+  std::vector<index_t> dims;
+  dims.push_back(static_cast<index_t>(items.size()));
+  for (const index_t d : item_shape.dims()) {
+    dims.push_back(d);
+  }
+  Tensor out = Tensor::zeros(Shape(dims));
+  const index_t item_numel = item_shape.numel();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    PIT_CHECK(items[i].shape() == item_shape,
+              "stack_examples: shape mismatch at item " << i);
+    std::copy(items[i].span().begin(), items[i].span().end(),
+              out.data() + static_cast<index_t>(i) * item_numel);
+  }
+  return out;
+}
+
+DataLoader::DataLoader(const Dataset& dataset, index_t batch_size,
+                       bool shuffle, std::uint64_t seed)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  PIT_CHECK(batch_size >= 1, "DataLoader: batch_size must be >= 1");
+  PIT_CHECK(dataset.size() >= 1, "DataLoader: empty dataset");
+  order_.resize(static_cast<std::size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), index_t{0});
+  if (shuffle_) {
+    reshuffle();
+  }
+}
+
+index_t DataLoader::num_batches() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch DataLoader::batch(index_t b) const {
+  PIT_CHECK(b >= 0 && b < num_batches(),
+            "DataLoader::batch(" << b << ") out of range, " << num_batches()
+                                 << " batches");
+  const index_t first = b * batch_size_;
+  const index_t last = std::min(first + batch_size_, dataset_.size());
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+  inputs.reserve(static_cast<std::size_t>(last - first));
+  targets.reserve(static_cast<std::size_t>(last - first));
+  for (index_t i = first; i < last; ++i) {
+    Example ex = dataset_.get(order_[static_cast<std::size_t>(i)]);
+    inputs.push_back(std::move(ex.input));
+    targets.push_back(std::move(ex.target));
+  }
+  return {stack_examples(inputs), stack_examples(targets)};
+}
+
+void DataLoader::reshuffle() {
+  if (!shuffle_) {
+    return;
+  }
+  // Fisher-Yates with our deterministic engine.
+  for (index_t i = static_cast<index_t>(order_.size()) - 1; i > 0; --i) {
+    const index_t j = rng_.randint(i + 1);
+    std::swap(order_[static_cast<std::size_t>(i)],
+              order_[static_cast<std::size_t>(j)]);
+  }
+}
+
+}  // namespace pit::data

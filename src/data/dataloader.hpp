@@ -1,0 +1,54 @@
+// Mini-batch assembly with optional deterministic shuffling.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "tensor/random.hpp"
+
+namespace pit::data {
+
+/// One mini-batch: inputs stacked along a new leading batch dimension,
+/// targets likewise.
+struct Batch {
+  Tensor inputs;
+  Tensor targets;
+};
+
+/// Batches a dataset. Iteration pattern:
+///
+///   for (int epoch = 0; ...; ++epoch) {
+///     loader.reshuffle();                     // no-op if shuffle disabled
+///     for (index_t b = 0; b < loader.num_batches(); ++b) {
+///       Batch batch = loader.batch(b);
+///       ...
+///     }
+///   }
+///
+/// The last batch may be smaller than batch_size (never dropped).
+class DataLoader {
+ public:
+  /// `dataset` must outlive the loader.
+  DataLoader(const Dataset& dataset, index_t batch_size, bool shuffle,
+             std::uint64_t seed = 0);
+
+  index_t num_batches() const;
+  Batch batch(index_t b) const;
+  /// Draws a fresh example order (when shuffling is enabled).
+  void reshuffle();
+
+  index_t batch_size() const { return batch_size_; }
+  index_t dataset_size() const { return dataset_.size(); }
+
+ private:
+  const Dataset& dataset_;
+  index_t batch_size_;
+  bool shuffle_;
+  RandomEngine rng_;
+  std::vector<index_t> order_;
+};
+
+/// Stacks per-example tensors along a new leading dimension.
+Tensor stack_examples(const std::vector<Tensor>& items);
+
+}  // namespace pit::data

@@ -1,0 +1,62 @@
+#include "data/dataset.hpp"
+
+#include "tensor/error.hpp"
+
+namespace pit::data {
+
+TensorDataset::TensorDataset(std::vector<Tensor> inputs,
+                             std::vector<Tensor> targets)
+    : inputs_(std::move(inputs)), targets_(std::move(targets)) {
+  PIT_CHECK(inputs_.size() == targets_.size(),
+            "TensorDataset: " << inputs_.size() << " inputs vs "
+                              << targets_.size() << " targets");
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    PIT_CHECK(inputs_[i].defined() && targets_[i].defined(),
+              "TensorDataset: undefined tensor at index " << i);
+    PIT_CHECK(inputs_[i].shape() == inputs_[0].shape(),
+              "TensorDataset: inconsistent input shape at index " << i);
+    PIT_CHECK(targets_[i].shape() == targets_[0].shape(),
+              "TensorDataset: inconsistent target shape at index " << i);
+  }
+}
+
+index_t TensorDataset::size() const {
+  return static_cast<index_t>(inputs_.size());
+}
+
+Example TensorDataset::get(index_t i) const {
+  PIT_CHECK(i >= 0 && i < size(),
+            "TensorDataset::get(" << i << ") out of range, size " << size());
+  return {inputs_[static_cast<std::size_t>(i)],
+          targets_[static_cast<std::size_t>(i)]};
+}
+
+SubsetDataset::SubsetDataset(const Dataset& base, index_t first, index_t count)
+    : base_(base), first_(first), count_(count) {
+  PIT_CHECK(first >= 0 && count >= 0 && first + count <= base.size(),
+            "SubsetDataset: range [" << first << ", " << first + count
+                                     << ") exceeds base size " << base.size());
+}
+
+Example SubsetDataset::get(index_t i) const {
+  PIT_CHECK(i >= 0 && i < count_,
+            "SubsetDataset::get(" << i << ") out of range, size " << count_);
+  return base_.get(first_ + i);
+}
+
+DatasetSplits split_dataset(const Dataset& base, double train_fraction,
+                            double val_fraction) {
+  PIT_CHECK(train_fraction > 0.0 && val_fraction >= 0.0 &&
+                train_fraction + val_fraction <= 1.0,
+            "split_dataset: invalid fractions " << train_fraction << ", "
+                                                << val_fraction);
+  const index_t n = base.size();
+  const auto n_train = static_cast<index_t>(n * train_fraction);
+  const auto n_val = static_cast<index_t>(n * val_fraction);
+  const index_t n_test = n - n_train - n_val;
+  return {SubsetDataset(base, 0, n_train),
+          SubsetDataset(base, n_train, n_val),
+          SubsetDataset(base, n_train + n_val, n_test)};
+}
+
+}  // namespace pit::data

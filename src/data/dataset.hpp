@@ -1,0 +1,65 @@
+// Dataset abstractions.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pit::data {
+
+/// One supervised example: input and target tensors (without batch dim).
+struct Example {
+  Tensor input;
+  Tensor target;
+};
+
+/// Abstract random-access dataset.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual index_t size() const = 0;
+  /// Returns example `i` (0 <= i < size()).
+  virtual Example get(index_t i) const = 0;
+};
+
+/// In-memory dataset over pre-built example tensors.
+class TensorDataset : public Dataset {
+ public:
+  TensorDataset(std::vector<Tensor> inputs, std::vector<Tensor> targets);
+
+  index_t size() const override;
+  Example get(index_t i) const override;
+
+ private:
+  std::vector<Tensor> inputs_;
+  std::vector<Tensor> targets_;
+};
+
+/// View of a contiguous index range of another dataset (train/val splits).
+class SubsetDataset : public Dataset {
+ public:
+  /// [first, first + count) must lie within `base`'s range; `base` must
+  /// outlive the subset.
+  SubsetDataset(const Dataset& base, index_t first, index_t count);
+
+  index_t size() const override { return count_; }
+  Example get(index_t i) const override;
+
+ private:
+  const Dataset& base_;
+  index_t first_;
+  index_t count_;
+};
+
+/// Splits a dataset into train / validation / test index views with the
+/// given fractions (test gets the remainder).
+struct DatasetSplits {
+  SubsetDataset train;
+  SubsetDataset val;
+  SubsetDataset test;
+};
+DatasetSplits split_dataset(const Dataset& base, double train_fraction,
+                            double val_fraction);
+
+}  // namespace pit::data

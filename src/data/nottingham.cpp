@@ -1,0 +1,142 @@
+#include "data/nottingham.hpp"
+
+#include <array>
+
+#include "tensor/error.hpp"
+
+namespace pit::data {
+
+namespace {
+
+/// Major-scale intervals (semitones from the tonic).
+constexpr std::array<int, 7> kMajorScale = {0, 2, 4, 5, 7, 9, 11};
+
+/// Folk-style progression over scale degrees I, IV, V, vi: row = current
+/// chord, column = next chord. Rows sum to 1.
+constexpr std::array<std::array<double, 4>, 4> kChordTransitions = {{
+    {0.30, 0.30, 0.25, 0.15},  // from I
+    {0.35, 0.15, 0.40, 0.10},  // from IV
+    {0.55, 0.10, 0.15, 0.20},  // from V
+    {0.30, 0.30, 0.25, 0.15},  // from vi
+}};
+
+/// Chord root scale-degree (0-based) for I, IV, V, vi.
+constexpr std::array<int, 4> kChordRootDegree = {0, 3, 4, 5};
+
+int sample_next_chord(int current, RandomEngine& rng) {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (int next = 0; next < 4; ++next) {
+    acc += kChordTransitions[static_cast<std::size_t>(current)]
+                            [static_cast<std::size_t>(next)];
+    if (u < acc) {
+      return next;
+    }
+  }
+  return 3;
+}
+
+/// MIDI note for scale degree `deg` (can exceed 6 -> wraps an octave up)
+/// in the key rooted at `key_root` (MIDI), or -1 if outside the 88 keys.
+int degree_to_key_index(int key_root, int deg, int octave_shift) {
+  const int octaves = deg / 7 + octave_shift;
+  const int within = deg % 7;
+  const int midi = key_root + 12 * octaves +
+                   kMajorScale[static_cast<std::size_t>(within)];
+  const int key = midi - 21;  // piano key index
+  return (key >= 0 && key < 88) ? key : -1;
+}
+
+}  // namespace
+
+NottinghamDataset::NottinghamDataset(const NottinghamOptions& options)
+    : options_(options) {
+  PIT_CHECK(options.num_sequences >= 1, "Nottingham: num_sequences >= 1");
+  PIT_CHECK(options.seq_len >= 2, "Nottingham: seq_len must be >= 2");
+  PIT_CHECK(options.chord_hold_frames >= 1,
+            "Nottingham: chord_hold_frames must be >= 1");
+  PIT_CHECK(options.melody_move_prob >= 0.0 && options.melody_move_prob <= 1.0,
+            "Nottingham: melody_move_prob in [0,1]");
+  PIT_CHECK(options.rest_prob >= 0.0 && options.rest_prob < 1.0,
+            "Nottingham: rest_prob in [0,1)");
+  RandomEngine rng(options.seed);
+  rolls_.reserve(static_cast<std::size_t>(options.num_sequences));
+
+  for (index_t s = 0; s < options.num_sequences; ++s) {
+    Tensor roll = Tensor::zeros(Shape{kNumKeys, options.seq_len});
+    float* rd = roll.data();
+    const index_t t_len = options.seq_len;
+
+    // Key: tonic in MIDI 48..59 (C3..B3 region).
+    const int key_root = 48 + static_cast<int>(rng.randint(12));
+    int chord = 0;                                     // start on I
+    int melody_deg = 7 + static_cast<int>(rng.randint(7));  // one octave up
+
+    for (index_t t = 0; t < t_len; ++t) {
+      if (t % options.chord_hold_frames == 0 && t > 0) {
+        chord = sample_next_chord(chord, rng);
+      }
+      // Chord voicing: root + third + fifth, plus a bass root an octave down.
+      const int root_deg = kChordRootDegree[static_cast<std::size_t>(chord)];
+      for (const int offset : {0, 2, 4}) {
+        const int key = degree_to_key_index(key_root, root_deg + offset, 0);
+        if (key >= 0) {
+          rd[key * t_len + t] = 1.0F;
+        }
+      }
+      const int bass = degree_to_key_index(key_root, root_deg, -1);
+      if (bass >= 0) {
+        rd[bass * t_len + t] = 1.0F;
+      }
+
+      // Melody voice: scale-constrained random walk above the chords.
+      if (rng.bernoulli(options.melody_move_prob)) {
+        melody_deg += static_cast<int>(rng.randint(5)) - 2;  // -2..+2
+        melody_deg = std::max(7, std::min(20, melody_deg));
+      }
+      if (!rng.bernoulli(options.rest_prob)) {
+        const int key = degree_to_key_index(key_root, melody_deg, 0);
+        if (key >= 0) {
+          rd[key * t_len + t] = 1.0F;
+        }
+      }
+    }
+    rolls_.push_back(std::move(roll));
+  }
+}
+
+index_t NottinghamDataset::size() const {
+  return static_cast<index_t>(rolls_.size());
+}
+
+Example NottinghamDataset::get(index_t i) const {
+  PIT_CHECK(i >= 0 && i < size(),
+            "Nottingham::get(" << i << ") out of range, size " << size());
+  const Tensor& roll = rolls_[static_cast<std::size_t>(i)];
+  const index_t t_len = options_.seq_len;
+  const index_t t_ex = t_len - 1;
+  Tensor input = Tensor::zeros(Shape{kNumKeys, t_ex});
+  Tensor target = Tensor::zeros(Shape{kNumKeys, t_ex});
+  const float* rd = roll.data();
+  for (index_t k = 0; k < kNumKeys; ++k) {
+    for (index_t t = 0; t < t_ex; ++t) {
+      input.data()[k * t_ex + t] = rd[k * t_len + t];
+      target.data()[k * t_ex + t] = rd[k * t_len + t + 1];
+    }
+  }
+  return {std::move(input), std::move(target)};
+}
+
+double NottinghamDataset::active_fraction() const {
+  double active = 0.0;
+  double total = 0.0;
+  for (const Tensor& roll : rolls_) {
+    for (const float v : roll.span()) {
+      active += v;
+    }
+    total += static_cast<double>(roll.numel());
+  }
+  return total > 0.0 ? active / total : 0.0;
+}
+
+}  // namespace pit::data

@@ -1,0 +1,124 @@
+#include "data/ppg_dalia.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "tensor/error.hpp"
+
+namespace pit::data {
+
+PpgDaliaDataset::PpgDaliaDataset(const PpgDaliaOptions& options)
+    : options_(options) {
+  PIT_CHECK(options.num_windows >= 1, "PpgDalia: num_windows >= 1");
+  PIT_CHECK(options.window_len >= 8, "PpgDalia: window_len >= 8");
+  PIT_CHECK(options.sample_rate_hz > 0.0, "PpgDalia: positive sample rate");
+  PIT_CHECK(options.hr_min_bpm > 0.0 && options.hr_max_bpm > options.hr_min_bpm,
+            "PpgDalia: invalid HR range");
+  PIT_CHECK(options.motion_prob >= 0.0 && options.motion_prob <= 1.0,
+            "PpgDalia: motion_prob in [0,1]");
+  PIT_CHECK(options.noise_std >= 0.0, "PpgDalia: noise_std >= 0");
+
+  RandomEngine rng(options.seed);
+  windows_.reserve(static_cast<std::size_t>(options.num_windows));
+  labels_.reserve(static_cast<std::size_t>(options.num_windows));
+
+  const index_t t_len = options.window_len;
+  const double dt = 1.0 / options.sample_rate_hz;
+
+  // Session-level state: HR random walk and a running PPG phase so waves
+  // are continuous across consecutive windows (like a real recording).
+  double hr = rng.uniform(options.hr_min_bpm, options.hr_max_bpm);
+  double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  for (index_t w = 0; w < options.num_windows; ++w) {
+    // HR drifts slowly between windows; bounce off the range limits.
+    hr += rng.normal(0.0, 3.0);
+    if (hr < options.hr_min_bpm) {
+      hr = 2.0 * options.hr_min_bpm - hr;
+    }
+    if (hr > options.hr_max_bpm) {
+      hr = 2.0 * options.hr_max_bpm - hr;
+    }
+
+    Tensor window = Tensor::zeros(Shape{kNumChannels, t_len});
+    float* wd = window.data();
+
+    // ---- Accelerometer: quiet gravity baseline + optional motion burst.
+    const bool has_motion = rng.bernoulli(options.motion_prob);
+    const index_t burst_start = has_motion ? rng.randint(t_len / 2) : 0;
+    const index_t burst_len =
+        has_motion ? t_len / 4 + rng.randint(t_len / 4) : 0;
+    const double burst_freq = rng.uniform(1.0, 3.0);  // arm-swing Hz
+    std::array<double, 3> axis_gain = {rng.uniform(0.5, 1.5),
+                                       rng.uniform(0.5, 1.5),
+                                       rng.uniform(0.5, 1.5)};
+    std::vector<double> motion_envelope(static_cast<std::size_t>(t_len), 0.0);
+    for (index_t t = 0; t < t_len; ++t) {
+      double env = 0.0;
+      if (has_motion && t >= burst_start && t < burst_start + burst_len) {
+        // Raised-cosine envelope over the burst.
+        const double u =
+            static_cast<double>(t - burst_start) / static_cast<double>(burst_len);
+        env = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * u));
+      }
+      motion_envelope[static_cast<std::size_t>(t)] = env;
+      const double swing =
+          std::sin(2.0 * std::numbers::pi * burst_freq * t * dt);
+      for (int axis = 0; axis < 3; ++axis) {
+        const double gravity = axis == 2 ? 1.0 : 0.0;  // z holds gravity
+        const double value = gravity + axis_gain[static_cast<std::size_t>(axis)] *
+                                           env * swing +
+                             rng.normal(0.0, 0.02);
+        wd[(1 + axis) * t_len + t] = static_cast<float>(value);
+      }
+    }
+
+    // ---- PPG: harmonic pulse train at the HR fundamental + wander +
+    //      motion artefact proportional to the accel envelope + noise.
+    const double f0 = hr / 60.0;  // Hz
+    const double wander_freq = rng.uniform(0.05, 0.3);
+    const double wander_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double artefact_gain = rng.uniform(0.5, 1.2);
+    for (index_t t = 0; t < t_len; ++t) {
+      phase += 2.0 * std::numbers::pi * f0 * dt;
+      const double pulse = std::sin(phase) + 0.5 * std::sin(2.0 * phase) +
+                           0.2 * std::sin(3.0 * phase);
+      const double wander =
+          0.3 * std::sin(2.0 * std::numbers::pi * wander_freq * t * dt +
+                         wander_phase);
+      const double artefact = artefact_gain *
+                              motion_envelope[static_cast<std::size_t>(t)] *
+                              std::sin(2.0 * std::numbers::pi * burst_freq * t * dt);
+      const double value =
+          pulse + wander + artefact + rng.normal(0.0, options.noise_std);
+      wd[0 * t_len + t] = static_cast<float>(value);
+    }
+
+    windows_.push_back(std::move(window));
+    labels_.push_back(static_cast<float>(hr));
+  }
+}
+
+index_t PpgDaliaDataset::size() const {
+  return static_cast<index_t>(windows_.size());
+}
+
+Example PpgDaliaDataset::get(index_t i) const {
+  PIT_CHECK(i >= 0 && i < size(),
+            "PpgDalia::get(" << i << ") out of range, size " << size());
+  Tensor target = Tensor::zeros(Shape{1});
+  target.data()[0] = labels_[static_cast<std::size_t>(i)];
+  return {windows_[static_cast<std::size_t>(i)].clone(), std::move(target)};
+}
+
+double PpgDaliaDataset::mean_hr() const {
+  double acc = 0.0;
+  for (const float v : labels_) {
+    acc += v;
+  }
+  return labels_.empty() ? 0.0 : acc / static_cast<double>(labels_.size());
+}
+
+}  // namespace pit::data

@@ -1,0 +1,135 @@
+#include "hw/deploy.hpp"
+
+#include "tensor/error.hpp"
+
+namespace pit::hw {
+
+namespace {
+
+LayerDesc conv_desc(const models::TemporalConvSpec& spec, index_t dilation,
+                    index_t t_in) {
+  const index_t rf = spec.receptive_field();
+  PIT_CHECK(dilation >= 1 && dilation <= rf,
+            "deploy: dilation " << dilation << " invalid for rf " << rf);
+  LayerDesc desc;
+  desc.kind = LayerKind::kConv;
+  desc.cin = spec.in_channels;
+  desc.cout = spec.out_channels;
+  desc.k = models::alive_taps(rf, dilation);
+  desc.dilation = dilation;
+  desc.stride = spec.stride;
+  desc.t_in = t_in;
+  desc.t_out = (t_in - 1) / spec.stride + 1;
+  return desc;
+}
+
+LayerDesc pointwise_desc(index_t cin, index_t cout, index_t t) {
+  LayerDesc desc;
+  desc.kind = LayerKind::kConv;
+  desc.cin = cin;
+  desc.cout = cout;
+  desc.k = 1;
+  desc.t_in = t;
+  desc.t_out = t;
+  return desc;
+}
+
+LayerDesc pool_desc(index_t channels, index_t t_in) {
+  LayerDesc desc;
+  desc.kind = LayerKind::kPool;
+  desc.cin = channels;
+  desc.cout = channels;
+  desc.k = 2;
+  desc.stride = 2;
+  desc.t_in = t_in;
+  desc.t_out = (t_in - 2) / 2 + 1;
+  return desc;
+}
+
+LayerDesc linear_desc(index_t in_features, index_t out_features) {
+  LayerDesc desc;
+  desc.kind = LayerKind::kLinear;
+  desc.cin = in_features;
+  desc.cout = out_features;
+  return desc;
+}
+
+}  // namespace
+
+std::vector<LayerDesc> describe_restcn(const models::ResTcnConfig& config,
+                                       const std::vector<index_t>& dilations,
+                                       index_t t_in) {
+  const auto specs = models::ResTCN::conv_specs(config);
+  PIT_CHECK(dilations.size() == specs.size(),
+            "describe_restcn: " << dilations.size() << " dilations for "
+                                << specs.size() << " convs");
+  PIT_CHECK(t_in >= 1, "describe_restcn: t_in must be >= 1");
+  std::vector<LayerDesc> layers;
+  index_t t = t_in;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    layers.push_back(conv_desc(specs[i], dilations[i], t));
+    t = layers.back().t_out;
+    // Residual 1x1 downsample runs once per block (after the second conv of
+    // the block) when channel counts change — only block 0 here.
+    if (i == 1 && specs[0].in_channels != specs[0].out_channels) {
+      layers.push_back(
+          pointwise_desc(specs[0].in_channels, specs[0].out_channels, t));
+    }
+  }
+  // Output head: 1x1 conv to output channels.
+  layers.push_back(
+      pointwise_desc(specs.back().out_channels, config.output_channels, t));
+  return layers;
+}
+
+std::vector<LayerDesc> describe_temponet(
+    const models::TempoNetConfig& config,
+    const std::vector<index_t>& dilations) {
+  const auto specs = models::TempoNet::conv_specs(config);
+  PIT_CHECK(dilations.size() == specs.size(),
+            "describe_temponet: " << dilations.size() << " dilations for "
+                                  << specs.size() << " convs");
+  std::vector<LayerDesc> layers;
+  index_t t = config.input_length;
+  auto add_conv = [&](std::size_t i) {
+    layers.push_back(conv_desc(specs[i], dilations[i], t));
+    t = layers.back().t_out;
+  };
+  // Block 1: three convs + pool.
+  add_conv(0);
+  add_conv(1);
+  add_conv(2);
+  layers.push_back(pool_desc(specs[2].out_channels, t));
+  t = layers.back().t_out;
+  // Block 2: two convs + pool.
+  add_conv(3);
+  add_conv(4);
+  layers.push_back(pool_desc(specs[4].out_channels, t));
+  t = layers.back().t_out;
+  // Block 3: two convs + pool.
+  add_conv(5);
+  add_conv(6);
+  layers.push_back(pool_desc(specs[6].out_channels, t));
+  t = layers.back().t_out;
+  // FC head.
+  const index_t fc_hidden =
+      models::scale_channels(config.fc_hidden, config.channel_scale);
+  layers.push_back(linear_desc(specs[6].out_channels * t, fc_hidden));
+  layers.push_back(linear_desc(fc_hidden, config.output_dim));
+  return layers;
+}
+
+DeploymentRow deploy_row(std::string name, index_t params,
+                         const std::vector<LayerDesc>& layers,
+                         const Gap8Model& model) {
+  const NetworkPerf perf = model.network_perf(layers);
+  DeploymentRow row;
+  row.name = std::move(name);
+  row.params = params;
+  row.latency_ms = perf.latency_ms;
+  row.energy_mj = perf.energy_mj;
+  row.macs = perf.macs;
+  return row;
+}
+
+}  // namespace pit::hw

@@ -1,0 +1,45 @@
+// Deployment pipeline: architecture descriptions of the benchmark networks
+// for the GAP8 model (the Table III generator).
+//
+// Given a model configuration and per-layer dilations (hand-tuned, seed
+// d=1, or a PIT/NAS result), these builders emit the layer-by-layer
+// LayerDesc sequence a deployment flow would execute, with kernels reduced
+// to the alive taps — exactly what export_conv materializes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/gap8.hpp"
+#include "models/restcn.hpp"
+#include "models/temponet.hpp"
+
+namespace pit::hw {
+
+/// ResTCN over sequences of `t_in` steps with the given per-conv dilations
+/// assigned over the seed receptive fields (includes the 1x1 downsample and
+/// head convolutions).
+std::vector<LayerDesc> describe_restcn(const models::ResTcnConfig& config,
+                                       const std::vector<index_t>& dilations,
+                                       index_t t_in);
+
+/// TEMPONet (input length fixed by the config) with the given dilations
+/// (includes pooling and the FC head).
+std::vector<LayerDesc> describe_temponet(
+    const models::TempoNetConfig& config,
+    const std::vector<index_t>& dilations);
+
+/// A Table-III-style row: weights, latency and energy for one architecture.
+struct DeploymentRow {
+  std::string name;
+  index_t params = 0;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  double macs = 0.0;
+};
+
+DeploymentRow deploy_row(std::string name, index_t params,
+                         const std::vector<LayerDesc>& layers,
+                         const Gap8Model& model);
+
+}  // namespace pit::hw

@@ -1,0 +1,86 @@
+#include "hw/gap8.hpp"
+
+#include <cmath>
+
+#include "tensor/error.hpp"
+
+namespace pit::hw {
+
+Gap8Model::Gap8Model(const Gap8Config& config) : config_(config) {
+  PIT_CHECK(config.cluster_freq_hz > 0.0 && config.macs_per_cycle > 0.0 &&
+                config.dma_bytes_per_cycle > 0.0,
+            "Gap8Model: non-positive throughput constants");
+  PIT_CHECK(config.cores >= 1, "Gap8Model: cores must be >= 1");
+}
+
+LayerPerf Gap8Model::layer_perf(const LayerDesc& desc) const {
+  PIT_CHECK(desc.cin >= 1 && desc.cout >= 1 && desc.k >= 1 &&
+                desc.dilation >= 1 && desc.stride >= 1 && desc.t_in >= 1 &&
+                desc.t_out >= 1,
+            "Gap8Model: invalid layer descriptor");
+  LayerPerf perf;
+  switch (desc.kind) {
+    case LayerKind::kConv: {
+      perf.macs = static_cast<double>(desc.t_out) * desc.cout * desc.cin *
+                  desc.k;
+      const double irregularity =
+          1.0 + config_.kernel_overhead / static_cast<double>(desc.k) +
+          config_.dilation_penalty * std::log2(static_cast<double>(desc.dilation));
+      perf.compute_cycles = perf.macs / config_.macs_per_cycle * irregularity;
+      perf.weight_bytes = desc.cin * desc.cout * desc.k + 4 * desc.cout;
+      perf.activation_bytes = desc.cin * desc.t_in + desc.cout * desc.t_out;
+      break;
+    }
+    case LayerKind::kLinear: {
+      perf.macs = static_cast<double>(desc.cin) * desc.cout;
+      // Fully-connected layers are memory-bound: every weight is used once.
+      perf.compute_cycles =
+          perf.macs / config_.macs_per_cycle * (1.0 + config_.kernel_overhead);
+      perf.weight_bytes = desc.cin * desc.cout + 4 * desc.cout;
+      perf.activation_bytes = desc.cin + desc.cout;
+      break;
+    }
+    case LayerKind::kPool: {
+      perf.macs = static_cast<double>(desc.t_out) * desc.cout * desc.k;
+      perf.compute_cycles = perf.macs;  // ~1 op/cycle, not SIMD dot product
+      perf.weight_bytes = 0;
+      perf.activation_bytes = desc.cin * desc.t_in + desc.cout * desc.t_out;
+      break;
+    }
+  }
+  // DMA: weights cross L2->L1 once when they fit in half of L1 (double
+  // buffering); otherwise the activations are re-streamed per weight tile.
+  double dma_bytes = static_cast<double>(perf.weight_bytes) +
+                     static_cast<double>(perf.activation_bytes);
+  const auto l1_budget = static_cast<double>(config_.l1_bytes) / 2.0;
+  if (static_cast<double>(perf.weight_bytes) > l1_budget) {
+    const double reloads =
+        std::ceil(static_cast<double>(perf.weight_bytes) / l1_budget);
+    dma_bytes += (reloads - 1.0) * static_cast<double>(perf.activation_bytes);
+  }
+  perf.dma_cycles = dma_bytes / config_.dma_bytes_per_cycle;
+  perf.overhead_cycles = config_.layer_overhead_cycles;
+  // Double-buffered DMA overlaps compute; the non-overlapped half is paid.
+  perf.total_cycles =
+      perf.compute_cycles + 0.5 * perf.dma_cycles + perf.overhead_cycles;
+  perf.latency_ms = perf.total_cycles / config_.cluster_freq_hz * 1e3;
+  perf.energy_mj = perf.latency_ms * 1e-3 * config_.active_power_w * 1e3;
+  return perf;
+}
+
+NetworkPerf Gap8Model::network_perf(const std::vector<LayerDesc>& layers) const {
+  PIT_CHECK(!layers.empty(), "Gap8Model: empty network");
+  NetworkPerf total;
+  for (const LayerDesc& desc : layers) {
+    LayerPerf perf = layer_perf(desc);
+    total.macs += perf.macs;
+    total.total_cycles += perf.total_cycles;
+    total.latency_ms += perf.latency_ms;
+    total.energy_mj += perf.energy_mj;
+    total.weight_bytes += perf.weight_bytes;
+    total.layers.push_back(std::move(perf));
+  }
+  return total;
+}
+
+}  // namespace pit::hw

@@ -1,0 +1,93 @@
+// Analytical performance/energy model of the GreenWaves GAP8 SoC.
+//
+// The paper deploys int8 TCNs on GAP8's 8-core RISC-V cluster at 100 MHz
+// (64 kB L1, 512 kB L2, DMA) through NN-Tool. We model per-layer execution
+// with three calibrated mechanisms:
+//   1. compute: MACs at an effective cluster throughput (int8 SIMD dot
+//      product across 8 cores),
+//   2. access irregularity: a per-input-element gather overhead that grows
+//      with the dilation (dilated reads defeat contiguous SIMD loads) and a
+//      short-filter penalty (k-tap inner loops amortize setup poorly),
+//   3. fixed per-layer cost (kernel launch, tiling bookkeeping) and DMA
+//      traffic for weights/activations.
+// Constants are calibrated so the full-size seed and hand-tuned networks of
+// the paper land near Table III (see test_gap8.cpp); the model is then used
+// to *predict* the PIT variants. Energy is active power x latency; Table III
+// implies ~262 mW for the cluster + SoC at 100 MHz.
+#pragma once
+
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace pit::hw {
+
+struct Gap8Config {
+  double cluster_freq_hz = 100e6;
+  int cores = 8;
+  /// Peak effective int8 MACs per cycle for the whole cluster.
+  double macs_per_cycle = 4.0;
+  /// Short-filter penalty: each MAC costs (1 + kernel_overhead / k).
+  double kernel_overhead = 1.0;
+  /// Dilation penalty: each MAC costs (1 + dilation_penalty * log2(d)).
+  double dilation_penalty = 0.36;
+  /// Fixed cycles per layer (launch, tiling setup).
+  double layer_overhead_cycles = 5000.0;
+  /// L2 <-> L1 DMA bandwidth.
+  double dma_bytes_per_cycle = 8.0;
+  index_t l1_bytes = 64 * 1024;
+  index_t l2_bytes = 512 * 1024;
+  /// Measured-average active power (cluster + fabric controller).
+  double active_power_w = 0.262;
+};
+
+enum class LayerKind { kConv, kLinear, kPool };
+
+/// One deployable layer. For kConv: all fields; for kLinear: cin/cout are
+/// in/out features, t_in = t_out = 1, k = 1; for kPool: k is the window.
+struct LayerDesc {
+  LayerKind kind = LayerKind::kConv;
+  index_t cin = 1;
+  index_t cout = 1;
+  index_t k = 1;
+  index_t dilation = 1;
+  index_t stride = 1;
+  index_t t_in = 1;
+  index_t t_out = 1;
+};
+
+struct LayerPerf {
+  double macs = 0.0;
+  double compute_cycles = 0.0;
+  double dma_cycles = 0.0;
+  double overhead_cycles = 0.0;
+  double total_cycles = 0.0;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  index_t weight_bytes = 0;  // int8 weights + int32 biases
+  index_t activation_bytes = 0;
+};
+
+struct NetworkPerf {
+  double macs = 0.0;
+  double total_cycles = 0.0;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  index_t weight_bytes = 0;
+  std::vector<LayerPerf> layers;
+};
+
+class Gap8Model {
+ public:
+  explicit Gap8Model(const Gap8Config& config = {});
+
+  LayerPerf layer_perf(const LayerDesc& desc) const;
+  NetworkPerf network_perf(const std::vector<LayerDesc>& layers) const;
+
+  const Gap8Config& config() const { return config_; }
+
+ private:
+  Gap8Config config_;
+};
+
+}  // namespace pit::hw

@@ -1,0 +1,116 @@
+#include "models/restcn.hpp"
+
+#include "tensor/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit::models {
+
+std::vector<TemporalConvSpec> ResTCN::conv_specs(const ResTcnConfig& config) {
+  PIT_CHECK(config.dilations.size() % 2 == 0 && !config.dilations.empty(),
+            "ResTCN: dilations must come in per-block pairs");
+  const index_t hidden =
+      scale_channels(config.hidden_channels, config.channel_scale);
+  std::vector<TemporalConvSpec> specs;
+  const std::size_t num_blocks = config.dilations.size() / 2;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const index_t in_ch = b == 0 ? config.input_channels : hidden;
+    specs.push_back({in_ch, hidden, config.kernel_size,
+                     config.dilations[2 * b], 1});
+    specs.push_back({hidden, hidden, config.kernel_size,
+                     config.dilations[2 * b + 1], 1});
+  }
+  return specs;
+}
+
+ResTCN::ResTCN(const ResTcnConfig& config, const ConvFactory& factory,
+               RandomEngine& rng)
+    : config_(config) {
+  const auto specs = conv_specs(config);
+  const index_t hidden =
+      scale_channels(config.hidden_channels, config.channel_scale);
+  const std::size_t num_blocks = specs.size() / 2;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    for (int half = 0; half < 2; ++half) {
+      auto conv = factory(specs[2 * b + static_cast<std::size_t>(half)]);
+      register_module(
+          "block" + std::to_string(b) + ".conv" + std::to_string(half),
+          conv.get());
+      convs_.push_back(std::move(conv));
+      auto drop = std::make_unique<nn::Dropout>(config.dropout, rng);
+      register_module(
+          "block" + std::to_string(b) + ".drop" + std::to_string(half),
+          drop.get());
+      dropouts_.push_back(std::move(drop));
+    }
+    // 1x1 downsample on the residual path when channel counts differ.
+    const index_t block_in = b == 0 ? config.input_channels : hidden;
+    if (block_in != hidden) {
+      auto down = std::make_unique<nn::Conv1d>(
+          block_in, hidden, 1,
+          nn::Conv1dOptions{.dilation = 1, .stride = 1, .bias = true}, rng);
+      register_module("block" + std::to_string(b) + ".down", down.get());
+      downsamples_.push_back(std::move(down));
+    } else {
+      downsamples_.push_back(nullptr);
+    }
+  }
+  head_ = std::make_unique<nn::Conv1d>(
+      hidden, config.output_channels, 1,
+      nn::Conv1dOptions{.dilation = 1, .stride = 1, .bias = true}, rng);
+  register_module("head", head_.get());
+}
+
+Tensor ResTCN::forward(const Tensor& input) {
+  PIT_CHECK(input.rank() == 3 && input.dim(1) == config_.input_channels,
+            "ResTCN: expected (N, " << config_.input_channels << ", T), got "
+                                    << input.shape().to_string());
+  Tensor x = input;
+  const std::size_t num_blocks = convs_.size() / 2;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    Tensor y = convs_[2 * b]->forward(x);
+    y = dropouts_[2 * b]->forward(relu(y));
+    y = convs_[2 * b + 1]->forward(y);
+    y = dropouts_[2 * b + 1]->forward(relu(y));
+    Tensor res = downsamples_[b] ? downsamples_[b]->forward(x) : x;
+    x = relu(add(y, res));
+  }
+  return head_->forward(x);
+}
+
+std::vector<nn::Module*> ResTCN::temporal_convs() const {
+  std::vector<nn::Module*> out;
+  out.reserve(convs_.size());
+  for (const auto& c : convs_) {
+    out.push_back(c.get());
+  }
+  return out;
+}
+
+index_t ResTCN::params_with_dilations(const ResTcnConfig& config,
+                                      const std::vector<index_t>& dilations) {
+  const auto specs = conv_specs(config);
+  PIT_CHECK(dilations.size() == specs.size(),
+            "ResTCN::params_with_dilations: " << dilations.size()
+                                              << " dilations for "
+                                              << specs.size() << " convs");
+  const index_t hidden =
+      scale_channels(config.hidden_channels, config.channel_scale);
+  index_t total = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const index_t rf = specs[i].receptive_field();
+    PIT_CHECK(dilations[i] >= 1 && dilations[i] <= rf,
+              "ResTCN: dilation " << dilations[i] << " invalid for rf " << rf);
+    total += specs[i].in_channels * specs[i].out_channels *
+                 alive_taps(rf, dilations[i]) +
+             specs[i].out_channels;  // bias
+  }
+  // Downsample 1x1 on block 0 (input_channels != hidden) + bias.
+  if (config.input_channels != hidden) {
+    total += config.input_channels * hidden + hidden;
+  }
+  // Head 1x1 + bias.
+  total += hidden * config.output_channels + config.output_channels;
+  return total;
+}
+
+}  // namespace pit::models

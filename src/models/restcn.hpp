@@ -1,0 +1,66 @@
+// ResTCN — the generic TCN of Bai et al. ("An empirical evaluation of
+// generic convolutional and recurrent networks for sequence modeling"),
+// as used by the paper on the Nottingham polyphonic-music benchmark.
+//
+// Four residual blocks of two causal temporal convolutions each (eight
+// searchable convs), hidden width 150, hand-tuned kernel 5 with dilations
+// (1, 1, 2, 2, 4, 4, 8, 8), 1x1 downsample on the first residual branch and
+// a 1x1 output head producing per-step logits for the 88 piano keys.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/tcn_common.hpp"
+#include "nn/dropout.hpp"
+
+namespace pit::models {
+
+struct ResTcnConfig {
+  index_t input_channels = 88;
+  index_t output_channels = 88;
+  index_t hidden_channels = 150;
+  index_t kernel_size = 5;
+  /// Per-conv hand-tuned dilations; both convs of block b share an entry
+  /// pair. Size must be 2 * num_blocks.
+  std::vector<index_t> dilations = {1, 1, 2, 2, 4, 4, 8, 8};
+  float dropout = 0.1F;
+  /// Uniformly scales hidden channels (CPU-friendly reductions for tests
+  /// and benches; 1.0 reproduces the paper-sized model).
+  double channel_scale = 1.0;
+};
+
+/// Residual TCN over (N, input_channels, T) -> per-step logits
+/// (N, output_channels, T).
+class ResTCN : public nn::Module {
+ public:
+  /// `factory` materializes the eight searchable temporal convs; all other
+  /// layers (downsample, head) are fixed 1x1 convolutions.
+  ResTCN(const ResTcnConfig& config, const ConvFactory& factory,
+         RandomEngine& rng);
+
+  Tensor forward(const Tensor& input) override;
+
+  /// The searchable temporal convs, in network order.
+  std::vector<nn::Module*> temporal_convs() const;
+
+  /// Hand-tuned geometry of the searchable convs for this config.
+  static std::vector<TemporalConvSpec> conv_specs(const ResTcnConfig& config);
+
+  /// Parameter count of the architecture with the given per-conv dilations
+  /// assigned over the *seed* receptive fields (alive taps only), including
+  /// all fixed layers. dilations.size() must match conv_specs().size().
+  static index_t params_with_dilations(const ResTcnConfig& config,
+                                       const std::vector<index_t>& dilations);
+
+  const ResTcnConfig& config() const { return config_; }
+
+ private:
+  ResTcnConfig config_;
+  std::vector<std::unique_ptr<nn::Module>> convs_;        // searchable
+  std::vector<std::unique_ptr<nn::Conv1d>> downsamples_;  // 1x1 or null
+  std::vector<std::unique_ptr<nn::Dropout>> dropouts_;
+  std::unique_ptr<nn::Conv1d> head_;
+};
+
+}  // namespace pit::models

@@ -1,0 +1,105 @@
+// Shared vocabulary for TCN model builders.
+//
+// Both benchmark architectures (ResTCN, TEMPONet) describe their temporal
+// convolutions as TemporalConvSpec records (the hand-tuned geometry from the
+// papers) and materialize them through a ConvFactory. Swapping the factory
+// is how the same topology becomes:
+//   * the hand-tuned network    (plain convs, spec geometry as-is),
+//   * the PIT seed              (kernel = receptive field, dilation = 1),
+//   * a PIT search network      (PITConv1d, src/core),
+//   * a ProxylessNAS supernet   (MixedConv1d, src/nas).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/conv1d.hpp"
+#include "nn/module.hpp"
+#include "tensor/random.hpp"
+
+namespace pit::models {
+
+/// Geometry of one searchable temporal convolution (hand-tuned reference).
+struct TemporalConvSpec {
+  index_t in_channels = 1;
+  index_t out_channels = 1;
+  index_t kernel_size = 3;  // hand-tuned filter taps
+  index_t dilation = 1;     // hand-tuned dilation
+  index_t stride = 1;
+
+  /// Receptive field on the time axis; the PIT seed uses this as its
+  /// maximally-sized undilated kernel (rf_max).
+  index_t receptive_field() const {
+    return (kernel_size - 1) * dilation + 1;
+  }
+};
+
+/// Builds the module implementing one temporal conv of the network.
+using ConvFactory =
+    std::function<std::unique_ptr<nn::Module>(const TemporalConvSpec& spec)>;
+
+/// Plain convs with the spec's hand-tuned kernel and dilation.
+ConvFactory hand_tuned_conv_factory(RandomEngine& rng);
+
+/// The paper's seed transform: kernel = receptive field, dilation = 1
+/// ("maximally-sized filters with no dilation", Sec. III).
+ConvFactory seed_conv_factory(RandomEngine& rng);
+
+/// Convs with explicitly assigned power-of-two dilations over the seed
+/// receptive field: layer i gets kernel = floor((rf_i - 1)/d_i) + 1 and
+/// dilation d_i. Used to materialize PIT / NAS search results.
+ConvFactory dilated_conv_factory(RandomEngine& rng,
+                                 std::vector<index_t> dilations);
+
+/// Number of filter taps that survive when the seed receptive field `rf`
+/// is covered with dilation `d`: floor((rf - 1) / d) + 1.
+index_t alive_taps(index_t rf, index_t d);
+
+inline ConvFactory hand_tuned_conv_factory(RandomEngine& rng) {
+  return [&rng](const TemporalConvSpec& spec) {
+    return std::make_unique<nn::Conv1d>(
+        spec.in_channels, spec.out_channels, spec.kernel_size,
+        nn::Conv1dOptions{.dilation = spec.dilation,
+                          .stride = spec.stride,
+                          .bias = true},
+        rng);
+  };
+}
+
+inline ConvFactory seed_conv_factory(RandomEngine& rng) {
+  return [&rng](const TemporalConvSpec& spec) {
+    return std::make_unique<nn::Conv1d>(
+        spec.in_channels, spec.out_channels, spec.receptive_field(),
+        nn::Conv1dOptions{.dilation = 1, .stride = spec.stride, .bias = true},
+        rng);
+  };
+}
+
+inline index_t alive_taps(index_t rf, index_t d) {
+  return (rf - 1) / d + 1;
+}
+
+inline ConvFactory dilated_conv_factory(RandomEngine& rng,
+                                        std::vector<index_t> dilations) {
+  auto remaining = std::make_shared<std::vector<index_t>>(std::move(dilations));
+  auto next = std::make_shared<std::size_t>(0);
+  return [&rng, remaining, next](const TemporalConvSpec& spec) {
+    const index_t d = (*next) < remaining->size() ? (*remaining)[(*next)++] : 1;
+    const index_t rf = spec.receptive_field();
+    return std::make_unique<nn::Conv1d>(
+        spec.in_channels, spec.out_channels, alive_taps(rf, d),
+        nn::Conv1dOptions{.dilation = d, .stride = spec.stride, .bias = true},
+        rng);
+  };
+}
+
+/// Scales a channel count by `scale`, keeping at least one channel.
+index_t scale_channels(index_t base, double scale);
+
+inline index_t scale_channels(index_t base, double scale) {
+  const auto scaled = static_cast<index_t>(base * scale + 0.5);
+  return scaled < 1 ? 1 : scaled;
+}
+
+}  // namespace pit::models

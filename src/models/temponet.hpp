@@ -1,0 +1,75 @@
+// TEMPONet — the temporal convolutional network of Zanghieri et al.
+// (IEEE TBioCAS 2020), used by the paper as the seed for PPG-based heart
+// rate estimation on PPG-Dalia.
+//
+// Three feature blocks with batch-norm and ReLU, seven searchable temporal
+// convolutions in total with hand-tuned dilations (2, 2, 1, 4, 4, 8, 8):
+//   B1: k3 d2 (in->32), k3 d2 (32->32), k5 d1 (32->64), avg-pool /2
+//   B2: k3 d4 (64->64), k3 d4 (64->64),                 avg-pool /2
+//   B3: k3 d8 (64->128), k3 d8 (128->128),              avg-pool /2
+// followed by a two-layer fully-connected regression head that outputs the
+// window's heart rate in BPM.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/tcn_common.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace pit::models {
+
+struct TempoNetConfig {
+  index_t input_channels = 4;  // PPG + 3-axis accelerometer
+  index_t input_length = 256;  // 8 s at 32 Hz
+  index_t output_dim = 1;      // HR in BPM
+  /// Base channel widths of the three blocks.
+  index_t block1_channels = 32;
+  index_t block2_channels = 64;
+  index_t block3_channels = 128;
+  index_t fc_hidden = 48;
+  /// Per-conv hand-tuned dilations, length 7.
+  std::vector<index_t> dilations = {2, 2, 1, 4, 4, 8, 8};
+  float dropout = 0.1F;
+  /// Uniformly scales all channel widths (1.0 = paper-sized).
+  double channel_scale = 1.0;
+};
+
+/// TEMPONet over (N, 4, input_length) -> (N, 1) heart-rate regression.
+class TempoNet : public nn::Module {
+ public:
+  TempoNet(const TempoNetConfig& config, const ConvFactory& factory,
+           RandomEngine& rng);
+
+  Tensor forward(const Tensor& input) override;
+
+  /// The seven searchable temporal convs, in network order.
+  std::vector<nn::Module*> temporal_convs() const;
+
+  /// Hand-tuned geometry of the searchable convs for this config.
+  static std::vector<TemporalConvSpec> conv_specs(const TempoNetConfig& config);
+
+  /// Parameter count with per-conv dilations assigned over the seed
+  /// receptive fields (alive taps only), including BN and the FC head.
+  static index_t params_with_dilations(const TempoNetConfig& config,
+                                       const std::vector<index_t>& dilations);
+
+  /// Time steps entering the flatten/FC stage for this config.
+  static index_t flattened_steps(const TempoNetConfig& config);
+
+  const TempoNetConfig& config() const { return config_; }
+
+ private:
+  TempoNetConfig config_;
+  std::vector<std::unique_ptr<nn::Module>> convs_;
+  std::vector<std::unique_ptr<nn::BatchNorm1d>> norms_;
+  std::vector<std::unique_ptr<nn::AvgPool1d>> pools_;
+  std::unique_ptr<nn::Linear> fc1_;
+  std::unique_ptr<nn::Linear> fc2_;
+  std::unique_ptr<nn::Dropout> fc_drop_;
+};
+
+}  // namespace pit::models

@@ -1,0 +1,67 @@
+// ProxylessNAS-style search driver over a MixedConv1d supernet.
+//
+// Faithful to the baseline's cost model: exactly one path of the supernet
+// is trained per batch (weight step on the sampled candidates only), and
+// the architecture distribution is updated from validation batches. The
+// original binary-gate path gradient is replaced with a REINFORCE estimator
+// with a moving-average baseline over reward = -(val loss + lambda * size);
+// same search space, same single-path memory footprint (substitution
+// documented in DESIGN.md). The final architecture (per-layer argmax of
+// alpha) is fine-tuned with early stopping, mirroring PIT's phase 3.
+#pragma once
+
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/dataloader.hpp"
+#include "nas/supernet.hpp"
+#include "nn/module.hpp"
+
+namespace pit::nas {
+
+struct ProxylessOptions {
+  /// Weight of the normalized model-size term in the architecture reward.
+  double lambda_size = 0.3;
+  /// Epochs of pure weight training with uniformly sampled paths before
+  /// architecture updates begin.
+  int warmup_epochs = 3;
+  /// Upper bound on search epochs (each = one pass of weight training plus
+  /// architecture updates).
+  int max_search_epochs = 60;
+  /// Fine-tuning epochs for the selected architecture.
+  int finetune_epochs = 30;
+  int patience = 5;  // convergence of the search and of the fine-tune
+  double lr_weights = 1e-3;
+  double lr_alpha = 0.5;
+  /// Architecture updates drawn per epoch (validation batches).
+  int arch_updates_per_epoch = 8;
+  std::uint64_t sample_seed = 0;
+  bool verbose = false;
+};
+
+struct ProxylessResult {
+  std::vector<index_t> dilations;  // argmax-alpha candidate per layer
+  double val_loss = 0.0;           // best validation loss after fine-tune
+  index_t searchable_params = 0;   // selected candidates only
+  double search_seconds = 0.0;
+  double finetune_seconds = 0.0;
+  double total_seconds = 0.0;
+  int search_epochs = 0;
+};
+
+class ProxylessTrainer {
+ public:
+  /// `model` must own the layers in `mixed_layers`.
+  ProxylessTrainer(nn::Module& model, std::vector<MixedConv1d*> mixed_layers,
+                   core::LossFn loss, const ProxylessOptions& options);
+
+  ProxylessResult run(data::DataLoader& train, data::DataLoader& val);
+
+ private:
+  nn::Module& model_;
+  std::vector<MixedConv1d*> mixed_layers_;
+  core::LossFn loss_;
+  ProxylessOptions options_;
+};
+
+}  // namespace pit::nas

@@ -1,0 +1,134 @@
+#include "nas/supernet.hpp"
+
+#include <cmath>
+
+#include "core/gamma.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::nas {
+
+MixedConv1d::MixedConv1d(const models::TemporalConvSpec& spec,
+                         RandomEngine& rng)
+    : spec_(spec) {
+  const index_t rf = spec.receptive_field();
+  for (index_t d = 1; d <= core::max_dilation(rf); d *= 2) {
+    candidates_.push_back(std::make_unique<nn::Conv1d>(
+        spec.in_channels, spec.out_channels, models::alive_taps(rf, d),
+        nn::Conv1dOptions{.dilation = d, .stride = spec.stride, .bias = true},
+        rng));
+    register_module("cand_d" + std::to_string(d), candidates_.back().get());
+  }
+  alphas_.assign(candidates_.size(), 0.0);  // uniform prior
+}
+
+Tensor MixedConv1d::forward(const Tensor& input) {
+  return candidates_[static_cast<std::size_t>(active_)]->forward(input);
+}
+
+index_t MixedConv1d::num_candidates() const {
+  return static_cast<index_t>(candidates_.size());
+}
+
+void MixedConv1d::set_active(index_t i) {
+  PIT_CHECK(i >= 0 && i < num_candidates(),
+            "MixedConv1d: candidate " << i << " out of range");
+  active_ = i;
+}
+
+void MixedConv1d::sample_path(RandomEngine& rng) {
+  const auto probs = probabilities();
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (u < acc) {
+      active_ = static_cast<index_t>(i);
+      return;
+    }
+  }
+  active_ = num_candidates() - 1;
+}
+
+index_t MixedConv1d::best_candidate() const {
+  index_t best = 0;
+  for (index_t i = 1; i < num_candidates(); ++i) {
+    if (alphas_[static_cast<std::size_t>(i)] >
+        alphas_[static_cast<std::size_t>(best)]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+index_t MixedConv1d::candidate_dilation(index_t i) const {
+  PIT_CHECK(i >= 0 && i < num_candidates(), "candidate_dilation: range");
+  return candidates_[static_cast<std::size_t>(i)]->dilation();
+}
+
+index_t MixedConv1d::candidate_params(index_t i) const {
+  PIT_CHECK(i >= 0 && i < num_candidates(), "candidate_params: range");
+  return candidates_[static_cast<std::size_t>(i)]->num_params();
+}
+
+const nn::Conv1d& MixedConv1d::candidate(index_t i) const {
+  PIT_CHECK(i >= 0 && i < num_candidates(), "candidate: range");
+  return *candidates_[static_cast<std::size_t>(i)];
+}
+
+std::vector<double> MixedConv1d::probabilities() const {
+  double max_alpha = alphas_[0];
+  for (const double a : alphas_) {
+    max_alpha = std::max(max_alpha, a);
+  }
+  std::vector<double> probs(alphas_.size());
+  double z = 0.0;
+  for (std::size_t i = 0; i < alphas_.size(); ++i) {
+    probs[i] = std::exp(alphas_[i] - max_alpha);
+    z += probs[i];
+  }
+  for (double& p : probs) {
+    p /= z;
+  }
+  return probs;
+}
+
+void MixedConv1d::reinforce_update(double advantage, double lr) {
+  // d log p(active) / d alpha_i = 1{i == active} - p_i.
+  const auto probs = probabilities();
+  for (std::size_t i = 0; i < alphas_.size(); ++i) {
+    const double indicator =
+        static_cast<index_t>(i) == active_ ? 1.0 : 0.0;
+    alphas_[i] += lr * advantage * (indicator - probs[i]);
+  }
+}
+
+models::ConvFactory mixed_conv_factory(RandomEngine& rng,
+                                       std::vector<MixedConv1d*>& out_layers) {
+  return [&rng, &out_layers](const models::TemporalConvSpec& spec) {
+    auto layer = std::make_unique<MixedConv1d>(spec, rng);
+    out_layers.push_back(layer.get());
+    return layer;
+  };
+}
+
+std::vector<MixedConv1d*> collect_mixed_layers(
+    const std::vector<nn::Module*>& temporal_convs) {
+  std::vector<MixedConv1d*> out;
+  for (nn::Module* m : temporal_convs) {
+    if (auto* mixed = dynamic_cast<MixedConv1d*>(m)) {
+      out.push_back(mixed);
+    }
+  }
+  return out;
+}
+
+double search_space_size(const std::vector<MixedConv1d*>& layers) {
+  double size = 1.0;
+  for (const MixedConv1d* layer : layers) {
+    PIT_CHECK(layer != nullptr, "search_space_size: null layer");
+    size *= static_cast<double>(layer->num_candidates());
+  }
+  return size;
+}
+
+}  // namespace pit::nas

@@ -1,0 +1,68 @@
+// ProxylessNAS-style supernet layer for dilation search.
+//
+// The paper's baseline (Table II / Fig. 5) adapts ProxylessNAS by manually
+// enumerating one candidate conv per power-of-two dilation for every layer,
+// keeping Cin/Cout fixed so the search space matches PIT's exactly. Each
+// MixedConv1d holds those candidates with independent weights plus a vector
+// of architecture parameters alpha; a single sampled path is active per
+// batch (the trick that keeps ProxylessNAS memory-feasible but — as the
+// paper measures — makes its search slow, since every candidate only
+// receives a fraction of the weight updates).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/tcn_common.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/module.hpp"
+
+namespace pit::nas {
+
+class MixedConv1d : public nn::Module {
+ public:
+  /// Candidates cover d in {1, 2, 4, ..., max_dilation(rf)} over the
+  /// spec's seed receptive field, each with alive-tap kernels.
+  MixedConv1d(const models::TemporalConvSpec& spec, RandomEngine& rng);
+
+  /// Runs the currently active candidate only.
+  Tensor forward(const Tensor& input) override;
+
+  index_t num_candidates() const;
+  index_t active() const { return active_; }
+  void set_active(index_t i);
+  /// Samples the active candidate from softmax(alpha).
+  void sample_path(RandomEngine& rng);
+  /// Index of the most probable candidate.
+  index_t best_candidate() const;
+
+  index_t candidate_dilation(index_t i) const;
+  index_t candidate_params(index_t i) const;
+  const nn::Conv1d& candidate(index_t i) const;
+
+  std::vector<double> probabilities() const;
+  /// REINFORCE ascent step on log p(sampled path) scaled by `advantage`.
+  void reinforce_update(double advantage, double lr);
+
+  const models::TemporalConvSpec& spec() const { return spec_; }
+
+ private:
+  models::TemporalConvSpec spec_;
+  std::vector<std::unique_ptr<nn::Conv1d>> candidates_;
+  std::vector<double> alphas_;
+  index_t active_ = 0;
+};
+
+/// ConvFactory adapter building MixedConv1d supernet layers and recording
+/// them (non-owning) in `out_layers`.
+models::ConvFactory mixed_conv_factory(RandomEngine& rng,
+                                       std::vector<MixedConv1d*>& out_layers);
+
+/// The MixedConv1d layers among a model's temporal convs, in order.
+std::vector<MixedConv1d*> collect_mixed_layers(
+    const std::vector<nn::Module*>& temporal_convs);
+
+/// Size of the search space: product over layers of candidate counts.
+double search_space_size(const std::vector<MixedConv1d*>& layers);
+
+}  // namespace pit::nas

@@ -1,0 +1,19 @@
+#include "nn/activations.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace pit::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  return relu(input);
+}
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  return sigmoid(input);
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  return tanh_op(input);
+}
+
+}  // namespace pit::nn

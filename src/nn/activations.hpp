@@ -1,0 +1,23 @@
+// Activation layers (stateless wrappers over the ops in tensor/ops.hpp).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace pit::nn {
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+};
+
+class Sigmoid : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+};
+
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+};
+
+}  // namespace pit::nn

@@ -1,0 +1,163 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/autograd.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::nn {
+
+BatchNorm1d::BatchNorm1d(index_t num_features, float eps, float momentum)
+    : num_features_(num_features), eps_(eps), momentum_(momentum) {
+  PIT_CHECK(num_features >= 1, "BatchNorm1d: num_features must be >= 1");
+  gamma_ = register_parameter("gamma", Tensor::ones(Shape{num_features}));
+  beta_ = register_parameter("beta", Tensor::zeros(Shape{num_features}));
+  running_mean_ =
+      register_buffer("running_mean", Tensor::zeros(Shape{num_features}));
+  running_var_ =
+      register_buffer("running_var", Tensor::ones(Shape{num_features}));
+}
+
+Tensor BatchNorm1d::forward(const Tensor& input) {
+  PIT_CHECK(input.rank() == 2 || input.rank() == 3,
+            "BatchNorm1d: input must be (N, C) or (N, C, T), got "
+                << input.shape().to_string());
+  PIT_CHECK(input.dim(1) == num_features_,
+            "BatchNorm1d: expected " << num_features_ << " channels, got "
+                                     << input.shape().to_string());
+  const index_t n = input.dim(0);
+  const index_t c = input.dim(1);
+  const index_t t = input.rank() == 3 ? input.dim(2) : 1;
+  const index_t m = n * t;  // samples per channel
+  PIT_CHECK(!is_training() || m > 1,
+            "BatchNorm1d: training needs more than one sample per channel");
+
+  // Per-channel mean/var used for this pass.
+  std::vector<float> mu(static_cast<std::size_t>(c));
+  std::vector<float> var(static_cast<std::size_t>(c));
+  const float* xd = input.data();
+  auto x_at = [&](index_t ni, index_t ci, index_t ti) {
+    return xd[(ni * c + ci) * t + ti];
+  };
+  if (is_training()) {
+    for (index_t ci = 0; ci < c; ++ci) {
+      double acc = 0.0;
+      for (index_t ni = 0; ni < n; ++ni) {
+        for (index_t ti = 0; ti < t; ++ti) {
+          acc += x_at(ni, ci, ti);
+        }
+      }
+      mu[ci] = static_cast<float>(acc / static_cast<double>(m));
+      double vacc = 0.0;
+      for (index_t ni = 0; ni < n; ++ni) {
+        for (index_t ti = 0; ti < t; ++ti) {
+          const double dlt = x_at(ni, ci, ti) - mu[ci];
+          vacc += dlt * dlt;
+        }
+      }
+      var[ci] = static_cast<float>(vacc / static_cast<double>(m));
+    }
+    // Update running statistics (unbiased variance, as in PyTorch).
+    Tensor rm = running_mean_;
+    Tensor rv = running_var_;
+    for (index_t ci = 0; ci < c; ++ci) {
+      rm.data()[ci] = (1.0F - momentum_) * rm.data()[ci] + momentum_ * mu[ci];
+      const float unbiased =
+          m > 1 ? var[ci] * static_cast<float>(m) / static_cast<float>(m - 1)
+                : var[ci];
+      rv.data()[ci] = (1.0F - momentum_) * rv.data()[ci] + momentum_ * unbiased;
+    }
+  } else {
+    for (index_t ci = 0; ci < c; ++ci) {
+      mu[ci] = running_mean_.data()[ci];
+      var[ci] = running_var_.data()[ci];
+    }
+  }
+
+  std::vector<float> inv_std(static_cast<std::size_t>(c));
+  for (index_t ci = 0; ci < c; ++ci) {
+    inv_std[ci] = 1.0F / std::sqrt(var[ci] + eps_);
+  }
+
+  Tensor out = Tensor::zeros(input.shape());
+  float* od = out.data();
+  const float* gd = gamma_.data();
+  const float* bd = beta_.data();
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t ci = 0; ci < c; ++ci) {
+      const float g = gd[ci];
+      const float b = bd[ci];
+      const float mean_c = mu[ci];
+      const float is = inv_std[ci];
+      for (index_t ti = 0; ti < t; ++ti) {
+        const index_t idx = (ni * c + ci) * t + ti;
+        od[idx] = g * (xd[idx] - mean_c) * is + b;
+      }
+    }
+  }
+
+  const Tensor tx = input;
+  const Tensor tg = gamma_;
+  const Tensor tb = beta_;
+  const bool training = is_training();
+  return make_op_output(
+      std::move(out), {input, gamma_, beta_}, "batchnorm1d",
+      [tx, tg, tb, mu, inv_std, n, c, t, m, training](TensorImpl& o) {
+        const float* dy = o.grad.data();
+        const float* xd2 = tx.data();
+        const float* gd2 = tg.data();
+        const bool x_needs =
+            tx.impl()->requires_grad || tx.impl()->grad_fn != nullptr;
+        const bool g_needs =
+            tg.impl()->requires_grad || tg.impl()->grad_fn != nullptr;
+        const bool b_needs =
+            tb.impl()->requires_grad || tb.impl()->grad_fn != nullptr;
+
+        for (index_t ci = 0; ci < c; ++ci) {
+          const float mean_c = mu[ci];
+          const float is = inv_std[ci];
+          // Channel-wise reductions shared by all gradient formulas.
+          double sum_dy = 0.0;
+          double sum_dy_xhat = 0.0;
+          for (index_t ni = 0; ni < n; ++ni) {
+            for (index_t ti = 0; ti < t; ++ti) {
+              const index_t idx = (ni * c + ci) * t + ti;
+              const float xhat = (xd2[idx] - mean_c) * is;
+              sum_dy += dy[idx];
+              sum_dy_xhat += dy[idx] * xhat;
+            }
+          }
+          if (g_needs) {
+            grad_span(*tg.impl())[static_cast<std::size_t>(ci)] +=
+                static_cast<float>(sum_dy_xhat);
+          }
+          if (b_needs) {
+            grad_span(*tb.impl())[static_cast<std::size_t>(ci)] +=
+                static_cast<float>(sum_dy);
+          }
+          if (x_needs) {
+            auto xg = grad_span(*tx.impl());
+            const float g = gd2[ci];
+            const auto mf = static_cast<float>(m);
+            for (index_t ni = 0; ni < n; ++ni) {
+              for (index_t ti = 0; ti < t; ++ti) {
+                const index_t idx = (ni * c + ci) * t + ti;
+                const float xhat = (xd2[idx] - mean_c) * is;
+                if (training) {
+                  // Full batch-norm backward (batch statistics depend on x).
+                  xg[idx] += g * is / mf *
+                             (mf * dy[idx] - static_cast<float>(sum_dy) -
+                              xhat * static_cast<float>(sum_dy_xhat));
+                } else {
+                  // Eval mode: statistics are constants.
+                  xg[idx] += g * is * dy[idx];
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace pit::nn

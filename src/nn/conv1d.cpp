@@ -1,0 +1,107 @@
+#include "nn/conv1d.hpp"
+
+#include <cmath>
+
+#include "nn/conv_kernels.hpp"
+#include "tensor/autograd.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::nn {
+
+index_t causal_conv1d_output_steps(index_t t, index_t stride) {
+  PIT_CHECK(t >= 1 && stride >= 1,
+            "conv output steps: t=" << t << " stride=" << stride);
+  return (t - 1) / stride + 1;
+}
+
+Tensor causal_conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                     index_t dilation, index_t stride) {
+  PIT_CHECK(x.rank() == 3,
+            "causal_conv1d: input must be (N, C, T), got "
+                << x.shape().to_string());
+  PIT_CHECK(weight.rank() == 3,
+            "causal_conv1d: weight must be (Cout, Cin, K), got "
+                << weight.shape().to_string());
+  PIT_CHECK(dilation >= 1 && stride >= 1,
+            "causal_conv1d: dilation=" << dilation << " stride=" << stride);
+  PIT_CHECK(x.dim(1) == weight.dim(1),
+            "causal_conv1d: Cin mismatch, input " << x.shape().to_string()
+                                                  << " weight "
+                                                  << weight.shape().to_string());
+  if (bias.defined()) {
+    PIT_CHECK(bias.rank() == 1 && bias.dim(0) == weight.dim(0),
+              "causal_conv1d: bias shape " << bias.shape().to_string());
+  }
+
+  detail::ConvDims dims{};
+  dims.n = x.dim(0);
+  dims.c_in = x.dim(1);
+  dims.t_in = x.dim(2);
+  dims.c_out = weight.dim(0);
+  dims.k = weight.dim(2);
+  dims.dilation = dilation;
+  dims.stride = stride;
+  dims.t_out = causal_conv1d_output_steps(dims.t_in, stride);
+
+  Tensor out = Tensor::zeros(Shape{dims.n, dims.c_out, dims.t_out});
+  detail::conv_forward(x.data(), weight.data(),
+                       bias.defined() ? bias.data() : nullptr, out.data(),
+                       dims);
+
+  const Tensor tx = x;
+  const Tensor tw = weight;
+  const Tensor tb = bias;
+  std::vector<Tensor> inputs = {x, weight};
+  if (bias.defined()) {
+    inputs.push_back(bias);
+  }
+  return make_op_output(
+      std::move(out), inputs, "causal_conv1d",
+      [tx, tw, tb, dims](TensorImpl& o) {
+        const float* dy = o.grad.data();
+        if (tx.impl()->requires_grad || tx.impl()->grad_fn != nullptr) {
+          auto xg = grad_span(*tx.impl());
+          detail::conv_backward_input(dy, tw.data(), xg.data(), dims);
+        }
+        if (tw.impl()->requires_grad || tw.impl()->grad_fn != nullptr) {
+          auto wg = grad_span(*tw.impl());
+          detail::conv_backward_weight(dy, tx.data(), wg.data(), dims);
+        }
+        if (tb.defined() &&
+            (tb.impl()->requires_grad || tb.impl()->grad_fn != nullptr)) {
+          auto bg = grad_span(*tb.impl());
+          detail::conv_backward_bias(dy, bg.data(), dims);
+        }
+      });
+}
+
+Conv1d::Conv1d(index_t in_channels, index_t out_channels, index_t kernel_size,
+               const Conv1dOptions& options, RandomEngine& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      options_(options) {
+  PIT_CHECK(in_channels >= 1 && out_channels >= 1 && kernel_size >= 1,
+            "Conv1d: channels/kernel must be >= 1");
+  PIT_CHECK(options.dilation >= 1 && options.stride >= 1,
+            "Conv1d: dilation/stride must be >= 1");
+  // Kaiming-uniform init for ReLU networks: bound = sqrt(6 / fan_in).
+  const auto fan_in = static_cast<float>(in_channels * kernel_size);
+  const float bound = std::sqrt(6.0F / fan_in);
+  weight_ = register_parameter(
+      "weight", Tensor::uniform(Shape{out_channels, in_channels, kernel_size},
+                                -bound, bound, rng));
+  if (options.bias) {
+    const float bias_bound = 1.0F / std::sqrt(fan_in);
+    bias_ = register_parameter(
+        "bias",
+        Tensor::uniform(Shape{out_channels}, -bias_bound, bias_bound, rng));
+  }
+}
+
+Tensor Conv1d::forward(const Tensor& input) {
+  return causal_conv1d(input, weight_, bias_, options_.dilation,
+                       options_.stride);
+}
+
+}  // namespace pit::nn

@@ -1,0 +1,61 @@
+// Causal dilated 1-D convolution (the TCN workhorse, paper Eq. 1).
+//
+// Input layout is (N, C_in, T); output is (N, C_out, T_out) with
+// T_out = floor((T - 1) / stride) + 1. Causality is enforced by implicit
+// left zero-padding of (K - 1) * dilation samples: tap i of the filter reads
+// the input `i * dilation` steps in the past, so y_t never depends on
+// x_{t'} with t' > t.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/random.hpp"
+
+namespace pit::nn {
+
+struct Conv1dOptions {
+  index_t dilation = 1;
+  index_t stride = 1;
+  bool bias = true;
+};
+
+/// Functional causal dilated convolution.
+/// `weight` is (C_out, C_in, K); `bias` is (C_out) or undefined.
+/// Differentiable in x, weight and bias.
+Tensor causal_conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                     index_t dilation, index_t stride);
+
+/// Number of output time steps for a causal conv over `t` steps.
+index_t causal_conv1d_output_steps(index_t t, index_t stride);
+
+/// Causal dilated 1-D convolution layer.
+class Conv1d : public Module {
+ public:
+  Conv1d(index_t in_channels, index_t out_channels, index_t kernel_size,
+         const Conv1dOptions& options, RandomEngine& rng);
+
+  Tensor forward(const Tensor& input) override;
+
+  index_t in_channels() const { return in_channels_; }
+  index_t out_channels() const { return out_channels_; }
+  index_t kernel_size() const { return kernel_size_; }
+  index_t dilation() const { return options_.dilation; }
+  index_t stride() const { return options_.stride; }
+  /// Receptive field on the time axis: (K - 1) * dilation + 1.
+  index_t receptive_field() const {
+    return (kernel_size_ - 1) * options_.dilation + 1;
+  }
+
+  Tensor weight() const { return weight_; }
+  Tensor bias() const { return bias_; }
+  bool has_bias() const { return bias_.defined(); }
+
+ private:
+  index_t in_channels_;
+  index_t out_channels_;
+  index_t kernel_size_;
+  Conv1dOptions options_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+}  // namespace pit::nn

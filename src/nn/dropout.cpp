@@ -1,0 +1,44 @@
+#include "nn/dropout.hpp"
+
+#include <vector>
+
+#include "tensor/autograd.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::nn {
+
+Dropout::Dropout(float p, RandomEngine& rng) : p_(p), rng_(rng.split()) {
+  PIT_CHECK(p >= 0.0F && p < 1.0F, "Dropout: p must be in [0, 1), got " << p);
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!is_training() || p_ == 0.0F) {
+    return input;
+  }
+  const float scale = 1.0F / (1.0F - p_);
+  auto keep = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(input.numel()));
+  for (float& k : *keep) {
+    k = rng_.bernoulli(p_) ? 0.0F : scale;
+  }
+  Tensor out = Tensor::zeros(input.shape());
+  const auto xv = input.span();
+  auto ov = out.span();
+  for (std::size_t i = 0; i < xv.size(); ++i) {
+    ov[i] = xv[i] * (*keep)[i];
+  }
+  const Tensor tx = input;
+  return make_op_output(std::move(out), {input}, "dropout",
+                        [tx, keep](TensorImpl& o) {
+                          if (!(tx.impl()->requires_grad ||
+                                tx.impl()->grad_fn != nullptr)) {
+                            return;
+                          }
+                          auto xg = grad_span(*tx.impl());
+                          for (std::size_t i = 0; i < xg.size(); ++i) {
+                            xg[i] += o.grad[i] * (*keep)[i];
+                          }
+                        });
+}
+
+}  // namespace pit::nn

@@ -1,0 +1,25 @@
+// Inverted dropout.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/random.hpp"
+
+namespace pit::nn {
+
+/// Zeroes each activation with probability `p` during training and scales
+/// the survivors by 1/(1-p); identity in eval mode. Each instance owns an
+/// engine split from the constructor's RNG, so runs are reproducible.
+class Dropout : public Module {
+ public:
+  Dropout(float p, RandomEngine& rng);
+
+  Tensor forward(const Tensor& input) override;
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  RandomEngine rng_;
+};
+
+}  // namespace pit::nn

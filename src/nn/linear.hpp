@@ -1,0 +1,31 @@
+// Fully-connected layer: y = x W^T + b over (N, F) inputs.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/random.hpp"
+
+namespace pit::nn {
+
+/// Functional affine map. `x` is (N, F), `weight` is (O, F), `bias` is (O)
+/// or undefined. Differentiable in all defined inputs.
+Tensor linear(const Tensor& x, const Tensor& weight, const Tensor& bias);
+
+class Linear : public Module {
+ public:
+  Linear(index_t in_features, index_t out_features, bool bias, RandomEngine& rng);
+
+  Tensor forward(const Tensor& input) override;
+
+  index_t in_features() const { return in_features_; }
+  index_t out_features() const { return out_features_; }
+  Tensor weight() const { return weight_; }
+  Tensor bias() const { return bias_; }
+
+ private:
+  index_t in_features_;
+  index_t out_features_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+}  // namespace pit::nn

@@ -1,0 +1,172 @@
+#include "nn/losses.hpp"
+
+#include <cmath>
+
+#include "tensor/autograd.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::nn {
+
+namespace {
+
+bool wants_grad(const TensorImpl& impl) {
+  return impl.requires_grad || impl.grad_fn != nullptr;
+}
+
+/// Stable BCE-from-logits for one element:
+/// l(x, y) = max(x, 0) - x*y + log(1 + exp(-|x|)).
+float bce_elem(float x, float y) {
+  const float pos = x > 0.0F ? x : 0.0F;
+  return pos - x * y + std::log1p(std::exp(-std::fabs(x)));
+}
+
+float sigmoid_elem(float x) {
+  return 1.0F / (1.0F + std::exp(-x));
+}
+
+/// Shared core: sum of elementwise BCE, scaled by `norm`. The gradient of
+/// each element is (sigmoid(x) - y) * norm.
+Tensor bce_sum_scaled(const Tensor& logits, const Tensor& target, float norm,
+                      const char* name) {
+  PIT_CHECK(logits.shape() == target.shape(),
+            name << ": shape mismatch " << logits.shape().to_string() << " vs "
+                 << target.shape().to_string());
+  double acc = 0.0;
+  const auto xv = logits.span();
+  const auto yv = target.span();
+  for (std::size_t i = 0; i < xv.size(); ++i) {
+    acc += bce_elem(xv[i], yv[i]);
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc * norm));
+  const Tensor tx = logits;
+  const Tensor ty = target;
+  return make_op_output(std::move(out), {logits, target}, name,
+                        [tx, ty, norm](TensorImpl& o) {
+                          if (!wants_grad(*tx.impl())) {
+                            return;
+                          }
+                          auto xg = grad_span(*tx.impl());
+                          const auto xv2 = tx.span();
+                          const auto yv2 = ty.span();
+                          const float g = o.grad[0] * norm;
+                          for (std::size_t i = 0; i < xg.size(); ++i) {
+                            xg[i] += g * (sigmoid_elem(xv2[i]) - yv2[i]);
+                          }
+                        });
+}
+
+}  // namespace
+
+Tensor bce_with_logits(const Tensor& logits, const Tensor& target) {
+  const float norm = 1.0F / static_cast<float>(logits.numel());
+  return bce_sum_scaled(logits, target, norm, "bce_with_logits");
+}
+
+Tensor polyphonic_nll(const Tensor& logits, const Tensor& target) {
+  PIT_CHECK(logits.rank() == 3,
+            "polyphonic_nll: logits must be (N, C, T), got "
+                << logits.shape().to_string());
+  // Sum over keys (C), mean over batch and time: divide the total sum by N*T.
+  const float norm =
+      1.0F / static_cast<float>(logits.dim(0) * logits.dim(2));
+  return bce_sum_scaled(logits, target, norm, "polyphonic_nll");
+}
+
+Tensor mae_loss(const Tensor& pred, const Tensor& target) {
+  PIT_CHECK(pred.shape() == target.shape(),
+            "mae_loss: shape mismatch " << pred.shape().to_string() << " vs "
+                                        << target.shape().to_string());
+  const float norm = 1.0F / static_cast<float>(pred.numel());
+  double acc = 0.0;
+  const auto pv = pred.span();
+  const auto tv = target.span();
+  for (std::size_t i = 0; i < pv.size(); ++i) {
+    acc += std::fabs(pv[i] - tv[i]);
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc * norm));
+  const Tensor tp = pred;
+  const Tensor tt = target;
+  return make_op_output(
+      std::move(out), {pred, target}, "mae_loss", [tp, tt, norm](TensorImpl& o) {
+        if (!wants_grad(*tp.impl())) {
+          return;
+        }
+        auto pg = grad_span(*tp.impl());
+        const auto pv2 = tp.span();
+        const auto tv2 = tt.span();
+        const float g = o.grad[0] * norm;
+        for (std::size_t i = 0; i < pg.size(); ++i) {
+          const float d = pv2[i] - tv2[i];
+          pg[i] += g * (d > 0.0F ? 1.0F : (d < 0.0F ? -1.0F : 0.0F));
+        }
+      });
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  PIT_CHECK(pred.shape() == target.shape(),
+            "mse_loss: shape mismatch " << pred.shape().to_string() << " vs "
+                                        << target.shape().to_string());
+  const float norm = 1.0F / static_cast<float>(pred.numel());
+  double acc = 0.0;
+  const auto pv = pred.span();
+  const auto tv = target.span();
+  for (std::size_t i = 0; i < pv.size(); ++i) {
+    const double d = pv[i] - tv[i];
+    acc += d * d;
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc * norm));
+  const Tensor tp = pred;
+  const Tensor tt = target;
+  return make_op_output(
+      std::move(out), {pred, target}, "mse_loss", [tp, tt, norm](TensorImpl& o) {
+        if (!wants_grad(*tp.impl())) {
+          return;
+        }
+        auto pg = grad_span(*tp.impl());
+        const auto pv2 = tp.span();
+        const auto tv2 = tt.span();
+        const float g = o.grad[0] * norm * 2.0F;
+        for (std::size_t i = 0; i < pg.size(); ++i) {
+          pg[i] += g * (pv2[i] - tv2[i]);
+        }
+      });
+}
+
+Tensor huber_loss(const Tensor& pred, const Tensor& target, float delta) {
+  PIT_CHECK(pred.shape() == target.shape(),
+            "huber_loss: shape mismatch " << pred.shape().to_string() << " vs "
+                                          << target.shape().to_string());
+  PIT_CHECK(delta > 0.0F, "huber_loss: delta must be positive, got " << delta);
+  const float norm = 1.0F / static_cast<float>(pred.numel());
+  double acc = 0.0;
+  const auto pv = pred.span();
+  const auto tv = target.span();
+  for (std::size_t i = 0; i < pv.size(); ++i) {
+    const float d = std::fabs(pv[i] - tv[i]);
+    acc += d <= delta ? 0.5F * d * d : delta * (d - 0.5F * delta);
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(acc * norm));
+  const Tensor tp = pred;
+  const Tensor tt = target;
+  return make_op_output(
+      std::move(out), {pred, target}, "huber_loss",
+      [tp, tt, norm, delta](TensorImpl& o) {
+        if (!wants_grad(*tp.impl())) {
+          return;
+        }
+        auto pg = grad_span(*tp.impl());
+        const auto pv2 = tp.span();
+        const auto tv2 = tt.span();
+        const float g = o.grad[0] * norm;
+        for (std::size_t i = 0; i < pg.size(); ++i) {
+          const float d = pv2[i] - tv2[i];
+          if (std::fabs(d) <= delta) {
+            pg[i] += g * d;
+          } else {
+            pg[i] += g * (d > 0.0F ? delta : -delta);
+          }
+        }
+      });
+}
+
+}  // namespace pit::nn

@@ -1,0 +1,31 @@
+// Task losses used by the paper's two benchmarks.
+//
+// Nottingham / polyphonic music: frame-level negative log-likelihood — the
+// sum over the 88 keys of binary cross-entropy (from logits), averaged over
+// batch and time (Bai et al.'s "NLL"). PPG-Dalia / heart rate: mean absolute
+// error in BPM.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace pit::nn {
+
+/// Numerically stable elementwise binary cross-entropy from logits,
+/// averaged over all elements. `target` entries must be in [0, 1].
+Tensor bce_with_logits(const Tensor& logits, const Tensor& target);
+
+/// Polyphonic-music NLL: elementwise BCE-from-logits summed over the channel
+/// (key) dimension and averaged over batch and time. Inputs are
+/// (N, C, T) logits and (N, C, T) binary targets.
+Tensor polyphonic_nll(const Tensor& logits, const Tensor& target);
+
+/// Mean absolute error over all elements.
+Tensor mae_loss(const Tensor& pred, const Tensor& target);
+
+/// Mean squared error over all elements.
+Tensor mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Huber loss (smooth L1) with the given delta, averaged over all elements.
+Tensor huber_loss(const Tensor& pred, const Tensor& target, float delta = 1.0F);
+
+}  // namespace pit::nn

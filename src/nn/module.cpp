@@ -1,0 +1,148 @@
+#include "nn/module.hpp"
+
+#include <algorithm>
+
+#include "tensor/error.hpp"
+
+namespace pit::nn {
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  for (const NamedParameter& p : named_parameters()) {
+    out.push_back(p.value);
+  }
+  return out;
+}
+
+std::vector<NamedParameter> Module::named_parameters() const {
+  std::vector<NamedParameter> out;
+  for (const auto& [name, value] : params_) {
+    out.push_back({name, value});
+  }
+  for (const auto& [child_name, child] : children_) {
+    for (const NamedParameter& p : child->named_parameters()) {
+      out.push_back({child_name + "." + p.name, p.value});
+    }
+  }
+  return out;
+}
+
+std::vector<NamedParameter> Module::named_buffers() const {
+  std::vector<NamedParameter> out;
+  for (const auto& [name, value] : buffers_) {
+    out.push_back({name, value});
+  }
+  for (const auto& [child_name, child] : children_) {
+    for (const NamedParameter& p : child->named_buffers()) {
+      out.push_back({child_name + "." + p.name, p.value});
+    }
+  }
+  return out;
+}
+
+index_t Module::num_params() const {
+  index_t n = 0;
+  for (const Tensor& p : parameters()) {
+    n += p.numel();
+  }
+  return n;
+}
+
+void Module::train() {
+  training_ = true;
+  on_mode_change();
+  for (const auto& [name, child] : children_) {
+    child->train();
+  }
+}
+
+void Module::eval() {
+  training_ = false;
+  on_mode_change();
+  for (const auto& [name, child] : children_) {
+    child->eval();
+  }
+}
+
+void Module::zero_grad() {
+  for (Tensor p : parameters()) {
+    p.zero_grad();
+  }
+}
+
+void Module::load_state_from(const Module& other) {
+  const auto mine = named_parameters();
+  const auto theirs = other.named_parameters();
+  PIT_CHECK(mine.size() == theirs.size(),
+            "load_state_from: parameter count mismatch " << mine.size()
+                                                         << " vs "
+                                                         << theirs.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    PIT_CHECK(mine[i].value.shape() == theirs[i].value.shape(),
+              "load_state_from: shape mismatch for " << mine[i].name);
+    Tensor dst = mine[i].value;
+    std::copy(theirs[i].value.span().begin(), theirs[i].value.span().end(),
+              dst.span().begin());
+  }
+  const auto my_buf = named_buffers();
+  const auto their_buf = other.named_buffers();
+  PIT_CHECK(my_buf.size() == their_buf.size(),
+            "load_state_from: buffer count mismatch");
+  for (std::size_t i = 0; i < my_buf.size(); ++i) {
+    Tensor dst = my_buf[i].value;
+    std::copy(their_buf[i].value.span().begin(),
+              their_buf[i].value.span().end(), dst.span().begin());
+  }
+}
+
+std::vector<Tensor> Module::state_snapshot() const {
+  std::vector<Tensor> out;
+  for (const NamedParameter& p : named_parameters()) {
+    out.push_back(p.value.clone());
+  }
+  for (const NamedParameter& b : named_buffers()) {
+    out.push_back(b.value.clone());
+  }
+  return out;
+}
+
+void Module::load_snapshot(const std::vector<Tensor>& snapshot) {
+  const auto params = named_parameters();
+  const auto buffers = named_buffers();
+  PIT_CHECK(snapshot.size() == params.size() + buffers.size(),
+            "load_snapshot: size mismatch " << snapshot.size() << " vs "
+                                            << params.size() + buffers.size());
+  std::size_t idx = 0;
+  for (const NamedParameter& p : params) {
+    Tensor dst = p.value;
+    std::copy(snapshot[idx].span().begin(), snapshot[idx].span().end(),
+              dst.span().begin());
+    ++idx;
+  }
+  for (const NamedParameter& b : buffers) {
+    Tensor dst = b.value;
+    std::copy(snapshot[idx].span().begin(), snapshot[idx].span().end(),
+              dst.span().begin());
+    ++idx;
+  }
+}
+
+Tensor Module::register_parameter(std::string name, Tensor value) {
+  PIT_CHECK(value.defined(), "register_parameter(" << name << "): undefined");
+  value.set_requires_grad(true);
+  params_.emplace_back(std::move(name), value);
+  return value;
+}
+
+Tensor Module::register_buffer(std::string name, Tensor value) {
+  PIT_CHECK(value.defined(), "register_buffer(" << name << "): undefined");
+  buffers_.emplace_back(std::move(name), value);
+  return value;
+}
+
+void Module::register_module(std::string name, Module* child) {
+  PIT_CHECK(child != nullptr, "register_module(" << name << "): null child");
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace pit::nn

@@ -1,0 +1,79 @@
+// Module base class: parameter/buffer registry, train/eval mode, recursion.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pit::nn {
+
+/// A named trainable tensor, as returned by Module::named_parameters().
+struct NamedParameter {
+  std::string name;
+  Tensor value;
+};
+
+/// Base class for all layers and models.
+///
+/// Subclasses register their trainable tensors with register_parameter()
+/// (which sets requires_grad) and sub-modules with register_module().
+/// Parameters are shared tensor handles: an optimizer holding the result of
+/// parameters() updates the module's weights in place.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Forward pass. Input conventions are documented per subclass
+  /// (sequence layers use (N, C, T); dense layers use (N, F)).
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// All trainable tensors of this module and its children.
+  std::vector<Tensor> parameters() const;
+  std::vector<NamedParameter> named_parameters() const;
+  /// Non-trainable state (e.g. batch-norm running statistics).
+  std::vector<NamedParameter> named_buffers() const;
+
+  /// Total number of trainable scalars.
+  index_t num_params() const;
+
+  /// Recursively switch to training / evaluation behaviour.
+  void train();
+  void eval();
+  bool is_training() const { return training_; }
+
+  /// Clears gradients of all parameters.
+  void zero_grad();
+
+  /// Copies parameter (and buffer) values from another module with an
+  /// identical structure. Used for checkpoint/restore in trainers.
+  void load_state_from(const Module& other);
+  /// Snapshot of all parameter and buffer values.
+  std::vector<Tensor> state_snapshot() const;
+  /// Restores a snapshot taken with state_snapshot().
+  void load_snapshot(const std::vector<Tensor>& snapshot);
+
+ protected:
+  /// Registers and returns a trainable tensor (sets requires_grad).
+  Tensor register_parameter(std::string name, Tensor value);
+  /// Registers non-trainable state.
+  Tensor register_buffer(std::string name, Tensor value);
+  /// Registers a child (non-owning; the child must outlive this module).
+  void register_module(std::string name, Module* child);
+
+  /// Hook called when training mode flips (e.g. nothing for most layers).
+  virtual void on_mode_change() {}
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace pit::nn

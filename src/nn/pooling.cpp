@@ -1,0 +1,124 @@
+#include "nn/pooling.hpp"
+
+#include "tensor/autograd.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::nn {
+
+Tensor avg_pool1d(const Tensor& x, index_t kernel, index_t stride) {
+  PIT_CHECK(x.rank() == 3,
+            "avg_pool1d: input must be (N, C, T), got "
+                << x.shape().to_string());
+  PIT_CHECK(kernel >= 1 && stride >= 1,
+            "avg_pool1d: kernel=" << kernel << " stride=" << stride);
+  const index_t n = x.dim(0);
+  const index_t c = x.dim(1);
+  const index_t t_in = x.dim(2);
+  PIT_CHECK(t_in >= kernel, "avg_pool1d: T=" << t_in << " < kernel=" << kernel);
+  const index_t t_out = (t_in - kernel) / stride + 1;
+
+  Tensor out = Tensor::zeros(Shape{n, c, t_out});
+  const float* xd = x.data();
+  float* od = out.data();
+  const float inv_k = 1.0F / static_cast<float>(kernel);
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t ci = 0; ci < c; ++ci) {
+      const float* xrow = xd + (ni * c + ci) * t_in;
+      float* orow = od + (ni * c + ci) * t_out;
+      for (index_t to = 0; to < t_out; ++to) {
+        float acc = 0.0F;
+        for (index_t k = 0; k < kernel; ++k) {
+          acc += xrow[to * stride + k];
+        }
+        orow[to] = acc * inv_k;
+      }
+    }
+  }
+
+  const Tensor tx = x;
+  return make_op_output(
+      std::move(out), {x}, "avg_pool1d",
+      [tx, n, c, t_in, t_out, kernel, stride](TensorImpl& o) {
+        if (!(tx.impl()->requires_grad || tx.impl()->grad_fn != nullptr)) {
+          return;
+        }
+        auto xg = grad_span(*tx.impl());
+        const float inv_k = 1.0F / static_cast<float>(kernel);
+        const float* dy = o.grad.data();
+        for (index_t ni = 0; ni < n; ++ni) {
+          for (index_t ci = 0; ci < c; ++ci) {
+            float* xgrow = xg.data() + (ni * c + ci) * t_in;
+            const float* dyrow = dy + (ni * c + ci) * t_out;
+            for (index_t to = 0; to < t_out; ++to) {
+              const float g = dyrow[to] * inv_k;
+              for (index_t k = 0; k < kernel; ++k) {
+                xgrow[to * stride + k] += g;
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor global_avg_pool1d(const Tensor& x) {
+  PIT_CHECK(x.rank() == 3, "global_avg_pool1d: input must be (N, C, T), got "
+                               << x.shape().to_string());
+  const index_t n = x.dim(0);
+  const index_t c = x.dim(1);
+  const index_t t = x.dim(2);
+  Tensor out = Tensor::zeros(Shape{n, c});
+  const float* xd = x.data();
+  float* od = out.data();
+  const float inv_t = 1.0F / static_cast<float>(t);
+  for (index_t ni = 0; ni < n; ++ni) {
+    for (index_t ci = 0; ci < c; ++ci) {
+      const float* xrow = xd + (ni * c + ci) * t;
+      float acc = 0.0F;
+      for (index_t ti = 0; ti < t; ++ti) {
+        acc += xrow[ti];
+      }
+      od[ni * c + ci] = acc * inv_t;
+    }
+  }
+  const Tensor tx = x;
+  return make_op_output(
+      std::move(out), {x}, "global_avg_pool1d", [tx, n, c, t](TensorImpl& o) {
+        if (!(tx.impl()->requires_grad || tx.impl()->grad_fn != nullptr)) {
+          return;
+        }
+        auto xg = grad_span(*tx.impl());
+        const float inv_t = 1.0F / static_cast<float>(t);
+        for (index_t ni = 0; ni < n; ++ni) {
+          for (index_t ci = 0; ci < c; ++ci) {
+            const float g = o.grad[static_cast<std::size_t>(ni * c + ci)] * inv_t;
+            float* xgrow = xg.data() + (ni * c + ci) * t;
+            for (index_t ti = 0; ti < t; ++ti) {
+              xgrow[ti] += g;
+            }
+          }
+        }
+      });
+}
+
+Tensor flatten(const Tensor& x) {
+  PIT_CHECK(x.rank() >= 1, "flatten: rank must be >= 1");
+  const index_t n = x.dim(0);
+  const index_t rest = x.numel() / n;
+  return x.reshape(Shape{n, rest});
+}
+
+AvgPool1d::AvgPool1d(index_t kernel, index_t stride)
+    : kernel_(kernel), stride_(stride) {
+  PIT_CHECK(kernel >= 1 && stride >= 1,
+            "AvgPool1d: kernel=" << kernel << " stride=" << stride);
+}
+
+Tensor AvgPool1d::forward(const Tensor& input) {
+  return avg_pool1d(input, kernel_, stride_);
+}
+
+Tensor GlobalAvgPool1d::forward(const Tensor& input) {
+  return global_avg_pool1d(input);
+}
+
+}  // namespace pit::nn

@@ -1,0 +1,36 @@
+// Temporal pooling layers over (N, C, T) inputs.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace pit::nn {
+
+/// Functional average pooling: windows of `kernel` steps, hop `stride`.
+/// T_out = floor((T - kernel) / stride) + 1 (no padding).
+Tensor avg_pool1d(const Tensor& x, index_t kernel, index_t stride);
+
+/// Mean over the whole time axis: (N, C, T) -> (N, C).
+Tensor global_avg_pool1d(const Tensor& x);
+
+/// Flatten trailing dimensions: (N, ...) -> (N, prod(...)). Differentiable.
+Tensor flatten(const Tensor& x);
+
+class AvgPool1d : public Module {
+ public:
+  AvgPool1d(index_t kernel, index_t stride);
+  Tensor forward(const Tensor& input) override;
+
+  index_t kernel() const { return kernel_; }
+  index_t stride() const { return stride_; }
+
+ private:
+  index_t kernel_;
+  index_t stride_;
+};
+
+class GlobalAvgPool1d : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+};
+
+}  // namespace pit::nn

@@ -1,0 +1,21 @@
+#include "nn/sequential.hpp"
+
+#include "tensor/error.hpp"
+
+namespace pit::nn {
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (const auto& m : modules_) {
+    x = m->forward(x);
+  }
+  return x;
+}
+
+Module& Sequential::at(std::size_t i) {
+  PIT_CHECK(i < modules_.size(),
+            "Sequential::at(" << i << ") out of range, size " << modules_.size());
+  return *modules_[i];
+}
+
+}  // namespace pit::nn

@@ -1,0 +1,36 @@
+// Ordered container of owned modules.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace pit::nn {
+
+/// Owns a list of modules and applies them in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Constructs a module of type M in place and returns a reference to it.
+  template <typename M, typename... Args>
+  M& add(Args&&... args) {
+    auto owned = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *owned;
+    register_module("m" + std::to_string(modules_.size()), owned.get());
+    modules_.push_back(std::move(owned));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input) override;
+
+  std::size_t size() const { return modules_.size(); }
+  Module& at(std::size_t i);
+
+ private:
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+}  // namespace pit::nn

@@ -1,0 +1,106 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "tensor/error.hpp"
+
+namespace pit::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'I', 'T', 'C', 'K', 'P', 'T', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  PIT_CHECK(is.good(), "checkpoint: unexpected end of file");
+  return v;
+}
+
+void write_entry(std::ostream& os, const NamedParameter& entry) {
+  write_u64(os, entry.name.size());
+  os.write(entry.name.data(), static_cast<std::streamsize>(entry.name.size()));
+  const Shape& shape = entry.value.shape();
+  write_u64(os, static_cast<std::uint64_t>(shape.rank()));
+  for (const index_t d : shape.dims()) {
+    write_u64(os, static_cast<std::uint64_t>(d));
+  }
+  const auto view = entry.value.span();
+  os.write(reinterpret_cast<const char*>(view.data()),
+           static_cast<std::streamsize>(view.size() * sizeof(float)));
+}
+
+void read_entry(std::istream& is, const NamedParameter& expected) {
+  const std::uint64_t name_len = read_u64(is);
+  PIT_CHECK(name_len < 4096, "checkpoint: implausible name length");
+  std::string name(name_len, '\0');
+  is.read(name.data(), static_cast<std::streamsize>(name_len));
+  PIT_CHECK(is.good() && name == expected.name,
+            "checkpoint: expected entry '" << expected.name << "', found '"
+                                           << name << "'");
+  const auto rank = static_cast<int>(read_u64(is));
+  std::vector<index_t> dims;
+  dims.reserve(static_cast<std::size_t>(rank));
+  for (int i = 0; i < rank; ++i) {
+    dims.push_back(static_cast<index_t>(read_u64(is)));
+  }
+  const Shape shape(dims);
+  PIT_CHECK(shape == expected.value.shape(),
+            "checkpoint: shape mismatch for '"
+                << expected.name << "': file " << shape.to_string()
+                << " vs model " << expected.value.shape().to_string());
+  Tensor dst = expected.value;
+  is.read(reinterpret_cast<char*>(dst.span().data()),
+          static_cast<std::streamsize>(dst.numel() * sizeof(float)));
+  PIT_CHECK(is.good(), "checkpoint: truncated data for '" << expected.name
+                                                          << "'");
+}
+
+std::vector<NamedParameter> all_entries(const Module& module) {
+  std::vector<NamedParameter> entries = module.named_parameters();
+  for (const NamedParameter& b : module.named_buffers()) {
+    entries.push_back(b);
+  }
+  return entries;
+}
+
+}  // namespace
+
+void save_state(const Module& module, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  PIT_CHECK(os.good(), "save_state: cannot open '" << path << "'");
+  os.write(kMagic, sizeof(kMagic));
+  const auto entries = all_entries(module);
+  write_u64(os, entries.size());
+  for (const NamedParameter& entry : entries) {
+    write_entry(os, entry);
+  }
+  os.flush();
+  PIT_CHECK(os.good(), "save_state: write failed for '" << path << "'");
+}
+
+void load_state(Module& module, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PIT_CHECK(is.good(), "load_state: cannot open '" << path << "'");
+  char magic[sizeof(kMagic)] = {};
+  is.read(magic, sizeof(magic));
+  PIT_CHECK(is.good() && std::equal(std::begin(magic), std::end(magic),
+                                    std::begin(kMagic)),
+            "load_state: '" << path << "' is not a PIT checkpoint");
+  const auto entries = all_entries(module);
+  const std::uint64_t count = read_u64(is);
+  PIT_CHECK(count == entries.size(),
+            "load_state: checkpoint holds " << count << " entries, model has "
+                                            << entries.size());
+  for (const NamedParameter& entry : entries) {
+    read_entry(is, entry);
+  }
+}
+
+}  // namespace pit::nn

@@ -1,0 +1,24 @@
+// Binary checkpointing of module state (parameters + buffers).
+//
+// Format (little-endian): magic "PITCKPT1", entry count, then per entry:
+// name length + bytes, rank, dims, float32 data. Loading validates names
+// and shapes against the destination module, so a checkpoint can only be
+// restored into a structurally identical model.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace pit::nn {
+
+/// Writes all named parameters and buffers to `path`. Throws pit::Error on
+/// I/O failure.
+void save_state(const Module& module, const std::string& path);
+
+/// Restores a checkpoint written by save_state(). Throws pit::Error when
+/// the file is malformed or its entries do not match the module's
+/// parameters/buffers (by name, order and shape).
+void load_state(Module& module, const std::string& path);
+
+}  // namespace pit::nn

@@ -1,0 +1,62 @@
+// int8 post-training quantization (the paper deploys int8 models through
+// GreenWaves' NN-Tool; this module is our stand-in for that flow).
+//
+// Weights use per-tensor symmetric quantization (zero point 0); activations
+// use per-tensor affine quantization calibrated from observed ranges. A
+// quantized conv kernel with int32 accumulation validates that the numeric
+// behaviour survives the int8 round trip, and fake-quantization utilities
+// let any trained float model be evaluated "as deployed".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pit::quant {
+
+struct QuantParams {
+  float scale = 1.0F;
+  std::int32_t zero_point = 0;
+
+  float dequantize(std::int32_t q) const {
+    return scale * static_cast<float>(q - zero_point);
+  }
+  std::int8_t quantize(float v) const;
+};
+
+/// Symmetric int8 parameters from the max absolute value (weights).
+QuantParams calibrate_symmetric(std::span<const float> values);
+
+/// Affine int8 parameters from the [min, max] range (activations).
+QuantParams calibrate_affine(std::span<const float> values);
+
+std::vector<std::int8_t> quantize_tensor(std::span<const float> values,
+                                         const QuantParams& params);
+std::vector<float> dequantize_tensor(std::span<const std::int8_t> values,
+                                     const QuantParams& params);
+
+/// Worst-case absolute error of the round trip: <= scale/2 within range.
+double max_roundtrip_error(std::span<const float> values,
+                           const QuantParams& params);
+
+/// int8 causal dilated convolution with int32 accumulators, matching the
+/// float reference within quantization error. x is (N, C, T) float (it is
+/// quantized internally with `x_quant`); the weight is quantized with
+/// per-tensor symmetric parameters; the float output is reconstructed.
+Tensor quantized_causal_conv1d(const Tensor& x, const Tensor& weight,
+                               const Tensor& bias, index_t dilation,
+                               index_t stride, const QuantParams& x_quant);
+
+/// Rounds every parameter of the module through int8 in place (symmetric
+/// per-tensor), simulating deployed weights. Returns the worst per-tensor
+/// round-trip error.
+double fake_quantize_parameters(nn::Module& model);
+
+/// int8 model size in bytes: one byte per parameter (biases are kept at
+/// int32 by deployment flows; `int32_bias_params` counts those).
+index_t int8_model_bytes(index_t params, index_t int32_bias_params = 0);
+
+}  // namespace pit::quant

@@ -1,0 +1,126 @@
+#include "tensor/autograd.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/error.hpp"
+
+namespace pit {
+
+Tensor make_op_output(Tensor result, const std::vector<Tensor>& inputs,
+                      std::string name,
+                      std::function<void(TensorImpl&)> backward) {
+  PIT_CHECK(result.defined(), "make_op_output: undefined result for " << name);
+  if (!grad_mode_enabled()) {
+    return result;
+  }
+  bool needs_grad = false;
+  for (const Tensor& in : inputs) {
+    if (in.defined() && in.tracks_grad()) {
+      needs_grad = true;
+      break;
+    }
+  }
+  if (!needs_grad) {
+    return result;
+  }
+  auto node = std::make_shared<Node>();
+  node->name = std::move(name);
+  node->backward = std::move(backward);
+  node->inputs.reserve(inputs.size());
+  for (const Tensor& in : inputs) {
+    if (in.defined()) {
+      node->inputs.push_back(in.impl());
+    }
+  }
+  result.impl()->grad_fn = std::move(node);
+  return result;
+}
+
+std::span<float> grad_span(TensorImpl& impl) {
+  if (impl.grad.empty()) {
+    impl.grad.assign(impl.data.size(), 0.0F);
+  }
+  return {impl.grad.data(), impl.grad.size()};
+}
+
+void accumulate_grad(TensorImpl& impl, std::span<const float> delta) {
+  PIT_CHECK(delta.size() == impl.data.size(),
+            "accumulate_grad: size mismatch " << delta.size() << " vs "
+                                              << impl.data.size());
+  auto g = grad_span(impl);
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    g[i] += delta[i];
+  }
+}
+
+namespace {
+
+/// Iterative post-order topological sort over the grad_fn DAG. Returns
+/// *shared* handles: intermediate impls are owned only by their consumer
+/// nodes, so the order vector must keep them alive until the final
+/// graph-release loop has finished resetting grad_fns.
+std::vector<std::shared_ptr<TensorImpl>> topo_order(
+    const std::shared_ptr<TensorImpl>& root) {
+  std::vector<std::shared_ptr<TensorImpl>> order;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    std::shared_ptr<TensorImpl> impl;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack;
+  if (root->grad_fn != nullptr) {
+    stack.push_back({root, 0});
+    visited.insert(root.get());
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    Node& node = *frame.impl->grad_fn;
+    if (frame.next_child < node.inputs.size()) {
+      const std::shared_ptr<TensorImpl>& child =
+          node.inputs[frame.next_child];
+      ++frame.next_child;
+      if (child->grad_fn != nullptr && visited.insert(child.get()).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(frame.impl);
+      stack.pop_back();
+    }
+  }
+  // Post-order gives producers before consumers; reverse for backprop.
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+void run_backward(const Tensor& root) {
+  PIT_CHECK(root.defined(), "backward on undefined tensor");
+  PIT_CHECK(root.numel() == 1,
+            "backward requires a scalar root, got shape "
+                << root.shape().to_string());
+  TensorImpl& root_impl = *root.impl();
+  auto g = grad_span(root_impl);
+  g[0] += 1.0F;
+  if (root_impl.grad_fn == nullptr) {
+    return;
+  }
+  const std::vector<std::shared_ptr<TensorImpl>> order =
+      topo_order(root.impl());
+  for (const auto& impl : order) {
+    // Ensure the output grad buffer exists even if no consumer touched it
+    // (can happen for dead branches); backward callbacks read impl->grad.
+    grad_span(*impl);
+    impl->grad_fn->backward(*impl);
+  }
+  // Release the graph so intermediate buffers are freed; parameters (leaves)
+  // keep their accumulated gradients. The shared handles in `order` keep
+  // every impl alive until all grad_fns are reset.
+  for (const auto& impl : order) {
+    impl->grad_fn.reset();
+  }
+}
+
+}  // namespace pit

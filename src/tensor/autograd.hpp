@@ -1,0 +1,46 @@
+// Autograd graph internals and the op-authoring API.
+//
+// New differentiable operations (including the fused layer kernels in
+// src/nn and the masked convolution in src/core) are written with
+// make_op_output(): supply the forward result, the inputs, and a backward
+// callback that reads the output gradient and accumulates into the inputs'
+// gradients via accumulate_grad()/grad_ptr().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pit {
+
+/// One node of the reverse-mode graph; owns the backward closure and keeps
+/// its input tensors alive. A node is created per op output.
+struct Node {
+  std::string name;
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  /// Reads `out.grad` and accumulates into the inputs' grad buffers.
+  std::function<void(TensorImpl& out)> backward;
+};
+
+/// Wraps forward results into a graph-tracked tensor.
+///
+/// If grad mode is off or no input requires grad, the node is dropped and
+/// the result is a plain leaf. `backward` must be safe to call exactly once.
+Tensor make_op_output(Tensor result, const std::vector<Tensor>& inputs,
+                      std::string name,
+                      std::function<void(TensorImpl&)> backward);
+
+/// Ensures `impl.grad` is allocated (zero-filled) and returns it.
+std::span<float> grad_span(TensorImpl& impl);
+
+/// Adds `delta` into the gradient buffer of `impl`.
+void accumulate_grad(TensorImpl& impl, std::span<const float> delta);
+
+/// Runs the reverse sweep from `root` (must be scalar); seeds d(root)/d(root)=1.
+void run_backward(const Tensor& root);
+
+}  // namespace pit

@@ -1,0 +1,46 @@
+// Error handling for the PIT library.
+//
+// All precondition violations throw pit::Error via the PIT_CHECK macro so
+// that callers get a file:line-annotated message instead of UB. Following
+// the C++ Core Guidelines (E.2, ES.32) the only macro in the library is the
+// ALL_CAPS check macro; everything else is a normal function.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pit {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PIT_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace pit
+
+/// Throws pit::Error with expression, location and a streamed message when
+/// `cond` is false. Usage: PIT_CHECK(a == b, "a=" << a << " b=" << b);
+#define PIT_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream pit_check_os_;                                   \
+      pit_check_os_ << msg; /* NOLINT */                                  \
+      ::pit::detail::raise_check_failure(#cond, __FILE__, __LINE__,       \
+                                         pit_check_os_.str());            \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,80 @@
+#include "tensor/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit {
+
+GradcheckResult gradcheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, const GradcheckOptions& opts) {
+  GradcheckResult result;
+  result.ok = true;
+
+  // Analytic gradients.
+  for (Tensor& in : inputs) {
+    in.zero_grad();
+  }
+  Tensor out = fn(inputs);
+  Tensor objective = sum(out);
+  objective.backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (const Tensor& in : inputs) {
+    analytic.push_back(in.grad());
+  }
+
+  // Numerical gradients via central differences, under NoGrad to keep the
+  // perturbed evaluations off the autograd graph.
+  NoGradGuard no_grad;
+  for (std::size_t which = 0; which < inputs.size(); ++which) {
+    Tensor& in = inputs[which];
+    if (!in.requires_grad()) {
+      continue;
+    }
+    const Tensor& ana = analytic[which];
+    for (index_t i = 0; i < in.numel(); ++i) {
+      float* slot = in.data() + i;
+      const float saved = *slot;
+
+      // Keep the evaluation results alive while summing (a temporary would
+      // be destroyed before the loop body under C++20 range-for rules).
+      *slot = saved + static_cast<float>(opts.eps);
+      const Tensor out_plus = fn(inputs);
+      double plus = 0.0;
+      for (const float v : out_plus.span()) {
+        plus += v;
+      }
+      *slot = saved - static_cast<float>(opts.eps);
+      const Tensor out_minus = fn(inputs);
+      double minus = 0.0;
+      for (const float v : out_minus.span()) {
+        minus += v;
+      }
+      *slot = saved;
+
+      const double numeric = (plus - minus) / (2.0 * opts.eps);
+      const double exact = ana.data()[i];
+      const double abs_err = std::fabs(numeric - exact);
+      const double denom = std::max(std::fabs(numeric), std::fabs(exact));
+      const double rel_err = denom > 0.0 ? abs_err / denom : 0.0;
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+      if (abs_err > opts.atol && rel_err > opts.rtol && result.ok) {
+        result.ok = false;
+        std::ostringstream os;
+        os << "input " << which << " element " << i << ": analytic " << exact
+           << " vs numeric " << numeric << " (abs " << abs_err << ", rel "
+           << rel_err << ")";
+        result.detail = os.str();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pit

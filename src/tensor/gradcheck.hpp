@@ -1,0 +1,36 @@
+// Numerical gradient checking for differentiable ops and modules.
+//
+// Compares reverse-mode gradients against central finite differences on
+// small float32 tensors. Used throughout the test suite to validate every
+// hand-written backward pass (conv, batchnorm, losses, the PIT mask chain).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pit {
+
+struct GradcheckResult {
+  bool ok = false;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::string detail;  // filled with the first offending entry when !ok
+};
+
+struct GradcheckOptions {
+  double eps = 1e-2;       // finite-difference step (float32 needs a coarse one)
+  double atol = 5e-3;      // absolute tolerance
+  double rtol = 5e-2;      // relative tolerance
+};
+
+/// Checks d(sum of fn output)/d(inputs[i]) for every input that has
+/// requires_grad set. `fn` may return a tensor of any shape; the scalar
+/// objective is its sum.
+GradcheckResult gradcheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, const GradcheckOptions& opts = {});
+
+}  // namespace pit

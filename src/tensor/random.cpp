@@ -1,0 +1,99 @@
+#include "tensor/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "tensor/error.hpp"
+
+namespace pit {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+RandomEngine::RandomEngine(std::uint64_t seed) {
+  // Seed the full 256-bit state from splitmix64 as recommended by the
+  // xoshiro authors; guards against the all-zero state.
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+}
+
+RandomEngine::result_type RandomEngine::operator()() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double RandomEngine::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double RandomEngine::uniform(double lo, double hi) {
+  PIT_CHECK(lo <= hi, "uniform bounds inverted: [" << lo << ", " << hi << ")");
+  return lo + (hi - lo) * uniform();
+}
+
+double RandomEngine::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 is kept away from 0 so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double RandomEngine::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+index_t RandomEngine::randint(index_t n) {
+  PIT_CHECK(n > 0, "randint bound must be positive, got " << n);
+  // Debiased modulo (rejection sampling on the top range).
+  const std::uint64_t un = static_cast<std::uint64_t>(n);
+  const std::uint64_t limit = max() - max() % un;
+  std::uint64_t v = 0;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return static_cast<index_t>(v % un);
+}
+
+bool RandomEngine::bernoulli(double p) {
+  return uniform() < p;
+}
+
+RandomEngine RandomEngine::split() {
+  return RandomEngine((*this)());
+}
+
+}  // namespace pit

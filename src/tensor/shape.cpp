@@ -1,0 +1,49 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "tensor/error.hpp"
+
+namespace pit {
+
+Shape::Shape(std::initializer_list<index_t> dims)
+    : Shape(std::vector<index_t>(dims)) {}
+
+Shape::Shape(std::vector<index_t> dims) : dims_(std::move(dims)) {
+  for (const index_t d : dims_) {
+    PIT_CHECK(d >= 1, "shape dimensions must be >= 1, got " << to_string());
+  }
+}
+
+index_t Shape::dim(int i) const {
+  const int r = rank();
+  if (i < 0) {
+    i += r;
+  }
+  PIT_CHECK(i >= 0 && i < r,
+            "dimension index " << i << " out of range for " << to_string());
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+index_t Shape::numel() const {
+  index_t n = 1;
+  for (const index_t d : dims_) {
+    n *= d;
+  }
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << dims_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pit

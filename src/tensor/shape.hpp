@@ -1,0 +1,46 @@
+// Dense row-major tensor shapes.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace pit {
+
+/// Index/extent type used throughout the library.
+using index_t = std::int64_t;
+
+/// Shape of a dense row-major tensor. Rank 0 denotes a scalar.
+///
+/// Immutable value type; all dimension extents must be >= 1 except that an
+/// empty (default-constructed) shape represents a scalar with numel() == 1.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<index_t> dims);
+  explicit Shape(std::vector<index_t> dims);
+
+  /// Number of dimensions (0 for scalars).
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Extent of dimension `i`; negative `i` counts from the back.
+  index_t dim(int i) const;
+  index_t operator[](int i) const { return dim(i); }
+
+  /// Total number of elements (1 for scalars).
+  index_t numel() const;
+
+  const std::vector<index_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Human-readable form, e.g. "(2, 3, 5)" or "()" for a scalar.
+  std::string to_string() const;
+
+ private:
+  std::vector<index_t> dims_;
+};
+
+}  // namespace pit

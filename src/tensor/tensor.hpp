@@ -1,0 +1,121 @@
+// Dense float32 tensor with reverse-mode autograd.
+//
+// Tensor is a cheap-to-copy handle (shared_ptr to TensorImpl). Operations
+// are free functions (see ops.hpp) that build a define-by-run graph; calling
+// backward() on a scalar tensor propagates gradients to every reachable
+// tensor that has requires_grad() set.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/random.hpp"
+#include "tensor/shape.hpp"
+
+namespace pit {
+
+struct TensorImpl;
+struct Node;
+
+/// Handle to a dense row-major float tensor, optionally tracked by autograd.
+class Tensor {
+ public:
+  /// Default-constructed tensors are "undefined"; any use other than
+  /// defined() throws.
+  Tensor() = default;
+
+  // ---- Factories -------------------------------------------------------
+  static Tensor zeros(const Shape& shape);
+  static Tensor ones(const Shape& shape);
+  static Tensor full(const Shape& shape, float value);
+  /// Scalar (rank-0) tensor.
+  static Tensor scalar(float value);
+  /// Takes ownership of `values`; numel must match the shape.
+  static Tensor from_vector(std::vector<float> values, const Shape& shape);
+  /// I.i.d. normal entries with the given standard deviation.
+  static Tensor randn(const Shape& shape, RandomEngine& rng,
+                      float stddev = 1.0F);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor uniform(const Shape& shape, float lo, float hi,
+                        RandomEngine& rng);
+
+  // ---- Introspection ---------------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int rank() const { return shape().rank(); }
+  index_t dim(int i) const { return shape().dim(i); }
+  index_t numel() const { return shape().numel(); }
+
+  float* data();
+  const float* data() const;
+  std::span<float> span();
+  std::span<const float> span() const;
+
+  /// Value of a rank-0 (or single-element) tensor.
+  float item() const;
+  /// Element accessor for tests / debugging (row-major index arithmetic).
+  float at(std::initializer_list<index_t> idx) const;
+
+  /// Deep copy of the data (no autograd history).
+  Tensor clone() const;
+  /// Same storage, detached from the autograd graph.
+  Tensor detach() const;
+  /// Copy with a new shape (same numel). Differentiable.
+  Tensor reshape(const Shape& new_shape) const;
+
+  std::string to_string() const;
+
+  // ---- Autograd --------------------------------------------------------
+  Tensor& set_requires_grad(bool value);
+  bool requires_grad() const;
+  /// True if backward() through this tensor can reach a parameter.
+  bool tracks_grad() const;
+
+  /// Gradient accumulated by the last backward(); zeros if never touched.
+  Tensor grad() const;
+  /// Raw pointer into the gradient buffer (allocated on demand).
+  float* grad_data();
+  /// Clears the gradient buffer (keeps the allocation).
+  void zero_grad();
+
+  /// Reverse-mode sweep from this (scalar) tensor.
+  void backward();
+
+  // ---- Internal --------------------------------------------------------
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Backing storage for Tensor. Public members: this is an internal
+/// aggregate manipulated by the op layer, not a user-facing invariant-holder.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // empty until first accumulation
+  bool requires_grad = false;
+  std::shared_ptr<Node> grad_fn;  // null for leaves
+};
+
+/// RAII guard that disables gradient tracking on the current thread
+/// (used for evaluation / inference passes).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// True when ops should record autograd nodes on this thread.
+bool grad_mode_enabled();
+
+}  // namespace pit

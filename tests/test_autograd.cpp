@@ -1,0 +1,125 @@
+// Backward-sweep mechanics: accumulation, fan-out, shared subgraphs,
+// grad-mode gating. Value-level correctness of each op is in test_ops.cpp.
+#include "tensor/autograd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit {
+namespace {
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Tensor a = Tensor::ones(Shape{2}).set_requires_grad(true);
+  Tensor b = mul_scalar(a, 2.0F);
+  EXPECT_THROW(b.backward(), Error);
+}
+
+TEST(Autograd, LeafWithoutRequiresGradGetsNoGradient) {
+  Tensor a = Tensor::ones(Shape{2});
+  Tensor b = Tensor::ones(Shape{2}).set_requires_grad(true);
+  Tensor s = sum(mul(a, b));
+  s.backward();
+  EXPECT_FLOAT_EQ(a.grad().data()[0], 0.0F);  // untouched
+  EXPECT_FLOAT_EQ(b.grad().data()[0], 1.0F);
+}
+
+TEST(Autograd, FanOutAccumulatesGradients) {
+  // s = sum(a + a) => ds/da = 2 everywhere.
+  Tensor a = Tensor::ones(Shape{3}).set_requires_grad(true);
+  Tensor s = sum(add(a, a));
+  s.backward();
+  for (index_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(a.grad().data()[i], 2.0F);
+  }
+}
+
+TEST(Autograd, DiamondGraphVisitsSharedNodeOnce) {
+  // b = 2a; s = sum(b*b). ds/da = 2 * b * 2 = 8a = 8.
+  Tensor a = Tensor::ones(Shape{2}).set_requires_grad(true);
+  Tensor b = mul_scalar(a, 2.0F);
+  Tensor s = sum(mul(b, b));
+  s.backward();
+  for (index_t i = 0; i < 2; ++i) {
+    EXPECT_FLOAT_EQ(a.grad().data()[i], 8.0F);
+  }
+}
+
+TEST(Autograd, ChainOfOps) {
+  // s = sum(relu(3a - 1)) with a = 1 => d/da = 3.
+  Tensor a = Tensor::ones(Shape{4}).set_requires_grad(true);
+  Tensor s = sum(relu(add_scalar(mul_scalar(a, 3.0F), -1.0F)));
+  s.backward();
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(a.grad().data()[i], 3.0F);
+  }
+}
+
+TEST(Autograd, SecondBackwardAccumulatesIntoSameBuffer) {
+  Tensor a = Tensor::ones(Shape{2}).set_requires_grad(true);
+  sum(mul_scalar(a, 1.0F)).backward();
+  sum(mul_scalar(a, 1.0F)).backward();
+  EXPECT_FLOAT_EQ(a.grad().data()[0], 2.0F);
+}
+
+TEST(Autograd, NoGradGuardDisablesTracking) {
+  Tensor a = Tensor::ones(Shape{2}).set_requires_grad(true);
+  {
+    NoGradGuard guard;
+    Tensor b = mul_scalar(a, 2.0F);
+    EXPECT_FALSE(b.tracks_grad());
+  }
+  Tensor c = mul_scalar(a, 2.0F);
+  EXPECT_TRUE(c.tracks_grad());
+}
+
+TEST(Autograd, NoGradGuardNests) {
+  Tensor a = Tensor::ones(Shape{1}).set_requires_grad(true);
+  {
+    NoGradGuard g1;
+    {
+      NoGradGuard g2;
+      EXPECT_FALSE(grad_mode_enabled());
+    }
+    EXPECT_FALSE(grad_mode_enabled());
+  }
+  EXPECT_TRUE(grad_mode_enabled());
+}
+
+TEST(Autograd, BackwardOnLeafScalarIsFine) {
+  Tensor a = Tensor::scalar(2.0F).set_requires_grad(true);
+  a.backward();
+  EXPECT_FLOAT_EQ(a.grad().item(), 1.0F);
+}
+
+TEST(Autograd, GraphReleasedAfterBackward) {
+  // After backward, the graph is dropped: a second backward on the same
+  // root only seeds the root gradient and does not re-propagate.
+  Tensor a = Tensor::ones(Shape{2}).set_requires_grad(true);
+  Tensor s = sum(a);
+  s.backward();
+  EXPECT_FLOAT_EQ(a.grad().data()[0], 1.0F);
+  s.backward();  // no graph anymore; `a` unchanged
+  EXPECT_FLOAT_EQ(a.grad().data()[0], 1.0F);
+}
+
+TEST(Autograd, MakeOpOutputDropsNodeWhenNoInputTracks) {
+  Tensor a = Tensor::ones(Shape{2});
+  Tensor b = add(a, a);
+  EXPECT_FALSE(b.tracks_grad());
+}
+
+TEST(Autograd, LongChainDoesNotOverflowStack) {
+  // The topological sort is iterative; 50k chained ops must not crash.
+  Tensor x = Tensor::scalar(1.0F).set_requires_grad(true);
+  Tensor y = x;
+  for (int i = 0; i < 50000; ++i) {
+    y = add_scalar(y, 0.0F);
+  }
+  sum(y).backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 1.0F);
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,189 @@
+// Channel-masking extension (paper Sec. III-C integration hook).
+#include "core/channel_mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pit_conv1d.hpp"
+#include "nn/optim.hpp"
+#include "tensor/error.hpp"
+#include "tensor/gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit::core {
+namespace {
+
+TEST(ChannelGate, AllOnesIsIdentity) {
+  ChannelGate gate(3);
+  RandomEngine rng(701);
+  Tensor x = Tensor::randn(Shape{2, 3, 5}, rng);
+  Tensor y = gate.forward(x);
+  for (index_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+  EXPECT_EQ(gate.alive_channels(), 3);
+}
+
+TEST(ChannelGate, ZeroedGammaKillsChannel) {
+  ChannelGate gate(3);
+  gate.gamma_values().data()[1] = 0.2F;  // below threshold -> binary 0
+  RandomEngine rng(703);
+  Tensor x = Tensor::randn(Shape{1, 3, 4}, rng);
+  Tensor y = gate.forward(x);
+  for (index_t t = 0; t < 4; ++t) {
+    EXPECT_FLOAT_EQ(y.at({0, 1, t}), 0.0F);
+    EXPECT_FLOAT_EQ(y.at({0, 0, t}), x.at({0, 0, t}));
+    EXPECT_FLOAT_EQ(y.at({0, 2, t}), x.at({0, 2, t}));
+  }
+  EXPECT_EQ(gate.alive_channels(), 2);
+  EXPECT_EQ(gate.binary_snapshot(), (std::vector<int>{1, 0, 1}));
+}
+
+TEST(ChannelGate, Rank2InputSupported) {
+  ChannelGate gate(4);
+  RandomEngine rng(709);
+  Tensor x = Tensor::randn(Shape{3, 4}, rng);
+  EXPECT_EQ(gate.forward(x).shape(), x.shape());
+}
+
+TEST(ChannelGate, GradientFlowsToInputAndGamma) {
+  ChannelGate gate(2);
+  RandomEngine rng(719);
+  Tensor x = Tensor::randn(Shape{2, 2, 3}, rng).set_requires_grad(true);
+  sum(gate.forward(x)).backward();
+  // STE: gamma gradient equals the per-channel sum of x.
+  const Tensor gamma_grad = gate.gamma_values().grad();
+  for (index_t c = 0; c < 2; ++c) {
+    float expected = 0.0F;
+    for (index_t n = 0; n < 2; ++n) {
+      for (index_t t = 0; t < 3; ++t) {
+        expected += x.at({n, c, t});
+      }
+    }
+    EXPECT_NEAR(gamma_grad.data()[c], expected, 1e-4);
+  }
+  // Input gradient is the binary gate value (all ones here).
+  for (index_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(x.grad().data()[i], 1.0F);
+  }
+}
+
+TEST(ChannelGate, GradcheckThroughFloatGate) {
+  // Differentiability of the channel-broadcast multiply itself.
+  RandomEngine rng(727);
+  Tensor x = Tensor::uniform(Shape{2, 3, 4}, -1.0F, 1.0F, rng);
+  ChannelGate gate(3);
+  auto gamma = gate.gamma_values();
+  for (float& v : gamma.span()) {
+    v = 0.8F;  // away from the 0.5 step
+  }
+  x.set_requires_grad(true);
+  const auto result = gradcheck(
+      [&gate](const std::vector<Tensor>& in) {
+        return gate.forward(in[0]);
+      },
+      {x});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(ChannelGate, FreezeStopsGradAndFixesMask) {
+  ChannelGate gate(3);
+  gate.gamma_values().data()[2] = 0.0F;
+  gate.freeze();
+  RandomEngine rng(733);
+  Tensor x = Tensor::randn(Shape{1, 3, 4}, rng).set_requires_grad(true);
+  Tensor y = gate.forward(x);
+  sum(y).backward();
+  EXPECT_FLOAT_EQ(y.at({0, 2, 0}), 0.0F);
+  const Tensor gamma_grad = gate.gamma_values().grad();
+  for (const float g : gamma_grad.span()) {
+    EXPECT_FLOAT_EQ(g, 0.0F);
+  }
+}
+
+TEST(ChannelGate, ClampAndValidation) {
+  ChannelGate gate(2);
+  gate.gamma_values().data()[0] = 1.5F;
+  gate.gamma_values().data()[1] = -0.5F;
+  gate.clamp_values();
+  EXPECT_FLOAT_EQ(gate.gamma_values().data()[0], 1.0F);
+  EXPECT_FLOAT_EQ(gate.gamma_values().data()[1], 0.0F);
+  EXPECT_THROW(ChannelGate(0), Error);
+  EXPECT_THROW(ChannelGate(2, 1.5F), Error);
+}
+
+TEST(ChannelRegularizer, ClosedFormAndGradient) {
+  ChannelGate a(2);
+  ChannelGate b(3);
+  std::vector<ChannelGate*> gates = {&a, &b};
+  // cost 10 per channel of a, 5 per channel of b; all gammas at 1.
+  Tensor reg = channel_regularizer(gates, 1.0, {10, 5});
+  EXPECT_FLOAT_EQ(reg.item(), 2 * 10 + 3 * 5);
+  reg.backward();
+  EXPECT_FLOAT_EQ(a.gamma_values().grad().data()[0], 10.0F);
+  EXPECT_FLOAT_EQ(b.gamma_values().grad().data()[2], 5.0F);
+  EXPECT_THROW(channel_regularizer(gates, 1.0, {10}), Error);
+  EXPECT_THROW(channel_regularizer(gates, -1.0, {10, 5}), Error);
+}
+
+TEST(ChannelRegularizer, FrozenGatesExcluded) {
+  ChannelGate a(2);
+  ChannelGate b(2);
+  a.freeze();
+  std::vector<ChannelGate*> gates = {&a, &b};
+  EXPECT_FLOAT_EQ(channel_regularizer(gates, 1.0, {10, 10}).item(), 20.0F);
+}
+
+TEST(ChannelGate, WarmupThenJointTrainingPrunesUselessChannel) {
+  // y depends only on channel 0 of a 2-channel signal. Following
+  // Algorithm 1: a warmup phase first trains the weights with all gammas
+  // at 1 (without it, the task gradient shrinks even the useful gamma
+  // before its weights exist to defend it — the failure mode the paper's
+  // warmup prevents); the joint phase then collapses the useless channel
+  // while the trained weight pins the useful one at 1.
+  RandomEngine rng(739);
+  PITConv1d conv(2, 1, 3, {.stride = 1, .bias = false}, rng);
+  ChannelGate gate(2);
+  Tensor gamma = gate.gamma_values();
+  nn::Adam weight_opt({conv.weight()}, 2e-2);
+  nn::Adam gate_opt({gamma}, 3e-2);
+
+  auto make_batch = [&rng]() {
+    Tensor x = Tensor::randn(Shape{8, 2, 16}, rng);
+    Tensor target = Tensor::zeros(Shape{8, 1, 16});
+    for (index_t n = 0; n < 8; ++n) {
+      for (index_t t = 0; t < 16; ++t) {
+        target.data()[n * 16 + t] = x.at({n, 0, t});  // channel 0 only
+      }
+    }
+    return std::pair<Tensor, Tensor>{std::move(x), std::move(target)};
+  };
+
+  // Phase 1: warmup (weights only).
+  for (int step = 0; step < 100; ++step) {
+    auto [x, target] = make_batch();
+    conv.zero_grad();
+    gate.zero_grad();
+    Tensor loss = mean(square(sub(conv.forward(gate.forward(x)), target)));
+    loss.backward();
+    weight_opt.step();
+  }
+  // Phase 2: joint weight + gate training with the Lasso pull.
+  for (int step = 0; step < 80; ++step) {
+    auto [x, target] = make_batch();
+    conv.zero_grad();
+    gate.zero_grad();
+    Tensor loss = mean(square(sub(conv.forward(gate.forward(x)), target)));
+    Tensor reg = channel_regularizer({&gate}, 5e-3, {3});
+    add(loss, reg).backward();
+    weight_opt.step();
+    gate_opt.step();
+    gate.clamp_values();
+  }
+  EXPECT_EQ(gate.binary_snapshot(), (std::vector<int>{1, 0}))
+      << "useless channel pruned, useful one kept";
+  EXPECT_GT(gamma.data()[0], 0.7F);
+  EXPECT_FLOAT_EQ(gamma.data()[1], 0.0F);
+}
+
+}  // namespace
+}  // namespace pit::core

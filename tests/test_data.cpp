@@ -1,0 +1,150 @@
+// Dataset / DataLoader plumbing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataloader.hpp"
+#include "data/dataset.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::data {
+namespace {
+
+TensorDataset make_counting_dataset(index_t n) {
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+  for (index_t i = 0; i < n; ++i) {
+    inputs.push_back(Tensor::full(Shape{2, 3}, static_cast<float>(i)));
+    targets.push_back(Tensor::full(Shape{1}, static_cast<float>(i)));
+  }
+  return TensorDataset(std::move(inputs), std::move(targets));
+}
+
+TEST(TensorDataset, SizeAndGet) {
+  auto ds = make_counting_dataset(5);
+  EXPECT_EQ(ds.size(), 5);
+  Example ex = ds.get(3);
+  EXPECT_EQ(ex.input.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(ex.input.data()[0], 3.0F);
+  EXPECT_FLOAT_EQ(ex.target.item(), 3.0F);
+  EXPECT_THROW(ds.get(5), Error);
+  EXPECT_THROW(ds.get(-1), Error);
+}
+
+TEST(TensorDataset, RejectsMismatchedCounts) {
+  std::vector<Tensor> inputs = {Tensor::zeros(Shape{2})};
+  std::vector<Tensor> targets;
+  EXPECT_THROW(TensorDataset(std::move(inputs), std::move(targets)), Error);
+}
+
+TEST(TensorDataset, RejectsInconsistentShapes) {
+  std::vector<Tensor> inputs = {Tensor::zeros(Shape{2}),
+                                Tensor::zeros(Shape{3})};
+  std::vector<Tensor> targets = {Tensor::zeros(Shape{1}),
+                                 Tensor::zeros(Shape{1})};
+  EXPECT_THROW(TensorDataset(std::move(inputs), std::move(targets)), Error);
+}
+
+TEST(SubsetDataset, ViewsARange) {
+  auto base = make_counting_dataset(10);
+  SubsetDataset sub(base, 4, 3);
+  EXPECT_EQ(sub.size(), 3);
+  EXPECT_FLOAT_EQ(sub.get(0).target.item(), 4.0F);
+  EXPECT_FLOAT_EQ(sub.get(2).target.item(), 6.0F);
+  EXPECT_THROW(sub.get(3), Error);
+  EXPECT_THROW(SubsetDataset(base, 8, 5), Error);
+}
+
+TEST(SplitDataset, FractionsPartitionWithoutOverlap) {
+  auto base = make_counting_dataset(20);
+  DatasetSplits splits = split_dataset(base, 0.6, 0.2);
+  EXPECT_EQ(splits.train.size(), 12);
+  EXPECT_EQ(splits.val.size(), 4);
+  EXPECT_EQ(splits.test.size(), 4);
+  // Boundary elements are distinct.
+  EXPECT_FLOAT_EQ(splits.train.get(11).target.item(), 11.0F);
+  EXPECT_FLOAT_EQ(splits.val.get(0).target.item(), 12.0F);
+  EXPECT_FLOAT_EQ(splits.test.get(0).target.item(), 16.0F);
+  EXPECT_THROW(split_dataset(base, 0.9, 0.2), Error);
+}
+
+TEST(StackExamples, AddsLeadingDimension) {
+  std::vector<Tensor> items = {Tensor::full(Shape{2, 3}, 1.0F),
+                               Tensor::full(Shape{2, 3}, 2.0F)};
+  Tensor stacked = stack_examples(items);
+  EXPECT_EQ(stacked.shape(), Shape({2, 2, 3}));
+  EXPECT_FLOAT_EQ(stacked.at({0, 0, 0}), 1.0F);
+  EXPECT_FLOAT_EQ(stacked.at({1, 1, 2}), 2.0F);
+  EXPECT_THROW(stack_examples({}), Error);
+}
+
+TEST(DataLoader, BatchShapesAndLastPartialBatch) {
+  auto ds = make_counting_dataset(10);
+  DataLoader loader(ds, 4, false);
+  EXPECT_EQ(loader.num_batches(), 3);
+  EXPECT_EQ(loader.batch(0).inputs.shape(), Shape({4, 2, 3}));
+  EXPECT_EQ(loader.batch(2).inputs.shape(), Shape({2, 2, 3}));  // remainder
+  EXPECT_THROW(loader.batch(3), Error);
+}
+
+TEST(DataLoader, UnshuffledPreservesOrder) {
+  auto ds = make_counting_dataset(6);
+  DataLoader loader(ds, 2, false);
+  for (index_t b = 0; b < 3; ++b) {
+    Batch batch = loader.batch(b);
+    EXPECT_FLOAT_EQ(batch.targets.data()[0], static_cast<float>(2 * b));
+    EXPECT_FLOAT_EQ(batch.targets.data()[1], static_cast<float>(2 * b + 1));
+  }
+}
+
+TEST(DataLoader, ShuffleCoversAllExamplesExactlyOnce) {
+  auto ds = make_counting_dataset(16);
+  DataLoader loader(ds, 5, true, 7);
+  std::multiset<float> seen;
+  for (index_t b = 0; b < loader.num_batches(); ++b) {
+    Batch batch = loader.batch(b);
+    for (index_t i = 0; i < batch.targets.numel(); ++i) {
+      seen.insert(batch.targets.data()[i]);
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u);
+  for (index_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(seen.count(static_cast<float>(i)), 1u) << "example " << i;
+  }
+}
+
+TEST(DataLoader, ShuffleIsSeedDeterministic) {
+  auto ds = make_counting_dataset(12);
+  DataLoader a(ds, 3, true, 99);
+  DataLoader b(ds, 3, true, 99);
+  for (index_t bi = 0; bi < a.num_batches(); ++bi) {
+    Batch ba = a.batch(bi);
+    Batch bb = b.batch(bi);
+    for (index_t i = 0; i < ba.targets.numel(); ++i) {
+      EXPECT_FLOAT_EQ(ba.targets.data()[i], bb.targets.data()[i]);
+    }
+  }
+}
+
+TEST(DataLoader, ReshuffleChangesOrder) {
+  auto ds = make_counting_dataset(32);
+  DataLoader loader(ds, 32, true, 5);
+  Batch before = loader.batch(0);
+  loader.reshuffle();
+  Batch after = loader.batch(0);
+  int moved = 0;
+  for (index_t i = 0; i < 32; ++i) {
+    if (before.targets.data()[i] != after.targets.data()[i]) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 10);
+}
+
+TEST(DataLoader, Validation) {
+  auto ds = make_counting_dataset(4);
+  EXPECT_THROW(DataLoader(ds, 0, false), Error);
+}
+
+}  // namespace
+}  // namespace pit::data

@@ -1,0 +1,225 @@
+// Properties of the synthetic Nottingham and PPG-Dalia generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/nottingham.hpp"
+#include "data/ppg_dalia.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::data {
+namespace {
+
+// ------------------------------------------------------------ Nottingham --
+
+TEST(Nottingham, ShapesMatchOptions) {
+  NottinghamDataset ds({.num_sequences = 4, .seq_len = 33, .seed = 3});
+  EXPECT_EQ(ds.size(), 4);
+  Example ex = ds.get(0);
+  EXPECT_EQ(ex.input.shape(), Shape({88, 32}));
+  EXPECT_EQ(ex.target.shape(), Shape({88, 32}));
+}
+
+TEST(Nottingham, RollsAreBinary) {
+  NottinghamDataset ds({.num_sequences = 8, .seq_len = 40, .seed = 5});
+  for (index_t i = 0; i < ds.size(); ++i) {
+    Example ex = ds.get(i);
+    for (const float v : ex.input.span()) {
+      EXPECT_TRUE(v == 0.0F || v == 1.0F);
+    }
+    for (const float v : ex.target.span()) {
+      EXPECT_TRUE(v == 0.0F || v == 1.0F);
+    }
+  }
+}
+
+TEST(Nottingham, TargetIsNextFrameOfInput) {
+  NottinghamDataset ds({.num_sequences = 2, .seq_len = 16, .seed = 7});
+  Example ex = ds.get(1);
+  // target[:, t] must equal input[:, t+1] for all overlapping frames.
+  for (index_t k = 0; k < 88; ++k) {
+    for (index_t t = 0; t + 1 < 15; ++t) {
+      EXPECT_FLOAT_EQ(ex.target.at({k, t}), ex.input.at({k, t + 1}))
+          << "key " << k << " frame " << t;
+    }
+  }
+}
+
+TEST(Nottingham, DeterministicPerSeed) {
+  NottinghamOptions opts{.num_sequences = 3, .seq_len = 24, .seed = 11};
+  NottinghamDataset a(opts);
+  NottinghamDataset b(opts);
+  for (index_t i = 0; i < 3; ++i) {
+    Example ea = a.get(i);
+    Example eb = b.get(i);
+    for (index_t j = 0; j < ea.input.numel(); ++j) {
+      ASSERT_FLOAT_EQ(ea.input.data()[j], eb.input.data()[j]);
+    }
+  }
+}
+
+TEST(Nottingham, DifferentSeedsDiffer) {
+  NottinghamDataset a({.num_sequences = 2, .seq_len = 24, .seed = 1});
+  NottinghamDataset b({.num_sequences = 2, .seq_len = 24, .seed = 2});
+  int diff = 0;
+  Example ea = a.get(0);
+  Example eb = b.get(0);
+  for (index_t j = 0; j < ea.input.numel(); ++j) {
+    if (ea.input.data()[j] != eb.input.data()[j]) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(Nottingham, PolyphonicSparsity) {
+  // Folk-tune rolls are sparse: a handful of the 88 keys active per frame.
+  NottinghamDataset ds({.num_sequences = 16, .seq_len = 64, .seed = 13});
+  const double frac = ds.active_fraction();
+  EXPECT_GT(frac, 0.02);  // at least ~2 keys per frame
+  EXPECT_LT(frac, 0.15);  // far from dense
+}
+
+TEST(Nottingham, ChordsPersistAcrossFrames) {
+  // Within a chord-hold span, the bass note must be constant: temporal
+  // structure at the slow time scale (what dilation exploits).
+  NottinghamDataset ds(
+      {.num_sequences = 1, .seq_len = 33, .chord_hold_frames = 8, .seed = 17});
+  Example ex = ds.get(0);
+  // Find the lowest active key in frames 0..7 and check it is stable.
+  auto lowest_at = [&ex](index_t t) -> index_t {
+    for (index_t k = 0; k < 88; ++k) {
+      if (ex.input.at({k, t}) > 0.5F) {
+        return k;
+      }
+    }
+    return -1;
+  };
+  const index_t bass0 = lowest_at(0);
+  ASSERT_GE(bass0, 0);
+  for (index_t t = 1; t < 7; ++t) {
+    EXPECT_EQ(lowest_at(t), bass0) << "bass moved within hold at t=" << t;
+  }
+}
+
+TEST(Nottingham, Validation) {
+  EXPECT_THROW(NottinghamDataset({.num_sequences = 0}), Error);
+  EXPECT_THROW(NottinghamDataset({.seq_len = 1}), Error);
+  NottinghamDataset ds({.num_sequences = 1});
+  EXPECT_THROW(ds.get(1), Error);
+}
+
+// ------------------------------------------------------------- PPG-Dalia --
+
+TEST(PpgDalia, ShapesAndLabelRange) {
+  PpgDaliaDataset ds({.num_windows = 32, .window_len = 128, .seed = 19});
+  EXPECT_EQ(ds.size(), 32);
+  for (index_t i = 0; i < ds.size(); ++i) {
+    Example ex = ds.get(i);
+    EXPECT_EQ(ex.input.shape(), Shape({4, 128}));
+    EXPECT_EQ(ex.target.shape(), Shape({1}));
+    EXPECT_GE(ex.target.item(), 55.0F);
+    EXPECT_LE(ex.target.item(), 185.0F);
+  }
+}
+
+TEST(PpgDalia, DeterministicPerSeed) {
+  PpgDaliaOptions opts{.num_windows = 8, .window_len = 64, .seed = 23};
+  PpgDaliaDataset a(opts);
+  PpgDaliaDataset b(opts);
+  for (index_t i = 0; i < 8; ++i) {
+    Example ea = a.get(i);
+    Example eb = b.get(i);
+    ASSERT_FLOAT_EQ(ea.target.item(), eb.target.item());
+    for (index_t j = 0; j < ea.input.numel(); ++j) {
+      ASSERT_FLOAT_EQ(ea.input.data()[j], eb.input.data()[j]);
+    }
+  }
+}
+
+TEST(PpgDalia, HrLabelsDriftSlowly) {
+  // Consecutive windows come from one session: HR deltas are bounded.
+  PpgDaliaDataset ds({.num_windows = 64, .window_len = 64, .seed = 29});
+  for (index_t i = 1; i < ds.size(); ++i) {
+    const float delta =
+        std::fabs(ds.get(i).target.item() - ds.get(i - 1).target.item());
+    EXPECT_LT(delta, 20.0F) << "window " << i;
+  }
+}
+
+TEST(PpgDalia, PpgPeriodicityMatchesLabel) {
+  // The PPG autocorrelation must peak near the lag implied by the HR label:
+  // lag* = fs * 60 / HR. This is the property a TCN exploits to regress HR.
+  PpgDaliaDataset ds({.num_windows = 12,
+                      .window_len = 256,
+                      .motion_prob = 0.0,  // clean windows for this check
+                      .noise_std = 0.02,
+                      .seed = 31});
+  int good = 0;
+  for (index_t i = 0; i < ds.size(); ++i) {
+    Example ex = ds.get(i);
+    const float hr = ex.target.item();
+    const double expected_lag = 32.0 * 60.0 / hr;
+    // Autocorrelation over lags 8..40 (covers 48..240 BPM at 32 Hz).
+    const float* ppg = ex.input.data();  // channel 0
+    double best = -1e30;
+    index_t best_lag = 0;
+    for (index_t lag = 8; lag <= 40; ++lag) {
+      double acc = 0.0;
+      for (index_t t = lag; t < 256; ++t) {
+        acc += static_cast<double>(ppg[t]) * ppg[t - lag];
+      }
+      if (acc > best) {
+        best = acc;
+        best_lag = lag;
+      }
+    }
+    if (std::fabs(static_cast<double>(best_lag) - expected_lag) <= 2.0) {
+      ++good;
+    }
+  }
+  EXPECT_GE(good, 10) << "autocorrelation peak off-label in too many windows";
+}
+
+TEST(PpgDalia, MotionContaminatesAccelerometer) {
+  PpgDaliaDataset quiet({.num_windows = 16,
+                         .window_len = 128,
+                         .motion_prob = 0.0,
+                         .seed = 37});
+  PpgDaliaDataset moving({.num_windows = 16,
+                          .window_len = 128,
+                          .motion_prob = 1.0,
+                          .seed = 37});
+  auto accel_energy = [](const PpgDaliaDataset& ds) {
+    double acc = 0.0;
+    for (index_t i = 0; i < ds.size(); ++i) {
+      Example ex = ds.get(i);
+      const float* xd = ex.input.data();
+      // Channels 1..2 (x/y swing); skip z's gravity offset.
+      for (index_t c = 1; c <= 2; ++c) {
+        for (index_t t = 0; t < 128; ++t) {
+          const float v = xd[c * 128 + t];
+          acc += static_cast<double>(v) * v;
+        }
+      }
+    }
+    return acc;
+  };
+  EXPECT_GT(accel_energy(moving), 5.0 * accel_energy(quiet));
+}
+
+TEST(PpgDalia, MeanHrIsMidRange) {
+  PpgDaliaDataset ds({.num_windows = 256, .window_len = 32, .seed = 41});
+  EXPECT_GT(ds.mean_hr(), 70.0);
+  EXPECT_LT(ds.mean_hr(), 170.0);
+}
+
+TEST(PpgDalia, Validation) {
+  EXPECT_THROW(PpgDaliaDataset({.num_windows = 0}), Error);
+  EXPECT_THROW(PpgDaliaDataset({.window_len = 4}), Error);
+  EXPECT_THROW(PpgDaliaDataset({.hr_min_bpm = 100.0, .hr_max_bpm = 90.0}),
+               Error);
+}
+
+}  // namespace
+}  // namespace pit::data

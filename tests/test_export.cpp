@@ -1,0 +1,162 @@
+// Export of searched PIT networks to plain dilated convolutions.
+#include "core/network_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/restcn.hpp"
+#include "models/temponet.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::core {
+namespace {
+
+TEST(ExportConv, OutputsMatchPitLayerAtEveryDilation) {
+  RandomEngine rng(467);
+  for (index_t d : {1, 2, 4, 8}) {
+    PITConv1d layer(2, 3, 9, {}, rng);
+    layer.gamma().set_dilation(d);
+    layer.freeze_gamma();
+    auto exported = export_conv(layer, rng);
+    EXPECT_EQ(exported->dilation(), d);
+    EXPECT_EQ(exported->kernel_size(), (9 - 1) / d + 1);
+    Tensor x = Tensor::randn(Shape{2, 2, 20}, rng);
+    Tensor a = layer.forward(x);
+    Tensor b = exported->forward(x);
+    ASSERT_EQ(a.shape(), b.shape());
+    for (index_t i = 0; i < a.numel(); ++i) {
+      EXPECT_NEAR(a.data()[i], b.data()[i], 1e-5) << "d=" << d;
+    }
+  }
+}
+
+TEST(ExportConv, PreservesStrideAndBiaslessness) {
+  RandomEngine rng(479);
+  PITConv1d layer(1, 2, 5, {.stride = 2, .bias = false}, rng);
+  layer.gamma().set_dilation(2);
+  auto exported = export_conv(layer, rng);
+  EXPECT_EQ(exported->stride(), 2);
+  EXPECT_FALSE(exported->has_bias());
+  Tensor x = Tensor::randn(Shape{1, 1, 12}, rng);
+  Tensor a = layer.forward(x);
+  Tensor b = exported->forward(x);
+  for (index_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-5);
+  }
+}
+
+TEST(ExtractDilations, ReadsCurrentBinarizedState) {
+  RandomEngine rng(487);
+  PITConv1d a(1, 1, 9, {}, rng);
+  PITConv1d b(1, 1, 17, {}, rng);
+  a.gamma().set_dilation(2);
+  b.gamma().set_dilation(16);
+  EXPECT_EQ(extract_dilations({&a, &b}), (std::vector<index_t>{2, 16}));
+}
+
+TEST(ExportWeights, WholeResTcnMatches) {
+  RandomEngine rng(491);
+  models::ResTcnConfig cfg;
+  cfg.input_channels = 6;
+  cfg.output_channels = 6;
+  cfg.hidden_channels = 8;
+  cfg.dropout = 0.0F;  // deterministic comparison
+
+  std::vector<PITConv1d*> pit_layers;
+  models::ResTCN pit_model(cfg, pit_conv_factory(rng, pit_layers), rng);
+  const std::vector<index_t> dilations = {1, 2, 4, 8, 16, 2, 1, 32};
+  for (std::size_t i = 0; i < pit_layers.size(); ++i) {
+    pit_layers[i]->gamma().set_dilation(dilations[i]);
+    pit_layers[i]->freeze_gamma();
+  }
+
+  RandomEngine rng2(4242);
+  models::ResTCN plain_model(
+      cfg, models::dilated_conv_factory(rng2, extract_dilations(pit_layers)),
+      rng2);
+  export_weights(pit_model, pit_layers, plain_model);
+
+  pit_model.eval();
+  plain_model.eval();
+  Tensor x = Tensor::randn(Shape{2, 6, 24}, rng);
+  Tensor a = pit_model.forward(x);
+  Tensor b = plain_model.forward(x);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (index_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-4);
+  }
+}
+
+TEST(ExportWeights, WholeTempoNetMatchesWithBatchNorm) {
+  RandomEngine rng(499);
+  models::TempoNetConfig cfg;
+  cfg.input_length = 64;
+  cfg.channel_scale = 0.25;
+  cfg.dropout = 0.0F;
+
+  std::vector<PITConv1d*> pit_layers;
+  models::TempoNet pit_model(cfg, pit_conv_factory(rng, pit_layers), rng);
+  const std::vector<index_t> dilations = {2, 4, 1, 8, 2, 16, 16};
+  for (std::size_t i = 0; i < pit_layers.size(); ++i) {
+    pit_layers[i]->gamma().set_dilation(dilations[i]);
+    pit_layers[i]->freeze_gamma();
+  }
+  // Make batch-norm buffers non-trivial before exporting.
+  pit_model.train();
+  Tensor warm = Tensor::randn(Shape{4, 4, 64}, rng);
+  pit_model.forward(warm);
+
+  RandomEngine rng2(515);
+  models::TempoNet plain_model(
+      cfg, models::dilated_conv_factory(rng2, extract_dilations(pit_layers)),
+      rng2);
+  export_weights(pit_model, pit_layers, plain_model);
+
+  pit_model.eval();
+  plain_model.eval();
+  Tensor x = Tensor::randn(Shape{2, 4, 64}, rng);
+  Tensor a = pit_model.forward(x);
+  Tensor b = plain_model.forward(x);
+  for (index_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-4);
+  }
+}
+
+TEST(ExportWeights, ExportedParamCountMatchesAnalyticFormula) {
+  RandomEngine rng(503);
+  models::ResTcnConfig cfg;
+  cfg.input_channels = 6;
+  cfg.output_channels = 6;
+  cfg.hidden_channels = 8;
+  std::vector<PITConv1d*> pit_layers;
+  models::ResTCN pit_model(cfg, pit_conv_factory(rng, pit_layers), rng);
+  const std::vector<index_t> dilations = {4, 4, 8, 8, 16, 16, 32, 32};
+  for (std::size_t i = 0; i < pit_layers.size(); ++i) {
+    pit_layers[i]->gamma().set_dilation(dilations[i]);
+  }
+  RandomEngine rng2(1);
+  models::ResTCN plain_model(
+      cfg, models::dilated_conv_factory(rng2, dilations), rng2);
+  EXPECT_EQ(plain_model.num_params(),
+            models::ResTCN::params_with_dilations(cfg, dilations));
+}
+
+TEST(ExportWeights, StructureMismatchThrows) {
+  RandomEngine rng(509);
+  models::ResTcnConfig cfg;
+  cfg.input_channels = 4;
+  cfg.output_channels = 4;
+  cfg.hidden_channels = 6;
+  std::vector<PITConv1d*> pit_layers;
+  models::ResTCN pit_model(cfg, pit_conv_factory(rng, pit_layers), rng);
+  // Destination built with the WRONG dilations: kernel shapes differ.
+  RandomEngine rng2(2);
+  models::ResTCN wrong(
+      cfg, models::dilated_conv_factory(rng2, {1, 1, 1, 1, 1, 1, 1, 1}), rng2);
+  for (PITConv1d* l : pit_layers) {
+    l->gamma().set_dilation(l->rf_max() >= 9 ? 8 : 4);
+  }
+  EXPECT_THROW(export_weights(pit_model, pit_layers, wrong), Error);
+}
+
+}  // namespace
+}  // namespace pit::core

@@ -1,0 +1,130 @@
+// Gamma bookkeeping: level counts, dilation encoding/decoding, freezing.
+#include "core/gamma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/error.hpp"
+
+namespace pit::core {
+namespace {
+
+TEST(GammaLevels, MatchesPaperFormula) {
+  // L = floor(log2(rf_max - 1)) + 1 (Sec. III-A).
+  EXPECT_EQ(num_gamma_levels(2), 1);
+  EXPECT_EQ(num_gamma_levels(3), 2);
+  EXPECT_EQ(num_gamma_levels(5), 3);
+  EXPECT_EQ(num_gamma_levels(9), 4);   // paper's Fig. 2/3 example
+  EXPECT_EQ(num_gamma_levels(17), 5);
+  EXPECT_EQ(num_gamma_levels(33), 6);
+  // Non power-of-two-plus-one receptive fields floor down.
+  EXPECT_EQ(num_gamma_levels(6), 3);
+  EXPECT_EQ(num_gamma_levels(8), 3);
+  EXPECT_EQ(num_gamma_levels(10), 4);
+}
+
+TEST(GammaLevels, MaxDilation) {
+  EXPECT_EQ(max_dilation(2), 1);
+  EXPECT_EQ(max_dilation(5), 4);
+  EXPECT_EQ(max_dilation(9), 8);
+  EXPECT_EQ(max_dilation(33), 32);
+  EXPECT_EQ(max_dilation(6), 4);
+}
+
+TEST(GammaBits, DilationFromBitsFollowsEq3) {
+  // rf_max = 9 (L = 4, bits are gamma_1..gamma_3).
+  EXPECT_EQ(dilation_from_bits({1, 1, 1}), 1);
+  EXPECT_EQ(dilation_from_bits({1, 1, 0}), 2);
+  EXPECT_EQ(dilation_from_bits({1, 0, 1}), 4);  // gamma_2=0 kills Gamma_0/1
+  EXPECT_EQ(dilation_from_bits({1, 0, 0}), 4);
+  EXPECT_EQ(dilation_from_bits({0, 1, 1}), 8);  // gamma_1=0 forces max
+  EXPECT_EQ(dilation_from_bits({0, 0, 0}), 8);
+  EXPECT_EQ(dilation_from_bits({}), 1);  // knob-free layer
+}
+
+TEST(GammaBits, BitsForDilationRoundTrip) {
+  for (index_t rf : {3, 5, 6, 9, 17, 33}) {
+    for (index_t d = 1; d <= max_dilation(rf); d *= 2) {
+      const auto bits = bits_for_dilation(d, rf);
+      EXPECT_EQ(dilation_from_bits(bits), d) << "rf=" << rf << " d=" << d;
+    }
+  }
+}
+
+TEST(GammaBits, BitsForDilationValidation) {
+  EXPECT_THROW(bits_for_dilation(3, 9), Error);   // not a power of two
+  EXPECT_THROW(bits_for_dilation(16, 9), Error);  // above max
+  EXPECT_THROW(bits_for_dilation(0, 9), Error);
+}
+
+TEST(GammaParameters, InitializedToOnes) {
+  GammaParameters g(9);
+  EXPECT_EQ(g.rf_max(), 9);
+  EXPECT_EQ(g.levels(), 4);
+  EXPECT_EQ(g.num_trainable(), 3);
+  EXPECT_TRUE(g.values().requires_grad());
+  for (const float v : g.values().span()) {
+    EXPECT_FLOAT_EQ(v, 1.0F);
+  }
+  EXPECT_EQ(g.dilation(), 1);
+  EXPECT_EQ(g.alive_taps(), 9);
+}
+
+TEST(GammaParameters, KnobFreeLayer) {
+  GammaParameters g(2);
+  EXPECT_EQ(g.num_trainable(), 0);
+  EXPECT_FALSE(g.values().defined());
+  EXPECT_EQ(g.dilation(), 1);
+  EXPECT_EQ(g.alive_taps(), 2);
+}
+
+TEST(GammaParameters, SnapshotUsesThreshold) {
+  GammaParameters g(9);
+  auto view = g.values().span();
+  view[0] = 0.9F;
+  view[1] = 0.5F;   // threshold maps to 1 (Eq. 2: >=)
+  view[2] = 0.49F;  // below threshold
+  const auto bits = g.binary_snapshot(0.5F);
+  EXPECT_EQ(bits, (std::vector<int>{1, 1, 0}));
+  EXPECT_EQ(g.dilation(), 2);
+  EXPECT_EQ(g.alive_taps(), 5);
+}
+
+TEST(GammaParameters, SetDilationAndAliveTaps) {
+  GammaParameters g(17);
+  g.set_dilation(8);
+  EXPECT_EQ(g.dilation(), 8);
+  EXPECT_EQ(g.alive_taps(), 3);  // taps 0, 8, 16
+  g.set_dilation(1);
+  EXPECT_EQ(g.dilation(), 1);
+  EXPECT_EQ(g.alive_taps(), 17);
+  EXPECT_THROW(g.set_dilation(32), Error);
+}
+
+TEST(GammaParameters, ClampKeepsUnitInterval) {
+  GammaParameters g(9);
+  auto view = g.values().span();
+  view[0] = 1.7F;
+  view[1] = -0.3F;
+  g.clamp_values();
+  EXPECT_FLOAT_EQ(view[0], 1.0F);
+  EXPECT_FLOAT_EQ(view[1], 0.0F);
+}
+
+TEST(GammaParameters, FreezeStopsGradients) {
+  GammaParameters g(9);
+  EXPECT_FALSE(g.frozen());
+  g.freeze();
+  EXPECT_TRUE(g.frozen());
+  EXPECT_FALSE(g.values().requires_grad());
+}
+
+TEST(GammaParameters, AliveTapsForNonPow2Rf) {
+  GammaParameters g(6);  // taps 0..5, L = 3
+  g.set_dilation(4);
+  EXPECT_EQ(g.alive_taps(), 2);  // taps 0, 4
+  g.set_dilation(2);
+  EXPECT_EQ(g.alive_taps(), 3);  // taps 0, 2, 4
+}
+
+}  // namespace
+}  // namespace pit::core

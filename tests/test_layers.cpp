@@ -1,0 +1,154 @@
+// Activations, pooling, dropout, flatten.
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/dropout.hpp"
+#include "nn/pooling.hpp"
+#include "tensor/error.hpp"
+#include "tensor/gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit::nn {
+namespace {
+
+TEST(Activations, ModulesMatchOps) {
+  RandomEngine rng(109);
+  Tensor x = Tensor::randn(Shape{2, 3}, rng);
+  ReLU r;
+  Sigmoid s;
+  Tanh t;
+  for (index_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(r.forward(x).data()[i], relu(x).data()[i]);
+    EXPECT_FLOAT_EQ(s.forward(x).data()[i], sigmoid(x).data()[i]);
+    EXPECT_FLOAT_EQ(t.forward(x).data()[i], tanh_op(x).data()[i]);
+  }
+}
+
+TEST(AvgPool, ValuesAndShape) {
+  Tensor x = Tensor::from_vector({1, 2, 3, 4, 5, 6}, Shape{1, 1, 6});
+  Tensor y = avg_pool1d(x, 2, 2);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 3}));
+  EXPECT_FLOAT_EQ(y.data()[0], 1.5F);
+  EXPECT_FLOAT_EQ(y.data()[1], 3.5F);
+  EXPECT_FLOAT_EQ(y.data()[2], 5.5F);
+}
+
+TEST(AvgPool, OverlappingWindows) {
+  Tensor x = Tensor::from_vector({1, 2, 3, 4}, Shape{1, 1, 4});
+  Tensor y = avg_pool1d(x, 3, 1);
+  ASSERT_EQ(y.dim(2), 2);
+  EXPECT_FLOAT_EQ(y.data()[0], 2.0F);
+  EXPECT_FLOAT_EQ(y.data()[1], 3.0F);
+}
+
+TEST(AvgPool, Gradcheck) {
+  RandomEngine rng(113);
+  Tensor x = Tensor::uniform(Shape{2, 2, 8}, -1.0F, 1.0F, rng);
+  x.set_requires_grad(true);
+  const auto result = gradcheck(
+      [](const std::vector<Tensor>& in) { return avg_pool1d(in[0], 3, 2); },
+      {x});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(AvgPool, Validation) {
+  Tensor x = Tensor::zeros(Shape{1, 1, 2});
+  EXPECT_THROW(avg_pool1d(x, 3, 1), Error);  // kernel > T
+  EXPECT_THROW(avg_pool1d(Tensor::zeros(Shape{2, 2}), 1, 1), Error);
+  EXPECT_THROW(AvgPool1d(0, 1), Error);
+}
+
+TEST(GlobalAvgPool, MeansOverTime) {
+  Tensor x = Tensor::from_vector({1, 3, 5, 7, 2, 4, 6, 8}, Shape{1, 2, 4});
+  Tensor y = global_avg_pool1d(x);
+  ASSERT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y.data()[0], 4.0F);
+  EXPECT_FLOAT_EQ(y.data()[1], 5.0F);
+}
+
+TEST(GlobalAvgPool, Gradcheck) {
+  RandomEngine rng(127);
+  Tensor x = Tensor::uniform(Shape{2, 3, 5}, -1.0F, 1.0F, rng);
+  x.set_requires_grad(true);
+  const auto result = gradcheck(
+      [](const std::vector<Tensor>& in) { return global_avg_pool1d(in[0]); },
+      {x});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Flatten, CollapsesTrailingDims) {
+  Tensor x = Tensor::zeros(Shape{4, 3, 5});
+  EXPECT_EQ(flatten(x).shape(), Shape({4, 15}));
+  Tensor y = Tensor::zeros(Shape{4, 6});
+  EXPECT_EQ(flatten(y).shape(), Shape({4, 6}));
+}
+
+TEST(Dropout, EvalIsIdentity) {
+  RandomEngine rng(131);
+  Dropout d(0.5F, rng);
+  d.eval();
+  Tensor x = Tensor::randn(Shape{100}, rng);
+  Tensor y = d.forward(x);
+  for (index_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(Dropout, TrainingZeroesAboutPFraction) {
+  RandomEngine rng(137);
+  Dropout d(0.3F, rng);
+  Tensor x = Tensor::ones(Shape{20000});
+  Tensor y = d.forward(x);
+  index_t zeros = 0;
+  for (const float v : y.span()) {
+    if (v == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0F / 0.7F, 1e-5);  // survivors are scaled
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 20000.0, 0.3, 0.02);
+}
+
+TEST(Dropout, PreservesExpectation) {
+  RandomEngine rng(139);
+  Dropout d(0.5F, rng);
+  Tensor x = Tensor::ones(Shape{50000});
+  Tensor y = d.forward(x);
+  double sum = 0.0;
+  for (const float v : y.span()) {
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 50000.0, 1.0, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  RandomEngine rng(149);
+  Dropout d(0.5F, rng);
+  Tensor x = Tensor::ones(Shape{64}).set_requires_grad(true);
+  Tensor y = d.forward(x);
+  sum(y).backward();
+  // Gradient must be exactly the mask: zero where dropped, 2.0 where kept.
+  for (index_t i = 0; i < 64; ++i) {
+    EXPECT_FLOAT_EQ(x.grad().data()[i], y.data()[i]);
+  }
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentityEvenInTraining) {
+  RandomEngine rng(151);
+  Dropout d(0.0F, rng);
+  Tensor x = Tensor::randn(Shape{10}, rng);
+  Tensor y = d.forward(x);
+  for (index_t i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(Dropout, InvalidProbabilityThrows) {
+  RandomEngine rng(157);
+  EXPECT_THROW(Dropout(-0.1F, rng), Error);
+  EXPECT_THROW(Dropout(1.0F, rng), Error);
+}
+
+}  // namespace
+}  // namespace pit::nn

@@ -1,0 +1,104 @@
+#include "nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/error.hpp"
+#include "tensor/gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit::nn {
+namespace {
+
+TEST(Linear, MatchesMatmulComposition) {
+  RandomEngine rng(61);
+  Tensor x = Tensor::randn(Shape{4, 6}, rng);
+  Tensor w = Tensor::randn(Shape{3, 6}, rng);
+  Tensor b = Tensor::randn(Shape{3}, rng);
+  Tensor got = linear(x, w, b);
+  Tensor via_ops = matmul(x, transpose(w));
+  ASSERT_EQ(got.shape(), Shape({4, 3}));
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(got.at({i, j}), via_ops.at({i, j}) + b.data()[j], 1e-4);
+    }
+  }
+}
+
+TEST(Linear, GradcheckAllInputs) {
+  RandomEngine rng(67);
+  Tensor x = Tensor::uniform(Shape{3, 5}, -1.0F, 1.0F, rng);
+  Tensor w = Tensor::uniform(Shape{2, 5}, -1.0F, 1.0F, rng);
+  Tensor b = Tensor::uniform(Shape{2}, -0.5F, 0.5F, rng);
+  x.set_requires_grad(true);
+  w.set_requires_grad(true);
+  b.set_requires_grad(true);
+  const auto result = gradcheck(
+      [](const std::vector<Tensor>& in) {
+        return linear(in[0], in[1], in[2]);
+      },
+      {x, w, b});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Linear, GradcheckWithoutBias) {
+  RandomEngine rng(71);
+  Tensor x = Tensor::uniform(Shape{2, 4}, -1.0F, 1.0F, rng);
+  Tensor w = Tensor::uniform(Shape{3, 4}, -1.0F, 1.0F, rng);
+  x.set_requires_grad(true);
+  w.set_requires_grad(true);
+  const auto result = gradcheck(
+      [](const std::vector<Tensor>& in) {
+        return linear(in[0], in[1], Tensor());
+      },
+      {x, w});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Linear, ShapeValidation) {
+  Tensor x = Tensor::zeros(Shape{2, 4});
+  Tensor w = Tensor::zeros(Shape{3, 5});  // feature mismatch
+  EXPECT_THROW(linear(x, w, Tensor()), Error);
+  Tensor x3 = Tensor::zeros(Shape{2, 4, 1});
+  EXPECT_THROW(linear(x3, w, Tensor()), Error);
+}
+
+TEST(Linear, ModuleGeometryAndParams) {
+  RandomEngine rng(73);
+  Linear layer(10, 4, true, rng);
+  EXPECT_EQ(layer.in_features(), 10);
+  EXPECT_EQ(layer.out_features(), 4);
+  EXPECT_EQ(layer.num_params(), 10 * 4 + 4);
+  Tensor x = Tensor::randn(Shape{7, 10}, rng);
+  EXPECT_EQ(layer.forward(x).shape(), Shape({7, 4}));
+  Linear no_bias(10, 4, false, rng);
+  EXPECT_EQ(no_bias.num_params(), 40);
+}
+
+TEST(Linear, TrainsOnLeastSquares) {
+  // Sanity: a linear layer fits y = 2x - 1 with plain gradient steps.
+  RandomEngine rng(79);
+  Linear layer(1, 1, true, rng);
+  for (int step = 0; step < 400; ++step) {
+    Tensor x = Tensor::uniform(Shape{8, 1}, -1.0F, 1.0F, rng);
+    Tensor target = Tensor::zeros(Shape{8, 1});
+    for (index_t i = 0; i < 8; ++i) {
+      target.data()[i] = 2.0F * x.data()[i] - 1.0F;
+    }
+    layer.zero_grad();
+    Tensor pred = layer.forward(x);
+    Tensor loss = mean(square(sub(pred, target)));
+    loss.backward();
+    for (Tensor p : layer.parameters()) {
+      auto pv = p.span();
+      const float* g = p.grad_data();
+      for (std::size_t i = 0; i < pv.size(); ++i) {
+        pv[i] -= 0.1F * g[i];
+      }
+    }
+  }
+  EXPECT_NEAR(layer.weight().data()[0], 2.0F, 0.05F);
+  EXPECT_NEAR(layer.bias().data()[0], -1.0F, 0.05F);
+}
+
+}  // namespace
+}  // namespace pit::nn

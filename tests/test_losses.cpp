@@ -1,0 +1,144 @@
+#include "nn/losses.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/error.hpp"
+#include "tensor/gradcheck.hpp"
+
+namespace pit::nn {
+namespace {
+
+TEST(Losses, BceMatchesManualFormula) {
+  // BCE(x, y) = -[y log s(x) + (1-y) log(1 - s(x))].
+  Tensor logits = Tensor::from_vector({0.0F, 2.0F, -1.5F}, Shape{3});
+  Tensor target = Tensor::from_vector({1.0F, 0.0F, 1.0F}, Shape{3});
+  auto manual = [](double x, double y) {
+    const double s = 1.0 / (1.0 + std::exp(-x));
+    return -(y * std::log(s) + (1.0 - y) * std::log(1.0 - s));
+  };
+  const double expected =
+      (manual(0.0, 1.0) + manual(2.0, 0.0) + manual(-1.5, 1.0)) / 3.0;
+  EXPECT_NEAR(bce_with_logits(logits, target).item(), expected, 1e-5);
+}
+
+TEST(Losses, BceIsStableForExtremeLogits) {
+  Tensor logits = Tensor::from_vector({80.0F, -80.0F}, Shape{2});
+  Tensor target = Tensor::from_vector({1.0F, 0.0F}, Shape{2});
+  const float loss = bce_with_logits(logits, target).item();
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0F, 1e-5);
+  // And the wrong-way-around extreme is ~|x|.
+  Tensor target2 = Tensor::from_vector({0.0F, 1.0F}, Shape{2});
+  EXPECT_NEAR(bce_with_logits(logits, target2).item(), 80.0F, 1e-3);
+}
+
+TEST(Losses, PolyphonicNllSumsOverKeysMeansOverFrames) {
+  // (N=1, C=2, T=3): NLL must equal mean over the 3 frames of the 2-key sums,
+  // i.e. 2x the elementwise mean.
+  Tensor logits = Tensor::from_vector({0.5F, -1.0F, 2.0F, 1.0F, 0.0F, -0.5F},
+                                      Shape{1, 2, 3});
+  Tensor target = Tensor::from_vector({1, 0, 1, 0, 1, 1}, Shape{1, 2, 3});
+  const float frame_mean = polyphonic_nll(logits, target).item();
+  const float elem_mean = bce_with_logits(logits, target).item();
+  EXPECT_NEAR(frame_mean, 2.0F * elem_mean, 1e-5);
+}
+
+TEST(Losses, PolyphonicNllRequiresRank3) {
+  Tensor x = Tensor::zeros(Shape{4, 4});
+  EXPECT_THROW(polyphonic_nll(x, x), Error);
+}
+
+TEST(Losses, MaeValues) {
+  Tensor pred = Tensor::from_vector({1.0F, -2.0F, 3.0F}, Shape{3});
+  Tensor target = Tensor::from_vector({0.0F, 2.0F, 3.0F}, Shape{3});
+  EXPECT_NEAR(mae_loss(pred, target).item(), (1.0F + 4.0F + 0.0F) / 3.0F, 1e-6);
+}
+
+TEST(Losses, MseValues) {
+  Tensor pred = Tensor::from_vector({1.0F, -2.0F}, Shape{2});
+  Tensor target = Tensor::from_vector({0.0F, 2.0F}, Shape{2});
+  EXPECT_NEAR(mse_loss(pred, target).item(), (1.0F + 16.0F) / 2.0F, 1e-6);
+}
+
+TEST(Losses, HuberBlendsQuadraticAndLinear) {
+  Tensor pred = Tensor::from_vector({0.5F, 3.0F}, Shape{2});
+  Tensor target = Tensor::zeros(Shape{2});
+  // |0.5| <= 1 -> 0.5*0.25; |3| > 1 -> 1*(3-0.5).
+  EXPECT_NEAR(huber_loss(pred, target, 1.0F).item(),
+              (0.125F + 2.5F) / 2.0F, 1e-6);
+  EXPECT_THROW(huber_loss(pred, target, 0.0F), Error);
+}
+
+TEST(Losses, ShapeMismatchThrows) {
+  Tensor a = Tensor::zeros(Shape{2});
+  Tensor b = Tensor::zeros(Shape{3});
+  EXPECT_THROW(bce_with_logits(a, b), Error);
+  EXPECT_THROW(mae_loss(a, b), Error);
+  EXPECT_THROW(mse_loss(a, b), Error);
+}
+
+TEST(LossesGradcheck, Bce) {
+  RandomEngine rng(163);
+  Tensor logits = Tensor::uniform(Shape{3, 4}, -2.0F, 2.0F, rng);
+  Tensor target = Tensor::uniform(Shape{3, 4}, 0.0F, 1.0F, rng);
+  logits.set_requires_grad(true);
+  const auto result = gradcheck(
+      [&target](const std::vector<Tensor>& in) {
+        return bce_with_logits(in[0], target);
+      },
+      {logits});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(LossesGradcheck, PolyphonicNll) {
+  RandomEngine rng(167);
+  Tensor logits = Tensor::uniform(Shape{2, 3, 4}, -2.0F, 2.0F, rng);
+  Tensor target = Tensor::zeros(Shape{2, 3, 4});
+  for (float& v : target.span()) {
+    v = rng.bernoulli(0.3) ? 1.0F : 0.0F;
+  }
+  logits.set_requires_grad(true);
+  const auto result = gradcheck(
+      [&target](const std::vector<Tensor>& in) {
+        return polyphonic_nll(in[0], target);
+      },
+      {logits});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(LossesGradcheck, MaeAwayFromKinks) {
+  RandomEngine rng(173);
+  Tensor pred = Tensor::uniform(Shape{6}, 1.0F, 2.0F, rng);
+  Tensor target = Tensor::uniform(Shape{6}, -2.0F, -1.0F, rng);
+  pred.set_requires_grad(true);
+  const auto result = gradcheck(
+      [&target](const std::vector<Tensor>& in) {
+        return mae_loss(in[0], target);
+      },
+      {pred});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(LossesGradcheck, MseAndHuber) {
+  RandomEngine rng(179);
+  Tensor pred = Tensor::uniform(Shape{5}, -2.0F, 2.0F, rng);
+  Tensor target = Tensor::uniform(Shape{5}, -1.0F, 1.0F, rng);
+  pred.set_requires_grad(true);
+  auto r1 = gradcheck(
+      [&target](const std::vector<Tensor>& in) {
+        return mse_loss(in[0], target);
+      },
+      {pred});
+  EXPECT_TRUE(r1.ok) << r1.detail;
+  auto r2 = gradcheck(
+      [&target](const std::vector<Tensor>& in) {
+        return huber_loss(in[0], target, 0.7F);
+      },
+      {pred});
+  EXPECT_TRUE(r2.ok) << r2.detail;
+}
+
+}  // namespace
+}  // namespace pit::nn

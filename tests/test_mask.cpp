@@ -1,0 +1,170 @@
+// The differentiable mask construction (Eq. 4) against the direct Eq. 3
+// reference, exhaustively over gamma assignments and receptive fields.
+#include "core/mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/gamma.hpp"
+#include "tensor/error.hpp"
+#include "tensor/gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit::core {
+namespace {
+
+TEST(TMatrix, IsInvertedColumnTriangle) {
+  // L = 4: column c has ones in rows 0..L-1-c (Fig. 3).
+  Tensor t = t_matrix(4);
+  const float expected[4][4] = {
+      {1, 1, 1, 1}, {1, 1, 1, 0}, {1, 1, 0, 0}, {1, 0, 0, 0}};
+  for (index_t r = 0; r < 4; ++r) {
+    for (index_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(t.at({r, c}), expected[r][c]) << r << "," << c;
+    }
+  }
+}
+
+TEST(KMatrix, OneHotPerTapPaperExample) {
+  // rf_max = 9 (Fig. 2): taps 1,3,5,7 -> Gamma_0; taps 2,6 -> Gamma_1;
+  // tap 4 -> Gamma_2; taps 0,8 -> Gamma_3.
+  Tensor k = k_matrix(4, 9);
+  const index_t expected_row[9] = {3, 0, 1, 0, 2, 0, 1, 0, 3};
+  for (index_t t = 0; t < 9; ++t) {
+    for (index_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(k.at({c, t}), c == expected_row[t] ? 1.0F : 0.0F)
+          << "tap " << t << " row " << c;
+    }
+  }
+}
+
+TEST(KMatrix, ColumnsSumToOne) {
+  for (index_t rf : {3, 5, 6, 9, 12, 17, 33}) {
+    Tensor k = k_matrix(num_gamma_levels(rf), rf);
+    for (index_t t = 0; t < rf; ++t) {
+      float col_sum = 0.0F;
+      for (index_t c = 0; c < k.dim(0); ++c) {
+        col_sum += k.at({c, t});
+      }
+      EXPECT_FLOAT_EQ(col_sum, 1.0F) << "rf=" << rf << " tap=" << t;
+    }
+  }
+}
+
+TEST(ReferenceMask, PaperFig2Patterns) {
+  // rf_max = 9: the four patterns of Fig. 2.
+  EXPECT_EQ(reference_mask({1, 1, 1}, 9),
+            (std::vector<float>{1, 1, 1, 1, 1, 1, 1, 1, 1}));  // d=1
+  EXPECT_EQ(reference_mask({1, 1, 0}, 9),
+            (std::vector<float>{1, 0, 1, 0, 1, 0, 1, 0, 1}));  // d=2
+  EXPECT_EQ(reference_mask({1, 0, 0}, 9),
+            (std::vector<float>{1, 0, 0, 0, 1, 0, 0, 0, 1}));  // d=4
+  EXPECT_EQ(reference_mask({0, 0, 0}, 9),
+            (std::vector<float>{1, 0, 0, 0, 0, 0, 0, 0, 1}));  // d=8
+}
+
+TEST(ReferenceMask, NonContiguousZerosCollapse) {
+  // gamma_2 = 0 with gamma_3 = 1 still gives d = 4: Gamma_0 and Gamma_1
+  // both contain gamma_2 (Eq. 3).
+  EXPECT_EQ(reference_mask({1, 0, 1}, 9), reference_mask({1, 0, 0}, 9));
+  EXPECT_EQ(reference_mask({0, 1, 1}, 9), reference_mask({0, 0, 0}, 9));
+}
+
+TEST(ReferenceMask, MatchesDilationMask) {
+  // For every reachable dilation, the gamma-encoded mask must equal the
+  // plain "taps at multiples of d" mask.
+  for (index_t rf : {3, 5, 6, 9, 17, 33}) {
+    for (index_t d = 1; d <= max_dilation(rf); d *= 2) {
+      EXPECT_EQ(reference_mask(bits_for_dilation(d, rf), rf),
+                mask_for_dilation(d, rf))
+          << "rf=" << rf << " d=" << d;
+    }
+  }
+}
+
+// Property test: Eq. 4 (tensor form) == Eq. 3 (constructive form) for every
+// gamma assignment and a sweep of receptive fields.
+class MaskEquivalence : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(MaskEquivalence, Eq4MatchesEq3ForAllGammaAssignments) {
+  const index_t rf = GetParam();
+  const index_t knobs = num_gamma_levels(rf) - 1;
+  for (index_t combo = 0; combo < (index_t{1} << knobs); ++combo) {
+    std::vector<int> bits(static_cast<std::size_t>(knobs));
+    std::vector<float> gamma_floats(static_cast<std::size_t>(knobs));
+    for (index_t j = 0; j < knobs; ++j) {
+      bits[static_cast<std::size_t>(j)] = (combo >> j) & 1;
+      gamma_floats[static_cast<std::size_t>(j)] =
+          static_cast<float>(bits[static_cast<std::size_t>(j)]);
+    }
+    Tensor gamma = knobs > 0
+                       ? Tensor::from_vector(gamma_floats, Shape{knobs})
+                       : Tensor();
+    Tensor mask = build_mask(gamma, rf);
+    const auto expected = reference_mask(bits, rf);
+    ASSERT_EQ(mask.numel(), static_cast<index_t>(expected.size()));
+    for (index_t t = 0; t < rf; ++t) {
+      EXPECT_FLOAT_EQ(mask.data()[t], expected[static_cast<std::size_t>(t)])
+          << "rf=" << rf << " combo=" << combo << " tap=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ReceptiveFields, MaskEquivalence,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 12, 15, 17,
+                                           20, 25, 33, 40, 64),
+                         [](const ::testing::TestParamInfo<index_t>& info) {
+                           return "rf" + std::to_string(info.param);
+                         });
+
+TEST(BuildMask, Tap0AndCurrentAlwaysAlive) {
+  // M[0] corresponds to Gamma_{L-1} = gamma_0 = 1: alive for any gammas.
+  for (index_t rf : {3, 9, 17}) {
+    const index_t knobs = num_gamma_levels(rf) - 1;
+    Tensor zeros = Tensor::zeros(Shape{knobs});
+    Tensor mask = build_mask(zeros, rf);
+    EXPECT_FLOAT_EQ(mask.data()[0], 1.0F) << "rf=" << rf;
+  }
+}
+
+TEST(BuildMask, GradientFlowsThroughSTE) {
+  // Full PIT chain: float gammas -> binarize (STE) -> Eq. 4 -> sum.
+  // With all gammas at 0.8 (binary 1), every Gamma product is 1 and the
+  // STE gradient of sum(M) w.r.t. gamma_j counts the taps whose product
+  // contains gamma_{j+1}.
+  Tensor gamma = Tensor::full(Shape{3}, 0.8F);
+  gamma.set_requires_grad(true);
+  Tensor mask = build_mask(binarize(gamma, 0.5F), 9);
+  sum(mask).backward();
+  // Taps using Gamma_0 (odd: 4 taps) contain gamma_1, gamma_2, gamma_3;
+  // taps using Gamma_1 (2, 6) contain gamma_1, gamma_2; tap 4 (Gamma_2)
+  // contains gamma_1. d(sum M)/d gamma_1 = 4+2+1 = 7, gamma_2 = 6, gamma_3 = 4.
+  EXPECT_FLOAT_EQ(gamma.grad().data()[0], 7.0F);
+  EXPECT_FLOAT_EQ(gamma.grad().data()[1], 6.0F);
+  EXPECT_FLOAT_EQ(gamma.grad().data()[2], 4.0F);
+}
+
+TEST(BuildMask, GradcheckOnFloatGammas) {
+  // Differentiability of the Eq. 4 chain itself (no binarization), with
+  // gammas away from product zeros.
+  RandomEngine rng(307);
+  Tensor gamma = Tensor::uniform(Shape{3}, 0.5F, 0.9F, rng);
+  gamma.set_requires_grad(true);
+  const auto result = gradcheck(
+      [](const std::vector<Tensor>& in) { return build_mask(in[0], 9); },
+      {gamma});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(BuildMask, Validation) {
+  EXPECT_THROW(build_mask(Tensor::ones(Shape{2}), 9), Error);  // needs 3
+  EXPECT_THROW(build_mask(Tensor::ones(Shape{1}), 2), Error);  // knob-free
+  EXPECT_THROW(k_matrix(3, 9), Error);  // wrong level count
+}
+
+TEST(MaskForDilation, NonDividingDilationKeepsPartialTaps) {
+  // rf = 6, d = 4: taps 0 and 4 (5 not reached).
+  EXPECT_EQ(mask_for_dilation(4, 6), (std::vector<float>{1, 0, 0, 0, 1, 0}));
+}
+
+}  // namespace
+}  // namespace pit::core

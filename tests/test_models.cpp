@@ -1,0 +1,255 @@
+// ResTCN and TEMPONet builders: shapes, factory plumbing, parameter
+// accounting consistency with the paper's Table I / Table III structure.
+#include <gtest/gtest.h>
+
+#include "models/restcn.hpp"
+#include "models/temponet.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::models {
+namespace {
+
+ResTcnConfig small_restcn() {
+  ResTcnConfig cfg;
+  cfg.input_channels = 8;
+  cfg.output_channels = 8;
+  cfg.hidden_channels = 12;
+  return cfg;
+}
+
+TempoNetConfig small_temponet() {
+  TempoNetConfig cfg;
+  cfg.input_length = 64;
+  cfg.channel_scale = 0.25;
+  return cfg;
+}
+
+TEST(ResTCN, ConvSpecsMatchPaperGeometry) {
+  ResTcnConfig cfg;  // paper-sized defaults
+  const auto specs = ResTCN::conv_specs(cfg);
+  ASSERT_EQ(specs.size(), 8u);
+  // Hand-tuned dilations (1,1,2,2,4,4,8,8) with k=5 give receptive fields
+  // (5,5,9,9,17,17,33,33) — the seed kernel sizes from DESIGN.md.
+  const index_t expected_rf[] = {5, 5, 9, 9, 17, 17, 33, 33};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(specs[i].receptive_field(), expected_rf[i]) << "conv " << i;
+    EXPECT_EQ(specs[i].stride, 1);
+  }
+  EXPECT_EQ(specs[0].in_channels, 88);
+  EXPECT_EQ(specs[0].out_channels, 150);
+  EXPECT_EQ(specs[7].in_channels, 150);
+}
+
+TEST(ResTCN, ForwardShapeHandTuned) {
+  RandomEngine rng(211);
+  const auto cfg = small_restcn();
+  ResTCN model(cfg, hand_tuned_conv_factory(rng), rng);
+  Tensor x = Tensor::randn(Shape{2, 8, 32}, rng);
+  Tensor y = model.forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 32}));
+}
+
+TEST(ResTCN, ForwardShapeSeed) {
+  RandomEngine rng(223);
+  const auto cfg = small_restcn();
+  ResTCN model(cfg, seed_conv_factory(rng), rng);
+  Tensor x = Tensor::randn(Shape{1, 8, 40}, rng);
+  EXPECT_EQ(model.forward(x).shape(), Shape({1, 8, 40}));
+}
+
+TEST(ResTCN, SeedHasLargerParamsThanHandTuned) {
+  RandomEngine rng(227);
+  const auto cfg = small_restcn();
+  ResTCN hand(cfg, hand_tuned_conv_factory(rng), rng);
+  ResTCN seed(cfg, seed_conv_factory(rng), rng);
+  // Seed kernels cover the full receptive fields: ~3.2x more conv weights.
+  EXPECT_GT(seed.num_params(), 2 * hand.num_params() / 1);
+}
+
+TEST(ResTCN, TemporalConvsAreEightModules) {
+  RandomEngine rng(229);
+  ResTCN model(small_restcn(), hand_tuned_conv_factory(rng), rng);
+  EXPECT_EQ(model.temporal_convs().size(), 8u);
+}
+
+TEST(ResTCN, ParamsWithDilationsMatchesInstantiatedModel) {
+  RandomEngine rng(233);
+  const auto cfg = small_restcn();
+  // Instantiate with explicit dilations and compare the analytic count.
+  const std::vector<index_t> dils = {4, 4, 8, 8, 16, 16, 32, 32};  // PIT small
+  ResTCN model(cfg, dilated_conv_factory(rng, dils), rng);
+  EXPECT_EQ(model.num_params(), ResTCN::params_with_dilations(cfg, dils));
+}
+
+TEST(ResTCN, ParamsWithDilationsHandEqualsHandTunedModel) {
+  RandomEngine rng(239);
+  const auto cfg = small_restcn();
+  ResTCN hand(cfg, hand_tuned_conv_factory(rng), rng);
+  EXPECT_EQ(hand.num_params(),
+            ResTCN::params_with_dilations(cfg, cfg.dilations));
+}
+
+TEST(ResTCN, PaperScaleParameterCounts) {
+  // Full-size counts must land in the paper's ballpark (Table III):
+  // seed (d=1) ~3.5M, hand-tuned ~1.05M, PIT-small ~0.37M. We check the
+  // ratios, which are what the benches reproduce.
+  ResTcnConfig cfg;
+  const auto seed =
+      ResTCN::params_with_dilations(cfg, {1, 1, 1, 1, 1, 1, 1, 1});
+  const auto hand = ResTCN::params_with_dilations(cfg, cfg.dilations);
+  const auto small =
+      ResTCN::params_with_dilations(cfg, {4, 4, 8, 8, 16, 16, 32, 32});
+  EXPECT_GT(seed, 2'500'000);
+  EXPECT_LT(seed, 4'000'000);
+  const double seed_over_hand = static_cast<double>(seed) / hand;
+  EXPECT_GT(seed_over_hand, 2.5);  // paper: 3.36
+  EXPECT_LT(seed_over_hand, 4.0);
+  const double seed_over_small = static_cast<double>(seed) / small;
+  EXPECT_GT(seed_over_small, 6.0);  // paper: 9.5
+  EXPECT_LT(seed_over_small, 12.0);
+}
+
+TEST(ResTCN, ChannelScaleShrinksModel) {
+  RandomEngine rng(241);
+  ResTcnConfig cfg;
+  cfg.channel_scale = 0.1;
+  ResTCN model(cfg, hand_tuned_conv_factory(rng), rng);
+  EXPECT_LT(model.num_params(), 100'000);
+}
+
+TEST(ResTCN, RejectsWrongInputChannels) {
+  RandomEngine rng(251);
+  ResTCN model(small_restcn(), hand_tuned_conv_factory(rng), rng);
+  EXPECT_THROW(model.forward(Tensor::zeros(Shape{1, 7, 16})), Error);
+}
+
+TEST(ResTCN, InvalidDilationCountThrows) {
+  ResTcnConfig cfg = small_restcn();
+  EXPECT_THROW(ResTCN::params_with_dilations(cfg, {1, 2, 3}), Error);
+  cfg.dilations = {1, 1, 2};  // odd count
+  EXPECT_THROW(ResTCN::conv_specs(cfg), Error);
+}
+
+// ---------------------------------------------------------------- TEMPONet
+
+TEST(TempoNet, ConvSpecsMatchPaperGeometry) {
+  TempoNetConfig cfg;  // paper-sized defaults
+  const auto specs = TempoNet::conv_specs(cfg);
+  ASSERT_EQ(specs.size(), 7u);
+  // Hand dilations (2,2,1,4,4,8,8) with kernels (3,3,5,3,3,3,3) give
+  // receptive fields (5,5,5,9,9,17,17).
+  const index_t expected_rf[] = {5, 5, 5, 9, 9, 17, 17};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(specs[i].receptive_field(), expected_rf[i]) << "conv " << i;
+  }
+  EXPECT_EQ(specs[0].in_channels, 4);
+  EXPECT_EQ(specs[2].kernel_size, 5);
+  EXPECT_EQ(specs[6].out_channels, 128);
+}
+
+TEST(TempoNet, ForwardShape) {
+  RandomEngine rng(257);
+  const auto cfg = small_temponet();
+  TempoNet model(cfg, hand_tuned_conv_factory(rng), rng);
+  Tensor x = Tensor::randn(Shape{3, 4, 64}, rng);
+  Tensor y = model.forward(x);
+  EXPECT_EQ(y.shape(), Shape({3, 1}));
+}
+
+TEST(TempoNet, FlattenedStepsIsThreePoolsDown) {
+  TempoNetConfig cfg;
+  cfg.input_length = 256;
+  EXPECT_EQ(TempoNet::flattened_steps(cfg), 32);
+  cfg.input_length = 64;
+  EXPECT_EQ(TempoNet::flattened_steps(cfg), 8);
+}
+
+TEST(TempoNet, ParamsWithDilationsMatchesInstantiatedModel) {
+  RandomEngine rng(263);
+  const auto cfg = small_temponet();
+  const std::vector<index_t> dils = {2, 4, 4, 8, 8, 16, 16};  // PIT small
+  TempoNet model(cfg, dilated_conv_factory(rng, dils), rng);
+  EXPECT_EQ(model.num_params(), TempoNet::params_with_dilations(cfg, dils));
+}
+
+TEST(TempoNet, PaperScaleParameterRatios) {
+  // Table III: seed 939k, hand-tuned 423k (2.2x), PIT-small 381k (2.5x).
+  TempoNetConfig cfg;
+  const auto seed =
+      TempoNet::params_with_dilations(cfg, {1, 1, 1, 1, 1, 1, 1});
+  const auto hand = TempoNet::params_with_dilations(cfg, cfg.dilations);
+  const auto small =
+      TempoNet::params_with_dilations(cfg, {2, 4, 4, 8, 8, 16, 16});
+  EXPECT_GT(seed, 500'000);
+  EXPECT_LT(seed, 1'200'000);
+  const double seed_over_hand = static_cast<double>(seed) / hand;
+  EXPECT_GT(seed_over_hand, 1.8);  // paper: 2.2
+  EXPECT_LT(seed_over_hand, 2.8);
+  EXPECT_GT(static_cast<double>(seed) / small, 1.9);  // paper: 2.5
+}
+
+TEST(TempoNet, SevenTemporalConvs) {
+  RandomEngine rng(269);
+  TempoNet model(small_temponet(), hand_tuned_conv_factory(rng), rng);
+  EXPECT_EQ(model.temporal_convs().size(), 7u);
+}
+
+TEST(TempoNet, SeedFactoryPreservesOutputShape) {
+  RandomEngine rng(271);
+  const auto cfg = small_temponet();
+  TempoNet model(cfg, seed_conv_factory(rng), rng);
+  Tensor x = Tensor::randn(Shape{2, 4, 64}, rng);
+  EXPECT_EQ(model.forward(x).shape(), Shape({2, 1}));
+}
+
+TEST(TempoNet, RejectsWrongInputLength) {
+  RandomEngine rng(277);
+  TempoNet model(small_temponet(), hand_tuned_conv_factory(rng), rng);
+  EXPECT_THROW(model.forward(Tensor::zeros(Shape{1, 4, 63})), Error);
+}
+
+TEST(TempoNet, WrongDilationCountThrows) {
+  TempoNetConfig cfg;
+  cfg.dilations = {1, 2, 3};
+  EXPECT_THROW(TempoNet::conv_specs(cfg), Error);
+}
+
+// ------------------------------------------------------------- factories --
+
+TEST(Factories, DilatedFactoryAssignsInOrder) {
+  RandomEngine rng(281);
+  auto factory = dilated_conv_factory(rng, {4, 2});
+  TemporalConvSpec spec{2, 3, 5, 1, 1};  // rf = 5
+  auto conv0 = factory(spec);
+  auto conv1 = factory(spec);
+  auto* c0 = dynamic_cast<nn::Conv1d*>(conv0.get());
+  auto* c1 = dynamic_cast<nn::Conv1d*>(conv1.get());
+  ASSERT_NE(c0, nullptr);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c0->dilation(), 4);
+  EXPECT_EQ(c0->kernel_size(), 2);  // alive_taps(5, 4) = 2
+  EXPECT_EQ(c1->dilation(), 2);
+  EXPECT_EQ(c1->kernel_size(), 3);  // alive_taps(5, 2) = 3
+}
+
+TEST(Factories, AliveTaps) {
+  EXPECT_EQ(alive_taps(9, 1), 9);
+  EXPECT_EQ(alive_taps(9, 2), 5);
+  EXPECT_EQ(alive_taps(9, 4), 3);
+  EXPECT_EQ(alive_taps(9, 8), 2);
+  EXPECT_EQ(alive_taps(33, 32), 2);
+  EXPECT_EQ(alive_taps(5, 4), 2);
+}
+
+TEST(Factories, SeedFactoryUsesReceptiveField) {
+  RandomEngine rng(283);
+  auto factory = seed_conv_factory(rng);
+  auto conv = factory({2, 2, 3, 8, 1});  // rf = 17
+  auto* c = dynamic_cast<nn::Conv1d*>(conv.get());
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kernel_size(), 17);
+  EXPECT_EQ(c->dilation(), 1);
+}
+
+}  // namespace
+}  // namespace pit::models

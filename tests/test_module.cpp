@@ -1,0 +1,130 @@
+#include "nn/module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/conv1d.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit::nn {
+namespace {
+
+class TinyModule : public Module {
+ public:
+  explicit TinyModule(RandomEngine& rng) {
+    w_ = register_parameter("w", Tensor::randn(Shape{3}, rng));
+    b_ = register_buffer("running", Tensor::zeros(Shape{1}));
+  }
+  Tensor forward(const Tensor& input) override { return mul(input, w_); }
+  Tensor w_;
+  Tensor b_;
+};
+
+class NestedModule : public Module {
+ public:
+  explicit NestedModule(RandomEngine& rng) : inner_(rng) {
+    register_module("inner", &inner_);
+    extra_ = register_parameter("extra", Tensor::ones(Shape{2}));
+  }
+  Tensor forward(const Tensor& input) override {
+    return inner_.forward(input);
+  }
+  TinyModule inner_;
+  Tensor extra_;
+};
+
+TEST(Module, ParametersAreRegisteredWithRequiresGrad) {
+  RandomEngine rng(1);
+  TinyModule m(rng);
+  const auto params = m.parameters();
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_TRUE(params[0].requires_grad());
+}
+
+TEST(Module, NamedParametersRecurseWithDottedNames) {
+  RandomEngine rng(1);
+  NestedModule m(rng);
+  const auto named = m.named_parameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].name, "extra");
+  EXPECT_EQ(named[1].name, "inner.w");
+}
+
+TEST(Module, BuffersAreSeparateFromParameters) {
+  RandomEngine rng(1);
+  NestedModule m(rng);
+  const auto buffers = m.named_buffers();
+  ASSERT_EQ(buffers.size(), 1u);
+  EXPECT_EQ(buffers[0].name, "inner.running");
+}
+
+TEST(Module, NumParamsCountsScalars) {
+  RandomEngine rng(1);
+  NestedModule m(rng);
+  EXPECT_EQ(m.num_params(), 2 + 3);
+}
+
+TEST(Module, TrainEvalPropagatesToChildren) {
+  RandomEngine rng(1);
+  NestedModule m(rng);
+  EXPECT_TRUE(m.inner_.is_training());
+  m.eval();
+  EXPECT_FALSE(m.is_training());
+  EXPECT_FALSE(m.inner_.is_training());
+  m.train();
+  EXPECT_TRUE(m.inner_.is_training());
+}
+
+TEST(Module, ZeroGradClearsAllParameters) {
+  RandomEngine rng(1);
+  TinyModule m(rng);
+  Tensor x = Tensor::ones(Shape{3});
+  sum(m.forward(x)).backward();
+  EXPECT_NE(m.w_.grad().data()[0], 0.0F);
+  m.zero_grad();
+  EXPECT_EQ(m.w_.grad().data()[0], 0.0F);
+}
+
+TEST(Module, SnapshotRoundTrip) {
+  RandomEngine rng(1);
+  TinyModule m(rng);
+  const auto snap = m.state_snapshot();
+  const float original = m.w_.data()[0];
+  m.w_.data()[0] = 99.0F;
+  m.b_.data()[0] = 42.0F;
+  m.load_snapshot(snap);
+  EXPECT_FLOAT_EQ(m.w_.data()[0], original);
+  EXPECT_FLOAT_EQ(m.b_.data()[0], 0.0F);  // buffers restored too
+}
+
+TEST(Module, LoadStateFromCopiesValues) {
+  RandomEngine rng1(1);
+  RandomEngine rng2(2);
+  TinyModule a(rng1);
+  TinyModule b(rng2);
+  b.load_state_from(a);
+  for (index_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(a.w_.data()[i], b.w_.data()[i]);
+  }
+  // The copies are independent storage.
+  b.w_.data()[0] += 1.0F;
+  EXPECT_NE(a.w_.data()[0], b.w_.data()[0]);
+}
+
+TEST(Module, SequentialOwnsAndRuns) {
+  RandomEngine rng(5);
+  Sequential seq;
+  seq.add<Linear>(4, 8, true, rng);
+  seq.add<Linear>(8, 2, true, rng);
+  EXPECT_EQ(seq.size(), 2u);
+  Tensor x = Tensor::randn(Shape{3, 4}, rng);
+  Tensor y = seq.forward(x);
+  EXPECT_EQ(y.shape(), Shape({3, 2}));
+  EXPECT_EQ(seq.parameters().size(), 4u);
+  EXPECT_THROW(seq.at(2), Error);
+}
+
+}  // namespace
+}  // namespace pit::nn

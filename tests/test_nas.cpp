@@ -1,0 +1,192 @@
+// ProxylessNAS baseline: supernet mechanics and a miniature search.
+#include <gtest/gtest.h>
+
+#include "data/dataloader.hpp"
+#include "data/dataset.hpp"
+#include "models/restcn.hpp"
+#include "nas/proxyless.hpp"
+#include "nas/supernet.hpp"
+#include "nn/losses.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::nas {
+namespace {
+
+models::TemporalConvSpec spec_rf9() {
+  return {2, 3, 3, 4, 1};  // k=3, d=4 -> rf 9
+}
+
+TEST(MixedConv, OneCandidatePerPowerOfTwoDilation) {
+  RandomEngine rng(523);
+  MixedConv1d layer(spec_rf9(), rng);
+  ASSERT_EQ(layer.num_candidates(), 4);  // d = 1, 2, 4, 8
+  EXPECT_EQ(layer.candidate_dilation(0), 1);
+  EXPECT_EQ(layer.candidate_dilation(1), 2);
+  EXPECT_EQ(layer.candidate_dilation(2), 4);
+  EXPECT_EQ(layer.candidate_dilation(3), 8);
+  // Kernel sizes are the alive taps of rf 9: 9, 5, 3, 2.
+  EXPECT_EQ(layer.candidate(0).kernel_size(), 9);
+  EXPECT_EQ(layer.candidate(1).kernel_size(), 5);
+  EXPECT_EQ(layer.candidate(2).kernel_size(), 3);
+  EXPECT_EQ(layer.candidate(3).kernel_size(), 2);
+}
+
+TEST(MixedConv, CandidatesShareReceptiveField) {
+  RandomEngine rng(541);
+  MixedConv1d layer(spec_rf9(), rng);
+  for (index_t i = 0; i < layer.num_candidates(); ++i) {
+    EXPECT_EQ(layer.candidate(i).receptive_field(), 9) << "candidate " << i;
+  }
+}
+
+TEST(MixedConv, ForwardUsesActiveCandidateOnly) {
+  RandomEngine rng(547);
+  MixedConv1d layer(spec_rf9(), rng);
+  Tensor x = Tensor::randn(Shape{1, 2, 12}, rng);
+  layer.set_active(0);
+  Tensor y0 = layer.forward(x);
+  layer.set_active(3);
+  Tensor y3 = layer.forward(x);
+  ASSERT_EQ(y0.shape(), y3.shape());
+  float diff = 0.0F;
+  for (index_t i = 0; i < y0.numel(); ++i) {
+    diff += std::abs(y0.data()[i] - y3.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3F);  // different candidates: different outputs
+  EXPECT_THROW(layer.set_active(4), Error);
+}
+
+TEST(MixedConv, UniformPriorProbabilities) {
+  RandomEngine rng(557);
+  MixedConv1d layer(spec_rf9(), rng);
+  for (const double p : layer.probabilities()) {
+    EXPECT_NEAR(p, 0.25, 1e-9);
+  }
+}
+
+TEST(MixedConv, ReinforcePushesTowardRewardedPath) {
+  RandomEngine rng(563);
+  MixedConv1d layer(spec_rf9(), rng);
+  layer.set_active(2);
+  for (int i = 0; i < 50; ++i) {
+    layer.reinforce_update(/*advantage=*/1.0, /*lr=*/0.1);
+  }
+  EXPECT_EQ(layer.best_candidate(), 2);
+  EXPECT_GT(layer.probabilities()[2], 0.8);
+}
+
+TEST(MixedConv, NegativeAdvantagePushesAway) {
+  RandomEngine rng(569);
+  MixedConv1d layer(spec_rf9(), rng);
+  layer.set_active(1);
+  for (int i = 0; i < 50; ++i) {
+    layer.reinforce_update(-1.0, 0.1);
+  }
+  EXPECT_NE(layer.best_candidate(), 1);
+  EXPECT_LT(layer.probabilities()[1], 0.25);
+}
+
+TEST(MixedConv, SamplingFollowsDistribution) {
+  RandomEngine rng(571);
+  MixedConv1d layer(spec_rf9(), rng);
+  layer.set_active(0);
+  for (int i = 0; i < 60; ++i) {
+    layer.reinforce_update(1.0, 0.2);  // concentrate on candidate 0
+  }
+  RandomEngine sample_rng(3);
+  int hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    layer.sample_path(sample_rng);
+    hits += layer.active() == 0 ? 1 : 0;
+  }
+  EXPECT_GT(hits, 150);
+}
+
+TEST(MixedConvFactory, BuildsSupernetOverResTcn) {
+  RandomEngine rng(577);
+  models::ResTcnConfig cfg;
+  cfg.input_channels = 4;
+  cfg.output_channels = 4;
+  cfg.hidden_channels = 6;
+  std::vector<MixedConv1d*> layers;
+  models::ResTCN supernet(cfg, mixed_conv_factory(rng, layers), rng);
+  ASSERT_EQ(layers.size(), 8u);
+  EXPECT_EQ(collect_mixed_layers(supernet.temporal_convs()).size(), 8u);
+  // Search-space size: prod of (log2(max_d)+1) = 3*3*4*4*5*5*6*6 = 129600,
+  // the ~1e5 the paper quotes for ResTCN (Sec. IV-B).
+  EXPECT_NEAR(search_space_size(layers), 129600.0, 1e-6);
+  Tensor x = Tensor::randn(Shape{1, 4, 16}, rng);
+  EXPECT_EQ(supernet.forward(x).shape(), Shape({1, 4, 16}));
+}
+
+// Miniature end-to-end search on the 4-step delay task (cf. PIT's trainer
+// test): the selected architecture must keep tap 4 usable and reach a low
+// validation loss.
+class DelaySupernet : public nn::Module {
+ public:
+  explicit DelaySupernet(RandomEngine& rng)
+      : mixed_({1, 1, 9, 1, 1}, rng) {  // k=9, d=1 -> rf 9 candidates
+    register_module("mixed", &mixed_);
+  }
+  Tensor forward(const Tensor& input) override {
+    return mixed_.forward(input);
+  }
+  MixedConv1d mixed_;
+};
+
+TEST(ProxylessTrainer, FindsWorkingArchitectureOnDelayTask) {
+  RandomEngine rng(587);
+  DelaySupernet model(rng);
+  RandomEngine data_rng(593);
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+  for (index_t i = 0; i < 48; ++i) {
+    Tensor x = Tensor::randn(Shape{1, 32}, data_rng);
+    Tensor y = Tensor::zeros(Shape{1, 32});
+    for (index_t j = 4; j < 32; ++j) {
+      y.data()[j] = x.data()[j - 4];
+    }
+    inputs.push_back(std::move(x));
+    targets.push_back(std::move(y));
+  }
+  data::TensorDataset ds(std::move(inputs), std::move(targets));
+  data::DataLoader train(ds, 16, true, 1);
+  data::DataLoader val(ds, 16, false);
+
+  ProxylessOptions options;
+  options.lambda_size = 0.1;
+  options.warmup_epochs = 4;
+  options.max_search_epochs = 40;
+  options.finetune_epochs = 20;
+  options.patience = 6;
+  options.lr_weights = 2e-2;
+  options.lr_alpha = 0.3;
+  options.sample_seed = 7;
+
+  ProxylessTrainer trainer(
+      model, {&model.mixed_},
+      [](const Tensor& pred, const Tensor& target) {
+        return nn::mse_loss(pred, target);
+      },
+      options);
+  const ProxylessResult result = trainer.run(train, val);
+  ASSERT_EQ(result.dilations.size(), 1u);
+  // d in {1, 2, 4} keeps the 4-step-back tap; d=8 cannot express the task.
+  EXPECT_LE(result.dilations[0], 4);
+  EXPECT_LT(result.val_loss, 0.1);
+  EXPECT_GT(result.search_epochs, 0);
+  EXPECT_GT(result.total_seconds, 0.0);
+}
+
+TEST(ProxylessTrainer, Validation) {
+  RandomEngine rng(599);
+  DelaySupernet model(rng);
+  auto loss = [](const Tensor& a, const Tensor&) { return a; };
+  EXPECT_THROW(ProxylessTrainer(model, {}, loss, {}), Error);
+  ProxylessOptions bad;
+  bad.lambda_size = -1.0;
+  EXPECT_THROW(ProxylessTrainer(model, {&model.mixed_}, loss, bad), Error);
+}
+
+}  // namespace
+}  // namespace pit::nas

@@ -1,0 +1,105 @@
+// int8 post-training quantization.
+#include "quant/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/temponet.hpp"
+#include "nn/conv1d.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::quant {
+namespace {
+
+TEST(QuantParams, SymmetricCalibrationCoversRange) {
+  std::vector<float> values = {-2.0F, 0.5F, 1.9F};
+  const QuantParams p = calibrate_symmetric(values);
+  EXPECT_EQ(p.zero_point, 0);
+  EXPECT_NEAR(p.scale, 2.0F / 127.0F, 1e-6);
+  // Extremes survive the round trip within half a scale step.
+  EXPECT_NEAR(p.dequantize(p.quantize(-2.0F)), -2.0F, p.scale / 2);
+  EXPECT_NEAR(p.dequantize(p.quantize(1.9F)), 1.9F, p.scale / 2);
+}
+
+TEST(QuantParams, AffineCalibrationHandlesAsymmetricRange) {
+  std::vector<float> values = {0.0F, 1.0F, 4.0F};  // activations after ReLU
+  const QuantParams p = calibrate_affine(values);
+  EXPECT_NEAR(p.dequantize(p.quantize(0.0F)), 0.0F, p.scale / 2);
+  EXPECT_NEAR(p.dequantize(p.quantize(4.0F)), 4.0F, p.scale / 2);
+  EXPECT_NEAR(p.dequantize(p.quantize(2.3F)), 2.3F, p.scale / 2);
+}
+
+TEST(QuantParams, ConstantTensorDoesNotDivideByZero) {
+  std::vector<float> values = {0.0F, 0.0F};
+  EXPECT_NO_THROW(calibrate_symmetric(values));
+  EXPECT_NO_THROW(calibrate_affine(values));
+}
+
+TEST(QuantRoundTrip, ErrorBoundedByHalfScale) {
+  RandomEngine rng(601);
+  Tensor t = Tensor::randn(Shape{1000}, rng);
+  const QuantParams p = calibrate_symmetric(t.span());
+  EXPECT_LE(max_roundtrip_error(t.span(), p), p.scale / 2 + 1e-6);
+  const auto q = quantize_tensor(t.span(), p);
+  const auto back = dequantize_tensor(q, p);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_NEAR(back[i], t.data()[static_cast<index_t>(i)], p.scale / 2 + 1e-6);
+  }
+}
+
+TEST(QuantizedConv, MatchesFloatConvWithinQuantError) {
+  RandomEngine rng(607);
+  Tensor x = Tensor::randn(Shape{1, 3, 16}, rng);
+  Tensor w = Tensor::randn(Shape{4, 3, 5}, rng);
+  Tensor b = Tensor::randn(Shape{4}, rng);
+  const QuantParams xq = calibrate_affine(x.span());
+  Tensor got = quantized_causal_conv1d(x, w, b, 2, 1, xq);
+  Tensor want = nn::causal_conv1d(x, w, b, 2, 1);
+  ASSERT_EQ(got.shape(), want.shape());
+  // Error budget: per-MAC quantization noise accumulates; stay within a
+  // conservative bound relative to the activation scale.
+  const double budget = 20.0 * xq.scale;
+  for (index_t i = 0; i < got.numel(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], budget) << "elem " << i;
+  }
+}
+
+TEST(QuantizedConv, StridedAndDilatedGeometry) {
+  RandomEngine rng(613);
+  Tensor x = Tensor::randn(Shape{2, 2, 12}, rng);
+  Tensor w = Tensor::randn(Shape{2, 2, 3}, rng);
+  const QuantParams xq = calibrate_affine(x.span());
+  Tensor y = quantized_causal_conv1d(x, w, Tensor(), 4, 2, xq);
+  EXPECT_EQ(y.shape(), Shape({2, 2, 6}));
+}
+
+TEST(FakeQuantize, KeepsModelUsableAndBoundsError) {
+  RandomEngine rng(617);
+  models::TempoNetConfig cfg;
+  cfg.input_length = 64;
+  cfg.channel_scale = 0.25;
+  models::TempoNet model(cfg, models::hand_tuned_conv_factory(rng), rng);
+  model.eval();
+  Tensor x = Tensor::randn(Shape{2, 4, 64}, rng);
+  Tensor before = model.forward(x);
+  const double worst = fake_quantize_parameters(model);
+  Tensor after = model.forward(x);
+  EXPECT_GT(worst, 0.0);
+  EXPECT_LT(worst, 0.1);  // int8 round trip is fine-grained
+  // Outputs move, but stay close: quantization must not destroy the model.
+  double max_delta = 0.0;
+  for (index_t i = 0; i < before.numel(); ++i) {
+    max_delta = std::max(max_delta, static_cast<double>(std::abs(
+                                        before.data()[i] - after.data()[i])));
+  }
+  EXPECT_LT(max_delta, 30.0);  // BPM-scale outputs shift by well under 30
+  EXPECT_GT(max_delta, 0.0);
+}
+
+TEST(Int8ModelBytes, AccountsForBiasWidth) {
+  EXPECT_EQ(int8_model_bytes(1000, 0), 1000);
+  EXPECT_EQ(int8_model_bytes(1000, 100), 900 + 400);
+  EXPECT_THROW(int8_model_bytes(10, 20), Error);
+}
+
+}  // namespace
+}  // namespace pit::quant

@@ -1,0 +1,126 @@
+#include "tensor/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "tensor/error.hpp"
+
+namespace pit {
+namespace {
+
+TEST(Random, SameSeedSameSequence) {
+  RandomEngine a(42);
+  RandomEngine b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  RandomEngine a(1);
+  RandomEngine b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Random, UniformInUnitInterval) {
+  RandomEngine rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, UniformRangeRespectsBounds) {
+  RandomEngine rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+}
+
+TEST(Random, NormalMomentsAreSane) {
+  RandomEngine rng(123);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Random, NormalWithParams) {
+  RandomEngine rng(9);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Random, RandintBoundsAndCoverage) {
+  RandomEngine rng(11);
+  std::set<index_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const index_t v = rng.randint(5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit in 1000 draws
+  EXPECT_THROW(rng.randint(0), Error);
+}
+
+TEST(Random, BernoulliFrequency) {
+  RandomEngine rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Random, SplitProducesIndependentStream) {
+  RandomEngine a(42);
+  RandomEngine b = a.split();
+  // The split stream should not track the parent.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Random, SplitIsDeterministic) {
+  RandomEngine a1(42);
+  RandomEngine a2(42);
+  RandomEngine b1 = a1.split();
+  RandomEngine b2 = a2.split();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(b1(), b2());
+  }
+}
+
+}  // namespace
+}  // namespace pit

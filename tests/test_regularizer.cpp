@@ -1,0 +1,139 @@
+// Eq. 6 size regularizer and the FLOPs variant.
+#include "core/regularizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/gamma.hpp"
+#include "tensor/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit::core {
+namespace {
+
+TEST(SliceWeights, PaperExampleRf9) {
+  // rf_max = 9, L = 4: weights for gamma_1..gamma_3 are
+  // round(8/2^3), round(8/2^2), round(8/2^1) = 1, 2, 4 — the number of
+  // taps each knob re-enables (Fig. 2).
+  EXPECT_EQ(gamma_slice_weights(9), (std::vector<float>{1, 2, 4}));
+}
+
+TEST(SliceWeights, OtherReceptiveFields) {
+  EXPECT_EQ(gamma_slice_weights(5), (std::vector<float>{1, 2}));
+  EXPECT_EQ(gamma_slice_weights(17), (std::vector<float>{1, 2, 4, 8}));
+  EXPECT_EQ(gamma_slice_weights(33), (std::vector<float>{1, 2, 4, 8, 16}));
+  EXPECT_TRUE(gamma_slice_weights(2).empty());
+  // Non power-of-two-plus-one: rf=6, L=3 -> round(5/4), round(5/2) = 1, 3.
+  EXPECT_EQ(gamma_slice_weights(6), (std::vector<float>{1, 3}));
+}
+
+TEST(SliceWeights, SumMatchesTapBudget) {
+  // The knob weights plus the always-alive taps account for every tap:
+  // alive(d=1) = rf = sum(weights) + alive(d_max).
+  for (index_t rf : {3, 5, 9, 17, 33}) {
+    const auto weights = gamma_slice_weights(rf);
+    float total = 0.0F;
+    for (const float w : weights) {
+      total += w;
+    }
+    const index_t always_alive = (rf - 1) / max_dilation(rf) + 1;
+    EXPECT_FLOAT_EQ(total + static_cast<float>(always_alive),
+                    static_cast<float>(rf))
+        << "rf=" << rf;
+  }
+}
+
+class RegularizerFixture : public ::testing::Test {
+ protected:
+  RegularizerFixture() : rng_(401) {
+    layers_.push_back(
+        std::make_unique<PITConv1d>(2, 3, 9, PitConv1dOptions{}, rng_));
+    layers_.push_back(
+        std::make_unique<PITConv1d>(3, 4, 5, PitConv1dOptions{}, rng_));
+    for (const auto& l : layers_) {
+      raw_.push_back(l.get());
+    }
+  }
+  RandomEngine rng_;
+  std::vector<std::unique_ptr<PITConv1d>> layers_;
+  std::vector<PITConv1d*> raw_;
+};
+
+TEST_F(RegularizerFixture, ClosedFormValueAtInit) {
+  // All gammas are 1: layer0 contributes 2*3*(1+2+4) = 42; layer1
+  // contributes 3*4*(1+2) = 36.
+  Tensor reg = size_regularizer(raw_, 1.0);
+  EXPECT_FLOAT_EQ(reg.item(), 42.0F + 36.0F);
+  Tensor reg_scaled = size_regularizer(raw_, 0.5);
+  EXPECT_FLOAT_EQ(reg_scaled.item(), 39.0F);
+}
+
+TEST_F(RegularizerFixture, ZeroLambdaGivesZero) {
+  EXPECT_FLOAT_EQ(size_regularizer(raw_, 0.0).item(), 0.0F);
+}
+
+TEST_F(RegularizerFixture, UsesFloatGammasNotBinarized) {
+  // Eq. 6 penalizes |gamma_hat| (the float values): halving them halves
+  // the penalty even though the binarized mask is unchanged.
+  for (float& v : raw_[0]->gamma().values().span()) {
+    v = 0.6F;
+  }
+  Tensor reg = size_regularizer(raw_, 1.0);
+  EXPECT_NEAR(reg.item(), 2 * 3 * 0.6F * (1 + 2 + 4) + 36.0F, 1e-4);
+}
+
+TEST_F(RegularizerFixture, GradientPullsGammasDown) {
+  Tensor reg = size_regularizer(raw_, 1.0);
+  reg.backward();
+  // d reg / d gamma_j = Cin*Cout*w_j * sign(gamma) > 0 at gamma = 1: the
+  // Lasso pulls every knob toward zero.
+  const float expected0[] = {6.0F * 1, 6.0F * 2, 6.0F * 4};
+  for (index_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(raw_[0]->gamma().values().grad().data()[j], expected0[j]);
+  }
+  const float expected1[] = {12.0F * 1, 12.0F * 2};
+  for (index_t j = 0; j < 2; ++j) {
+    EXPECT_FLOAT_EQ(raw_[1]->gamma().values().grad().data()[j], expected1[j]);
+  }
+}
+
+TEST_F(RegularizerFixture, LargerKnobsCostMore) {
+  // gamma_{L-1} (restores d=1) always weighs more than gamma_1: pruning
+  // to small dilations is attempted first, as the paper describes.
+  const auto weights = gamma_slice_weights(9);
+  EXPECT_LT(weights.front(), weights.back());
+}
+
+TEST_F(RegularizerFixture, FrozenLayersAreExcluded) {
+  raw_[0]->freeze_gamma();
+  Tensor reg = size_regularizer(raw_, 1.0);
+  EXPECT_FLOAT_EQ(reg.item(), 36.0F);  // only layer1 remains
+}
+
+TEST_F(RegularizerFixture, FlopsVariantScalesByTimeSteps) {
+  Tensor reg = flops_regularizer(raw_, 1.0, {10, 20});
+  EXPECT_FLOAT_EQ(reg.item(), 42.0F * 10 + 36.0F * 20);
+  EXPECT_THROW(flops_regularizer(raw_, 1.0, {10}), Error);
+}
+
+TEST_F(RegularizerFixture, TotalEffectiveParams) {
+  // d = 1 everywhere: full taps + biases.
+  EXPECT_EQ(total_effective_params(raw_),
+            (2 * 3 * 9 + 3) + (3 * 4 * 5 + 4));
+  raw_[0]->gamma().set_dilation(8);
+  EXPECT_EQ(total_effective_params(raw_),
+            (2 * 3 * 2 + 3) + (3 * 4 * 5 + 4));
+}
+
+TEST_F(RegularizerFixture, NegativeLambdaThrows) {
+  EXPECT_THROW(size_regularizer(raw_, -1.0), Error);
+}
+
+TEST(Regularizer, KnobFreeLayerContributesNothing) {
+  RandomEngine rng(409);
+  PITConv1d layer(2, 2, 2, {}, rng);  // rf 2: no knobs
+  std::vector<PITConv1d*> layers = {&layer};
+  EXPECT_FLOAT_EQ(size_regularizer(layers, 1.0).item(), 0.0F);
+}
+
+}  // namespace
+}  // namespace pit::core

@@ -1,0 +1,163 @@
+// Design-space exploration and Pareto-front extraction.
+#include "core/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/dataloader.hpp"
+#include "data/dataset.hpp"
+#include "nn/losses.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::core {
+namespace {
+
+SearchPoint make_point(index_t params, double loss) {
+  SearchPoint p;
+  p.total_params = params;
+  p.val_loss = loss;
+  return p;
+}
+
+TEST(ParetoFront, RemovesDominatedPoints) {
+  std::vector<SearchPoint> points = {
+      make_point(100, 1.0), make_point(200, 0.5), make_point(150, 0.9),
+      make_point(300, 0.6),  // dominated by (200, 0.5)
+      make_point(120, 1.2),  // dominated by (100, 1.0)... (more params, worse)
+  };
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].total_params, 100);
+  EXPECT_EQ(front[1].total_params, 150);
+  EXPECT_EQ(front[2].total_params, 200);
+}
+
+TEST(ParetoFront, SortedAscendingParamsDescendingLoss) {
+  std::vector<SearchPoint> points;
+  for (int i = 0; i < 20; ++i) {
+    points.push_back(make_point(100 + 13 * ((i * 7) % 20),
+                                2.0 - 0.05 * ((i * 3) % 20)));
+  }
+  const auto front = pareto_front(points);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].total_params, front[i - 1].total_params);
+    EXPECT_LT(front[i].val_loss, front[i - 1].val_loss);
+  }
+}
+
+TEST(ParetoFront, NoPointDominatesAnother) {
+  std::vector<SearchPoint> points = {
+      make_point(10, 5.0), make_point(10, 4.0),  // equal params: keep best
+      make_point(20, 4.0),                        // same loss, more params
+      make_point(30, 3.0)};
+  const auto front = pareto_front(points);
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      if (&a == &b) {
+        continue;
+      }
+      const bool dominates = a.total_params <= b.total_params &&
+                             a.val_loss <= b.val_loss;
+      EXPECT_FALSE(dominates) << a.total_params << " dominates "
+                              << b.total_params;
+    }
+  }
+}
+
+TEST(ParetoFront, SingletonAndEmpty) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  const auto front = pareto_front({make_point(5, 1.0)});
+  ASSERT_EQ(front.size(), 1u);
+}
+
+TEST(SelectSmallMediumLarge, PicksBySizeAndProximity) {
+  std::vector<SearchPoint> points = {make_point(100, 2.0),
+                                     make_point(350, 1.0),
+                                     make_point(900, 0.5)};
+  const auto picks = select_small_medium_large(points, 360);
+  EXPECT_EQ(picks.small.total_params, 100);
+  EXPECT_EQ(picks.medium.total_params, 350);
+  EXPECT_EQ(picks.large.total_params, 900);
+  EXPECT_THROW(select_small_medium_large({}, 100), Error);
+}
+
+// A miniature end-to-end sweep on the delay task (see test_pit_trainer).
+class DelayModel : public nn::Module {
+ public:
+  explicit DelayModel(RandomEngine& rng)
+      : conv_(1, 1, 9, {.stride = 1, .bias = false}, rng) {
+    register_module("conv", &conv_);
+  }
+  Tensor forward(const Tensor& input) override { return conv_.forward(input); }
+  PITConv1d conv_;
+};
+
+TEST(DilationSearch, SweepProducesParetoSubset) {
+  RandomEngine data_rng(521);
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+  for (index_t i = 0; i < 24; ++i) {
+    Tensor x = Tensor::randn(Shape{1, 24}, data_rng);
+    Tensor y = Tensor::zeros(Shape{1, 24});
+    for (index_t j = 4; j < 24; ++j) {
+      y.data()[j] = x.data()[j - 4];
+    }
+    inputs.push_back(std::move(x));
+    targets.push_back(std::move(y));
+  }
+  data::TensorDataset ds(std::move(inputs), std::move(targets));
+  data::DataLoader train(ds, 8, true, 1);
+  data::DataLoader val(ds, 8, false);
+
+  auto seed_counter = std::make_shared<std::uint64_t>(1000);
+  DilationSearch search(
+      [seed_counter]() {
+        RandomEngine rng((*seed_counter)++);
+        auto model = std::make_unique<DelayModel>(rng);
+        PitModelBundle bundle;
+        bundle.pit_layers = {&model->conv_};
+        bundle.model = std::move(model);
+        return bundle;
+      },
+      [](const Tensor& pred, const Tensor& target) {
+        return nn::mse_loss(pred, target);
+      },
+      [](const std::vector<index_t>& dilations) {
+        return index_t{(9 - 1) / dilations.at(0) + 1};
+      });
+
+  SearchConfig config;
+  config.lambdas = {0.0, 0.05};
+  config.warmup_epochs = {2};
+  config.trainer.max_prune_epochs = 15;
+  config.trainer.finetune_epochs = 5;
+  config.trainer.patience = 4;
+  config.trainer.lr_weights = 2e-2;
+  config.trainer.lr_gamma = 3e-2;
+
+  const SearchResult result = search.run(train, val, config);
+  ASSERT_EQ(result.all.size(), 2u);
+  ASSERT_FALSE(result.pareto.empty());
+  EXPECT_LE(result.pareto.size(), result.all.size());
+  // Every pareto point exists in `all` and carries a dilation assignment.
+  for (const SearchPoint& p : result.pareto) {
+    EXPECT_EQ(p.dilations.size(), 1u);
+    EXPECT_GT(p.total_params, 0);
+  }
+  // The lambda > 0 run must not end up with more parameters.
+  EXPECT_LE(result.all[1].total_params, result.all[0].total_params);
+}
+
+TEST(DilationSearch, EmptyGridThrows) {
+  DilationSearch search([]() { return PitModelBundle{}; },
+                        [](const Tensor& a, const Tensor&) { return a; },
+                        [](const std::vector<index_t>&) { return index_t{1}; });
+  data::TensorDataset ds({Tensor::zeros(Shape{1, 4})},
+                         {Tensor::zeros(Shape{1, 4})});
+  data::DataLoader loader(ds, 1, false);
+  SearchConfig config;
+  config.lambdas = {};
+  EXPECT_THROW(search.run(loader, loader, config), Error);
+}
+
+}  // namespace
+}  // namespace pit::core

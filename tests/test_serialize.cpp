@@ -1,0 +1,107 @@
+// Checkpoint save/load round trips.
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "models/temponet.hpp"
+#include "nn/linear.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Serialize, RoundTripRestoresParameters) {
+  RandomEngine rng(801);
+  Linear a(4, 3, true, rng);
+  const std::string path = temp_path("linear.ckpt");
+  save_state(a, path);
+
+  RandomEngine rng2(802);
+  Linear b(4, 3, true, rng2);  // different init
+  load_state(b, path);
+  for (index_t i = 0; i < a.weight().numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.weight().data()[i], b.weight().data()[i]);
+  }
+  for (index_t i = 0; i < a.bias().numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.bias().data()[i], b.bias().data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RoundTripIncludesBuffers) {
+  RandomEngine rng(803);
+  models::TempoNetConfig cfg;
+  cfg.input_length = 32;
+  cfg.channel_scale = 0.125;
+  models::TempoNet a(cfg, models::hand_tuned_conv_factory(rng), rng);
+  // Touch the batch-norm running stats so they differ from defaults.
+  a.train();
+  Tensor x = Tensor::randn(Shape{4, 4, 32}, rng);
+  a.forward(x);
+  const std::string path = temp_path("temponet.ckpt");
+  save_state(a, path);
+
+  RandomEngine rng2(804);
+  models::TempoNet b(cfg, models::hand_tuned_conv_factory(rng2), rng2);
+  load_state(b, path);
+  a.eval();
+  b.eval();
+  Tensor probe = Tensor::randn(Shape{2, 4, 32}, rng);
+  Tensor ya = a.forward(probe);
+  Tensor yb = b.forward(probe);
+  for (index_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsStructureMismatch) {
+  RandomEngine rng(805);
+  Linear a(4, 3, true, rng);
+  const std::string path = temp_path("mismatch.ckpt");
+  save_state(a, path);
+  Linear wrong_shape(5, 3, true, rng);
+  EXPECT_THROW(load_state(wrong_shape, path), Error);
+  Linear no_bias(4, 3, false, rng);
+  EXPECT_THROW(load_state(no_bias, path), Error);  // entry count differs
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsCorruptFiles) {
+  RandomEngine rng(807);
+  Linear model(2, 2, true, rng);
+  EXPECT_THROW(load_state(model, temp_path("does_not_exist.ckpt")), Error);
+
+  const std::string garbage = temp_path("garbage.ckpt");
+  {
+    std::ofstream os(garbage, std::ios::binary);
+    os << "not a checkpoint at all";
+  }
+  EXPECT_THROW(load_state(model, garbage), Error);
+  std::remove(garbage.c_str());
+
+  // Truncated checkpoint: valid header, missing data.
+  const std::string truncated = temp_path("truncated.ckpt");
+  {
+    const std::string full = temp_path("full.ckpt");
+    save_state(model, full);
+    std::ifstream is(full, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream os(truncated, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    std::remove(full.c_str());
+  }
+  EXPECT_THROW(load_state(model, truncated), Error);
+  std::remove(truncated.c_str());
+}
+
+}  // namespace
+}  // namespace pit::nn

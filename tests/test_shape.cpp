@@ -1,0 +1,57 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/error.hpp"
+
+namespace pit {
+namespace {
+
+TEST(Shape, ScalarShapeHasRankZeroAndOneElement) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.to_string(), "()");
+}
+
+TEST(Shape, InitializerListConstruction) {
+  const Shape s{2, 3, 5};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 5);
+  EXPECT_EQ(s.numel(), 30);
+}
+
+TEST(Shape, NegativeIndexCountsFromBack) {
+  const Shape s{2, 3, 5};
+  EXPECT_EQ(s.dim(-1), 5);
+  EXPECT_EQ(s.dim(-2), 3);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(Shape, OutOfRangeIndexThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), Error);
+  EXPECT_THROW(s.dim(-3), Error);
+}
+
+TEST(Shape, ZeroOrNegativeDimensionThrows) {
+  EXPECT_THROW(Shape({0}), Error);
+  EXPECT_THROW(Shape({2, -1}), Error);
+}
+
+TEST(Shape, EqualityComparesDims) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+  EXPECT_EQ(Shape{}, Shape{});
+}
+
+TEST(Shape, ToStringFormats) {
+  EXPECT_EQ(Shape({7}).to_string(), "(7)");
+  EXPECT_EQ(Shape({1, 2}).to_string(), "(1, 2)");
+}
+
+}  // namespace
+}  // namespace pit

@@ -1,0 +1,145 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace pit {
+namespace {
+
+TEST(Tensor, DefaultIsUndefined) {
+  const Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.shape(), Error);
+}
+
+TEST(Tensor, ZerosOnesFull) {
+  Tensor z = Tensor::zeros(Shape{2, 3});
+  Tensor o = Tensor::ones(Shape{2, 3});
+  Tensor f = Tensor::full(Shape{2, 3}, 2.5F);
+  EXPECT_EQ(z.numel(), 6);
+  for (index_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(z.data()[i], 0.0F);
+    EXPECT_EQ(o.data()[i], 1.0F);
+    EXPECT_EQ(f.data()[i], 2.5F);
+  }
+}
+
+TEST(Tensor, ScalarRoundTrip) {
+  Tensor s = Tensor::scalar(3.25F);
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_FLOAT_EQ(s.item(), 3.25F);
+}
+
+TEST(Tensor, ItemOnNonScalarThrows) {
+  Tensor t = Tensor::zeros(Shape{2});
+  EXPECT_THROW(t.item(), Error);
+}
+
+TEST(Tensor, FromVectorChecksSize) {
+  EXPECT_NO_THROW(Tensor::from_vector({1, 2, 3, 4, 5, 6}, Shape{2, 3}));
+  EXPECT_THROW(Tensor::from_vector({1, 2, 3}, Shape{2, 3}), Error);
+}
+
+TEST(Tensor, AtUsesRowMajorOrder) {
+  Tensor t = Tensor::from_vector({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+  EXPECT_FLOAT_EQ(t.at({0, 0}), 1.0F);
+  EXPECT_FLOAT_EQ(t.at({0, 2}), 3.0F);
+  EXPECT_FLOAT_EQ(t.at({1, 0}), 4.0F);
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 6.0F);
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0}), Error);
+}
+
+TEST(Tensor, HandleCopySharesStorage) {
+  Tensor a = Tensor::zeros(Shape{3});
+  Tensor b = a;  // NOLINT: intentional handle copy
+  b.data()[0] = 7.0F;
+  EXPECT_FLOAT_EQ(a.data()[0], 7.0F);
+}
+
+TEST(Tensor, CloneIsDeepCopy) {
+  Tensor a = Tensor::ones(Shape{3});
+  Tensor b = a.clone();
+  b.data()[0] = 5.0F;
+  EXPECT_FLOAT_EQ(a.data()[0], 1.0F);
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  RandomEngine rng1(99);
+  RandomEngine rng2(99);
+  Tensor a = Tensor::randn(Shape{16}, rng1);
+  Tensor b = Tensor::randn(Shape{16}, rng2);
+  for (index_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(Tensor, UniformRespectsBounds) {
+  RandomEngine rng(5);
+  Tensor t = Tensor::uniform(Shape{1000}, -2.0F, 3.0F, rng);
+  for (const float v : t.span()) {
+    EXPECT_GE(v, -2.0F);
+    EXPECT_LT(v, 3.0F);
+  }
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, Shape{2, 3});
+  Tensor b = a.reshape(Shape{3, 2});
+  EXPECT_EQ(b.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(b.at({0, 1}), 2.0F);
+  EXPECT_FLOAT_EQ(b.at({2, 1}), 6.0F);
+  EXPECT_THROW(a.reshape(Shape{4}), Error);
+}
+
+TEST(Tensor, ReshapeBackpropagates) {
+  Tensor a = Tensor::ones(Shape{2, 3}).set_requires_grad(true);
+  Tensor b = a.reshape(Shape{6});
+  Tensor s = sum(b);
+  s.backward();
+  for (index_t i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(a.grad().data()[i], 1.0F);
+  }
+}
+
+TEST(Tensor, DetachBreaksGraph) {
+  Tensor a = Tensor::ones(Shape{2}).set_requires_grad(true);
+  Tensor b = mul_scalar(a, 3.0F);
+  Tensor c = b.detach();
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_FALSE(c.tracks_grad());
+  // Backward through the detached path must not reach `a`.
+  Tensor s = sum(c);
+  s.backward();
+  EXPECT_FLOAT_EQ(a.grad().data()[0], 0.0F);
+}
+
+TEST(Tensor, GradDefaultsToZeros) {
+  Tensor a = Tensor::ones(Shape{4}).set_requires_grad(true);
+  Tensor g = a.grad();
+  EXPECT_EQ(g.shape(), a.shape());
+  for (const float v : g.span()) {
+    EXPECT_FLOAT_EQ(v, 0.0F);
+  }
+}
+
+TEST(Tensor, ZeroGradClears) {
+  Tensor a = Tensor::ones(Shape{3}).set_requires_grad(true);
+  Tensor s = sum(a);
+  s.backward();
+  EXPECT_FLOAT_EQ(a.grad().data()[0], 1.0F);
+  a.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad().data()[0], 0.0F);
+}
+
+TEST(Tensor, ToStringMentionsShape) {
+  Tensor a = Tensor::zeros(Shape{2, 2});
+  EXPECT_NE(a.to_string().find("(2, 2)"), std::string::npos);
+  EXPECT_EQ(Tensor().to_string(), "Tensor(undefined)");
+}
+
+}  // namespace
+}  // namespace pit
