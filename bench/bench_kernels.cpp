@@ -2,12 +2,30 @@
 // experiments — dense vs masked convolution (the PIT overhead the paper
 // calls "lightweight"), mask construction, binarization, and the backward
 // passes that dominate search time.
+//
+// After the registered benchmarks run, a scalar-vs-blocked backend
+// comparison executes and writes BENCH_kernels.json to the working
+// directory (pass --compare-only to skip the google-benchmark section).
 #include <benchmark/benchmark.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "core/mask.hpp"
 #include "core/pit_conv1d.hpp"
 #include "core/regularizer.hpp"
 #include "nn/conv1d.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace pit {
@@ -140,6 +158,141 @@ void BM_SizeRegularizer(benchmark::State& state) {
 BENCHMARK(BM_SizeRegularizer);
 
 }  // namespace
+
+// ------------------------------------------------------------------------
+// Scalar vs blocked backend comparison -> BENCH_kernels.json.
+// ------------------------------------------------------------------------
+
+namespace kern = nn::kernels;
+
+struct CompareShape {
+  const char* name;
+  kern::ConvDims d;
+};
+
+double time_ms(const std::function<void()>& fn) {
+  // Adaptive repeat count, best-of-5 batches: stable on noisy shared hosts.
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up (page in buffers, spin up the OpenMP pool)
+  auto t0 = clock::now();
+  fn();
+  double once_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  const int iters =
+      std::clamp(static_cast<int>(20.0 / std::max(once_ms, 1e-3)), 3, 300);
+  double best = 1e300;
+  for (int batch = 0; batch < 5; ++batch) {
+    t0 = clock::now();
+    for (int it = 0; it < iters; ++it) {
+      fn();
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count() /
+        iters;
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+struct CompareRow {
+  std::string kernel;
+  std::string shape;
+  index_t macs;
+  double scalar_ms;
+  double blocked_ms;
+};
+
+void run_backend_compare(const char* json_path) {
+  RandomEngine rng(99);
+  // Batched (N >= 16) TCN-style shapes — the PIT search hot path.
+  const std::vector<CompareShape> shapes = {
+      {"n16_c32_k9_t256_d1_s1", {16, 32, 32, 9, 256, 256, 1, 1}},
+      {"n16_c64_k5_t128_d2_s1", {16, 64, 64, 5, 128, 128, 2, 1}},
+      {"n32_c32_k17_t64_d1_s1", {32, 32, 32, 17, 64, 64, 1, 1}},
+      {"n16_c32_k9_t256_d1_s2", {16, 32, 32, 9, 256, 128, 1, 2}},
+  };
+  std::vector<CompareRow> rows;
+  std::printf("\nscalar vs blocked backend (best-of-5 ms/call)\n");
+  std::printf("%-28s %-16s %10s %11s %8s\n", "shape", "kernel", "scalar",
+              "blocked", "speedup");
+  for (const auto& s : shapes) {
+    const kern::ConvDims& d = s.d;
+    Tensor x = Tensor::randn(Shape{d.n, d.c_in, d.t_in}, rng);
+    Tensor w = Tensor::randn(Shape{d.c_out, d.c_in, d.k}, rng);
+    Tensor b = Tensor::randn(Shape{d.c_out}, rng);
+    Tensor y = Tensor::zeros(Shape{d.n, d.c_out, d.t_out});
+    Tensor dy = Tensor::randn(Shape{d.n, d.c_out, d.t_out}, rng);
+    Tensor dx = Tensor::zeros(Shape{d.n, d.c_in, d.t_in});
+    Tensor dw = Tensor::zeros(Shape{d.c_out, d.c_in, d.k});
+    struct KernelRun {
+      const char* name;
+      std::function<void(kern::Backend)> call;
+    };
+    const std::vector<KernelRun> kernels = {
+        {"forward",
+         [&](kern::Backend bk) {
+           kern::conv_forward(x.data(), w.data(), b.data(), y.data(), d, bk);
+         }},
+        {"backward_input",
+         [&](kern::Backend bk) {
+           kern::conv_backward_input(dy.data(), w.data(), dx.data(), d, bk);
+         }},
+        {"backward_weight",
+         [&](kern::Backend bk) {
+           kern::conv_backward_weight(dy.data(), x.data(), dw.data(), d, bk);
+         }},
+    };
+    for (const auto& k : kernels) {
+      const double scalar_ms =
+          time_ms([&] { k.call(kern::Backend::kScalar); });
+      const double blocked_ms =
+          time_ms([&] { k.call(kern::Backend::kBlocked); });
+      rows.push_back({k.name, s.name, kern::conv_macs(d), scalar_ms,
+                      blocked_ms});
+      std::printf("%-28s %-16s %9.3fms %9.3fms %7.2fx\n", s.name, k.name,
+                  scalar_ms, blocked_ms, scalar_ms / blocked_ms);
+    }
+  }
+
+  int threads = 1;
+#ifdef _OPENMP
+  threads = omp_get_max_threads();
+#endif
+  std::ofstream out(json_path);
+  out << "{\n  \"bench\": \"kernels_backend_compare\",\n"
+      << "  \"threads\": " << threads << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CompareRow& r = rows[i];
+    out << "    {\"shape\": \"" << r.shape << "\", \"kernel\": \"" << r.kernel
+        << "\", \"macs\": " << r.macs << ", \"scalar_ms\": " << r.scalar_ms
+        << ", \"blocked_ms\": " << r.blocked_ms
+        << ", \"speedup\": " << r.scalar_ms / r.blocked_ms << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s (threads=%d)\n", json_path, threads);
+}
+
 }  // namespace pit
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool compare_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compare-only") == 0) {
+      compare_only = true;
+      std::swap(argv[i], argv[argc - 1]);
+      --argc;
+      break;
+    }
+  }
+  if (!compare_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  pit::run_backend_compare("BENCH_kernels.json");
+  return 0;
+}

@@ -4,7 +4,7 @@
 
 #include "core/mask.hpp"
 #include "nn/conv1d.hpp"
-#include "nn/conv_kernels.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "tensor/autograd.hpp"
 #include "tensor/error.hpp"
 #include "tensor/ops.hpp"
@@ -27,7 +27,7 @@ Tensor masked_causal_conv1d(const Tensor& x, const Tensor& weight,
               "masked_causal_conv1d: bias shape");
   }
 
-  nn::detail::ConvDims dims{};
+  nn::kernels::ConvDims dims{};
   dims.n = x.dim(0);
   dims.c_in = x.dim(1);
   dims.t_in = x.dim(2);
@@ -53,7 +53,7 @@ Tensor masked_causal_conv1d(const Tensor& x, const Tensor& weight,
   }
 
   Tensor out = Tensor::zeros(Shape{dims.n, dims.c_out, dims.t_out});
-  nn::detail::conv_forward(x.data(), weff.data(),
+  nn::kernels::conv_forward(x.data(), weff.data(),
                            bias.defined() ? bias.data() : nullptr, out.data(),
                            dims);
 
@@ -76,7 +76,7 @@ Tensor masked_causal_conv1d(const Tensor& x, const Tensor& weight,
         };
         if (needs(tx)) {
           auto xg = grad_span(*tx.impl());
-          nn::detail::conv_backward_input(dy, teff.data(), xg.data(), dims);
+          nn::kernels::conv_backward_input(dy, teff.data(), xg.data(), dims);
         }
         const bool w_needs = needs(tw);
         const bool m_needs = needs(tm);
@@ -85,7 +85,7 @@ Tensor masked_causal_conv1d(const Tensor& x, const Tensor& weight,
           // dW = dWeff ⊙ M,  dM_i = sum_{co,ci} dWeff[co,ci,i] * W[co,ci,i].
           std::vector<float> dweff(
               static_cast<std::size_t>(tw.numel()), 0.0F);
-          nn::detail::conv_backward_weight(dy, tx.data(), dweff.data(), dims);
+          nn::kernels::conv_backward_weight(dy, tx.data(), dweff.data(), dims);
           const float* wd = tw.data();
           const float* md = tm.data();
           const index_t pairs = dims.c_out * dims.c_in;
@@ -112,7 +112,7 @@ Tensor masked_causal_conv1d(const Tensor& x, const Tensor& weight,
         }
         if (needs(tb)) {
           auto bg = grad_span(*tb.impl());
-          nn::detail::conv_backward_bias(dy, bg.data(), dims);
+          nn::kernels::conv_backward_bias(dy, bg.data(), dims);
         }
       });
 }

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "nn/conv_kernels.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "tensor/autograd.hpp"
 #include "tensor/error.hpp"
 
@@ -33,7 +33,7 @@ Tensor causal_conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
               "causal_conv1d: bias shape " << bias.shape().to_string());
   }
 
-  detail::ConvDims dims{};
+  kernels::ConvDims dims{};
   dims.n = x.dim(0);
   dims.c_in = x.dim(1);
   dims.t_in = x.dim(2);
@@ -44,7 +44,7 @@ Tensor causal_conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
   dims.t_out = causal_conv1d_output_steps(dims.t_in, stride);
 
   Tensor out = Tensor::zeros(Shape{dims.n, dims.c_out, dims.t_out});
-  detail::conv_forward(x.data(), weight.data(),
+  kernels::conv_forward(x.data(), weight.data(),
                        bias.defined() ? bias.data() : nullptr, out.data(),
                        dims);
 
@@ -61,16 +61,16 @@ Tensor causal_conv1d(const Tensor& x, const Tensor& weight, const Tensor& bias,
         const float* dy = o.grad.data();
         if (tx.impl()->requires_grad || tx.impl()->grad_fn != nullptr) {
           auto xg = grad_span(*tx.impl());
-          detail::conv_backward_input(dy, tw.data(), xg.data(), dims);
+          kernels::conv_backward_input(dy, tw.data(), xg.data(), dims);
         }
         if (tw.impl()->requires_grad || tw.impl()->grad_fn != nullptr) {
           auto wg = grad_span(*tw.impl());
-          detail::conv_backward_weight(dy, tx.data(), wg.data(), dims);
+          kernels::conv_backward_weight(dy, tx.data(), wg.data(), dims);
         }
         if (tb.defined() &&
             (tb.impl()->requires_grad || tb.impl()->grad_fn != nullptr)) {
           auto bg = grad_span(*tb.impl());
-          detail::conv_backward_bias(dy, bg.data(), dims);
+          kernels::conv_backward_bias(dy, bg.data(), dims);
         }
       });
 }

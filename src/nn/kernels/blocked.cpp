@@ -1,0 +1,93 @@
+// Blocked backend entry points: runtime ISA selection over the per-level
+// kernel variants in blocked_impl.cpp.
+//
+// CMake builds blocked_impl.cpp once at the portable baseline and, on
+// x86-64 hosts whose compiler supports the flags, again at the
+// x86-64-v3 (AVX2+FMA) and x86-64-v4 (AVX-512) micro-architecture levels
+// (PIT_KERNELS_HAVE_V3 / PIT_KERNELS_HAVE_V4). The widest level the
+// running CPU reports via __builtin_cpu_supports wins, checked once.
+#include "nn/kernels/kernels.hpp"
+
+namespace pit::nn::kernels::blocked {
+
+#define PIT_DECLARE_BLOCKED_VARIANT(ns)                                     \
+  namespace ns {                                                            \
+  void conv_forward(const float* x, const float* w, const float* bias,      \
+                    float* y, const ConvDims& d);                           \
+  void conv_backward_input(const float* dy, const float* w, float* dx,      \
+                           const ConvDims& d);                              \
+  void conv_backward_weight(const float* dy, const float* x, float* dw,     \
+                            const ConvDims& d);                             \
+  }
+
+PIT_DECLARE_BLOCKED_VARIANT(base)
+#ifdef PIT_KERNELS_HAVE_V3
+PIT_DECLARE_BLOCKED_VARIANT(v3)
+#endif
+#ifdef PIT_KERNELS_HAVE_V4
+PIT_DECLARE_BLOCKED_VARIANT(v4)
+#endif
+
+#undef PIT_DECLARE_BLOCKED_VARIANT
+
+namespace {
+
+using ForwardFn = void (*)(const float*, const float*, const float*, float*,
+                           const ConvDims&);
+using BackwardInputFn = void (*)(const float*, const float*, float*,
+                                 const ConvDims&);
+using BackwardWeightFn = void (*)(const float*, const float*, float*,
+                                  const ConvDims&);
+
+struct VariantTable {
+  ForwardFn forward;
+  BackwardInputFn backward_input;
+  BackwardWeightFn backward_weight;
+};
+
+VariantTable pick_variant() {
+#if defined(PIT_KERNELS_HAVE_V3) || defined(PIT_KERNELS_HAVE_V4)
+  __builtin_cpu_init();
+#endif
+#ifdef PIT_KERNELS_HAVE_V4
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return {v4::conv_forward, v4::conv_backward_input,
+            v4::conv_backward_weight};
+  }
+#endif
+#ifdef PIT_KERNELS_HAVE_V3
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return {v3::conv_forward, v3::conv_backward_input,
+            v3::conv_backward_weight};
+  }
+#endif
+  return {base::conv_forward, base::conv_backward_input,
+          base::conv_backward_weight};
+}
+
+const VariantTable& variant() {
+  static const VariantTable table = pick_variant();
+  return table;
+}
+
+}  // namespace
+
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvDims& d) {
+  variant().forward(x, w, bias, y, d);
+}
+
+void conv_backward_input(const float* dy, const float* w, float* dx,
+                         const ConvDims& d) {
+  variant().backward_input(dy, w, dx, d);
+}
+
+void conv_backward_weight(const float* dy, const float* x, float* dw,
+                          const ConvDims& d) {
+  variant().backward_weight(dy, x, dw, d);
+}
+
+}  // namespace pit::nn::kernels::blocked

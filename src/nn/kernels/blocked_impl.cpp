@@ -1,0 +1,277 @@
+// Blocked kernel bodies, compiled once per x86-64 micro-architecture level.
+//
+// This translation unit is built up to three times by CMake with different
+// -march flags and -DPIT_BLOCKED_ISA_NS={base,v3,v4}; blocked.cpp picks
+// the widest variant the host CPU supports at runtime. Keeping the ISA
+// split at the translation-unit level (instead of per-function `target`
+// attributes or `target_clones`) guarantees the OpenMP-outlined loop
+// bodies are compiled for the same ISA as their enclosing kernel, which
+// GCC does not promise for attribute-based multi-versioning.
+//
+// The tiling story is the same for all three kernels: hold a small
+// kCoTile x kTTile accumulator block in registers / L1 across the full
+// reduction, so each loaded input value is reused kCoTile times and the
+// output block is touched exactly once — the scalar reference instead
+// re-reads and re-writes each output row c_in * k times. Interior tiles
+// take a constant-trip-count inner loop (compile-time extent, fully
+// vectorisable); tile edges and the implicit left zero-padding fall back
+// to a variable-bound loop. Stride 1 — the TCN hot path, every PIT
+// search step — is the fast path throughout; stride > 1 keeps the same
+// structure with strided gathers, except backward-input where scatter
+// aliasing makes tiling pointless and the scalar loop shape runs under a
+// parallel channel-ownership grid.
+//
+// Thread safety without atomics: each cell of the OpenMP grid owns a
+// disjoint slice of the output, so results are bitwise identical at any
+// thread count.
+#include <algorithm>
+
+#include "nn/kernels/kernels.hpp"
+
+#ifndef PIT_BLOCKED_ISA_NS
+#define PIT_BLOCKED_ISA_NS base
+#endif
+
+namespace pit::nn::kernels::blocked {
+namespace PIT_BLOCKED_ISA_NS {
+namespace {
+
+constexpr index_t kCoTile = 4;   // output rows held in registers
+constexpr index_t kTTile = 64;   // time steps per accumulator block
+constexpr index_t kLanes = 8;    // explicit reduction lanes (one SIMD word)
+
+inline bool all_zero4(const float (&v)[kCoTile]) {
+  return v[0] == 0.0F && v[1] == 0.0F && v[2] == 0.0F && v[3] == 0.0F;
+}
+
+}  // namespace
+
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvDims& d) {
+  const index_t co_blocks = (d.c_out + kCoTile - 1) / kCoTile;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (index_t n = 0; n < d.n; ++n) {
+    for (index_t cb = 0; cb < co_blocks; ++cb) {
+      const index_t co0 = cb * kCoTile;
+      const index_t nco = std::min(kCoTile, d.c_out - co0);
+      const float* xn = x + n * d.c_in * d.t_in;
+      float* yn = y + n * d.c_out * d.t_out;
+      for (index_t t0 = 0; t0 < d.t_out; t0 += kTTile) {
+        const index_t nt = std::min(kTTile, d.t_out - t0);
+        float acc[kCoTile][kTTile];
+        for (index_t c = 0; c < kCoTile; ++c) {
+          const float b = (bias != nullptr && c < nco) ? bias[co0 + c] : 0.0F;
+          for (index_t tt = 0; tt < kTTile; ++tt) {
+            acc[c][tt] = b;
+          }
+        }
+        for (index_t ci = 0; ci < d.c_in; ++ci) {
+          const float* xrow = xn + ci * d.t_in;
+          for (index_t i = 0; i < d.k; ++i) {
+            float wv[kCoTile];
+            for (index_t c = 0; c < kCoTile; ++c) {
+              wv[c] = (c < nco) ? w[((co0 + c) * d.c_in + ci) * d.k + i]
+                                : 0.0F;
+            }
+            if (all_zero4(wv)) {
+              continue;  // pruned tap (PIT masks zero whole taps)
+            }
+            const index_t back = i * d.dilation;
+            if (d.stride == 1) {
+              const float* xs = xrow - back;
+              if (back <= t0 && nt == kTTile) {
+                // Interior tile: constant trip count, fully vectorised.
+                const float* xb = xs + t0;
+                for (index_t tt = 0; tt < kTTile; ++tt) {
+                  const float xv = xb[tt];
+                  for (index_t c = 0; c < kCoTile; ++c) {
+                    acc[c][tt] += wv[c] * xv;
+                  }
+                }
+              } else {
+                for (index_t t = std::max(t0, back); t < t0 + nt; ++t) {
+                  const float xv = xs[t];
+                  const index_t tt = t - t0;
+                  for (index_t c = 0; c < kCoTile; ++c) {
+                    acc[c][tt] += wv[c] * xv;
+                  }
+                }
+              }
+            } else {
+              const index_t tfirst = (back + d.stride - 1) / d.stride;
+              for (index_t t = std::max(t0, tfirst); t < t0 + nt; ++t) {
+                const float xv = xrow[t * d.stride - back];
+                const index_t tt = t - t0;
+                for (index_t c = 0; c < kCoTile; ++c) {
+                  acc[c][tt] += wv[c] * xv;
+                }
+              }
+            }
+          }
+        }
+        for (index_t c = 0; c < nco; ++c) {
+          float* yrow = yn + (co0 + c) * d.t_out;
+          for (index_t tt = 0; tt < nt; ++tt) {
+            yrow[t0 + tt] += acc[c][tt];
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv_backward_input(const float* dy, const float* w, float* dx,
+                         const ConvDims& d) {
+  const index_t ci_blocks = (d.c_in + kCoTile - 1) / kCoTile;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (index_t n = 0; n < d.n; ++n) {
+    for (index_t cb = 0; cb < ci_blocks; ++cb) {
+      const index_t ci0 = cb * kCoTile;
+      const index_t nci = std::min(kCoTile, d.c_in - ci0);
+      const float* dyn = dy + n * d.c_out * d.t_out;
+      float* dxn = dx + n * d.c_in * d.t_in;
+      if (d.stride == 1) {
+        // Gather form: dx[ci,s] += sum_{co,i} w[co,ci,i] * dy[co,s+i*dil],
+        // valid while s + i*dil < t_out. Accumulator block stays in
+        // registers across the whole (co, i) reduction.
+        for (index_t s0 = 0; s0 < d.t_in; s0 += kTTile) {
+          const index_t ns = std::min(kTTile, d.t_in - s0);
+          float acc[kCoTile][kTTile] = {};
+          for (index_t co = 0; co < d.c_out; ++co) {
+            const float* dyrow = dyn + co * d.t_out;
+            for (index_t i = 0; i < d.k; ++i) {
+              float wv[kCoTile];
+              for (index_t c = 0; c < kCoTile; ++c) {
+                wv[c] = (c < nci) ? w[(co * d.c_in + ci0 + c) * d.k + i]
+                                  : 0.0F;
+              }
+              if (all_zero4(wv)) {
+                continue;
+              }
+              const index_t back = i * d.dilation;
+              const float* ds = dyrow + back;
+              if (s0 + kTTile <= d.t_out - back && ns == kTTile) {
+                const float* db = ds + s0;
+                for (index_t tt = 0; tt < kTTile; ++tt) {
+                  const float dv = db[tt];
+                  for (index_t c = 0; c < kCoTile; ++c) {
+                    acc[c][tt] += wv[c] * dv;
+                  }
+                }
+              } else {
+                const index_t hi = std::min(s0 + ns, d.t_out - back);
+                for (index_t s = s0; s < hi; ++s) {
+                  const float dv = ds[s];
+                  const index_t tt = s - s0;
+                  for (index_t c = 0; c < kCoTile; ++c) {
+                    acc[c][tt] += wv[c] * dv;
+                  }
+                }
+              }
+            }
+          }
+          for (index_t c = 0; c < nci; ++c) {
+            float* dxrow = dxn + (ci0 + c) * d.t_in;
+            for (index_t tt = 0; tt < ns; ++tt) {
+              dxrow[s0 + tt] += acc[c][tt];
+            }
+          }
+        }
+      } else {
+        // Strided scatter: keep the scalar loop shape, restricted to the
+        // ci rows this thread owns (no cross-thread aliasing).
+        for (index_t c = 0; c < nci; ++c) {
+          const index_t ci = ci0 + c;
+          float* dxrow = dxn + ci * d.t_in;
+          for (index_t co = 0; co < d.c_out; ++co) {
+            const float* dyrow = dyn + co * d.t_out;
+            const float* wrow = w + (co * d.c_in + ci) * d.k;
+            for (index_t i = 0; i < d.k; ++i) {
+              const float wv = wrow[i];
+              if (wv == 0.0F) {
+                continue;
+              }
+              const index_t back = i * d.dilation;
+              const index_t t0 = (back + d.stride - 1) / d.stride;
+              for (index_t t = t0; t < d.t_out; ++t) {
+                dxrow[t * d.stride - back] += wv * dyrow[t];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv_backward_weight(const float* dy, const float* x, float* dw,
+                          const ConvDims& d) {
+  const index_t co_blocks = (d.c_out + kCoTile - 1) / kCoTile;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (index_t cb = 0; cb < co_blocks; ++cb) {
+    for (index_t ci = 0; ci < d.c_in; ++ci) {
+      const index_t co0 = cb * kCoTile;
+      const index_t nco = std::min(kCoTile, d.c_out - co0);
+      for (index_t i = 0; i < d.k; ++i) {
+        const index_t back = i * d.dilation;
+        const index_t t0 = (back + d.stride - 1) / d.stride;
+        float total[kCoTile] = {};
+        for (index_t n = 0; n < d.n; ++n) {
+          const float* xrow = x + (n * d.c_in + ci) * d.t_in;
+          const float* dyp[kCoTile];
+          for (index_t c = 0; c < kCoTile; ++c) {
+            // Clamp out-of-range rows to a valid one; their accumulator
+            // lanes are discarded below.
+            const index_t co = co0 + std::min(c, nco - 1);
+            dyp[c] = dy + (n * d.c_out + co) * d.t_out;
+          }
+          // Per-batch partial rounded separately (close to the scalar
+          // reference's accumulation order). The dot product is a serial
+          // FP dependency chain the vectoriser must not reorder, so split
+          // it into kLanes explicit accumulators — independent chains the
+          // compiler can SLP-vectorise into one FMA stream per row.
+          float acc[kCoTile] = {};
+          if (d.stride == 1) {
+            const float* xs = xrow - back;
+            float accv[kCoTile][kLanes] = {};
+            index_t t = t0;
+            for (; t + kLanes <= d.t_out; t += kLanes) {
+              for (index_t c = 0; c < kCoTile; ++c) {
+                for (index_t l = 0; l < kLanes; ++l) {
+                  accv[c][l] += dyp[c][t + l] * xs[t + l];
+                }
+              }
+            }
+            for (; t < d.t_out; ++t) {
+              const float xv = xs[t];
+              for (index_t c = 0; c < kCoTile; ++c) {
+                acc[c] += dyp[c][t] * xv;
+              }
+            }
+            for (index_t c = 0; c < kCoTile; ++c) {
+              for (index_t l = 0; l < kLanes; ++l) {
+                acc[c] += accv[c][l];
+              }
+            }
+          } else {
+            for (index_t t = t0; t < d.t_out; ++t) {
+              const float xv = xrow[t * d.stride - back];
+              for (index_t c = 0; c < kCoTile; ++c) {
+                acc[c] += dyp[c][t] * xv;
+              }
+            }
+          }
+          for (index_t c = 0; c < kCoTile; ++c) {
+            total[c] += acc[c];
+          }
+        }
+        for (index_t c = 0; c < nco; ++c) {
+          dw[((co0 + c) * d.c_in + ci) * d.k + i] += total[c];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace PIT_BLOCKED_ISA_NS
+}  // namespace pit::nn::kernels::blocked

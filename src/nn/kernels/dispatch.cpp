@@ -1,0 +1,106 @@
+// Runtime backend selection for the convolution kernel engine.
+//
+// Resolution order for a Backend::kAuto request:
+//   1. set_default_backend() override (tests / benches),
+//   2. PIT_CONV_BACKEND environment variable ("scalar" / "blocked"),
+//   3. problem-size heuristic: blocked once the MAC count can amortise
+//      tile setup; tiny problems stay on the leaner scalar loops.
+#include <cstdlib>
+#include <cstring>
+
+#include "nn/kernels/kernels.hpp"
+
+namespace pit::nn::kernels {
+namespace {
+
+// Below ~16k MACs the blocked engine's tile setup and OpenMP fork cost
+// more than they save (measured on the bench_kernels shapes).
+constexpr index_t kBlockedMinMacs = 16384;
+
+Backend env_backend() {
+  static const Backend cached = [] {
+    const char* v = std::getenv("PIT_CONV_BACKEND");
+    if (v == nullptr) {
+      return Backend::kAuto;
+    }
+    if (std::strcmp(v, "scalar") == 0) {
+      return Backend::kScalar;
+    }
+    if (std::strcmp(v, "blocked") == 0) {
+      return Backend::kBlocked;
+    }
+    return Backend::kAuto;  // unknown value: fall through to the heuristic
+  }();
+  return cached;
+}
+
+Backend g_default = Backend::kAuto;
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kBlocked:
+      return "blocked";
+    case Backend::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+void set_default_backend(Backend b) { g_default = b; }
+
+Backend default_backend() { return g_default; }
+
+index_t conv_macs(const ConvDims& d) {
+  return d.n * d.c_out * d.c_in * d.k * d.t_out;
+}
+
+Backend resolve_backend(Backend requested, const ConvDims& d) {
+  if (requested != Backend::kAuto) {
+    return requested;
+  }
+  if (g_default != Backend::kAuto) {
+    return g_default;
+  }
+  if (env_backend() != Backend::kAuto) {
+    return env_backend();
+  }
+  return conv_macs(d) >= kBlockedMinMacs ? Backend::kBlocked
+                                         : Backend::kScalar;
+}
+
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvDims& d, Backend backend) {
+  if (resolve_backend(backend, d) == Backend::kBlocked) {
+    blocked::conv_forward(x, w, bias, y, d);
+  } else {
+    scalar::conv_forward(x, w, bias, y, d);
+  }
+}
+
+void conv_backward_input(const float* dy, const float* w, float* dx,
+                         const ConvDims& d, Backend backend) {
+  if (resolve_backend(backend, d) == Backend::kBlocked) {
+    blocked::conv_backward_input(dy, w, dx, d);
+  } else {
+    scalar::conv_backward_input(dy, w, dx, d);
+  }
+}
+
+void conv_backward_weight(const float* dy, const float* x, float* dw,
+                          const ConvDims& d, Backend backend) {
+  if (resolve_backend(backend, d) == Backend::kBlocked) {
+    blocked::conv_backward_weight(dy, x, dw, d);
+  } else {
+    scalar::conv_backward_weight(dy, x, dw, d);
+  }
+}
+
+void conv_backward_bias(const float* dy, float* db, const ConvDims& d) {
+  scalar::conv_backward_bias(dy, db, d);
+}
+
+}  // namespace pit::nn::kernels

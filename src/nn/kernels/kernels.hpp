@@ -1,0 +1,100 @@
+// Dispatching kernel engine for causal dilated convolution.
+//
+// Two backends implement the same contract:
+//   - scalar:  the original single-threaded triple-loop, kept as the
+//              bit-exact reference every other backend is tested against.
+//   - blocked: output-channel x time register tiling with a contiguous
+//              stride-1 fast path, parallelised with OpenMP over the
+//              batch x c_out grid (forward / backward-input over the
+//              batch x c_in grid; backward-weight over c_out blocks so
+//              every thread owns its output slice and no reduction race
+//              exists).
+//
+// All kernels *accumulate* into their outputs, so callers zero-fill.
+// Taps whose weights are exactly zero (PIT masks broadcast a zero over
+// every channel pair of a pruned tap) are skipped by both backends, so
+// pruning pays off during the search too.
+//
+// The free functions at the top level resolve Backend::kAuto per call:
+// an explicit override (set_default_backend or the PIT_CONV_BACKEND
+// environment variable, values "scalar" / "blocked" / "auto") wins,
+// otherwise a problem-size heuristic picks the blocked engine once the
+// multiply-accumulate count is large enough to amortise tiling overhead.
+#pragma once
+
+#include "tensor/shape.hpp"
+
+namespace pit::nn::kernels {
+
+struct ConvDims {
+  index_t n;      // batch
+  index_t c_in;   // input channels
+  index_t c_out;  // output channels
+  index_t k;      // filter taps
+  index_t t_in;   // input time steps
+  index_t t_out;  // output time steps
+  index_t dilation;
+  index_t stride;
+};
+
+enum class Backend {
+  kAuto = 0,     // resolve per problem size (or global/env override)
+  kScalar = 1,   // reference triple-loop
+  kBlocked = 2,  // tiled + OpenMP
+};
+
+/// Human-readable backend name ("auto", "scalar", "blocked").
+const char* backend_name(Backend b);
+
+/// Global override applied when a call requests Backend::kAuto.
+/// Passing Backend::kAuto restores the size heuristic. Thread-unsafe by
+/// design: meant for test/bench setup, not concurrent reconfiguration.
+void set_default_backend(Backend b);
+Backend default_backend();
+
+/// Multiply-accumulate count of the problem (n * c_out * c_in * k * t_out).
+index_t conv_macs(const ConvDims& d);
+
+/// The backend a Backend::kAuto request resolves to for this problem.
+Backend resolve_backend(Backend requested, const ConvDims& d);
+
+// ---- Dispatched entry points -------------------------------------------
+
+/// y[n,co,t] += sum_{ci,i} w[co,ci,i] * x[n,ci,t*stride - i*dilation]
+/// (implicit zero left-padding). `bias` may be null.
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvDims& d, Backend backend = Backend::kAuto);
+
+/// dx[n,ci,s] += sum_{co,i} w[co,ci,i] * dy[n,co,t], s = t*stride - i*dil.
+void conv_backward_input(const float* dy, const float* w, float* dx,
+                         const ConvDims& d, Backend backend = Backend::kAuto);
+
+/// dw[co,ci,i] += sum_{n,t} dy[n,co,t] * x[n,ci,t*stride - i*dilation].
+void conv_backward_weight(const float* dy, const float* x, float* dw,
+                          const ConvDims& d, Backend backend = Backend::kAuto);
+
+/// db[co] += sum_{n,t} dy[n,co,t]. Memory-bound; no blocked variant.
+void conv_backward_bias(const float* dy, float* db, const ConvDims& d);
+
+// ---- Backends (exposed for parity tests and benches) -------------------
+
+namespace scalar {
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvDims& d);
+void conv_backward_input(const float* dy, const float* w, float* dx,
+                         const ConvDims& d);
+void conv_backward_weight(const float* dy, const float* x, float* dw,
+                          const ConvDims& d);
+void conv_backward_bias(const float* dy, float* db, const ConvDims& d);
+}  // namespace scalar
+
+namespace blocked {
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvDims& d);
+void conv_backward_input(const float* dy, const float* w, float* dx,
+                         const ConvDims& d);
+void conv_backward_weight(const float* dy, const float* x, float* dw,
+                          const ConvDims& d);
+}  // namespace blocked
+
+}  // namespace pit::nn::kernels

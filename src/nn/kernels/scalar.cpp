@@ -1,29 +1,14 @@
-// Shared inner loops for causal dilated convolution.
+// Reference backend: the original single-threaded triple-loop kernels.
 //
-// Used by both the plain Conv1d op (src/nn/conv1d.cpp) and the masked PIT
-// convolution (src/core/pit_conv1d.cpp), which convolves with effective
-// weights W ⊙ M. All kernels accumulate, so callers zero-fill outputs.
-#pragma once
+// Deliberately untiled and unparallelised — this is the ground truth the
+// blocked backend's parity tests compare against, and the fallback for
+// problems too small to amortise tiling overhead.
+#include "nn/kernels/kernels.hpp"
 
-#include "tensor/shape.hpp"
+namespace pit::nn::kernels::scalar {
 
-namespace pit::nn::detail {
-
-struct ConvDims {
-  index_t n;      // batch
-  index_t c_in;   // input channels
-  index_t c_out;  // output channels
-  index_t k;      // filter taps
-  index_t t_in;   // input time steps
-  index_t t_out;  // output time steps
-  index_t dilation;
-  index_t stride;
-};
-
-/// y[n,co,t] += sum_{ci,i} w[co,ci,i] * x[n,ci,t*stride - i*dilation]
-/// (implicit zero left-padding). `bias` may be null.
-inline void conv_forward(const float* x, const float* w, const float* bias,
-                         float* y, const ConvDims& d) {
+void conv_forward(const float* x, const float* w, const float* bias, float* y,
+                  const ConvDims& d) {
   for (index_t n = 0; n < d.n; ++n) {
     const float* xn = x + n * d.c_in * d.t_in;
     float* yn = y + n * d.c_out * d.t_out;
@@ -62,9 +47,8 @@ inline void conv_forward(const float* x, const float* w, const float* bias,
   }
 }
 
-/// dx[n,ci,s] += sum_{co,i} w[co,ci,i] * dy[n,co,t], s = t*stride - i*dil.
-inline void conv_backward_input(const float* dy, const float* w, float* dx,
-                                const ConvDims& d) {
+void conv_backward_input(const float* dy, const float* w, float* dx,
+                         const ConvDims& d) {
   for (index_t n = 0; n < d.n; ++n) {
     const float* dyn = dy + n * d.c_out * d.t_out;
     float* dxn = dx + n * d.c_in * d.t_in;
@@ -96,9 +80,8 @@ inline void conv_backward_input(const float* dy, const float* w, float* dx,
   }
 }
 
-/// dw[co,ci,i] += sum_{n,t} dy[n,co,t] * x[n,ci,t*stride - i*dilation].
-inline void conv_backward_weight(const float* dy, const float* x, float* dw,
-                                 const ConvDims& d) {
+void conv_backward_weight(const float* dy, const float* x, float* dw,
+                          const ConvDims& d) {
   for (index_t n = 0; n < d.n; ++n) {
     const float* xn = x + n * d.c_in * d.t_in;
     const float* dyn = dy + n * d.c_out * d.t_out;
@@ -128,8 +111,7 @@ inline void conv_backward_weight(const float* dy, const float* x, float* dw,
   }
 }
 
-/// db[co] += sum_{n,t} dy[n,co,t].
-inline void conv_backward_bias(const float* dy, float* db, const ConvDims& d) {
+void conv_backward_bias(const float* dy, float* db, const ConvDims& d) {
   for (index_t n = 0; n < d.n; ++n) {
     for (index_t co = 0; co < d.c_out; ++co) {
       const float* dyrow = dy + (n * d.c_out + co) * d.t_out;
@@ -142,4 +124,4 @@ inline void conv_backward_bias(const float* dy, float* db, const ConvDims& d) {
   }
 }
 
-}  // namespace pit::nn::detail
+}  // namespace pit::nn::kernels::scalar

@@ -19,7 +19,11 @@ class Sequential : public Module {
   M& add(Args&&... args) {
     auto owned = std::make_unique<M>(std::forward<Args>(args)...);
     M& ref = *owned;
-    register_module("m" + std::to_string(modules_.size()), owned.get());
+    // Built with += rather than operator+(const char*, string&&), which
+    // trips GCC 12's -Wrestrict false positive (PR105329) at -O3.
+    std::string name = "m";
+    name += std::to_string(modules_.size());
+    register_module(name, owned.get());
     modules_.push_back(std::move(owned));
     return ref;
   }
