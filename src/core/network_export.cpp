@@ -58,6 +58,13 @@ std::unique_ptr<nn::Conv1d> export_conv(const PITConv1d& layer,
   return conv;
 }
 
+Tensor exported_weight(const PITConv1d& layer) {
+  Tensor out = Tensor::empty(Shape{layer.out_channels(), layer.in_channels(),
+                                   layer.current_alive_taps()});
+  copy_surviving_taps(layer.weight(), out, layer.current_dilation());
+  return out;
+}
+
 void export_weights(const nn::Module& src_model,
                     const std::vector<PITConv1d*>& src_layers,
                     nn::Module& dst_model) {

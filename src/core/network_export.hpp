@@ -24,6 +24,12 @@ std::vector<index_t> extract_dilations(const std::vector<PITConv1d*>& layers);
 std::unique_ptr<nn::Conv1d> export_conv(const PITConv1d& layer,
                                         RandomEngine& rng);
 
+/// Packed surviving-tap weights of a PIT layer at its current dilation d:
+/// a fresh (C_out, C_in, alive_taps) tensor with dst[..., j] = src[..., j*d].
+/// This is the weight layout export_conv materializes and the frozen
+/// inference runtime (src/runtime) packs into its plan.
+Tensor exported_weight(const PITConv1d& layer);
+
 /// Copies every parameter of `src_model` into `dst_model`, which must be
 /// the same architecture built with plain dilated convs in place of the
 /// PIT layers (models::dilated_conv_factory with extract_dilations()).

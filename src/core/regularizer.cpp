@@ -29,9 +29,8 @@ namespace {
 Tensor weighted_gamma_term(const PITConv1d& layer,
                            const std::vector<float>& slice_weights) {
   // Cin*Cout * sum_i w_i * |gamma_hat_i| for one layer, differentiable.
-  Tensor w = Tensor::from_vector(std::vector<float>(slice_weights),
-                                 Shape{static_cast<index_t>(
-                                     slice_weights.size())});
+  Tensor w = Tensor::from_vector(
+      slice_weights, Shape{static_cast<index_t>(slice_weights.size())});
   Tensor term = sum(mul(abs_op(layer.gamma().values()), w));
   const auto channel_product =
       static_cast<float>(layer.in_channels() * layer.out_channels());

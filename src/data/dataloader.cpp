@@ -15,15 +15,19 @@ Tensor stack_examples(const std::vector<Tensor>& items) {
   for (const index_t d : item_shape.dims()) {
     dims.push_back(d);
   }
-  Tensor out = Tensor::zeros(Shape(dims));
-  const index_t item_numel = item_shape.numel();
+  // Single copy pass into an uninitialized buffer: every element is written
+  // exactly once, so the zero-fill a zeros() allocation would do is pure
+  // waste on the hot path of every training epoch.
+  FloatBuffer data;
+  data.reserve(static_cast<std::size_t>(items.size()) *
+               static_cast<std::size_t>(item_shape.numel()));
   for (std::size_t i = 0; i < items.size(); ++i) {
     PIT_CHECK(items[i].shape() == item_shape,
               "stack_examples: shape mismatch at item " << i);
-    std::copy(items[i].span().begin(), items[i].span().end(),
-              out.data() + static_cast<index_t>(i) * item_numel);
+    const auto view = items[i].span();
+    data.insert(data.end(), view.begin(), view.end());
   }
-  return out;
+  return Tensor::from_buffer(std::move(data), Shape(dims));
 }
 
 DataLoader::DataLoader(const Dataset& dataset, index_t batch_size,

@@ -47,6 +47,15 @@ class ResTCN : public nn::Module {
   /// Hand-tuned geometry of the searchable convs for this config.
   static std::vector<TemporalConvSpec> conv_specs(const ResTcnConfig& config);
 
+  // Layer access for the frozen inference compiler (src/runtime).
+  std::size_t num_blocks() const { return downsamples_.size(); }
+  /// 1x1 residual projection of block `b`, or null when the skip is the
+  /// identity (matching channel counts).
+  const nn::Conv1d* downsample(std::size_t b) const {
+    return downsamples_.at(b).get();
+  }
+  const nn::Conv1d& head() const { return *head_; }
+
   /// Parameter count of the architecture with the given per-conv dilations
   /// assigned over the *seed* receptive fields (alive taps only), including
   /// all fixed layers. dilations.size() must match conv_specs().size().

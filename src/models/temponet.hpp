@@ -60,6 +60,13 @@ class TempoNet : public nn::Module {
   /// Time steps entering the flatten/FC stage for this config.
   static index_t flattened_steps(const TempoNetConfig& config);
 
+  // Layer access for the frozen inference compiler (src/runtime), which
+  // folds each batch-norm into its conv and fuses the activations.
+  const nn::BatchNorm1d& norm(std::size_t i) const { return *norms_.at(i); }
+  const nn::AvgPool1d& pool(std::size_t p) const { return *pools_.at(p); }
+  const nn::Linear& fc1() const { return *fc1_; }
+  const nn::Linear& fc2() const { return *fc2_; }
+
   const TempoNetConfig& config() const { return config_; }
 
  private:

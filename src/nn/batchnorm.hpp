@@ -15,6 +15,8 @@ class BatchNorm1d : public Module {
   Tensor forward(const Tensor& input) override;
 
   index_t num_features() const { return num_features_; }
+  float eps() const { return eps_; }
+  float momentum() const { return momentum_; }
   Tensor gamma() const { return gamma_; }
   Tensor beta() const { return beta_; }
   Tensor running_mean() const { return running_mean_; }

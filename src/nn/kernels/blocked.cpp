@@ -18,6 +18,13 @@ namespace pit::nn::kernels::blocked {
                            const ConvDims& d);                              \
   void conv_backward_weight(const float* dy, const float* x, float* dw,     \
                             const ConvDims& d);                             \
+  void conv_forward_packed(const float* x, const float* wp,                 \
+                           const float* bias, float* y, const ConvDims& d,  \
+                           index_t x_stride, index_t y_stride,              \
+                           bool x_padded, bool relu);                       \
+  void linear_forward(const float* x, const float* w, const float* bias,    \
+                      float* y, index_t n, index_t f, index_t o,            \
+                      bool relu);                                           \
   }
 
 PIT_DECLARE_BLOCKED_VARIANT(base)
@@ -38,11 +45,18 @@ using BackwardInputFn = void (*)(const float*, const float*, float*,
                                  const ConvDims&);
 using BackwardWeightFn = void (*)(const float*, const float*, float*,
                                   const ConvDims&);
+using ForwardPackedFn = void (*)(const float*, const float*, const float*,
+                                 float*, const ConvDims&, index_t, index_t,
+                                 bool, bool);
+using LinearFn = void (*)(const float*, const float*, const float*, float*,
+                          index_t, index_t, index_t, bool);
 
 struct VariantTable {
   ForwardFn forward;
   BackwardInputFn backward_input;
   BackwardWeightFn backward_weight;
+  ForwardPackedFn forward_packed;
+  LinearFn linear;
 };
 
 VariantTable pick_variant() {
@@ -55,17 +69,20 @@ VariantTable pick_variant() {
       __builtin_cpu_supports("avx512dq") &&
       __builtin_cpu_supports("avx512vl")) {
     return {v4::conv_forward, v4::conv_backward_input,
-            v4::conv_backward_weight};
+            v4::conv_backward_weight, v4::conv_forward_packed,
+            v4::linear_forward};
   }
 #endif
 #ifdef PIT_KERNELS_HAVE_V3
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
     return {v3::conv_forward, v3::conv_backward_input,
-            v3::conv_backward_weight};
+            v3::conv_backward_weight, v3::conv_forward_packed,
+            v3::linear_forward};
   }
 #endif
   return {base::conv_forward, base::conv_backward_input,
-          base::conv_backward_weight};
+          base::conv_backward_weight, base::conv_forward_packed,
+          base::linear_forward};
 }
 
 const VariantTable& variant() {
@@ -88,6 +105,18 @@ void conv_backward_input(const float* dy, const float* w, float* dx,
 void conv_backward_weight(const float* dy, const float* x, float* dw,
                           const ConvDims& d) {
   variant().backward_weight(dy, x, dw, d);
+}
+
+void conv_forward_packed(const float* x, const float* wp, const float* bias,
+                         float* y, const ConvDims& d, index_t x_stride,
+                         index_t y_stride, bool x_padded, bool relu) {
+  variant().forward_packed(x, wp, bias, y, d, x_stride, y_stride, x_padded,
+                           relu);
+}
+
+void linear_forward(const float* x, const float* w, const float* bias,
+                    float* y, index_t n, index_t f, index_t o, bool relu) {
+  variant().linear(x, w, bias, y, n, f, o, relu);
 }
 
 }  // namespace pit::nn::kernels::blocked

@@ -44,6 +44,65 @@ inline bool all_zero4(const float (&v)[kCoTile]) {
   return v[0] == 0.0F && v[1] == 0.0F && v[2] == 0.0F && v[3] == 0.0F;
 }
 
+// ---- Inference kernel vocabulary ----------------------------------------
+//
+// Passing 64-byte vectors by value trips -Wpsabi on targets narrower than
+// AVX-512 (the call ABI for such values differs per ISA level). Every
+// vector-typed function here is internal to this TU and inlined, so the
+// ABI note is irrelevant; silence it for the rest of the TU — GCC emits
+// psABI notes at late codegen, so a push/pop region cannot scope it.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+// The packed forward / linear kernels below are written with GCC vector
+// extensions: a 16-float vector the compiler lowers to one zmm (v4), two
+// ymm (v3) or four xmm (base) per operation. Unlike the training kernels'
+// stack accumulator blocks, the 4 x 32 output tile lives in 8 named
+// vector variables, so the whole c_in x k reduction runs register-resident
+// — the training kernels re-load and re-store their accumulator block
+// from L1 on every tap, which is exactly the traffic inference can't
+// afford on one core.
+using vf = float __attribute__((vector_size(64)));
+
+constexpr index_t kVf = 16;               // floats per vf
+constexpr index_t kInferTTile = 2 * kVf;  // time steps per register tile
+static_assert(kInferTTile == kPackTimeTile,
+              "runtime padding contract must match the register tile");
+
+inline vf load16(const float* p) {
+  vf v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store16(float* p, const vf& v) {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+
+inline vf splat(float s) { return vf{} + s; }
+
+/// Writes the first `nt` elements of the 32-wide register tile row;
+/// lanes past nt (tail garbage from slack over-reads) are dropped.
+inline void store_tile_row(float* yrow, const vf& lo, const vf& hi,
+                           index_t nt, bool relu) {
+  if (nt == kInferTTile && !relu) {
+    store16(yrow, lo);
+    store16(yrow + kVf, hi);
+    return;
+  }
+  float tmp[kInferTTile];
+  store16(tmp, lo);
+  store16(tmp + kVf, hi);
+  if (relu) {
+    for (index_t t = 0; t < nt; ++t) {
+      yrow[t] = tmp[t] > 0.0F ? tmp[t] : 0.0F;
+    }
+  } else {
+    for (index_t t = 0; t < nt; ++t) {
+      yrow[t] = tmp[t];
+    }
+  }
+}
+
 }  // namespace
 
 void conv_forward(const float* x, const float* w, const float* bias, float* y,
@@ -269,6 +328,162 @@ void conv_backward_weight(const float* dy, const float* x, float* dw,
           dw[((co0 + c) * d.c_in + ci) * d.k + i] += total[c];
         }
       }
+    }
+  }
+}
+
+void conv_forward_packed(const float* x, const float* wp, const float* bias,
+                         float* y, const ConvDims& d, index_t x_stride,
+                         index_t y_stride, bool x_padded, bool relu) {
+  const index_t co_round = (d.c_out + kPackCo - 1) / kPackCo * kPackCo;
+  const index_t co_blocks = co_round / kPackCo;
+  const index_t max_back = (d.k - 1) * d.dilation;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (index_t n = 0; n < d.n; ++n) {
+    for (index_t cb = 0; cb < co_blocks; ++cb) {
+      const index_t co0 = cb * kPackCo;
+      const index_t nco = std::min(kPackCo, d.c_out - co0);
+      const float* xn = x + n * d.c_in * x_stride;
+      float* yn = y + n * d.c_out * y_stride;
+      float b[kPackCo];
+      for (index_t c = 0; c < kPackCo; ++c) {
+        b[c] = (bias != nullptr && c < nco) ? bias[co0 + c] : 0.0F;
+      }
+      for (index_t t0 = 0; t0 < d.t_out; t0 += kInferTTile) {
+        const index_t nt = std::min(kInferTTile, d.t_out - t0);
+        // Padded rows make every tile register-resident: reads below
+        // t = 0 land in the zeroed lead, tail over-reads land in the
+        // slack, and the masked store drops the garbage lanes.
+        if (x_padded || (t0 >= max_back && nt == kInferTTile)) {
+          // The 4 x 32 output tile stays in 8 vector registers across the
+          // whole c_in x k reduction; each tap costs two x loads, one
+          // packed-weight group and 8 FMAs.
+          vf a0l = splat(b[0]);
+          vf a0h = a0l;
+          vf a1l = splat(b[1]);
+          vf a1h = a1l;
+          vf a2l = splat(b[2]);
+          vf a2h = a2l;
+          vf a3l = splat(b[3]);
+          vf a3h = a3l;
+          const float* wg = wp + co0;
+          for (index_t ci = 0; ci < d.c_in; ++ci) {
+            const float* xrow = xn + ci * x_stride + t0;
+            for (index_t i = 0; i < d.k; ++i) {
+              const float* xs = xrow - i * d.dilation;
+              const vf xl = load16(xs);
+              const vf xh = load16(xs + kVf);
+              const vf w0 = splat(wg[0]);
+              const vf w1 = splat(wg[1]);
+              const vf w2 = splat(wg[2]);
+              const vf w3 = splat(wg[3]);
+              wg += co_round;
+              a0l += w0 * xl;
+              a0h += w0 * xh;
+              a1l += w1 * xl;
+              a1h += w1 * xh;
+              a2l += w2 * xl;
+              a2h += w2 * xh;
+              a3l += w3 * xl;
+              a3h += w3 * xh;
+            }
+          }
+          float* yt = yn + co0 * y_stride + t0;
+          store_tile_row(yt, a0l, a0h, nt, relu);
+          if (nco > 1) {
+            store_tile_row(yt + y_stride, a1l, a1h, nt, relu);
+          }
+          if (nco > 2) {
+            store_tile_row(yt + 2 * y_stride, a2l, a2h, nt, relu);
+          }
+          if (nco > 3) {
+            store_tile_row(yt + 3 * y_stride, a3l, a3h, nt, relu);
+          }
+        } else {
+          // Dense rows near the implicit left padding or the ragged
+          // tail: per-tap clamped spans over an L1 accumulator block.
+          float acc[kPackCo][kInferTTile];
+          for (index_t c = 0; c < kPackCo; ++c) {
+            for (index_t tt = 0; tt < kInferTTile; ++tt) {
+              acc[c][tt] = b[c];
+            }
+          }
+          const float* wg = wp + co0;
+          for (index_t ci = 0; ci < d.c_in; ++ci) {
+            const float* xrow = xn + ci * x_stride;
+            for (index_t i = 0; i < d.k; ++i) {
+              const float w0 = wg[0];
+              const float w1 = wg[1];
+              const float w2 = wg[2];
+              const float w3 = wg[3];
+              wg += co_round;
+              const index_t back = i * d.dilation;
+              const index_t lo = back > t0 ? back - t0 : 0;
+              if (lo >= nt) {
+                continue;  // tap reads only the zero padding here
+              }
+              const float* xs = xrow + t0 - back;
+              for (index_t tt = lo; tt < nt; ++tt) {
+                const float xv = xs[tt];
+                acc[0][tt] += w0 * xv;
+                acc[1][tt] += w1 * xv;
+                acc[2][tt] += w2 * xv;
+                acc[3][tt] += w3 * xv;
+              }
+            }
+          }
+          for (index_t c = 0; c < nco; ++c) {
+            float* yrow = yn + (co0 + c) * y_stride + t0;
+            if (relu) {
+              for (index_t tt = 0; tt < nt; ++tt) {
+                yrow[tt] = acc[c][tt] > 0.0F ? acc[c][tt] : 0.0F;
+              }
+            } else {
+              for (index_t tt = 0; tt < nt; ++tt) {
+                yrow[tt] = acc[c][tt];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void linear_forward(const float* x, const float* w, const float* bias,
+                    float* y, index_t n, index_t f, index_t o, bool relu) {
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) {
+    const float* xrow = x + i * f;
+    float* yrow = y + i * o;
+    for (index_t j = 0; j < o; ++j) {
+      const float* wrow = w + j * f;
+      // Four independent vector chains hide the FMA latency of the dot
+      // product; the ragged tail stays scalar.
+      vf acc0 = {};
+      vf acc1 = {};
+      vf acc2 = {};
+      vf acc3 = {};
+      index_t p = 0;
+      for (; p + 4 * kVf <= f; p += 4 * kVf) {
+        acc0 += load16(xrow + p) * load16(wrow + p);
+        acc1 += load16(xrow + p + kVf) * load16(wrow + p + kVf);
+        acc2 += load16(xrow + p + 2 * kVf) * load16(wrow + p + 2 * kVf);
+        acc3 += load16(xrow + p + 3 * kVf) * load16(wrow + p + 3 * kVf);
+      }
+      for (; p + kVf <= f; p += kVf) {
+        acc0 += load16(xrow + p) * load16(wrow + p);
+      }
+      float sum = bias != nullptr ? bias[j] : 0.0F;
+      float lanes[kVf];
+      store16(lanes, acc0 + acc1 + acc2 + acc3);
+      for (index_t l = 0; l < kVf; ++l) {
+        sum += lanes[l];
+      }
+      for (; p < f; ++p) {
+        sum += xrow[p] * wrow[p];
+      }
+      yrow[j] = relu && sum < 0.0F ? 0.0F : sum;
     }
   }
 }

@@ -2,13 +2,15 @@
 //
 // Resolution order for a Backend::kAuto request:
 //   1. set_default_backend() override (tests / benches),
-//   2. PIT_CONV_BACKEND environment variable ("scalar" / "blocked"),
+//   2. PIT_CONV_BACKEND environment variable ("auto" / "scalar" /
+//      "blocked"; anything else throws at the first dispatched conv),
 //   3. problem-size heuristic: blocked once the MAC count can amortise
 //      tile setup; tiny problems stay on the leaner scalar loops.
 #include <cstdlib>
 #include <cstring>
 
 #include "nn/kernels/kernels.hpp"
+#include "tensor/error.hpp"
 
 namespace pit::nn::kernels {
 namespace {
@@ -18,18 +20,12 @@ namespace {
 constexpr index_t kBlockedMinMacs = 16384;
 
 Backend env_backend() {
+  // An unknown value throws from parse_backend_name at the first dispatched
+  // conv: a typo (PIT_CONV_BACKEND=block) must fail loudly, not silently
+  // run the heuristic the user thought they had overridden.
   static const Backend cached = [] {
     const char* v = std::getenv("PIT_CONV_BACKEND");
-    if (v == nullptr) {
-      return Backend::kAuto;
-    }
-    if (std::strcmp(v, "scalar") == 0) {
-      return Backend::kScalar;
-    }
-    if (std::strcmp(v, "blocked") == 0) {
-      return Backend::kBlocked;
-    }
-    return Backend::kAuto;  // unknown value: fall through to the heuristic
+    return v == nullptr ? Backend::kAuto : parse_backend_name(v);
   }();
   return cached;
 }
@@ -37,6 +33,24 @@ Backend env_backend() {
 Backend g_default = Backend::kAuto;
 
 }  // namespace
+
+Backend parse_backend_name(const char* value) {
+  PIT_CHECK(value != nullptr, "parse_backend_name: null value");
+  if (std::strcmp(value, "auto") == 0) {
+    return Backend::kAuto;
+  }
+  if (std::strcmp(value, "scalar") == 0) {
+    return Backend::kScalar;
+  }
+  if (std::strcmp(value, "blocked") == 0) {
+    return Backend::kBlocked;
+  }
+  PIT_CHECK(false, "unknown conv backend \""
+                       << value
+                       << "\" — PIT_CONV_BACKEND accepts \"auto\", "
+                          "\"scalar\" or \"blocked\"");
+  return Backend::kAuto;  // unreachable
+}
 
 const char* backend_name(Backend b) {
   switch (b) {
@@ -101,6 +115,44 @@ void conv_backward_weight(const float* dy, const float* x, float* dw,
 
 void conv_backward_bias(const float* dy, float* db, const ConvDims& d) {
   scalar::conv_backward_bias(dy, db, d);
+}
+
+// ---- Inference entry points ---------------------------------------------
+
+index_t packed_weight_floats(const ConvDims& d) {
+  const index_t co_round = (d.c_out + kPackCo - 1) / kPackCo * kPackCo;
+  return d.c_in * d.k * co_round;
+}
+
+void pack_conv_weight(const float* w, const ConvDims& d, float* out) {
+  // (co, ci, i) row-major -> [(ci * k + i) * co_round + co], zero-padded
+  // in co so a register tile always reads kPackCo valid floats.
+  const index_t co_round = (d.c_out + kPackCo - 1) / kPackCo * kPackCo;
+  for (index_t ci = 0; ci < d.c_in; ++ci) {
+    for (index_t i = 0; i < d.k; ++i) {
+      float* group = out + (ci * d.k + i) * co_round;
+      for (index_t co = 0; co < co_round; ++co) {
+        group[co] =
+            co < d.c_out ? w[(co * d.c_in + ci) * d.k + i] : 0.0F;
+      }
+    }
+  }
+}
+
+void conv_forward_packed(const float* x, const float* wp, const float* bias,
+                         float* y, const ConvDims& d, index_t x_stride,
+                         index_t y_stride, bool x_padded, bool relu) {
+  PIT_CHECK(d.stride == 1,
+            "conv_forward_packed: stride must be 1, got " << d.stride);
+  PIT_CHECK(x_stride >= d.t_in && y_stride >= d.t_out,
+            "conv_forward_packed: row strides must cover the data");
+  blocked::conv_forward_packed(x, wp, bias, y, d, x_stride, y_stride,
+                               x_padded, relu);
+}
+
+void linear_forward(const float* x, const float* w, const float* bias,
+                    float* y, index_t n, index_t f, index_t o, bool relu) {
+  blocked::linear_forward(x, w, bias, y, n, f, o, relu);
 }
 
 }  // namespace pit::nn::kernels

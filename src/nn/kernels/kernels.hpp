@@ -46,6 +46,12 @@ enum class Backend {
 /// Human-readable backend name ("auto", "scalar", "blocked").
 const char* backend_name(Backend b);
 
+/// Parses a backend name as accepted by the PIT_CONV_BACKEND environment
+/// variable ("auto" / "scalar" / "blocked"). Anything else throws
+/// pit::Error naming the accepted values — a typo must not silently fall
+/// back to the heuristic.
+Backend parse_backend_name(const char* value);
+
 /// Global override applied when a call requests Backend::kAuto.
 /// Passing Backend::kAuto restores the size heuristic. Thread-unsafe by
 /// design: meant for test/bench setup, not concurrent reconfiguration.
@@ -76,6 +82,51 @@ void conv_backward_weight(const float* dy, const float* x, float* dw,
 /// db[co] += sum_{n,t} dy[n,co,t]. Memory-bound; no blocked variant.
 void conv_backward_bias(const float* dy, float* db, const ConvDims& d);
 
+// ---- Inference entry points (frozen runtime) ---------------------------
+//
+// The no-tape runtime (src/runtime) wants every pass it can get fused
+// into the conv itself: these kernels OVERWRITE y (no zero-fill needed),
+// add the bias during the store, and optionally clamp with ReLU. Weights
+// must be pre-packed with pack_conv_weight into
+//   wp[(ci * k + i) * co_round + co],   co_round = round_up(c_out, kPackCo)
+// so the kPackCo output rows of a register tile read one contiguous,
+// zero-padded group per tap. Multi-versioned per ISA level like the
+// blocked backend. Stride must be 1 (the TCN hot path; strided convs take
+// the training kernels instead).
+
+/// Output rows per packed weight group / register tile.
+inline constexpr index_t kPackCo = 4;
+
+/// Time steps per register tile — also the write-slack (in floats) a
+/// padded row must carry after its data so ragged tails can over-read.
+inline constexpr index_t kPackTimeTile = 32;
+
+/// Floats pack_conv_weight needs for dims `d`.
+index_t packed_weight_floats(const ConvDims& d);
+
+/// Packs (c_out, c_in, k) row-major weights into the inference layout.
+void pack_conv_weight(const float* w, const ConvDims& d, float* out);
+
+/// y[n,co,t] = [relu] (bias[co] + sum_{ci,i} wp[...] * x[n,ci,t - i*dil]).
+/// `bias` may be null; stride must be 1.
+///
+/// `x`/`y` point at the logical t = 0 of channel row 0; consecutive
+/// channel rows are x_stride / y_stride floats apart (sample stride is
+/// c * row stride). With x_padded, the caller guarantees each x row is
+/// embedded in a buffer with >= (k-1)*dilation zeroed floats before it
+/// and >= kPackTimeTile readable floats after it — then every tile runs
+/// the register-resident fast path with no per-tap bounds work. Without
+/// it (dense rows, x_stride == t_in) tiles touching the implicit left
+/// padding fall back to clamped spans.
+void conv_forward_packed(const float* x, const float* wp, const float* bias,
+                         float* y, const ConvDims& d, index_t x_stride,
+                         index_t y_stride, bool x_padded, bool relu);
+
+/// y = [relu] (x W^T + b) over (n, f) x (o, f) -> (n, o); `bias` may be
+/// null. Overwrites y. Multi-versioned like the conv kernels.
+void linear_forward(const float* x, const float* w, const float* bias,
+                    float* y, index_t n, index_t f, index_t o, bool relu);
+
 // ---- Backends (exposed for parity tests and benches) -------------------
 
 namespace scalar {
@@ -95,6 +146,11 @@ void conv_backward_input(const float* dy, const float* w, float* dx,
                          const ConvDims& d);
 void conv_backward_weight(const float* dy, const float* x, float* dw,
                           const ConvDims& d);
+void conv_forward_packed(const float* x, const float* wp, const float* bias,
+                         float* y, const ConvDims& d, index_t x_stride,
+                         index_t y_stride, bool x_padded, bool relu);
+void linear_forward(const float* x, const float* w, const float* bias,
+                    float* y, index_t n, index_t f, index_t o, bool relu);
 }  // namespace blocked
 
 }  // namespace pit::nn::kernels

@@ -1,5 +1,7 @@
 #include "nn/schedule.hpp"
 
+#include <cmath>
+
 #include "tensor/error.hpp"
 
 namespace pit::nn {
@@ -11,11 +13,18 @@ EarlyStopping::EarlyStopping(int patience, double min_delta)
 }
 
 bool EarlyStopping::observe(double metric, const Module& model) {
-  if (metric < best_metric_ - min_delta_) {
+  // NaN (a diverged validation loss) never compares below best_metric_, so
+  // it counts as a stale epoch — but the model must still be snapshotted on
+  // the first observation, or a run whose every epoch diverges would leave
+  // restore_best() with nothing to restore.
+  if (!std::isnan(metric) && metric < best_metric_ - min_delta_) {
     best_metric_ = metric;
     stale_epochs_ = 0;
     best_state_ = model.state_snapshot();
     return true;
+  }
+  if (best_state_.empty()) {
+    best_state_ = model.state_snapshot();
   }
   ++stale_epochs_;
   return false;

@@ -1,0 +1,97 @@
+#include "runtime/arena.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <tuple>
+
+#include "tensor/error.hpp"
+
+namespace pit::runtime {
+
+namespace {
+
+struct FreeBlock {
+  index_t offset = 0;
+  index_t size = 0;
+};
+
+/// Inserts [offset, offset+size) into the offset-sorted free list,
+/// coalescing with adjacent blocks.
+void release_block(std::vector<FreeBlock>& free_list, index_t offset,
+                   index_t size) {
+  auto it = std::lower_bound(
+      free_list.begin(), free_list.end(), offset,
+      [](const FreeBlock& b, index_t off) { return b.offset < off; });
+  it = free_list.insert(it, {offset, size});
+  // Merge with the successor first so `it` stays valid.
+  const auto next = it + 1;
+  if (next != free_list.end() && it->offset + it->size == next->offset) {
+    it->size += next->size;
+    free_list.erase(next);
+  }
+  if (it != free_list.begin()) {
+    const auto prev = it - 1;
+    if (prev->offset + prev->size == it->offset) {
+      prev->size += it->size;
+      free_list.erase(it);
+    }
+  }
+}
+
+}  // namespace
+
+ArenaPlan plan_arena(const std::vector<ArenaRequest>& requests) {
+  ArenaPlan plan;
+  plan.offsets.assign(requests.size(), 0);
+
+  std::vector<std::size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return requests[a].start < requests[b].start;
+                   });
+
+  std::vector<FreeBlock> free_list;
+  // Live allocations ordered by expiry: (end, offset, size).
+  using Live = std::tuple<int, index_t, index_t>;
+  std::priority_queue<Live, std::vector<Live>, std::greater<Live>> live;
+
+  for (const std::size_t idx : order) {
+    const ArenaRequest& r = requests[idx];
+    PIT_CHECK(r.size >= 1 && r.end >= r.start,
+              "plan_arena: bad request size=" << r.size << " start=" << r.start
+                                              << " end=" << r.end);
+    while (!live.empty() && std::get<0>(live.top()) < r.start) {
+      release_block(free_list, std::get<1>(live.top()),
+                    std::get<2>(live.top()));
+      live.pop();
+    }
+    // Best fit: the smallest free block that holds the request; fresh
+    // arena space only when nothing fits.
+    auto best = free_list.end();
+    for (auto it = free_list.begin(); it != free_list.end(); ++it) {
+      if (it->size >= r.size && (best == free_list.end() ||
+                                 it->size < best->size)) {
+        best = it;
+      }
+    }
+    index_t offset = 0;
+    if (best != free_list.end()) {
+      offset = best->offset;
+      best->offset += r.size;
+      best->size -= r.size;
+      if (best->size == 0) {
+        free_list.erase(best);
+      }
+    } else {
+      offset = plan.total;
+      plan.total += r.size;
+    }
+    plan.offsets[idx] = offset;
+    live.emplace(r.end, offset, r.size);
+  }
+  return plan;
+}
+
+}  // namespace pit::runtime

@@ -1,0 +1,35 @@
+// Static activation-memory planner for the frozen inference runtime.
+//
+// Every intermediate activation of a compiled network is one request:
+// `size` floats (per batch sample) that must stay resident over the
+// inclusive op interval [start, end]. plan_arena() assigns each request an
+// offset in a single arena such that requests with overlapping lifetimes
+// never share memory while disjoint ones reuse it — the classic static
+// memory planning scheme of inference runtimes (greedy best-fit over a
+// coalescing free list, requests visited in definition order).
+#pragma once
+
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace pit::runtime {
+
+struct ArenaRequest {
+  index_t size = 0;  // floats per batch sample; must be >= 1
+  int start = 0;     // index of the op that writes the buffer
+  int end = 0;       // last op that reads it (inclusive); >= start
+};
+
+struct ArenaPlan {
+  std::vector<index_t> offsets;  // float offset per request, request order
+  index_t total = 0;             // arena floats per batch sample
+};
+
+/// Plans offsets for all requests. Requests are processed in increasing
+/// `start` order (stable for ties); lifetimes are inclusive on both ends,
+/// so two requests may share memory only if one's `end` is strictly
+/// before the other's `start`.
+ArenaPlan plan_arena(const std::vector<ArenaRequest>& requests);
+
+}  // namespace pit::runtime

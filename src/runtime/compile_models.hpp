@@ -1,0 +1,32 @@
+// Model-specific compilers: TempoNet and ResTCN -> CompiledNet.
+//
+// The searchable temporal convs of either model may be plain nn::Conv1d
+// (an export_weights product, or a hand-tuned/dilated build) or PITConv1d
+// straight out of the search with binarized gammas; both freeze to the
+// same FrozenConv — the PIT layer is packed down to its surviving taps
+// (core::exported_weight), which is exactly the collapse the paper sells.
+//
+// Plans are shape-specialized: the compiled net serves any batch size but
+// a fixed per-sample (C, T); compile again for a different input length.
+#pragma once
+
+#include "models/restcn.hpp"
+#include "models/temponet.hpp"
+#include "runtime/compiled_net.hpp"
+
+namespace pit::runtime {
+
+/// Freezes any supported temporal-conv module: nn::Conv1d verbatim, or a
+/// PITConv1d packed to the surviving taps of its current binarized
+/// dilation. Throws for other module types.
+FrozenConv freeze_temporal_conv(const nn::Module& conv);
+
+/// Compiles a trained TempoNet into the frozen runtime plan: batch-norm
+/// folded into each conv, ReLU fused, dropout dropped (eval semantics),
+/// the FC head packed. Matches Module::forward in eval mode.
+CompiledNet compile(const models::TempoNet& model);
+
+/// Compiles a trained ResTCN for inputs of `input_steps` time steps.
+CompiledNet compile(const models::ResTCN& model, index_t input_steps);
+
+}  // namespace pit::runtime

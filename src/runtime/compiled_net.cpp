@@ -1,0 +1,630 @@
+#include "runtime/compiled_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "nn/kernels/kernels.hpp"
+#include "runtime/arena.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::runtime {
+
+namespace {
+
+// Below this many output floats an op runs serially: the OpenMP fork costs
+// more than the loop (same spirit as the kernel engine's MAC threshold).
+constexpr index_t kParallelMinFloats = 16384;
+
+/// An operand's buffer at run time: `p` points at the logical (row 0,
+/// t = 0) element; consecutive channel rows are `stride` floats apart.
+struct RowSpan {
+  float* p = nullptr;
+  index_t stride = 0;
+};
+
+void relu_inplace(float* y, index_t count) {
+#pragma omp parallel for schedule(static) if (count >= kParallelMinFloats)
+  for (index_t i = 0; i < count; ++i) {
+    y[i] = y[i] > 0.0F ? y[i] : 0.0F;
+  }
+}
+
+void exec_conv(const detail::Op& op, const float* params, RowSpan x,
+               RowSpan y, index_t n, bool x_padded) {
+  nn::kernels::ConvDims dims{};
+  dims.n = n;
+  dims.c_in = op.c_in;
+  dims.c_out = op.c_out;
+  dims.k = op.k;
+  dims.t_in = op.t_in;
+  dims.t_out = op.t_out;
+  dims.dilation = op.dilation;
+  dims.stride = op.stride;
+  if (op.packed) {
+    // Stride-1 fast path: overwrite semantics with bias and ReLU fused
+    // into the kernel's store — no zero-fill, no separate activation pass.
+    nn::kernels::conv_forward_packed(
+        x.p, params + op.w_off,
+        op.b_off >= 0 ? params + op.b_off : nullptr, y.p, dims, x.stride,
+        y.stride, x_padded, op.relu);
+    return;
+  }
+  // Strided convs take the training kernels (dense layouts only), which
+  // accumulate: seed the output with the bias (or zero) instead of paying
+  // a zero-fill plus an in-kernel bias pass.
+  PIT_CHECK(x.stride == op.t_in && y.stride == op.t_out,
+            "CompiledNet: strided conv requires dense operand layouts");
+  const index_t out_floats = n * op.c_out * op.t_out;
+  if (op.b_off >= 0) {
+    const float* b = params + op.b_off;
+#pragma omp parallel for collapse(2) schedule(static) \
+    if (out_floats >= kParallelMinFloats)
+    for (index_t ni = 0; ni < n; ++ni) {
+      for (index_t co = 0; co < op.c_out; ++co) {
+        float* row = y.p + (ni * op.c_out + co) * op.t_out;
+        std::fill(row, row + op.t_out, b[co]);
+      }
+    }
+  } else {
+    std::fill(y.p, y.p + out_floats, 0.0F);
+  }
+  nn::kernels::conv_forward(x.p, params + op.w_off, nullptr, y.p, dims);
+  if (op.relu) {
+    relu_inplace(y.p, out_floats);
+  }
+}
+
+void exec_linear(const detail::Op& op, const float* params, RowSpan x,
+                 RowSpan y, index_t n) {
+  // Dense, contiguous operands — guaranteed at compile time (flatten is
+  // only legal over dense storage, and dense writers cannot produce
+  // padded values), so the buffers are exactly the (n, f) / (n, o)
+  // matrices the kernel wants; the row strides are irrelevant here.
+  nn::kernels::linear_forward(x.p, params + op.w_off,
+                              op.b_off >= 0 ? params + op.b_off : nullptr,
+                              y.p, n, op.c_in, op.c_out, op.relu);
+}
+
+void exec_avg_pool(const detail::Op& op, RowSpan x, RowSpan y, index_t n) {
+  const index_t rows = n * op.c_out;  // pooling keeps the channel count
+  const float inv_k = 1.0F / static_cast<float>(op.k);
+#pragma omp parallel for schedule(static) \
+    if (rows * op.t_out >= kParallelMinFloats)
+  for (index_t r = 0; r < rows; ++r) {
+    const float* xrow = x.p + r * x.stride;
+    float* yrow = y.p + r * y.stride;
+    for (index_t to = 0; to < op.t_out; ++to) {
+      float acc = 0.0F;
+      for (index_t k = 0; k < op.k; ++k) {
+        acc += xrow[to * op.stride + k];
+      }
+      yrow[to] = acc * inv_k;
+    }
+  }
+}
+
+void exec_add(const detail::Op& op, RowSpan a, RowSpan b, RowSpan y,
+              index_t n) {
+  const index_t rows = n * op.c_out;
+  const index_t steps = op.t_out;
+  const bool fuse_relu = op.relu;
+#pragma omp parallel for schedule(static) \
+    if (rows * steps >= kParallelMinFloats)
+  for (index_t r = 0; r < rows; ++r) {
+    const float* arow = a.p + r * a.stride;
+    const float* brow = b.p + r * b.stride;
+    float* yrow = y.p + r * y.stride;
+    for (index_t t = 0; t < steps; ++t) {
+      const float s = arow[t] + brow[t];
+      yrow[t] = fuse_relu && s < 0.0F ? 0.0F : s;
+    }
+  }
+}
+
+}  // namespace
+
+FrozenConv freeze_conv(const nn::Conv1d& conv) {
+  FrozenConv out;
+  out.c_in = conv.in_channels();
+  out.c_out = conv.out_channels();
+  out.k = conv.kernel_size();
+  out.dilation = conv.dilation();
+  out.stride = conv.stride();
+  const auto w = conv.weight().span();
+  out.weight.assign(w.begin(), w.end());
+  if (conv.has_bias()) {
+    const auto b = conv.bias().span();
+    out.bias.assign(b.begin(), b.end());
+  }
+  return out;
+}
+
+void fold_batchnorm(FrozenConv& conv, const nn::BatchNorm1d& bn) {
+  PIT_CHECK(bn.num_features() == conv.c_out,
+            "fold_batchnorm: " << bn.num_features() << " BN features for "
+                               << conv.c_out << " conv channels");
+  const float* g = bn.gamma().data();
+  const float* beta = bn.beta().data();
+  const float* mean = bn.running_mean().data();
+  const float* var = bn.running_var().data();
+  if (conv.bias.empty()) {
+    conv.bias.assign(static_cast<std::size_t>(conv.c_out), 0.0F);
+  }
+  const index_t per_channel = conv.c_in * conv.k;
+  for (index_t co = 0; co < conv.c_out; ++co) {
+    const float scale = g[co] / std::sqrt(var[co] + bn.eps());
+    float* wrow = conv.weight.data() + co * per_channel;
+    for (index_t i = 0; i < per_channel; ++i) {
+      wrow[i] *= scale;
+    }
+    conv.bias[static_cast<std::size_t>(co)] =
+        scale * (conv.bias[static_cast<std::size_t>(co)] - mean[co]) +
+        beta[co];
+  }
+}
+
+// ---- NetBuilder ----------------------------------------------------------
+
+ValueId NetBuilder::new_value(index_t channels, index_t steps,
+                              ValueId alias_of) {
+  values_.push_back({channels, steps, alias_of});
+  return static_cast<ValueId>(values_.size()) - 1;
+}
+
+const detail::Value& NetBuilder::value(ValueId v) const {
+  PIT_CHECK(v >= 0 && v < static_cast<ValueId>(values_.size()),
+            "NetBuilder: unknown value " << v);
+  return values_[static_cast<std::size_t>(v)];
+}
+
+index_t NetBuilder::push_params(const float* data, index_t count) {
+  const auto off = static_cast<index_t>(params_.size());
+  params_.insert(params_.end(), data, data + count);
+  return off;
+}
+
+ValueId NetBuilder::input(index_t channels, index_t steps) {
+  PIT_CHECK(input_ < 0, "NetBuilder: input already declared");
+  PIT_CHECK(channels >= 1 && steps >= 1,
+            "NetBuilder: input " << channels << "x" << steps);
+  input_ = new_value(channels, steps);
+  return input_;
+}
+
+ValueId NetBuilder::conv(ValueId x, const FrozenConv& c, bool fuse_relu) {
+  const detail::Value& in = value(x);
+  PIT_CHECK(in.channels == c.c_in, "NetBuilder::conv: input has "
+                                       << in.channels << " channels, conv "
+                                       << c.c_in);
+  PIT_CHECK(c.k >= 1 && c.dilation >= 1 && c.stride >= 1,
+            "NetBuilder::conv: bad geometry");
+  PIT_CHECK(static_cast<index_t>(c.weight.size()) == c.c_out * c.c_in * c.k,
+            "NetBuilder::conv: weight size " << c.weight.size());
+  PIT_CHECK(c.bias.empty() ||
+                static_cast<index_t>(c.bias.size()) == c.c_out,
+            "NetBuilder::conv: bias size " << c.bias.size());
+  detail::Op op;
+  op.kind = detail::OpKind::kConv;
+  op.in0 = x;
+  op.relu = fuse_relu;
+  op.c_in = c.c_in;
+  op.c_out = c.c_out;
+  op.k = c.k;
+  op.dilation = c.dilation;
+  op.stride = c.stride;
+  op.t_in = in.steps;
+  op.t_out = nn::causal_conv1d_output_steps(in.steps, c.stride);
+  if (c.stride == 1) {
+    // Stride-1 convs (the TCN hot path) get the inference-packed weight
+    // layout so execution takes conv_forward_packed.
+    op.packed = true;
+    nn::kernels::ConvDims dims{};
+    dims.c_in = c.c_in;
+    dims.c_out = c.c_out;
+    dims.k = c.k;
+    const index_t packed_floats = nn::kernels::packed_weight_floats(dims);
+    op.w_off = static_cast<index_t>(params_.size());
+    params_.resize(params_.size() + static_cast<std::size_t>(packed_floats));
+    nn::kernels::pack_conv_weight(c.weight.data(), dims,
+                                  params_.data() + op.w_off);
+  } else {
+    op.w_off = push_params(c.weight.data(),
+                           static_cast<index_t>(c.weight.size()));
+  }
+  op.b_off = c.bias.empty()
+                 ? -1
+                 : push_params(c.bias.data(),
+                               static_cast<index_t>(c.bias.size()));
+  op.out = new_value(c.c_out, op.t_out);
+  ops_.push_back(op);
+  return op.out;
+}
+
+ValueId NetBuilder::linear(ValueId x, const Tensor& weight, const Tensor& bias,
+                           bool fuse_relu) {
+  const detail::Value& in = value(x);
+  PIT_CHECK(in.steps == 1,
+            "NetBuilder::linear: input must be flat (steps == 1), got "
+                << in.channels << "x" << in.steps << " — flatten() first");
+  PIT_CHECK(weight.rank() == 2 && weight.dim(1) == in.channels,
+            "NetBuilder::linear: weight " << weight.shape().to_string()
+                                          << " for " << in.channels
+                                          << " features");
+  detail::Op op;
+  op.kind = detail::OpKind::kLinear;
+  op.in0 = x;
+  op.relu = fuse_relu;
+  op.c_in = weight.dim(1);
+  op.c_out = weight.dim(0);
+  op.t_in = 1;
+  op.t_out = 1;
+  op.w_off = push_params(weight.data(), weight.numel());
+  op.b_off = -1;
+  if (bias.defined()) {
+    PIT_CHECK(bias.rank() == 1 && bias.dim(0) == op.c_out,
+              "NetBuilder::linear: bias " << bias.shape().to_string());
+    op.b_off = push_params(bias.data(), bias.numel());
+  }
+  op.out = new_value(op.c_out, 1);
+  ops_.push_back(op);
+  return op.out;
+}
+
+ValueId NetBuilder::avg_pool(ValueId x, index_t kernel, index_t stride) {
+  const detail::Value& in = value(x);
+  PIT_CHECK(kernel >= 1 && stride >= 1 && in.steps >= kernel,
+            "NetBuilder::avg_pool: kernel=" << kernel << " stride=" << stride
+                                            << " over " << in.steps
+                                            << " steps");
+  detail::Op op;
+  op.kind = detail::OpKind::kAvgPool;
+  op.in0 = x;
+  op.c_in = in.channels;
+  op.c_out = in.channels;
+  op.k = kernel;
+  op.stride = stride;
+  op.t_in = in.steps;
+  op.t_out = (in.steps - kernel) / stride + 1;
+  op.out = new_value(in.channels, op.t_out);
+  ops_.push_back(op);
+  return op.out;
+}
+
+ValueId NetBuilder::add(ValueId a, ValueId b, bool fuse_relu) {
+  const detail::Value& va = value(a);
+  const detail::Value& vb = value(b);
+  PIT_CHECK(va.channels == vb.channels && va.steps == vb.steps,
+            "NetBuilder::add: shape mismatch " << va.channels << "x" << va.steps
+                                               << " vs " << vb.channels << "x"
+                                               << vb.steps);
+  detail::Op op;
+  op.kind = detail::OpKind::kAdd;
+  op.in0 = a;
+  op.in1 = b;
+  op.relu = fuse_relu;
+  op.c_in = va.channels;
+  op.c_out = va.channels;
+  op.t_in = va.steps;
+  op.t_out = va.steps;
+  op.out = new_value(va.channels, va.steps);
+  ops_.push_back(op);
+  return op.out;
+}
+
+ValueId NetBuilder::flatten(ValueId x) {
+  const detail::Value& in = value(x);
+  return new_value(in.channels * in.steps, 1, x);
+}
+
+CompiledNet NetBuilder::compile(ValueId output) && {
+  PIT_CHECK(input_ >= 0, "NetBuilder: no input declared");
+  PIT_CHECK(output >= 0 && output < static_cast<ValueId>(values_.size()),
+            "NetBuilder: unknown output value " << output);
+  PIT_CHECK(!ops_.empty(), "NetBuilder: empty network");
+
+  CompiledNet net;
+  net.ops_ = std::move(ops_);
+  net.values_ = std::move(values_);
+  net.params_ = std::move(params_);
+  net.input_ = input_;
+  net.output_ = output;
+
+  // Resolve alias chains to storage roots (aliases only point backwards).
+  net.root_.resize(net.values_.size());
+  for (std::size_t v = 0; v < net.values_.size(); ++v) {
+    const ValueId a = net.values_[v].alias_of;
+    net.root_[v] = a < 0 ? static_cast<ValueId>(v)
+                         : net.root_[static_cast<std::size_t>(a)];
+  }
+  const ValueId in_root = net.root_[static_cast<std::size_t>(net.input_)];
+  const ValueId out_root = net.root_[static_cast<std::size_t>(net.output_)];
+  PIT_CHECK(out_root != in_root,
+            "NetBuilder: the output aliases the input; nothing to execute");
+  PIT_CHECK(net.values_[static_cast<std::size_t>(net.output_)].alias_of < 0,
+            "NetBuilder: the output must be an op result, not a flatten "
+            "view");
+
+  // Liveness per storage root: defined by its producing op, dead after its
+  // last reader. The input and output live in external buffers.
+  std::vector<int> def(net.values_.size(), -1);
+  std::vector<int> last(net.values_.size(), -1);
+  for (std::size_t i = 0; i < net.ops_.size(); ++i) {
+    const detail::Op& op = net.ops_[i];
+    const auto touch = [&](ValueId v, std::vector<int>& slot) {
+      if (v >= 0) {
+        slot[static_cast<std::size_t>(
+            net.root_[static_cast<std::size_t>(v)])] = static_cast<int>(i);
+      }
+    };
+    touch(op.in0, last);
+    touch(op.in1, last);
+    touch(op.out, def);
+  }
+  PIT_CHECK(def[static_cast<std::size_t>(out_root)] >= 0,
+            "NetBuilder: output is not produced by any op");
+
+  // Row layouts. Every value a packed conv reads is planned padded:
+  // (k-1)*dilation zeroed lead floats per channel row (the implicit
+  // causal padding, materialized once) plus a register tile of tail
+  // slack, so the kernel never does per-tap bounds work.
+  const std::size_t nv = net.values_.size();
+  net.lead_.assign(nv, 0);
+  net.slack_.assign(nv, 0);
+  for (const detail::Op& op : net.ops_) {
+    if (op.kind == detail::OpKind::kConv && op.packed) {
+      const auto r =
+          static_cast<std::size_t>(net.root_[static_cast<std::size_t>(op.in0)]);
+      net.lead_[r] = std::max(net.lead_[r], (op.k - 1) * op.dilation);
+      net.slack_[r] = nn::kernels::kPackTimeTile;
+    }
+  }
+  // The output lives in the returned dense tensor; padding it is not
+  // supported (no consumer could need it anyway — it feeds no op).
+  PIT_CHECK(net.lead_[static_cast<std::size_t>(out_root)] == 0 &&
+                net.slack_[static_cast<std::size_t>(out_root)] == 0,
+            "NetBuilder: the network output cannot feed a packed conv");
+  // Flatten aliases reinterpret rows as one contiguous block: only legal
+  // over dense storage.
+  for (std::size_t v = 0; v < nv; ++v) {
+    if (net.values_[v].alias_of >= 0) {
+      const auto r = static_cast<std::size_t>(net.root_[v]);
+      PIT_CHECK(net.lead_[r] == 0 && net.slack_[r] == 0,
+                "NetBuilder: flatten of a conv-consumed (padded) value is "
+                "not supported");
+    }
+  }
+  // Ops that can only write dense rows must not produce padded values,
+  // and ops that can only read dense rows must not consume them — catch
+  // both at compile time rather than on the first forward().
+  for (const detail::Op& op : net.ops_) {
+    const bool dense_only =
+        op.kind == detail::OpKind::kLinear ||
+        (op.kind == detail::OpKind::kConv && !op.packed);
+    if (dense_only) {
+      const auto out_r =
+          static_cast<std::size_t>(net.root_[static_cast<std::size_t>(op.out)]);
+      PIT_CHECK(net.lead_[out_r] == 0 && net.slack_[out_r] == 0,
+                "NetBuilder: a strided conv / linear cannot feed a packed "
+                "conv directly");
+      const auto in_r =
+          static_cast<std::size_t>(net.root_[static_cast<std::size_t>(op.in0)]);
+      PIT_CHECK(net.lead_[in_r] == 0 && net.slack_[in_r] == 0,
+                "NetBuilder: a strided conv / linear cannot read a value "
+                "that also feeds a packed conv");
+    }
+  }
+  net.stride_.assign(nv, 0);
+  for (std::size_t v = 0; v < nv; ++v) {
+    net.stride_[v] = net.lead_[v] + net.values_[v].steps + net.slack_[v];
+  }
+
+  std::vector<ArenaRequest> requests;
+  std::vector<ValueId> request_root;
+  for (std::size_t v = 0; v < nv; ++v) {
+    const auto vid = static_cast<ValueId>(v);
+    if (net.root_[v] != vid || vid == in_root || vid == out_root ||
+        def[v] < 0) {
+      continue;  // alias, external buffer, or never produced
+    }
+    requests.push_back({net.values_[v].channels * net.stride_[v], def[v],
+                        std::max(last[v], def[v])});
+    request_root.push_back(vid);
+  }
+  // A padded input cannot alias the caller's dense tensor: plan a staging
+  // value the forward pass copies (and zero-pads) the input into.
+  const auto in_idx = static_cast<std::size_t>(in_root);
+  if (net.lead_[in_idx] > 0 || net.slack_[in_idx] > 0) {
+    const detail::Value in_value = net.values_[in_idx];  // copy: push_back
+    net.input_stage_ = static_cast<ValueId>(nv);
+    net.values_.push_back({in_value.channels, in_value.steps, -1});
+    net.root_.push_back(net.input_stage_);
+    net.lead_.push_back(net.lead_[in_idx]);
+    net.slack_.push_back(net.slack_[in_idx]);
+    net.stride_.push_back(net.stride_[in_idx]);
+    requests.push_back(
+        {in_value.channels * net.stride_[in_idx], 0,
+         std::max(last[in_idx], 0)});
+    request_root.push_back(net.input_stage_);
+  }
+  const ArenaPlan plan = plan_arena(requests);
+  net.offsets_.assign(net.values_.size(), -1);
+  for (std::size_t r = 0; r < request_root.size(); ++r) {
+    net.offsets_[static_cast<std::size_t>(request_root[r])] = plan.offsets[r];
+  }
+  net.arena_per_sample_ = plan.total;
+  return net;
+}
+
+// ---- CompiledNet ---------------------------------------------------------
+
+index_t CompiledNet::input_channels() const {
+  return values_[static_cast<std::size_t>(input_)].channels;
+}
+
+index_t CompiledNet::input_steps() const {
+  return values_[static_cast<std::size_t>(input_)].steps;
+}
+
+index_t CompiledNet::activation_floats_per_sample() const {
+  // Sum of the planned (arena-backed) buffer sizes, padding included —
+  // what the arena would need without liveness reuse.
+  index_t total = 0;
+  for (std::size_t v = 0; v < values_.size(); ++v) {
+    if (root_[v] == static_cast<ValueId>(v) && offsets_[v] >= 0) {
+      total += values_[v].channels * stride_[v];
+    }
+  }
+  return total;
+}
+
+Tensor CompiledNet::forward(const Tensor& input) {
+  const index_t c = input_channels();
+  const index_t t = input_steps();
+  const bool flat_ok = t == 1 && input.rank() == 2 && input.dim(1) == c;
+  PIT_CHECK(flat_ok || (input.rank() == 3 && input.dim(1) == c &&
+                        input.dim(2) == t),
+            "CompiledNet: expected (N, " << c << ", " << t << "), got "
+                                         << input.shape().to_string());
+  const index_t n = input.dim(0);
+  const auto needed = static_cast<std::size_t>(arena_per_sample_ * n);
+  if (arena_.size() < needed) {
+    arena_.resize(needed);
+  }
+
+  const detail::Value& out_value =
+      values_[static_cast<std::size_t>(output_)];
+  Tensor out = out_value.steps == 1
+                   ? Tensor::empty(Shape{n, out_value.channels})
+                   : Tensor::empty(
+                         Shape{n, out_value.channels, out_value.steps});
+
+  const ValueId in_root = root_[static_cast<std::size_t>(input_)];
+  const ValueId out_root = root_[static_cast<std::size_t>(output_)];
+  const float* in_data = input.data();
+  float* out_data = out.data();
+
+  // Stage the input into its padded arena layout when some conv needs it.
+  if (input_stage_ >= 0) {
+    const auto si = static_cast<std::size_t>(input_stage_);
+    const index_t rows = n * values_[si].channels;
+    const index_t steps = values_[si].steps;
+    const index_t lead = lead_[si];
+    const index_t stride = stride_[si];
+    float* base = arena_.data() + offsets_[si] * n;
+#pragma omp parallel for schedule(static) \
+    if (rows * stride >= kParallelMinFloats)
+    for (index_t r = 0; r < rows; ++r) {
+      float* row = base + r * stride;
+      std::fill(row, row + lead, 0.0F);
+      std::copy(in_data + r * steps, in_data + (r + 1) * steps, row + lead);
+      std::fill(row + lead + steps, row + stride, 0.0F);
+    }
+  }
+
+  // Resolves a value to its run-time buffer. Aliases share their root's
+  // storage; the input resolves to its padded stage when one exists.
+  const auto span = [&](ValueId v) -> RowSpan {
+    ValueId r = root_[static_cast<std::size_t>(v)];
+    if (r == in_root) {
+      if (input_stage_ >= 0) {
+        r = input_stage_;
+      } else {
+        return {const_cast<float*>(in_data),
+                values_[static_cast<std::size_t>(r)].steps};
+      }
+    }
+    if (r == out_root) {
+      return {out_data, out_value.steps};
+    }
+    const auto ri = static_cast<std::size_t>(r);
+    return {arena_.data() + offsets_[ri] * n + lead_[ri], stride_[ri]};
+  };
+  // Zeroes a freshly produced value's lead region (the materialized
+  // causal padding its conv consumer will read).
+  const auto zero_lead = [&](ValueId v) {
+    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
+    if (offsets_[r] < 0 || lead_[r] == 0) {
+      return;
+    }
+    const index_t rows = n * values_[r].channels;
+    float* base = arena_.data() + offsets_[r] * n;
+    for (index_t row = 0; row < rows; ++row) {
+      float* p = base + row * stride_[r];
+      std::fill(p, p + lead_[r], 0.0F);
+    }
+  };
+
+  for (const detail::Op& op : ops_) {
+    switch (op.kind) {
+      case detail::OpKind::kConv: {
+        bool x_padded = false;
+        if (op.packed) {
+          ValueId r = root_[static_cast<std::size_t>(op.in0)];
+          if (r == in_root && input_stage_ >= 0) {
+            r = input_stage_;
+          }
+          const auto ri = static_cast<std::size_t>(r);
+          x_padded = lead_[ri] >= (op.k - 1) * op.dilation &&
+                     slack_[ri] >= nn::kernels::kPackTimeTile;
+        }
+        exec_conv(op, params_.data(), span(op.in0), span(op.out), n,
+                  x_padded);
+        break;
+      }
+      case detail::OpKind::kLinear:
+        exec_linear(op, params_.data(), span(op.in0), span(op.out), n);
+        break;
+      case detail::OpKind::kAvgPool:
+        exec_avg_pool(op, span(op.in0), span(op.out), n);
+        break;
+      case detail::OpKind::kAdd:
+        exec_add(op, span(op.in0), span(op.in1), span(op.out), n);
+        break;
+    }
+    zero_lead(op.out);
+  }
+  return out;
+}
+
+std::string CompiledNet::summary() const {
+  std::ostringstream os;
+  os << "CompiledNet: " << ops_.size() << " ops, "
+     << param_floats() << " packed param floats, arena "
+     << arena_per_sample_ << " floats/sample (unplanned: "
+     << activation_floats_per_sample() << ")\n";
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const detail::Op& op = ops_[i];
+    os << "  #" << i << " ";
+    switch (op.kind) {
+      case detail::OpKind::kConv:
+        os << "conv " << op.c_in << "->" << op.c_out << " k" << op.k << " d"
+           << op.dilation << " s" << op.stride;
+        break;
+      case detail::OpKind::kLinear:
+        os << "linear " << op.c_in << "->" << op.c_out;
+        break;
+      case detail::OpKind::kAvgPool:
+        os << "avg_pool k" << op.k << " s" << op.stride;
+        break;
+      case detail::OpKind::kAdd:
+        os << "add";
+        break;
+    }
+    os << " t" << op.t_in << "->" << op.t_out;
+    if (op.relu) {
+      os << " +relu";
+    }
+    const ValueId r = root_[static_cast<std::size_t>(op.out)];
+    const index_t off = offsets_[static_cast<std::size_t>(r)];
+    if (off >= 0) {
+      os << " @" << off;
+    } else {
+      os << " @out";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pit::runtime

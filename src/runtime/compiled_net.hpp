@@ -1,0 +1,164 @@
+// Frozen inference runtime for searched PIT networks.
+//
+// The paper's pitch is that the searched mask/gamma structure collapses
+// into a plain dilated TCN that cheap inference engines run fast; this is
+// that engine. A CompiledNet executes a network as a flat op list over one
+// pre-planned activation arena:
+//
+//   compile — the layer sequence is described through NetBuilder,
+//   fold    — eval-mode BatchNorm is folded into the preceding conv
+//             (w' = w * g/sigma, b' = (b - mu) * g/sigma + beta) and ReLU
+//             is fused into the producing op,
+//   plan    — every activation gets a liveness-planned offset in a single
+//             arena (see arena.hpp): zero per-forward allocation in steady
+//             state (the arena grows only when the batch size does).
+//             Activations feeding a stride-1 conv are planned in a PADDED
+//             row layout — (k-1)*dilation zeroed floats before each
+//             channel row and a register tile of slack after it — so the
+//             packed conv kernel never does per-tap bounds work,
+//   execute — straight through nn::kernels (packed inference kernels /
+//             blocked backend, OpenMP over the batch grid) with no
+//             autograd tape and no Tensor temporaries; the only tensor
+//             built is the returned output.
+//
+// Arena offsets are planned per batch *sample* and scaled by N at run
+// time, so one plan serves every batch size.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv1d.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pit::runtime {
+
+/// Inference-only snapshot of a causal dilated conv: packed weights and
+/// resolved geometry, detached from any Module.
+struct FrozenConv {
+  index_t c_in = 0;
+  index_t c_out = 0;
+  index_t k = 0;
+  index_t dilation = 1;
+  index_t stride = 1;
+  std::vector<float> weight;  // (c_out, c_in, k) row-major
+  std::vector<float> bias;    // (c_out); empty when the conv has none
+};
+
+/// Snapshot of a trained nn::Conv1d.
+FrozenConv freeze_conv(const nn::Conv1d& conv);
+
+/// Folds an eval-mode batch-norm into the conv that feeds it:
+///   BN(conv(x)) = (g/sigma) * conv(x) + (beta - mu * g/sigma)
+/// becomes the same conv with per-output-channel scaled weights and a
+/// shifted bias (materialized if the conv had none).
+void fold_batchnorm(FrozenConv& conv, const nn::BatchNorm1d& bn);
+
+/// Handle to one activation inside a plan under construction.
+using ValueId = int;
+
+namespace detail {
+
+enum class OpKind { kConv, kLinear, kAvgPool, kAdd };
+
+struct Op {
+  OpKind kind = OpKind::kConv;
+  ValueId in0 = -1;
+  ValueId in1 = -1;  // second addend of kAdd
+  ValueId out = -1;
+  bool relu = false;    // activation fused into this op's output write
+  bool packed = false;  // conv weights in the inference-packed layout
+  index_t c_in = 0, c_out = 0;     // conv/linear geometry (linear: features)
+  index_t k = 0;                   // conv taps / pool kernel
+  index_t dilation = 1, stride = 1;
+  index_t t_in = 0, t_out = 0;
+  index_t w_off = -1, b_off = -1;  // offsets into the packed param block
+};
+
+struct Value {
+  index_t channels = 0;
+  index_t steps = 0;
+  ValueId alias_of = -1;  // shares storage with an earlier value (flatten)
+  index_t numel() const { return channels * steps; }
+};
+
+}  // namespace detail
+
+/// An immutable, executable inference plan. Built by NetBuilder::compile().
+class CompiledNet {
+ public:
+  /// Executes the plan on an (N, C, T) batch (or (N, C) when the declared
+  /// input has one step). Grad mode is ignored — no tape is ever built —
+  /// and nothing is allocated per forward except the returned tensor
+  /// (plus a one-time arena growth when N exceeds all previous batches).
+  Tensor forward(const Tensor& input);
+
+  index_t input_channels() const;
+  index_t input_steps() const;
+  /// Activation arena floats needed per batch sample (liveness-planned;
+  /// compare with the sum of all activation sizes to see the reuse).
+  index_t arena_floats_per_sample() const { return arena_per_sample_; }
+  /// Sum of all planned activation buffer sizes (padding included) per
+  /// sample, had nothing been reused.
+  index_t activation_floats_per_sample() const;
+  /// Packed parameter count (post-folding; BN has disappeared into convs).
+  index_t param_floats() const { return static_cast<index_t>(params_.size()); }
+  std::size_t num_ops() const { return ops_.size(); }
+  /// Human-readable plan dump: ops, fusions, arena offsets, totals.
+  std::string summary() const;
+
+ private:
+  friend class NetBuilder;
+  CompiledNet() = default;
+
+  std::vector<detail::Op> ops_;
+  std::vector<detail::Value> values_;
+  std::vector<ValueId> root_;       // alias-resolved storage id per value
+  std::vector<index_t> offsets_;    // per-sample arena offset per root
+  std::vector<index_t> lead_;       // zeroed pad floats before each row
+  std::vector<index_t> slack_;      // readable floats after each row
+  std::vector<index_t> stride_;     // row stride = lead + steps + slack
+  std::vector<float> params_;       // packed weights/biases of all ops
+  ValueId input_ = -1;
+  ValueId output_ = -1;
+  ValueId input_stage_ = -1;        // padded copy of the input, if needed
+  index_t arena_per_sample_ = 0;
+  std::vector<float> arena_;        // grown to arena_per_sample_ * max N
+};
+
+/// Records a network as a sequence of fused inference ops, then plans and
+/// packages it. Single use: compile() consumes the builder.
+class NetBuilder {
+ public:
+  /// Declares the network input: `channels` x `steps` per sample. Must be
+  /// called exactly once, first.
+  ValueId input(index_t channels, index_t steps);
+  /// y = conv(x) [+ fused ReLU]. Weights/bias are copied into the plan.
+  ValueId conv(ValueId x, const FrozenConv& c, bool fuse_relu);
+  /// y = x W^T + b [+ fused ReLU] on a flat (steps == 1) value.
+  ValueId linear(ValueId x, const Tensor& weight, const Tensor& bias,
+                 bool fuse_relu);
+  ValueId avg_pool(ValueId x, index_t kernel, index_t stride);
+  /// Elementwise y = a + b [+ fused ReLU] (the residual join).
+  ValueId add(ValueId a, ValueId b, bool fuse_relu);
+  /// (C, T) -> (C*T, 1). Pure aliasing: row-major layout makes the
+  /// flattened view the same bytes, so this costs nothing at run time.
+  ValueId flatten(ValueId x);
+
+  /// Plans the arena (liveness over the recorded ops) and returns the
+  /// executable net whose result is `output`.
+  CompiledNet compile(ValueId output) &&;
+
+ private:
+  ValueId new_value(index_t channels, index_t steps, ValueId alias_of = -1);
+  const detail::Value& value(ValueId v) const;
+  index_t push_params(const float* data, index_t count);
+
+  std::vector<detail::Op> ops_;
+  std::vector<detail::Value> values_;
+  std::vector<float> params_;
+  ValueId input_ = -1;
+};
+
+}  // namespace pit::runtime

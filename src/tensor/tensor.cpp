@@ -49,9 +49,24 @@ Tensor Tensor::scalar(float value) {
   return full(Shape{}, value);
 }
 
-Tensor Tensor::from_vector(std::vector<float> values, const Shape& shape) {
+Tensor Tensor::empty(const Shape& shape) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.resize(static_cast<std::size_t>(shape.numel()));  // default-init
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::from_vector(const std::vector<float>& values,
+                           const Shape& shape) {
   PIT_CHECK(static_cast<index_t>(values.size()) == shape.numel(),
             "from_vector: " << values.size() << " values for shape "
+                            << shape.to_string());
+  return from_buffer(FloatBuffer(values.begin(), values.end()), shape);
+}
+
+Tensor Tensor::from_buffer(FloatBuffer values, const Shape& shape) {
+  PIT_CHECK(static_cast<index_t>(values.size()) == shape.numel(),
+            "from_buffer: " << values.size() << " values for shape "
                             << shape.to_string());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
@@ -60,7 +75,7 @@ Tensor Tensor::from_vector(std::vector<float> values, const Shape& shape) {
 }
 
 Tensor Tensor::randn(const Shape& shape, RandomEngine& rng, float stddev) {
-  Tensor t = zeros(shape);
+  Tensor t = empty(shape);
   for (float& v : t.span()) {
     v = static_cast<float>(rng.normal(0.0, stddev));
   }
@@ -69,7 +84,7 @@ Tensor Tensor::randn(const Shape& shape, RandomEngine& rng, float stddev) {
 
 Tensor Tensor::uniform(const Shape& shape, float lo, float hi,
                        RandomEngine& rng) {
-  Tensor t = zeros(shape);
+  Tensor t = empty(shape);
   for (float& v : t.span()) {
     v = static_cast<float>(rng.uniform(lo, hi));
   }
@@ -144,8 +159,8 @@ Tensor Tensor::reshape(const Shape& new_shape) const {
   PIT_CHECK(new_shape.numel() == numel(),
             "reshape: numel mismatch " << shape().to_string() << " -> "
                                        << new_shape.to_string());
-  Tensor out = Tensor::from_vector(
-      std::vector<float>(impl_->data.begin(), impl_->data.end()), new_shape);
+  Tensor out = Tensor::from_buffer(
+      FloatBuffer(impl_->data.begin(), impl_->data.end()), new_shape);
   const Tensor self = *this;
   return make_op_output(
       std::move(out), {self}, "reshape", [self](TensorImpl& o) {
@@ -195,9 +210,8 @@ Tensor Tensor::grad() const {
   if (impl_->grad.empty()) {
     return Tensor::zeros(impl_->shape);
   }
-  return Tensor::from_vector(
-      std::vector<float>(impl_->grad.begin(), impl_->grad.end()),
-      impl_->shape);
+  return Tensor::from_buffer(
+      FloatBuffer(impl_->grad.begin(), impl_->grad.end()), impl_->shape);
 }
 
 float* Tensor::grad_data() {

@@ -8,8 +8,11 @@
 
 #include <functional>
 #include <memory>
+#include <new>
 #include <span>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "tensor/random.hpp"
@@ -19,6 +22,43 @@ namespace pit {
 
 struct TensorImpl;
 struct Node;
+
+/// Allocator that default-initializes on container growth, so trivially
+/// constructible elements (floats) are left uninitialized instead of being
+/// zero-filled. Value construction (assign/fill/push_back with an argument)
+/// still writes real values, so zeroing remains explicit where it matters.
+/// This is what lets Tensor::empty() and batch assembly skip the redundant
+/// fill pass on buffers the caller overwrites completely.
+template <class T>
+struct DefaultInitAllocator {
+  using value_type = T;
+
+  DefaultInitAllocator() noexcept = default;
+  template <class U>
+  DefaultInitAllocator(const DefaultInitAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) { return std::allocator<T>().allocate(n); }
+  void deallocate(T* p, std::size_t n) noexcept {
+    std::allocator<T>().deallocate(p, n);
+  }
+
+  template <class U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;  // default-init: no-op for float
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+
+  friend bool operator==(const DefaultInitAllocator&,
+                         const DefaultInitAllocator&) {
+    return true;
+  }
+};
+
+/// Backing buffer of every tensor: float vector without implicit zero-fill.
+using FloatBuffer = std::vector<float, DefaultInitAllocator<float>>;
 
 /// Handle to a dense row-major float tensor, optionally tracked by autograd.
 class Tensor {
@@ -33,8 +73,15 @@ class Tensor {
   static Tensor full(const Shape& shape, float value);
   /// Scalar (rank-0) tensor.
   static Tensor scalar(float value);
-  /// Takes ownership of `values`; numel must match the shape.
-  static Tensor from_vector(std::vector<float> values, const Shape& shape);
+  /// Allocated but NOT initialized — the caller must overwrite every
+  /// element before reading. The no-tape inference runtime and batch
+  /// assembly use this to skip the zero-fill pass of zeros().
+  static Tensor empty(const Shape& shape);
+  /// Copies `values`; numel must match the shape.
+  static Tensor from_vector(const std::vector<float>& values,
+                            const Shape& shape);
+  /// Takes ownership of `values` (no copy); numel must match the shape.
+  static Tensor from_buffer(FloatBuffer values, const Shape& shape);
   /// I.i.d. normal entries with the given standard deviation.
   static Tensor randn(const Shape& shape, RandomEngine& rng,
                       float stddev = 1.0F);
@@ -96,8 +143,8 @@ class Tensor {
 /// aggregate manipulated by the op layer, not a user-facing invariant-holder.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // empty until first accumulation
+  FloatBuffer data;
+  FloatBuffer grad;  // empty until first accumulation
   bool requires_grad = false;
   std::shared_ptr<Node> grad_fn;  // null for leaves
 };

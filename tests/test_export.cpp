@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/trainer.hpp"
+#include "data/dataloader.hpp"
+#include "data/ppg_dalia.hpp"
 #include "models/restcn.hpp"
 #include "models/temponet.hpp"
+#include "nn/losses.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::core {
@@ -118,6 +122,76 @@ TEST(ExportWeights, WholeTempoNetMatchesWithBatchNorm) {
   Tensor b = plain_model.forward(x);
   for (index_t i = 0; i < a.numel(); ++i) {
     EXPECT_NEAR(a.data()[i], b.data()[i], 1e-4);
+  }
+}
+
+TEST(ExportWeights, SearchedTempoNetRoundTripsThroughExport) {
+  // The full deployment story: run Algorithm 1 (tiny budget) on a
+  // searchable TEMPONet, export into the plain dilated model an MCU
+  // library would execute, and require forward-output parity with the
+  // masked PIT network — not just per-layer weight copies.
+  models::TempoNetConfig cfg;
+  cfg.input_length = 32;
+  cfg.channel_scale = 0.125;
+  cfg.dropout = 0.0F;
+
+  data::PpgDaliaOptions data_opts;
+  data_opts.num_windows = 48;
+  data_opts.window_len = 32;
+  data_opts.seed = 11;
+  data::PpgDaliaDataset dataset(data_opts);
+  data::SubsetDataset train_view(dataset, 0, 32);
+  data::SubsetDataset val_view(dataset, 32, 16);
+  data::DataLoader train(train_view, 16, true, 13);
+  data::DataLoader val(val_view, 16, false);
+
+  RandomEngine rng(523);
+  std::vector<PITConv1d*> layers;
+  models::TempoNet pit_model(cfg, pit_conv_factory(rng, layers), rng);
+
+  PitTrainerOptions options;
+  options.lambda = 1e-4;
+  options.warmup_epochs = 1;
+  options.max_prune_epochs = 3;
+  options.finetune_epochs = 1;
+  options.patience = 1;
+  PitTrainer trainer(
+      pit_model, layers,
+      [](const Tensor& p, const Tensor& t) { return nn::mae_loss(p, t); },
+      options);
+  const auto result = trainer.run(train, val);
+  ASSERT_EQ(result.dilations.size(), layers.size());
+
+  RandomEngine rng2(527);
+  models::TempoNet plain_model(
+      cfg, models::dilated_conv_factory(rng2, extract_dilations(layers)),
+      rng2);
+  export_weights(pit_model, layers, plain_model);
+
+  pit_model.eval();
+  plain_model.eval();
+  Tensor x = Tensor::randn(Shape{3, 4, 32}, rng);
+  Tensor a = pit_model.forward(x);
+  Tensor b = plain_model.forward(x);
+  ASSERT_EQ(a.shape(), b.shape());
+  for (index_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-4);
+  }
+}
+
+TEST(ExportedWeight, PacksSurvivingTaps) {
+  RandomEngine rng(541);
+  PITConv1d layer(2, 3, 9, {}, rng);
+  layer.gamma().set_dilation(4);
+  const Tensor packed = exported_weight(layer);
+  ASSERT_EQ(packed.shape(), (Shape{3, 2, 3}));
+  for (index_t co = 0; co < 3; ++co) {
+    for (index_t ci = 0; ci < 2; ++ci) {
+      for (index_t j = 0; j < 3; ++j) {
+        EXPECT_FLOAT_EQ(packed.at({co, ci, j}),
+                        layer.weight().at({co, ci, j * 4}));
+      }
+    }
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include "core/pit_conv1d.hpp"
 #include "nn/conv1d.hpp"
+#include "tensor/error.hpp"
 #include "tensor/gradcheck.hpp"
 #include "tensor/tensor.hpp"
 
@@ -269,6 +270,109 @@ TEST(KernelGradcheck, BlockedMaskedPitConv) {
       },
       {x, w, m});
   EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(PackedForward, MatchesScalarReferenceDenseAndPadded) {
+  RandomEngine rng(911);
+  struct Case {
+    index_t n, c_in, c_out, k, t, dilation;
+    bool with_bias, relu;
+  };
+  const Case cases[] = {
+      {2, 3, 5, 3, 40, 2, true, false}, {1, 4, 4, 9, 33, 1, true, true},
+      {3, 2, 7, 3, 64, 8, false, true}, {2, 6, 12, 5, 20, 4, true, true},
+      {1, 1, 1, 1, 7, 1, true, false},
+  };
+  for (const Case& c : cases) {
+    ConvDims d{};
+    d.n = c.n;
+    d.c_in = c.c_in;
+    d.c_out = c.c_out;
+    d.k = c.k;
+    d.t_in = c.t;
+    d.t_out = c.t;
+    d.dilation = c.dilation;
+    d.stride = 1;
+    Tensor x = Tensor::randn(Shape{c.n, c.c_in, c.t}, rng);
+    Tensor w = Tensor::randn(Shape{c.c_out, c.c_in, c.k}, rng);
+    Tensor b = Tensor::randn(Shape{c.c_out}, rng);
+    const float* bias = c.with_bias ? b.data() : nullptr;
+
+    // Scalar reference (+ bias via the kernel, ReLU applied after).
+    std::vector<float> expected(
+        static_cast<std::size_t>(c.n * c.c_out * c.t), 0.0F);
+    scalar::conv_forward(x.data(), w.data(), bias, expected.data(), d);
+    if (c.relu) {
+      for (float& v : expected) {
+        v = v > 0.0F ? v : 0.0F;
+      }
+    }
+
+    std::vector<float> wp(static_cast<std::size_t>(packed_weight_floats(d)));
+    pack_conv_weight(w.data(), d, wp.data());
+
+    // Dense rows: edge tiles take the clamped path.
+    std::vector<float> y_dense(expected.size(), -1.0F);
+    conv_forward_packed(x.data(), wp.data(), bias, y_dense.data(), d, c.t,
+                        c.t, /*x_padded=*/false, c.relu);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(expected[i], y_dense[i], 1e-4F) << "dense i=" << i;
+    }
+
+    // Padded rows: every tile takes the register path; the lead is the
+    // materialized causal padding, the slack absorbs tail over-reads.
+    const index_t lead = (c.k - 1) * c.dilation;
+    const index_t stride = lead + c.t + kPackTimeTile;
+    std::vector<float> xp(static_cast<std::size_t>(c.n * c.c_in * stride),
+                          0.0F);
+    for (index_t r = 0; r < c.n * c.c_in; ++r) {
+      std::copy(x.data() + r * c.t, x.data() + (r + 1) * c.t,
+                xp.data() + r * stride + lead);
+    }
+    std::vector<float> y_pad(expected.size(), -1.0F);
+    conv_forward_packed(xp.data() + lead, wp.data(), bias, y_pad.data(), d,
+                        stride, c.t, /*x_padded=*/true, c.relu);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(expected[i], y_pad[i], 1e-4F) << "padded i=" << i;
+    }
+  }
+}
+
+TEST(LinearForward, MatchesNaiveDotProducts) {
+  RandomEngine rng(919);
+  const index_t n = 3;
+  const index_t f = 70;  // exercises the vector body and the scalar tail
+  const index_t o = 5;
+  Tensor x = Tensor::randn(Shape{n, f}, rng);
+  Tensor w = Tensor::randn(Shape{o, f}, rng);
+  Tensor b = Tensor::randn(Shape{o}, rng);
+  std::vector<float> y(static_cast<std::size_t>(n * o), -1.0F);
+  linear_forward(x.data(), w.data(), b.data(), y.data(), n, f, o,
+                 /*relu=*/true);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < o; ++j) {
+      float acc = b.data()[j];
+      for (index_t p = 0; p < f; ++p) {
+        acc += x.data()[i * f + p] * w.data()[j * f + p];
+      }
+      acc = acc > 0.0F ? acc : 0.0F;
+      EXPECT_NEAR(acc, y[static_cast<std::size_t>(i * o + j)], 1e-4F);
+    }
+  }
+}
+
+TEST(Dispatch, ParseBackendNameAcceptsDocumentedValues) {
+  EXPECT_EQ(parse_backend_name("auto"), Backend::kAuto);
+  EXPECT_EQ(parse_backend_name("scalar"), Backend::kScalar);
+  EXPECT_EQ(parse_backend_name("blocked"), Backend::kBlocked);
+}
+
+TEST(Dispatch, ParseBackendNameThrowsOnTypo) {
+  // A PIT_CONV_BACKEND typo must fail loudly, not silently fall through
+  // to the size heuristic the user thought they had overridden.
+  EXPECT_THROW(parse_backend_name("block"), Error);
+  EXPECT_THROW(parse_backend_name("BLOCKED"), Error);
+  EXPECT_THROW(parse_backend_name(""), Error);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "nn/schedule.hpp"
 #include "nn/linear.hpp"
 #include "tensor/ops.hpp"
@@ -160,6 +163,42 @@ TEST(EarlyStopping, MinDeltaIgnoresTinyImprovements) {
   es.observe(1.0, model);
   EXPECT_FALSE(es.observe(0.95, model));  // within min_delta: stale
   EXPECT_EQ(es.stale_epochs(), 1);
+}
+
+TEST(EarlyStopping, NanMetricCountsAsStale) {
+  RandomEngine rng(199);
+  Linear model(2, 1, true, rng);
+  EarlyStopping es(2);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(es.observe(nan, model));
+  EXPECT_EQ(es.stale_epochs(), 1);
+  EXPECT_FALSE(es.observe(nan, model));
+  EXPECT_TRUE(es.should_stop());
+  EXPECT_TRUE(std::isinf(es.best_metric()));  // NaN never became "best"
+}
+
+TEST(EarlyStopping, RestoreBestWorksWhenEveryEpochDiverged) {
+  RandomEngine rng(211);
+  Linear model(2, 1, true, rng);
+  EarlyStopping es(3);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const float w0 = model.weight().data()[0];
+  es.observe(nan, model);  // first observation still snapshots
+  model.weight().data()[0] = 77.0F;
+  es.observe(nan, model);
+  es.restore_best(model);  // must not throw despite no improvement ever
+  EXPECT_FLOAT_EQ(model.weight().data()[0], w0);
+}
+
+TEST(EarlyStopping, RealImprovementAfterNanIsAnImprovement) {
+  RandomEngine rng(223);
+  Linear model(2, 1, true, rng);
+  EarlyStopping es(5);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(es.observe(nan, model));
+  EXPECT_TRUE(es.observe(1.5, model));
+  EXPECT_EQ(es.stale_epochs(), 0);
+  EXPECT_DOUBLE_EQ(es.best_metric(), 1.5);
 }
 
 }  // namespace
