@@ -1,8 +1,12 @@
 #include "core/search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "tensor/error.hpp"
 
@@ -42,34 +46,107 @@ SearchResult DilationSearch::run(data::DataLoader& train,
                                  const SearchConfig& config) {
   PIT_CHECK(!config.lambdas.empty() && !config.warmup_epochs.empty(),
             "DilationSearch: empty sweep grid");
-  SearchResult result;
+  PIT_CHECK(config.workers >= 0,
+            "DilationSearch: workers = " << config.workers);
+
+  // Every grid point trains an INDEPENDENT model, so the sweep is
+  // embarrassingly parallel. Two things keep the result identical across
+  // worker counts: models come out of the (stateful) factory in grid
+  // order before any training starts, and each point trains on private
+  // DataLoader copies snapshotted here — a point's shuffle sequence never
+  // depends on which points ran before it.
+  struct GridPoint {
+    double lambda = 0.0;
+    int warmup = 0;
+    PitModelBundle bundle;
+  };
+  std::vector<GridPoint> grid;
+  grid.reserve(config.warmup_epochs.size() * config.lambdas.size());
   for (const int warmup : config.warmup_epochs) {
     for (const double lambda : config.lambdas) {
-      PitModelBundle bundle = factory_();
-      PIT_CHECK(bundle.model != nullptr && !bundle.pit_layers.empty(),
-                "DilationSearch: factory returned an empty bundle");
-      PitTrainerOptions options = config.trainer;
-      options.lambda = lambda;
-      options.warmup_epochs = warmup;
-      PitTrainer trainer(*bundle.model, bundle.pit_layers, loss_, options);
-      PitTrainingResult run_result = trainer.run(train, val);
-
-      SearchPoint point;
+      GridPoint point;
       point.lambda = lambda;
-      point.warmup_epochs = warmup;
-      point.dilations = run_result.dilations;
-      point.searchable_params = run_result.searchable_params;
-      point.total_params = params_fn_(run_result.dilations);
-      point.val_loss = run_result.val_loss;
-      point.seconds = run_result.total_seconds;
-      if (config.trainer.verbose) {
-        std::printf("search: lambda=%.1e warmup=%d -> params=%lld loss=%.4f\n",
-                    lambda, warmup,
-                    static_cast<long long>(point.total_params),
-                    point.val_loss);
-      }
-      result.all.push_back(std::move(point));
+      point.warmup = warmup;
+      point.bundle = factory_();
+      PIT_CHECK(point.bundle.model != nullptr &&
+                    !point.bundle.pit_layers.empty(),
+                "DilationSearch: factory returned an empty bundle");
+      grid.push_back(std::move(point));
     }
+  }
+
+  SearchResult result;
+  result.all.resize(grid.size());
+  std::atomic<std::size_t> next{0};
+  std::mutex io_mutex;
+  std::exception_ptr first_error;
+
+  const auto run_point = [&](std::size_t i) {
+    GridPoint& gp = grid[i];
+    PitTrainerOptions options = config.trainer;
+    options.lambda = gp.lambda;
+    options.warmup_epochs = gp.warmup;
+    PitTrainer trainer(*gp.bundle.model, gp.bundle.pit_layers, loss_,
+                       options);
+    data::DataLoader train_copy = train;  // private shuffle state
+    data::DataLoader val_copy = val;
+    PitTrainingResult run_result = trainer.run(train_copy, val_copy);
+
+    SearchPoint point;
+    point.lambda = gp.lambda;
+    point.warmup_epochs = gp.warmup;
+    point.dilations = run_result.dilations;
+    point.searchable_params = run_result.searchable_params;
+    point.total_params = params_fn_(run_result.dilations);
+    point.val_loss = run_result.val_loss;
+    point.seconds = run_result.total_seconds;
+    if (config.trainer.verbose) {
+      const std::lock_guard<std::mutex> lock(io_mutex);
+      std::printf("search: lambda=%.1e warmup=%d -> params=%lld loss=%.4f\n",
+                  gp.lambda, gp.warmup,
+                  static_cast<long long>(point.total_params),
+                  point.val_loss);
+    }
+    result.all[i] = std::move(point);
+    gp.bundle = PitModelBundle{};  // free the trained model right away
+  };
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= grid.size()) {
+        return;
+      }
+      try {
+        run_point(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(io_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::size_t workers = config.workers > 0
+                            ? static_cast<std::size_t>(config.workers)
+                            : static_cast<std::size_t>(std::max(
+                                  1U, std::thread::hardware_concurrency()));
+  workers = std::min(workers, grid.size());
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
   }
   result.pareto = pareto_front(result.all);
   return result;

@@ -42,6 +42,13 @@ struct SearchConfig {
   std::vector<double> lambdas = {1e-7, 1e-6, 1e-5};
   std::vector<int> warmup_epochs = {2, 5};
   PitTrainerOptions trainer;  // lambda / warmup_epochs overridden per point
+  /// Worker threads for the (lambda x warmup) grid. Every grid point is an
+  /// independent model (fresh factory() build, private DataLoader copies),
+  /// so points run concurrently; 0 picks min(grid size, hardware threads).
+  /// Results are identical for every worker count: models are built in
+  /// grid order before dispatch and each point's loaders start from the
+  /// loader state at run() entry.
+  int workers = 0;
 };
 
 struct SearchResult {
@@ -57,6 +64,9 @@ class DilationSearch {
  public:
   DilationSearch(ModelFactory factory, LossFn loss, ParamsFn params_fn);
 
+  /// Sweeps the grid (in parallel per SearchConfig::workers) and returns
+  /// all points plus their Pareto front. `result.all` is always in grid
+  /// order (warmup-major, lambda-minor), regardless of worker count.
   SearchResult run(data::DataLoader& train, data::DataLoader& val,
                    const SearchConfig& config);
 

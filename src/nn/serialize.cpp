@@ -16,10 +16,22 @@ void write_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-std::uint64_t read_u64(std::istream& is) {
+/// Reads exactly `bytes` bytes or throws. `is.read` alone is not enough:
+/// a truncated stream sets failbit but still hands back whatever prefix it
+/// got, and a check of good() without gcount() misses the case where the
+/// final read ends exactly at EOF — so every load goes through here.
+void read_exact(std::istream& is, char* dst, std::streamsize bytes,
+                const char* what) {
+  is.read(dst, bytes);
+  PIT_CHECK(!is.bad() && is.gcount() == bytes,
+            "checkpoint: truncated file — short read of "
+                << what << " (" << is.gcount() << " of " << bytes
+                << " bytes)");
+}
+
+std::uint64_t read_u64(std::istream& is, const char* what) {
   std::uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  PIT_CHECK(is.good(), "checkpoint: unexpected end of file");
+  read_exact(is, reinterpret_cast<char*>(&v), sizeof(v), what);
   return v;
 }
 
@@ -36,19 +48,28 @@ void write_entry(std::ostream& os, const NamedParameter& entry) {
            static_cast<std::streamsize>(view.size() * sizeof(float)));
 }
 
+/// Reads one entry, validating name and shape against the model before any
+/// data lands in the destination tensor. Every read path throws on a short
+/// read, so a truncated checkpoint can never silently load as garbage.
 void read_entry(std::istream& is, const NamedParameter& expected) {
-  const std::uint64_t name_len = read_u64(is);
+  const std::uint64_t name_len = read_u64(is, "entry name length");
   PIT_CHECK(name_len < 4096, "checkpoint: implausible name length");
   std::string name(name_len, '\0');
-  is.read(name.data(), static_cast<std::streamsize>(name_len));
-  PIT_CHECK(is.good() && name == expected.name,
+  read_exact(is, name.data(), static_cast<std::streamsize>(name_len),
+             "entry name");
+  PIT_CHECK(name == expected.name,
             "checkpoint: expected entry '" << expected.name << "', found '"
                                            << name << "'");
-  const auto rank = static_cast<int>(read_u64(is));
+  const std::uint64_t rank_u64 = read_u64(is, "entry rank");
+  PIT_CHECK(rank_u64 <= 16, "checkpoint: implausible rank " << rank_u64
+                                                            << " for '"
+                                                            << expected.name
+                                                            << "'");
+  const auto rank = static_cast<int>(rank_u64);
   std::vector<index_t> dims;
   dims.reserve(static_cast<std::size_t>(rank));
   for (int i = 0; i < rank; ++i) {
-    dims.push_back(static_cast<index_t>(read_u64(is)));
+    dims.push_back(static_cast<index_t>(read_u64(is, "entry shape")));
   }
   const Shape shape(dims);
   PIT_CHECK(shape == expected.value.shape(),
@@ -56,10 +77,9 @@ void read_entry(std::istream& is, const NamedParameter& expected) {
                 << expected.name << "': file " << shape.to_string()
                 << " vs model " << expected.value.shape().to_string());
   Tensor dst = expected.value;
-  is.read(reinterpret_cast<char*>(dst.span().data()),
-          static_cast<std::streamsize>(dst.numel() * sizeof(float)));
-  PIT_CHECK(is.good(), "checkpoint: truncated data for '" << expected.name
-                                                          << "'");
+  read_exact(is, reinterpret_cast<char*>(dst.span().data()),
+             static_cast<std::streamsize>(dst.numel() * sizeof(float)),
+             expected.name.c_str());
 }
 
 std::vector<NamedParameter> all_entries(const Module& module) {
@@ -89,18 +109,24 @@ void load_state(Module& module, const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   PIT_CHECK(is.good(), "load_state: cannot open '" << path << "'");
   char magic[sizeof(kMagic)] = {};
-  is.read(magic, sizeof(magic));
-  PIT_CHECK(is.good() && std::equal(std::begin(magic), std::end(magic),
-                                    std::begin(kMagic)),
+  read_exact(is, magic, sizeof(magic), "magic header");
+  PIT_CHECK(std::equal(std::begin(magic), std::end(magic),
+                       std::begin(kMagic)),
             "load_state: '" << path << "' is not a PIT checkpoint");
   const auto entries = all_entries(module);
-  const std::uint64_t count = read_u64(is);
+  const std::uint64_t count = read_u64(is, "entry count");
   PIT_CHECK(count == entries.size(),
             "load_state: checkpoint holds " << count << " entries, model has "
                                             << entries.size());
   for (const NamedParameter& entry : entries) {
     read_entry(is, entry);
   }
+  // Anything left after the declared entries means the file does not match
+  // the model (or was concatenated/corrupted) — refuse rather than ignore.
+  is.peek();
+  PIT_CHECK(is.eof(),
+            "load_state: trailing data after the last entry of '" << path
+                                                                  << "'");
 }
 
 }  // namespace pit::nn

@@ -31,7 +31,8 @@ FrozenConv freeze_temporal_conv(const nn::Module& conv) {
   return {};  // unreachable
 }
 
-CompiledNet compile(const models::TempoNet& model) {
+std::shared_ptr<const CompiledPlan> compile_plan(
+    const models::TempoNet& model) {
   const models::TempoNetConfig& cfg = model.config();
   NetBuilder b;
   ValueId x = b.input(cfg.input_channels, cfg.input_length);
@@ -53,10 +54,11 @@ CompiledNet compile(const models::TempoNet& model) {
                /*fuse_relu=*/true);
   x = b.linear(x, model.fc2().weight(), model.fc2().bias(),
                /*fuse_relu=*/false);
-  return std::move(b).compile(x);
+  return std::make_shared<const CompiledPlan>(std::move(b).compile(x));
 }
 
-CompiledNet compile(const models::ResTCN& model, index_t input_steps) {
+std::shared_ptr<const CompiledPlan> compile_plan(const models::ResTCN& model,
+                                                 index_t input_steps) {
   const models::ResTcnConfig& cfg = model.config();
   NetBuilder b;
   ValueId x = b.input(cfg.input_channels, input_steps);
@@ -76,7 +78,15 @@ CompiledNet compile(const models::ResTCN& model, index_t input_steps) {
     x = b.add(y, res, /*fuse_relu=*/true);
   }
   x = b.conv(x, freeze_conv(model.head()), /*fuse_relu=*/false);
-  return std::move(b).compile(x);
+  return std::make_shared<const CompiledPlan>(std::move(b).compile(x));
+}
+
+CompiledNet compile(const models::TempoNet& model) {
+  return CompiledNet(compile_plan(model));
+}
+
+CompiledNet compile(const models::ResTCN& model, index_t input_steps) {
+  return CompiledNet(compile_plan(model, input_steps));
 }
 
 }  // namespace pit::runtime

@@ -1,4 +1,4 @@
-// Model-specific compilers: TempoNet and ResTCN -> CompiledNet.
+// Model-specific compilers: TempoNet and ResTCN -> CompiledPlan.
 //
 // The searchable temporal convs of either model may be plain nn::Conv1d
 // (an export_weights product, or a hand-tuned/dilated build) or PITConv1d
@@ -6,9 +6,14 @@
 // same FrozenConv — the PIT layer is packed down to its surviving taps
 // (core::exported_weight), which is exactly the collapse the paper sells.
 //
-// Plans are shape-specialized: the compiled net serves any batch size but
+// Plans are shape-specialized: the compiled plan serves any batch size but
 // a fixed per-sample (C, T); compile again for a different input length.
+// compile_plan() returns the shareable immutable plan for concurrent
+// serving (one ExecutionContext per thread — see compiled_net.hpp);
+// compile() wraps the same plan in the single-threaded CompiledNet facade.
 #pragma once
+
+#include <memory>
 
 #include "models/restcn.hpp"
 #include "models/temponet.hpp"
@@ -24,9 +29,15 @@ FrozenConv freeze_temporal_conv(const nn::Module& conv);
 /// Compiles a trained TempoNet into the frozen runtime plan: batch-norm
 /// folded into each conv, ReLU fused, dropout dropped (eval semantics),
 /// the FC head packed. Matches Module::forward in eval mode.
-CompiledNet compile(const models::TempoNet& model);
+std::shared_ptr<const CompiledPlan> compile_plan(const models::TempoNet& model);
 
-/// Compiles a trained ResTCN for inputs of `input_steps` time steps.
+/// Compiles a trained ResTCN for inputs of `input_steps` time steps. The
+/// resulting plan is streamable (all ops are stride-1 convs and adds).
+std::shared_ptr<const CompiledPlan> compile_plan(const models::ResTCN& model,
+                                                 index_t input_steps);
+
+/// Single-threaded facades over the plans above.
+CompiledNet compile(const models::TempoNet& model);
 CompiledNet compile(const models::ResTCN& model, index_t input_steps);
 
 }  // namespace pit::runtime

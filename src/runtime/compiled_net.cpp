@@ -54,7 +54,7 @@ void exec_conv(const detail::Op& op, const float* params, RowSpan x,
   // accumulate: seed the output with the bias (or zero) instead of paying
   // a zero-fill plus an in-kernel bias pass.
   PIT_CHECK(x.stride == op.t_in && y.stride == op.t_out,
-            "CompiledNet: strided conv requires dense operand layouts");
+            "CompiledPlan: strided conv requires dense operand layouts");
   const index_t out_floats = n * op.c_out * op.t_out;
   if (op.b_off >= 0) {
     const float* b = params + op.b_off;
@@ -120,6 +120,12 @@ void exec_add(const detail::Op& op, RowSpan a, RowSpan b, RowSpan y,
       yrow[t] = fuse_relu && s < 0.0F ? 0.0F : s;
     }
   }
+}
+
+/// Ring slots a streaming conv keeps per input channel: the current input
+/// plus the (k-1)*dilation past steps its oldest tap reaches back to.
+index_t ring_span(const detail::Op& op) {
+  return (op.k - 1) * op.dilation + 1;
 }
 
 }  // namespace
@@ -317,13 +323,13 @@ ValueId NetBuilder::flatten(ValueId x) {
   return new_value(in.channels * in.steps, 1, x);
 }
 
-CompiledNet NetBuilder::compile(ValueId output) && {
+CompiledPlan NetBuilder::compile(ValueId output) && {
   PIT_CHECK(input_ >= 0, "NetBuilder: no input declared");
   PIT_CHECK(output >= 0 && output < static_cast<ValueId>(values_.size()),
             "NetBuilder: unknown output value " << output);
   PIT_CHECK(!ops_.empty(), "NetBuilder: empty network");
 
-  CompiledNet net;
+  CompiledPlan net;
   net.ops_ = std::move(ops_);
   net.values_ = std::move(values_);
   net.params_ = std::move(params_);
@@ -453,20 +459,59 @@ CompiledNet NetBuilder::compile(ValueId output) && {
     net.offsets_[static_cast<std::size_t>(request_root[r])] = plan.offsets[r];
   }
   net.arena_per_sample_ = plan.total;
+
+  // Streaming layout: legal when every op preserves the time axis one step
+  // at a time — stride-1 convs (their packed weights double as the
+  // per-step layout) and elementwise adds.
+  net.streamable_ = true;
+  for (const detail::Op& op : net.ops_) {
+    const bool ok =
+        (op.kind == detail::OpKind::kConv && op.stride == 1 && op.packed) ||
+        op.kind == detail::OpKind::kAdd;
+    if (!ok) {
+      net.streamable_ = false;
+      break;
+    }
+  }
+  if (net.streamable_) {
+    net.ring_off_.assign(net.ops_.size(), -1);
+    for (std::size_t i = 0; i < net.ops_.size(); ++i) {
+      const detail::Op& op = net.ops_[i];
+      if (op.kind == detail::OpKind::kConv) {
+        net.ring_off_[i] = net.ring_floats_;
+        net.ring_floats_ += op.c_in * ring_span(op);
+      }
+    }
+    net.val_off_.assign(net.values_.size(), -1);
+    for (std::size_t v = 0; v < net.values_.size(); ++v) {
+      if (net.root_[v] == static_cast<ValueId>(v)) {
+        net.val_off_[v] = net.val_floats_;
+        net.val_floats_ += net.values_[v].channels;
+      }
+    }
+  }
   return net;
 }
 
-// ---- CompiledNet ---------------------------------------------------------
+// ---- CompiledPlan --------------------------------------------------------
 
-index_t CompiledNet::input_channels() const {
+index_t CompiledPlan::input_channels() const {
   return values_[static_cast<std::size_t>(input_)].channels;
 }
 
-index_t CompiledNet::input_steps() const {
+index_t CompiledPlan::input_steps() const {
   return values_[static_cast<std::size_t>(input_)].steps;
 }
 
-index_t CompiledNet::activation_floats_per_sample() const {
+index_t CompiledPlan::output_channels() const {
+  return values_[static_cast<std::size_t>(output_)].channels;
+}
+
+index_t CompiledPlan::output_steps() const {
+  return values_[static_cast<std::size_t>(output_)].steps;
+}
+
+index_t CompiledPlan::activation_floats_per_sample() const {
   // Sum of the planned (arena-backed) buffer sizes, padding included —
   // what the arena would need without liveness reuse.
   index_t total = 0;
@@ -478,19 +523,21 @@ index_t CompiledNet::activation_floats_per_sample() const {
   return total;
 }
 
-Tensor CompiledNet::forward(const Tensor& input) {
+Tensor CompiledPlan::forward(const Tensor& input,
+                             ExecutionContext& ctx) const {
   const index_t c = input_channels();
   const index_t t = input_steps();
   const bool flat_ok = t == 1 && input.rank() == 2 && input.dim(1) == c;
   PIT_CHECK(flat_ok || (input.rank() == 3 && input.dim(1) == c &&
                         input.dim(2) == t),
-            "CompiledNet: expected (N, " << c << ", " << t << "), got "
-                                         << input.shape().to_string());
+            "CompiledPlan: expected (N, " << c << ", " << t << "), got "
+                                          << input.shape().to_string());
   const index_t n = input.dim(0);
   const auto needed = static_cast<std::size_t>(arena_per_sample_ * n);
-  if (arena_.size() < needed) {
-    arena_.resize(needed);
+  if (ctx.arena_.size() < needed) {
+    ctx.arena_.resize(needed);
   }
+  float* arena = ctx.arena_.data();
 
   const detail::Value& out_value =
       values_[static_cast<std::size_t>(output_)];
@@ -511,7 +558,7 @@ Tensor CompiledNet::forward(const Tensor& input) {
     const index_t steps = values_[si].steps;
     const index_t lead = lead_[si];
     const index_t stride = stride_[si];
-    float* base = arena_.data() + offsets_[si] * n;
+    float* base = arena + offsets_[si] * n;
 #pragma omp parallel for schedule(static) \
     if (rows * stride >= kParallelMinFloats)
     for (index_t r = 0; r < rows; ++r) {
@@ -538,7 +585,7 @@ Tensor CompiledNet::forward(const Tensor& input) {
       return {out_data, out_value.steps};
     }
     const auto ri = static_cast<std::size_t>(r);
-    return {arena_.data() + offsets_[ri] * n + lead_[ri], stride_[ri]};
+    return {arena + offsets_[ri] * n + lead_[ri], stride_[ri]};
   };
   // Zeroes a freshly produced value's lead region (the materialized
   // causal padding its conv consumer will read).
@@ -548,7 +595,7 @@ Tensor CompiledNet::forward(const Tensor& input) {
       return;
     }
     const index_t rows = n * values_[r].channels;
-    float* base = arena_.data() + offsets_[r] * n;
+    float* base = arena + offsets_[r] * n;
     for (index_t row = 0; row < rows; ++row) {
       float* p = base + row * stride_[r];
       std::fill(p, p + lead_[r], 0.0F);
@@ -587,12 +634,112 @@ Tensor CompiledNet::forward(const Tensor& input) {
   return out;
 }
 
-std::string CompiledNet::summary() const {
+// ---- Streaming step execution --------------------------------------------
+
+void CompiledPlan::bind_stream(ExecutionContext& ctx) const {
+  PIT_CHECK(streamable_,
+            "CompiledPlan::step: plan is not streamable (it contains a "
+            "pool, linear, or strided conv — run forward() on whole "
+            "sequences instead)");
+  if (ctx.stream_plan_ != this) {
+    ctx.stream_ring_.assign(static_cast<std::size_t>(ring_floats_), 0.0F);
+    ctx.stream_vals_.assign(static_cast<std::size_t>(val_floats_), 0.0F);
+    ctx.stream_t_ = 0;
+    ctx.stream_plan_ = this;
+  }
+}
+
+void CompiledPlan::step(const float* input, float* output,
+                        ExecutionContext& ctx) const {
+  bind_stream(ctx);
+  float* rings = ctx.stream_ring_.data();
+  float* vals = ctx.stream_vals_.data();
+  const auto t = static_cast<index_t>(ctx.stream_t_);
+
+  const auto vec = [&](ValueId v) -> float* {
+    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
+    return vals + val_off_[r];
+  };
+  std::copy(input, input + input_channels(), vec(input_));
+
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const detail::Op& op = ops_[i];
+    float* y = vec(op.out);
+    if (op.kind == detail::OpKind::kAdd) {
+      const float* a = vec(op.in0);
+      const float* b = vec(op.in1);
+      for (index_t ch = 0; ch < op.c_out; ++ch) {
+        const float s = a[ch] + b[ch];
+        y[ch] = op.relu && s < 0.0F ? 0.0F : s;
+      }
+      continue;
+    }
+    // Conv: push the current input vector into this op's history ring,
+    // then dot every tap against its dilated look-back slot. Slots the
+    // sequence has not reached yet still hold their zero initialization —
+    // exactly the implicit causal padding of the batched kernels.
+    const float* x = vec(op.in0);
+    const index_t span = ring_span(op);
+    const index_t pos = t % span;
+    float* ring = rings + ring_off_[static_cast<std::size_t>(i)];
+    for (index_t ci = 0; ci < op.c_in; ++ci) {
+      ring[ci * span + pos] = x[ci];
+    }
+    if (op.b_off >= 0) {
+      const float* b = params_.data() + op.b_off;
+      std::copy(b, b + op.c_out, y);
+    } else {
+      std::fill(y, y + op.c_out, 0.0F);
+    }
+    // Packed weight layout: wp[(ci*k + i) * co_round + co] — contiguous
+    // over output channels, which is the inner loop here too.
+    const index_t co_round =
+        (op.c_out + nn::kernels::kPackCo - 1) / nn::kernels::kPackCo *
+        nn::kernels::kPackCo;
+    const float* wp = params_.data() + op.w_off;
+    for (index_t ci = 0; ci < op.c_in; ++ci) {
+      const float* crow = ring + ci * span;
+      for (index_t tap = 0; tap < op.k; ++tap) {
+        const index_t back = tap * op.dilation;  // < span by construction
+        const index_t slot = pos >= back ? pos - back : pos - back + span;
+        const float xv = crow[slot];
+        if (xv == 0.0F) {
+          continue;  // padding region and post-ReLU zeros are common
+        }
+        const float* wrow = wp + (ci * op.k + tap) * co_round;
+        for (index_t co = 0; co < op.c_out; ++co) {
+          y[co] += wrow[co] * xv;
+        }
+      }
+    }
+    if (op.relu) {
+      for (index_t co = 0; co < op.c_out; ++co) {
+        y[co] = y[co] > 0.0F ? y[co] : 0.0F;
+      }
+    }
+  }
+  const float* out_vec = vec(output_);
+  std::copy(out_vec, out_vec + output_channels(), output);
+  ++ctx.stream_t_;
+}
+
+Tensor CompiledPlan::step(const Tensor& input, ExecutionContext& ctx) const {
+  PIT_CHECK(input.rank() == 1 && input.dim(0) == input_channels(),
+            "CompiledPlan::step: expected a (" << input_channels()
+                                               << ",) time-step vector, got "
+                                               << input.shape().to_string());
+  Tensor out = Tensor::empty(Shape{output_channels()});
+  step(input.data(), out.data(), ctx);
+  return out;
+}
+
+std::string CompiledPlan::summary() const {
   std::ostringstream os;
-  os << "CompiledNet: " << ops_.size() << " ops, "
+  os << "CompiledPlan: " << ops_.size() << " ops, "
      << param_floats() << " packed param floats, arena "
      << arena_per_sample_ << " floats/sample (unplanned: "
-     << activation_floats_per_sample() << ")\n";
+     << activation_floats_per_sample() << ")"
+     << (streamable_ ? ", streamable" : "") << "\n";
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     const detail::Op& op = ops_[i];
     os << "  #" << i << " ";

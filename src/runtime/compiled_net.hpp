@@ -2,7 +2,7 @@
 //
 // The paper's pitch is that the searched mask/gamma structure collapses
 // into a plain dilated TCN that cheap inference engines run fast; this is
-// that engine. A CompiledNet executes a network as a flat op list over one
+// that engine. A CompiledPlan executes a network as a flat op list over one
 // pre-planned activation arena:
 //
 //   compile — the layer sequence is described through NetBuilder,
@@ -23,8 +23,25 @@
 //
 // Arena offsets are planned per batch *sample* and scaled by N at run
 // time, so one plan serves every batch size.
+//
+// THREAD-SAFETY CONTRACT
+//
+// A CompiledPlan is immutable once NetBuilder::compile() returns: forward()
+// and step() are const and touch no plan state besides reads. All mutable
+// execution state — the activation arena and the streaming ring buffers —
+// lives in an ExecutionContext that the caller passes in. Any number of
+// threads may call forward()/step() on ONE shared plan concurrently as long
+// as each thread uses its OWN context; a single context must never be used
+// from two threads at once. The serving layer (src/serve) builds on exactly
+// this split: one shared plan, one context per worker thread.
+//
+// The CompiledNet facade at the bottom of this header bundles a plan with
+// one private context for single-threaded callers; it is NOT thread-safe —
+// share the underlying plan() instead.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -85,17 +102,70 @@ struct Value {
 
 }  // namespace detail
 
+class CompiledPlan;
+
+/// Per-thread execution state for a CompiledPlan: the batched activation
+/// arena plus, for streaming step() execution, the per-conv dilated input
+/// history rings and per-value single-step vectors. A context is cheap to
+/// construct (buffers grow lazily on first use), is bound to whichever plan
+/// last ran it, and must only ever be driven by one thread at a time. It
+/// must not outlive the plan it is bound to.
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+
+  /// Forgets the streaming history: the next step() starts a fresh
+  /// sequence at t = 0 (implicit causal zero-padding again). The batch
+  /// arena is untouched — it carries no state between forwards.
+  void reset_stream() {
+    stream_plan_ = nullptr;
+    stream_t_ = 0;
+  }
+
+  /// Time steps consumed since the last reset (streaming mode).
+  std::uint64_t stream_position() const { return stream_t_; }
+
+ private:
+  friend class CompiledPlan;
+
+  std::vector<float> arena_;        // grown to plan arena floats * max N
+  const CompiledPlan* stream_plan_ = nullptr;  // rings sized for this plan
+  std::vector<float> stream_ring_;  // per-conv dilated input history
+  std::vector<float> stream_vals_;  // one C-vector per live value
+  std::uint64_t stream_t_ = 0;
+};
+
 /// An immutable, executable inference plan. Built by NetBuilder::compile().
-class CompiledNet {
+/// Safe to share across threads — see the thread-safety contract above.
+class CompiledPlan {
  public:
   /// Executes the plan on an (N, C, T) batch (or (N, C) when the declared
   /// input has one step). Grad mode is ignored — no tape is ever built —
   /// and nothing is allocated per forward except the returned tensor
-  /// (plus a one-time arena growth when N exceeds all previous batches).
-  Tensor forward(const Tensor& input);
+  /// (plus a one-time growth of the context's arena when N exceeds all
+  /// batches that context has served).
+  Tensor forward(const Tensor& input, ExecutionContext& ctx) const;
+
+  /// True when the network can run one time step at a time: every op is a
+  /// stride-1 causal conv or an elementwise add, so t_out == t_in
+  /// throughout and each conv only ever needs its past (k-1)*dilation
+  /// inputs — which the context keeps in per-conv ring buffers.
+  bool streamable() const { return streamable_; }
+
+  /// Streaming single-step execution: consumes one time-step vector
+  /// (input_channels() floats) and produces one output vector
+  /// (output_channels() floats). After T steps from a reset context the
+  /// outputs match columns 0..T-1 of forward() on the same sequence.
+  /// Requires streamable(); the context's history is zero before the first
+  /// step (the implicit causal padding).
+  void step(const float* input, float* output, ExecutionContext& ctx) const;
+  /// Tensor convenience overload: input rank-1 (C,), returns (C_out,).
+  Tensor step(const Tensor& input, ExecutionContext& ctx) const;
 
   index_t input_channels() const;
   index_t input_steps() const;
+  index_t output_channels() const;
+  index_t output_steps() const;
   /// Activation arena floats needed per batch sample (liveness-planned;
   /// compare with the sum of all activation sizes to see the reuse).
   index_t arena_floats_per_sample() const { return arena_per_sample_; }
@@ -110,7 +180,9 @@ class CompiledNet {
 
  private:
   friend class NetBuilder;
-  CompiledNet() = default;
+  CompiledPlan() = default;
+
+  void bind_stream(ExecutionContext& ctx) const;
 
   std::vector<detail::Op> ops_;
   std::vector<detail::Value> values_;
@@ -124,7 +196,14 @@ class CompiledNet {
   ValueId output_ = -1;
   ValueId input_stage_ = -1;        // padded copy of the input, if needed
   index_t arena_per_sample_ = 0;
-  std::vector<float> arena_;        // grown to arena_per_sample_ * max N
+  // Streaming layout (valid when streamable_): one history ring per conv
+  // op of (k-1)*dilation+1 slots per input channel, one single-step
+  // C-vector per storage root.
+  bool streamable_ = false;
+  std::vector<index_t> ring_off_;   // per op; -1 for non-conv ops
+  index_t ring_floats_ = 0;
+  std::vector<index_t> val_off_;    // per value root; -1 for aliases
+  index_t val_floats_ = 0;
 };
 
 /// Records a network as a sequence of fused inference ops, then plans and
@@ -147,8 +226,8 @@ class NetBuilder {
   ValueId flatten(ValueId x);
 
   /// Plans the arena (liveness over the recorded ops) and returns the
-  /// executable net whose result is `output`.
-  CompiledNet compile(ValueId output) &&;
+  /// executable plan whose result is `output`.
+  CompiledPlan compile(ValueId output) &&;
 
  private:
   ValueId new_value(index_t channels, index_t steps, ValueId alias_of = -1);
@@ -159,6 +238,45 @@ class NetBuilder {
   std::vector<detail::Value> values_;
   std::vector<float> params_;
   ValueId input_ = -1;
+};
+
+/// Single-threaded convenience facade: one shared plan bundled with one
+/// private context, keeping the original pre-split API. NOT thread-safe —
+/// concurrent callers must share plan() and bring their own contexts.
+class CompiledNet {
+ public:
+  explicit CompiledNet(CompiledPlan plan)
+      : plan_(std::make_shared<const CompiledPlan>(std::move(plan))) {}
+  explicit CompiledNet(std::shared_ptr<const CompiledPlan> plan)
+      : plan_(std::move(plan)) {}
+
+  Tensor forward(const Tensor& input) { return plan_->forward(input, ctx_); }
+  /// Streaming single-step on the facade's private context.
+  Tensor step(const Tensor& input) { return plan_->step(input, ctx_); }
+  void reset_stream() { ctx_.reset_stream(); }
+
+  /// The immutable plan — hand this (plus per-thread contexts) to
+  /// concurrent callers, e.g. serve::InferenceServer.
+  const std::shared_ptr<const CompiledPlan>& plan() const { return plan_; }
+
+  bool streamable() const { return plan_->streamable(); }
+  index_t input_channels() const { return plan_->input_channels(); }
+  index_t input_steps() const { return plan_->input_steps(); }
+  index_t output_channels() const { return plan_->output_channels(); }
+  index_t output_steps() const { return plan_->output_steps(); }
+  index_t arena_floats_per_sample() const {
+    return plan_->arena_floats_per_sample();
+  }
+  index_t activation_floats_per_sample() const {
+    return plan_->activation_floats_per_sample();
+  }
+  index_t param_floats() const { return plan_->param_floats(); }
+  std::size_t num_ops() const { return plan_->num_ops(); }
+  std::string summary() const { return plan_->summary(); }
+
+ private:
+  std::shared_ptr<const CompiledPlan> plan_;
+  ExecutionContext ctx_;
 };
 
 }  // namespace pit::runtime

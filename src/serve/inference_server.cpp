@@ -1,0 +1,170 @@
+#include "serve/inference_server.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "tensor/error.hpp"
+
+namespace pit::serve {
+
+InferenceServer::InferenceServer(
+    std::shared_ptr<const runtime::CompiledPlan> plan, ServerOptions options)
+    : plan_(std::move(plan)), options_(options) {
+  PIT_CHECK(plan_ != nullptr, "InferenceServer: null plan");
+  PIT_CHECK(options_.threads >= 1,
+            "InferenceServer: threads = " << options_.threads);
+  PIT_CHECK(options_.max_batch >= 1,
+            "InferenceServer: max_batch = " << options_.max_batch);
+  PIT_CHECK(options_.max_queue >= 1, "InferenceServer: max_queue = 0");
+  workers_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<Tensor> InferenceServer::submit(Tensor input) {
+  const index_t c = plan_->input_channels();
+  const index_t t = plan_->input_steps();
+  const bool flat_ok = t == 1 && input.rank() == 1 && input.dim(0) == c;
+  PIT_CHECK(flat_ok || (input.rank() == 2 && input.dim(0) == c &&
+                        input.dim(1) == t),
+            "InferenceServer::submit: expected one (" << c << ", " << t
+                                                      << ") sample, got "
+                                                      << input.shape()
+                                                             .to_string());
+  Request req;
+  req.input = std::move(input);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<Tensor> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PIT_CHECK(!stopping_, "InferenceServer::submit: server is shut down");
+    PIT_CHECK(queue_.size() < options_.max_queue,
+              "InferenceServer::submit: queue full ("
+                  << options_.max_queue << " requests) — backpressure");
+    queue_.push_back(std::move(req));
+    ++stats_.requests;
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void InferenceServer::worker_loop() {
+#ifdef _OPENMP
+  if (options_.intra_op_threads > 0) {
+    omp_set_num_threads(options_.intra_op_threads);
+  }
+#endif
+  runtime::ExecutionContext ctx;
+  std::vector<Request> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and fully drained
+      }
+      // Micro-batching: hold the batch open until it fills or the oldest
+      // request's deadline passes. During shutdown, flush immediately.
+      const auto deadline = queue_.front().enqueued + options_.max_wait;
+      while (!stopping_ && !queue_.empty() &&
+             static_cast<index_t>(queue_.size()) < options_.max_batch &&
+             std::chrono::steady_clock::now() < deadline) {
+        cv_.wait_until(lock, deadline);
+      }
+      if (queue_.empty()) {
+        continue;  // a sibling drained it while this worker held the batch
+      }
+      const std::size_t take =
+          std::min(queue_.size(),
+                   static_cast<std::size_t>(options_.max_batch));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.max_batch_executed = std::max(
+          stats_.max_batch_executed, static_cast<index_t>(batch.size()));
+    }
+    // More requests may remain queued: wake a sibling before running.
+    cv_.notify_one();
+    run_batch(batch, ctx);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.completed += batch.size();
+    }
+  }
+}
+
+void InferenceServer::run_batch(std::vector<Request>& batch,
+                                runtime::ExecutionContext& ctx) const {
+  const auto n = static_cast<index_t>(batch.size());
+  const index_t c = plan_->input_channels();
+  const index_t t = plan_->input_steps();
+  const index_t sample_floats = c * t;
+  try {
+    Tensor stacked = t == 1 ? Tensor::empty(Shape{n, c})
+                            : Tensor::empty(Shape{n, c, t});
+    float* dst = stacked.data();
+    for (index_t i = 0; i < n; ++i) {
+      std::memcpy(dst + i * sample_floats, batch[static_cast<std::size_t>(i)]
+                                               .input.data(),
+                  static_cast<std::size_t>(sample_floats) * sizeof(float));
+    }
+    const Tensor out = plan_->forward(stacked, ctx);
+    const index_t co = plan_->output_channels();
+    const index_t to = plan_->output_steps();
+    const index_t out_floats = co * to;
+    const float* src = out.data();
+    for (index_t i = 0; i < n; ++i) {
+      Tensor slice = to == 1 ? Tensor::empty(Shape{co})
+                             : Tensor::empty(Shape{co, to});
+      std::memcpy(slice.data(), src + i * out_floats,
+                  static_cast<std::size_t>(out_floats) * sizeof(float));
+      batch[static_cast<std::size_t>(i)].promise.set_value(std::move(slice));
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (Request& req : batch) {
+      try {
+        req.promise.set_exception(err);
+      } catch (const std::future_error&) {
+        // Promise already satisfied (a set_value partially completed
+        // before the throw) — nothing left to deliver.
+      }
+    }
+  }
+}
+
+void InferenceServer::shutdown() {
+  // Claim the worker handles under the lock so concurrent shutdown()
+  // calls (or shutdown racing the destructor) join disjoint sets.
+  std::vector<std::thread> claimed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    claimed.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& w : claimed) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pit::serve

@@ -1,0 +1,109 @@
+// Concurrent serving layer over the frozen inference runtime.
+//
+// InferenceServer turns one immutable CompiledPlan into a request/response
+// service: callers submit() single samples from any thread and get a
+// future; a pool of worker threads — each owning its own ExecutionContext,
+// which is what makes concurrent execution of the shared plan safe (see
+// the thread-safety contract in runtime/compiled_net.hpp) — drains a
+// dynamic micro-batching queue. Requests coalesce until either max_batch
+// samples are waiting or the oldest request has waited max_wait, then run
+// as ONE batched forward; the batch is split back into per-request output
+// tensors. Micro-batching is the classic serving trade: a bounded latency
+// tax on the first request in a batch buys amortized per-op dispatch and
+// kernel efficiency across the whole batch — the knob that lets the
+// single-shot runtime of PR 2 hold up under many concurrent clients.
+//
+// For latency-critical single-sample flows (one time step arriving at a
+// time), see StreamSession in stream_session.hpp instead.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/compiled_net.hpp"
+
+namespace pit::serve {
+
+struct ServerOptions {
+  /// Worker threads; each owns one ExecutionContext and runs whole
+  /// batches, so throughput scales with inter-request parallelism.
+  int threads = 2;
+  /// A batch runs as soon as this many requests are queued...
+  index_t max_batch = 16;
+  /// ...or once the oldest queued request has waited this long.
+  std::chrono::microseconds max_wait{200};
+  /// Backpressure: submit() throws once this many requests are queued.
+  std::size_t max_queue = 4096;
+  /// OpenMP threads each worker grants the kernels (intra-op parallelism).
+  /// 1 — the default — dedicates each core to a worker, which is how a
+  /// thread-pool server wants it; 0 leaves the OpenMP default untouched.
+  int intra_op_threads = 1;
+};
+
+struct ServerStats {
+  std::uint64_t requests = 0;   // accepted by submit()
+  std::uint64_t completed = 0;  // futures fulfilled (including errors)
+  std::uint64_t batches = 0;    // batched forwards executed
+  index_t max_batch_executed = 0;
+  /// Mean coalesced batch size — the micro-batching win in one number.
+  double mean_batch() const {
+    return batches > 0 ? static_cast<double>(completed) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+};
+
+/// Thread-pool inference server with dynamic micro-batching. All public
+/// methods are thread-safe. Destruction (or shutdown()) stops accepting
+/// new work, drains every queued request, and joins the workers.
+class InferenceServer {
+ public:
+  explicit InferenceServer(std::shared_ptr<const runtime::CompiledPlan> plan,
+                           ServerOptions options = {});
+  ~InferenceServer();
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one sample — (C, T), or (C,) when the plan's input has a
+  /// single step — and returns a future for its output tensor ((C_out, T_out)
+  /// or (C_out,)). Throws pit::Error on a shape mismatch, when the queue is
+  /// full, or after shutdown. The future carries any execution error.
+  std::future<Tensor> submit(Tensor input);
+
+  /// Stops accepting submissions, runs everything still queued, joins the
+  /// workers. Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServerStats stats() const;
+  const runtime::CompiledPlan& plan() const { return *plan_; }
+
+ private:
+  struct Request {
+    Tensor input;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void run_batch(std::vector<Request>& batch,
+                 runtime::ExecutionContext& ctx) const;
+
+  std::shared_ptr<const runtime::CompiledPlan> plan_;
+  ServerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  ServerStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pit::serve

@@ -1,0 +1,54 @@
+// Stateful streaming session: the low-latency counterpart to the
+// micro-batching InferenceServer.
+//
+// Where the server trades a bounded queueing delay for batched throughput,
+// a StreamSession serves scenarios where samples arrive one time step at a
+// time (a PPG sensor tick, one audio frame) and each step's output is
+// wanted immediately: it binds one ExecutionContext to a shared
+// CompiledPlan and advances the per-conv dilated ring-buffer history by
+// one step per call — O(sum_l c_in*k*c_out) work per step, no re-running
+// of the whole window. Any number of sessions may share one plan (each is
+// an independent sequence); a single session is single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "runtime/compiled_net.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::serve {
+
+class StreamSession {
+ public:
+  explicit StreamSession(std::shared_ptr<const runtime::CompiledPlan> plan)
+      : plan_(std::move(plan)) {
+    PIT_CHECK(plan_ != nullptr, "StreamSession: null plan");
+    PIT_CHECK(plan_->streamable(),
+              "StreamSession: plan is not streamable — it contains a pool, "
+              "linear, or strided conv; serve whole windows through "
+              "InferenceServer instead");
+  }
+
+  /// Consumes one (C,) time-step vector, returns the (C_out,) output for
+  /// this step. Equals column t of a whole-sequence forward().
+  Tensor step(const Tensor& input) { return plan_->step(input, ctx_); }
+  /// Raw-buffer variant for allocation-free steady state.
+  void step(const float* input, float* output) {
+    plan_->step(input, output, ctx_);
+  }
+
+  /// Starts a fresh sequence (history back to the implicit zero padding).
+  void reset() { ctx_.reset_stream(); }
+  /// Steps consumed since construction or the last reset().
+  std::uint64_t position() const { return ctx_.stream_position(); }
+
+  const runtime::CompiledPlan& plan() const { return *plan_; }
+
+ private:
+  std::shared_ptr<const runtime::CompiledPlan> plan_;
+  runtime::ExecutionContext ctx_;
+};
+
+}  // namespace pit::serve

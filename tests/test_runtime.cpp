@@ -99,11 +99,12 @@ TEST(FoldBatchnorm, MatchesEvalModeConvBnForward) {
   fold_batchnorm(frozen, bn);
   NetBuilder b;
   ValueId x = b.input(3, 20);
-  CompiledNet net = std::move(b).compile(b.conv(x, frozen, false));
+  const CompiledPlan plan = std::move(b).compile(b.conv(x, frozen, false));
+  ExecutionContext ctx;
 
   Tensor in = Tensor::randn(Shape{2, 3, 20}, rng);
   Tensor expected = bn.forward(conv.forward(in));
-  EXPECT_LT(max_abs_diff(net.forward(in), expected), 1e-5F);
+  EXPECT_LT(max_abs_diff(plan.forward(in, ctx), expected), 1e-5F);
 }
 
 TEST(FoldBatchnorm, MaterializesBiasOnBiaslessConv) {
@@ -120,7 +121,7 @@ TEST(FoldBatchnorm, MaterializesBiasOnBiaslessConv) {
 
   NetBuilder b;
   ValueId x = b.input(2, 12);
-  CompiledNet net = std::move(b).compile(b.conv(x, frozen, false));
+  CompiledNet net{std::move(b).compile(b.conv(x, frozen, false))};
   Tensor in = Tensor::randn(Shape{1, 2, 12}, rng);
   Tensor expected = bn.forward(conv.forward(in));
   EXPECT_LT(max_abs_diff(net.forward(in), expected), 1e-5F);
@@ -131,7 +132,7 @@ TEST(CompiledConv, StridedDilatedParity) {
   nn::Conv1d conv(2, 5, 4, {.dilation = 3, .stride = 2, .bias = true}, rng);
   NetBuilder b;
   ValueId x = b.input(2, 31);
-  CompiledNet net = std::move(b).compile(b.conv(x, freeze_conv(conv), false));
+  CompiledNet net{std::move(b).compile(b.conv(x, freeze_conv(conv), false))};
   Tensor in = Tensor::randn(Shape{3, 2, 31}, rng);
   EXPECT_LT(max_abs_diff(net.forward(in), conv.forward(in)), 1e-6F);
 }

@@ -1,0 +1,201 @@
+// Concurrency contract of the plan/context split: one immutable
+// CompiledPlan, many threads, each with its own ExecutionContext — outputs
+// must match the single-threaded module graph bit-for-bit no matter how
+// the threads interleave. Also covers the streaming single-step path:
+// ring-buffer history must reproduce whole-sequence forward columns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "models/restcn.hpp"
+#include "models/temponet.hpp"
+#include "runtime/compile_models.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::runtime {
+namespace {
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  float worst = 0.0F;
+  for (index_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+models::TempoNetConfig small_temponet_config() {
+  models::TempoNetConfig cfg;
+  cfg.input_length = 64;
+  cfg.channel_scale = 0.25;
+  return cfg;
+}
+
+models::ResTcnConfig small_restcn_config() {
+  models::ResTcnConfig cfg;
+  cfg.input_channels = 6;
+  cfg.output_channels = 6;
+  cfg.hidden_channels = 8;
+  return cfg;
+}
+
+TEST(CompiledPlanConcurrency, ManyThreadsOnePlanMatchSingleThreadForward) {
+  RandomEngine rng(901);
+  const auto cfg = small_temponet_config();
+  models::TempoNet model(
+      cfg, models::dilated_conv_factory(rng, {2, 2, 1, 4, 4, 8, 8}), rng);
+  model.train();
+  model.forward(Tensor::randn(Shape{8, 4, 64}, rng));
+  model.eval();
+
+  const std::shared_ptr<const CompiledPlan> plan = compile_plan(model);
+
+  // Reference outputs computed single-threaded through the module graph,
+  // over a spread of batch sizes the threads then hammer in random order.
+  const std::vector<index_t> batch_sizes = {1, 2, 3, 5, 8, 13};
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> expected;
+  {
+    NoGradGuard guard;
+    for (const index_t n : batch_sizes) {
+      Tensor x = Tensor::randn(Shape{n, 4, 64}, rng);
+      expected.push_back(model.forward(x));
+      inputs.push_back(std::move(x));
+    }
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      // Per-thread context; per-thread randomized visit order.
+      ExecutionContext ctx;
+      std::uint64_t state = 0x9E3779B97F4A7C15ULL * (tid + 1);
+      for (int it = 0; it < kItersPerThread; ++it) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const auto idx =
+            static_cast<std::size_t>((state >> 33) % inputs.size());
+        const Tensor out = plan->forward(inputs[idx], ctx);
+        float worst = 0.0F;
+        for (index_t i = 0; i < out.numel(); ++i) {
+          worst = std::max(
+              worst, std::abs(out.data()[i] - expected[idx].data()[i]));
+        }
+        if (worst > 1e-4F) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0)
+      << "concurrent forwards diverged from the single-threaded reference";
+}
+
+TEST(CompiledPlanConcurrency, ContextsAreIndependentAcrossPlans) {
+  // One context serving two plans back to back must stay correct: the
+  // arena is size-checked per forward and carries no state.
+  RandomEngine rng(907);
+  const auto cfg = small_restcn_config();
+  models::ResTCN model(
+      cfg, models::dilated_conv_factory(rng, {1, 2, 4, 8, 16, 2, 1, 32}),
+      rng);
+  model.eval();
+  const auto plan_a = compile_plan(model, 24);
+  const auto plan_b = compile_plan(model, 16);
+  ExecutionContext ctx;
+  NoGradGuard guard;
+  Tensor xa = Tensor::randn(Shape{2, 6, 24}, rng);
+  Tensor xb = Tensor::randn(Shape{4, 6, 16}, rng);
+  EXPECT_LT(max_abs_diff(plan_a->forward(xa, ctx), model.forward(xa)), 1e-4F);
+  EXPECT_LT(max_abs_diff(plan_b->forward(xb, ctx), model.forward(xb)), 1e-4F);
+  EXPECT_LT(max_abs_diff(plan_a->forward(xa, ctx), model.forward(xa)), 1e-4F);
+}
+
+// ---- Streaming single-step execution --------------------------------------
+
+TEST(CompiledPlanStreaming, StepsReproduceFullSequenceForward) {
+  RandomEngine rng(911);
+  const auto cfg = small_restcn_config();
+  models::ResTCN model(
+      cfg, models::dilated_conv_factory(rng, {1, 2, 4, 8, 16, 2, 1, 32}),
+      rng);
+  model.eval();
+  const index_t steps = 40;
+  const auto plan = compile_plan(model, steps);
+  ASSERT_TRUE(plan->streamable());
+
+  Tensor x = Tensor::randn(Shape{1, 6, steps}, rng);
+  ExecutionContext batch_ctx;
+  const Tensor full = plan->forward(x, batch_ctx);  // (1, 6, steps)
+
+  ExecutionContext ctx;
+  for (index_t t = 0; t < steps; ++t) {
+    Tensor in = Tensor::empty(Shape{6});
+    for (index_t c = 0; c < 6; ++c) {
+      in.data()[c] = x.data()[c * steps + t];
+    }
+    const Tensor out = plan->step(in, ctx);
+    ASSERT_EQ(out.rank(), 1);
+    ASSERT_EQ(out.dim(0), 6);
+    for (index_t c = 0; c < 6; ++c) {
+      EXPECT_NEAR(out.data()[c], full.data()[c * steps + t], 1e-4F)
+          << "channel " << c << " at step " << t;
+    }
+  }
+  EXPECT_EQ(ctx.stream_position(), static_cast<std::uint64_t>(steps));
+}
+
+TEST(CompiledPlanStreaming, ResetStartsAFreshSequence) {
+  RandomEngine rng(919);
+  const auto cfg = small_restcn_config();
+  models::ResTCN model(
+      cfg, models::dilated_conv_factory(rng, {1, 1, 2, 2, 4, 4, 8, 8}), rng);
+  model.eval();
+  const auto plan = compile_plan(model, 8);
+  ExecutionContext ctx;
+  Tensor in = Tensor::randn(Shape{6}, rng);
+  const Tensor first = plan->step(in, ctx);
+  plan->step(Tensor::randn(Shape{6}, rng), ctx);  // pollute the history
+  ctx.reset_stream();
+  EXPECT_EQ(ctx.stream_position(), 0u);
+  const Tensor again = plan->step(in, ctx);
+  EXPECT_LT(max_abs_diff(first, again), 1e-6F)
+      << "reset must restore the implicit zero padding";
+}
+
+TEST(CompiledPlanStreaming, NonStreamablePlanRefusesToStep) {
+  RandomEngine rng(929);
+  const auto cfg = small_temponet_config();
+  models::TempoNet model(
+      cfg, models::dilated_conv_factory(rng, {2, 2, 1, 4, 4, 8, 8}), rng);
+  model.eval();
+  const auto plan = compile_plan(model);  // pools + linears: not streamable
+  EXPECT_FALSE(plan->streamable());
+  ExecutionContext ctx;
+  EXPECT_THROW(plan->step(Tensor::randn(Shape{4}, rng), ctx), Error);
+}
+
+TEST(CompiledPlanStreaming, RejectsWrongStepVector) {
+  RandomEngine rng(937);
+  const auto cfg = small_restcn_config();
+  models::ResTCN model(
+      cfg, models::dilated_conv_factory(rng, {1, 1, 2, 2, 4, 4, 8, 8}), rng);
+  model.eval();
+  const auto plan = compile_plan(model, 8);
+  ExecutionContext ctx;
+  EXPECT_THROW(plan->step(Tensor::randn(Shape{7}, rng), ctx), Error);
+  EXPECT_THROW(plan->step(Tensor::randn(Shape{6, 1}, rng), ctx), Error);
+}
+
+}  // namespace
+}  // namespace pit::runtime

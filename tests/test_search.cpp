@@ -147,6 +147,80 @@ TEST(DilationSearch, SweepProducesParetoSubset) {
   EXPECT_LE(result.all[1].total_params, result.all[0].total_params);
 }
 
+TEST(DilationSearch, ParallelSweepMatchesSequentialExactly) {
+  // The grid is embarrassingly parallel: every point builds its own model
+  // and trains on private loader copies. Running with 1 worker and with
+  // one worker per point must therefore produce identical points — same
+  // dilations, same losses — and the identical Pareto front.
+  RandomEngine data_rng(547);
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+  for (index_t i = 0; i < 24; ++i) {
+    Tensor x = Tensor::randn(Shape{1, 24}, data_rng);
+    Tensor y = Tensor::zeros(Shape{1, 24});
+    for (index_t j = 3; j < 24; ++j) {
+      y.data()[j] = x.data()[j - 3];
+    }
+    inputs.push_back(std::move(x));
+    targets.push_back(std::move(y));
+  }
+  data::TensorDataset ds(std::move(inputs), std::move(targets));
+  data::DataLoader train(ds, 8, true, 1);
+  data::DataLoader val(ds, 8, false);
+
+  const auto make_search = [](std::uint64_t base_seed) {
+    auto seed_counter = std::make_shared<std::uint64_t>(base_seed);
+    return DilationSearch(
+        [seed_counter]() {
+          RandomEngine rng((*seed_counter)++);
+          auto model = std::make_unique<DelayModel>(rng);
+          PitModelBundle bundle;
+          bundle.pit_layers = {&model->conv_};
+          bundle.model = std::move(model);
+          return bundle;
+        },
+        [](const Tensor& pred, const Tensor& target) {
+          return nn::mse_loss(pred, target);
+        },
+        [](const std::vector<index_t>& dilations) {
+          return index_t{(9 - 1) / dilations.at(0) + 1};
+        });
+  };
+
+  SearchConfig config;
+  config.lambdas = {0.0, 0.02, 0.05};
+  config.warmup_epochs = {1, 2};
+  config.trainer.max_prune_epochs = 8;
+  config.trainer.finetune_epochs = 3;
+  config.trainer.patience = 3;
+  config.trainer.lr_weights = 2e-2;
+  config.trainer.lr_gamma = 3e-2;
+
+  config.workers = 1;
+  DilationSearch sequential = make_search(2000);
+  const SearchResult seq = sequential.run(train, val, config);
+
+  config.workers = 6;  // one thread per grid point
+  DilationSearch parallel = make_search(2000);
+  const SearchResult par = parallel.run(train, val, config);
+
+  ASSERT_EQ(seq.all.size(), 6u);
+  ASSERT_EQ(par.all.size(), seq.all.size());
+  for (std::size_t i = 0; i < seq.all.size(); ++i) {
+    EXPECT_EQ(par.all[i].lambda, seq.all[i].lambda) << "point " << i;
+    EXPECT_EQ(par.all[i].warmup_epochs, seq.all[i].warmup_epochs);
+    EXPECT_EQ(par.all[i].dilations, seq.all[i].dilations) << "point " << i;
+    EXPECT_EQ(par.all[i].total_params, seq.all[i].total_params);
+    EXPECT_DOUBLE_EQ(par.all[i].val_loss, seq.all[i].val_loss)
+        << "point " << i;
+  }
+  ASSERT_EQ(par.pareto.size(), seq.pareto.size());
+  for (std::size_t i = 0; i < seq.pareto.size(); ++i) {
+    EXPECT_EQ(par.pareto[i].total_params, seq.pareto[i].total_params);
+    EXPECT_DOUBLE_EQ(par.pareto[i].val_loss, seq.pareto[i].val_loss);
+  }
+}
+
 TEST(DilationSearch, EmptyGridThrows) {
   DilationSearch search([]() { return PitModelBundle{}; },
                         [](const Tensor& a, const Tensor&) { return a; },

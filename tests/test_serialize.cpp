@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "models/temponet.hpp"
@@ -101,6 +103,76 @@ TEST(Serialize, RejectsCorruptFiles) {
   }
   EXPECT_THROW(load_state(model, truncated), Error);
   std::remove(truncated.c_str());
+}
+
+std::string checkpoint_bytes(const Module& module) {
+  const std::string path = temp_path("bytes.ckpt");
+  save_state(module, path);
+  std::ifstream is(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  return bytes;
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Serialize, EveryTruncationPointThrowsNeverLoadsGarbage) {
+  // A checkpoint cut at ANY byte boundary must throw — whether the cut
+  // lands mid-magic, mid-length, mid-name, mid-shape, or mid-data. Before
+  // the gcount() checks, cuts that landed exactly on a read boundary
+  // loaded zeros/garbage silently.
+  RandomEngine rng(811);
+  Linear model(3, 2, true, rng);
+  const std::string bytes = checkpoint_bytes(model);
+  ASSERT_GT(bytes.size(), 16u);
+  const std::string path = temp_path("cut.ckpt");
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    write_bytes(path, bytes.substr(0, cut));
+    RandomEngine rng2(812);
+    Linear victim(3, 2, true, rng2);
+    EXPECT_THROW(load_state(victim, path), Error) << "cut at byte " << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CorruptRankThrowsPitErrorNotBadAlloc) {
+  RandomEngine rng(821);
+  Linear model(3, 2, true, rng);
+  std::string bytes = checkpoint_bytes(model);
+  // Layout: magic(8) + entry count(8) + first entry's name length(8) +
+  // name + rank(8). Stomp the rank with 0xFF — the loader must reject it
+  // as a pit::Error, not die in a SIZE_MAX reserve.
+  std::uint64_t name_len = 0;
+  std::memcpy(&name_len, bytes.data() + 16, sizeof(name_len));
+  const std::size_t rank_off = 24 + static_cast<std::size_t>(name_len);
+  ASSERT_LT(rank_off + 8, bytes.size());
+  for (std::size_t b = 0; b < 8; ++b) {
+    bytes[rank_off + b] = '\xFF';
+  }
+  const std::string path = temp_path("rank.ckpt");
+  write_bytes(path, bytes);
+  EXPECT_THROW(load_state(model, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TrailingJunkAfterLastEntryThrows) {
+  RandomEngine rng(813);
+  Linear model(3, 2, true, rng);
+  const std::string bytes = checkpoint_bytes(model);
+  const std::string path = temp_path("junk.ckpt");
+  write_bytes(path, bytes + '\0');
+  EXPECT_THROW(load_state(model, path), Error);
+  write_bytes(path, bytes + bytes);  // two concatenated checkpoints
+  EXPECT_THROW(load_state(model, path), Error);
+  // The untouched byte stream still loads, proving the checks above fire
+  // on the junk and not on the well-formed tail.
+  write_bytes(path, bytes);
+  EXPECT_NO_THROW(load_state(model, path));
+  std::remove(path.c_str());
 }
 
 }  // namespace
