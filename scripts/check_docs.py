@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Docs integrity check: every internal markdown link and referenced
+source path in docs/*.md and README.md must resolve.
+
+Checked:
+  - markdown links [text](target): non-URL targets (after stripping any
+    #anchor) must exist relative to the file's directory;
+  - inline-code path references like `src/runtime/quantize_plan.hpp` or
+    include-style `runtime/arena.hpp`: must exist from the repo root or
+    under src/ (where #include resolves them).
+
+Exits non-zero listing every unresolved reference.
+"""
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_RE = re.compile(r"`([A-Za-z0-9_.][A-Za-z0-9_./-]*/[A-Za-z0-9_.-]+)`")
+URL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def check_file(md: pathlib.Path) -> list:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(URL_PREFIXES) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if not (md.parent / path).exists():
+            errors.append(f"{md.relative_to(ROOT)}: broken link -> {target}")
+    exts = (".hpp", ".cpp", ".md", ".py", ".yml", ".json", ".txt")
+    for ref in CODE_RE.findall(text):
+        # Only vet things that look like repo paths: a known top-level
+        # directory, or an include-style path (with a source extension)
+        # that resolves under src/. Anything else in backticks — math,
+        # shell fragments — is not a path claim.
+        first = ref.split("/", 1)[0]
+        known_roots = {"src", "tests", "bench", "examples", "docs",
+                       "scripts", ".github"}
+        if first in known_roots:
+            candidates = [ROOT / ref]
+        elif ref.endswith(exts):
+            candidates = [ROOT / "src" / ref]
+        else:
+            continue
+        if not any(c.exists() for c in candidates):
+            errors.append(f"{md.relative_to(ROOT)}: missing path -> {ref}")
+    return errors
+
+
+def main() -> int:
+    files = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+    errors = []
+    for md in files:
+        if md.exists():
+            errors.extend(check_file(md))
+    for err in errors:
+        print(err)
+    checked = ", ".join(str(f.relative_to(ROOT)) for f in files)
+    if errors:
+        print(f"\ncheck_docs: {len(errors)} unresolved reference(s) in "
+              f"{checked}")
+        return 1
+    print(f"check_docs: OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,8 @@
 // multiply-accumulate count is large enough to amortise tiling overhead.
 #pragma once
 
+#include <cstdint>
+
 #include "tensor/shape.hpp"
 
 namespace pit::nn::kernels {
@@ -126,6 +128,97 @@ void conv_forward_packed(const float* x, const float* wp, const float* bias,
 /// null. Overwrites y. Multi-versioned like the conv kernels.
 void linear_forward(const float* x, const float* w, const float* bias,
                     float* y, index_t n, index_t f, index_t o, bool relu);
+
+// ---- int8 inference entry points (quantized compiled runtime) ----------
+//
+// The quantized runtime (runtime/quantize_plan.hpp) stores activations as
+// *unsigned* 8-bit affine values in a channel-group-interleaved layout:
+// channels are packed in groups of kQuantCiGroup, and each group-row holds
+// 4 interleaved bytes per time step — so the 4 bytes at one step form
+// exactly the contiguous u8 quad a VNNI dot-product instruction (or its
+// portable emulation) consumes. Weights are signed 8-bit, quantized
+// per-output-channel symmetric, packed so a register tile reads one
+// contiguous kQuantCo x kQuantCiGroup block per (channel-group, tap):
+//
+//   wp[((ci_group * k + tap) * co_round + co) * 4 + ci_lane]
+//
+// with co_round = round_up(c_out, kQuantCo). Accumulation is int32; the
+// store requantizes with a per-channel float multiplier/bias (bias, input
+// zero-point correction, and output zero point pre-folded by the plan
+// compiler), clamps (ReLU folds into the lower clamp), and writes either
+// u8 group rows or — for the plan output — dequantized float rows.
+// Multi-versioned per ISA level like the fp32 tiles, plus an AVX512-VNNI
+// variant (vpdpbusd) selected at runtime where the CPU supports it.
+
+/// Output channels per i8 register tile / packed-weight group.
+inline constexpr index_t kQuantCo = 16;
+/// Interleaved input channels per activation quad (the dot-product word).
+inline constexpr index_t kQuantCiGroup = 4;
+/// Output time steps per i8 register tile.
+inline constexpr index_t kQuantTimeTile = 8;
+
+/// Channel-group rows of a C4-interleaved activation with `channels` rows.
+inline constexpr index_t quant_groups(index_t channels) {
+  return (channels + kQuantCiGroup - 1) / kQuantCiGroup;
+}
+
+/// Bytes pack_conv_weight_i8 needs for dims `d` (c_in, c_out, k).
+index_t packed_weight_bytes_i8(const ConvDims& d);
+
+/// Packs (c_out, c_in, k) row-major int8 weights into the i8 inference
+/// layout above; padding lanes (c_in % 4, c_out up to co_round) are zero.
+void pack_conv_weight_i8(const std::int8_t* w, const ConvDims& d,
+                         std::int8_t* out);
+
+/// Quantized causal conv, stride 1. `x` points at the logical t = 0 of
+/// channel-group row 0; group rows are 4 * x_stride bytes apart (x_stride
+/// in time steps) and each must be preceded by >= (k-1)*dilation steps of
+/// zero-point bytes (the materialized causal padding — there is no
+/// unpadded fallback). Per output element: acc = sum u8(x) * s8(w) over
+/// c_in * k (int32), then v = m[co] * acc + b[co] and either
+///   y_q[co-group row, t] = clamp(round(v), out_lo, 255)   (y_f == null)
+///   y_f[co * y_stride + t] = relu ? max(v, 0) : v         (y_f != null)
+/// u8 output rows are y_stride steps (4 * y_stride bytes) apart; float
+/// rows y_stride floats apart. Padding output lanes get m = 0 so their
+/// stores are deterministic. `out_lo` is the lower u8 clamp (the output
+/// zero point when ReLU is fused, else 0).
+void conv_forward_packed_i8(const std::uint8_t* x, const std::int8_t* wp,
+                            const float* m, const float* b, std::uint8_t* y_q,
+                            float* y_f, const ConvDims& d, index_t x_stride,
+                            index_t y_stride, bool relu, int out_lo);
+
+/// Quantized fully-connected layer over flat u8 features: per sample, `f4`
+/// contiguous feature bytes (a multiple of 4; the flattened C4 block) dot
+/// s8 weights packed with pack_conv_weight_i8 (c_in = f4, k = 1). Output:
+/// u8 (round_up(o, 4) bytes per sample) or float (o floats), same
+/// requantize semantics as conv_forward_packed_i8.
+void linear_forward_i8(const std::uint8_t* x, const std::int8_t* wp,
+                       const float* m, const float* b, std::uint8_t* y_q,
+                       float* y_f, index_t n, index_t f4, index_t o,
+                       bool relu, int out_lo);
+
+/// Quantizes a dense float (n, channels, steps) batch into u8
+/// channel-group rows (the input staging of a quantized plan):
+///   q = clamp(round(x * inv_scale) + zp, 0, 255)
+/// Each group row carries `lead` steps of zp bytes before the data (the
+/// materialized causal padding) and is `stride` steps long in total;
+/// padding channel lanes are filled with zp.
+void quantize_interleave_i8(const float* in, std::uint8_t* out, index_t n,
+                            index_t channels, index_t steps, index_t lead,
+                            index_t stride, float inv_scale, int zp);
+
+/// Elementwise requantized residual add over u8 group rows:
+///   y[i] = clamp(round(a_mul * a[i] + b_mul * b[i] + c_add), out_lo, 255)
+/// for the 4 * steps data bytes of each of `rows` rows (strides in time
+/// steps, as in conv_forward_packed_i8). ReLU folds into out_lo.
+void add_forward_i8(const std::uint8_t* a, const std::uint8_t* b,
+                    std::uint8_t* y, index_t rows, index_t steps,
+                    index_t a_stride, index_t b_stride, index_t y_stride,
+                    float a_mul, float b_mul, float c_add, int out_lo);
+
+/// Name of the i8 kernel variant the running CPU resolved to
+/// ("vnni", "v4", "v3", or "base") — for bench/summary reporting.
+const char* quant_kernel_variant();
 
 // ---- Backends (exposed for parity tests and benches) -------------------
 

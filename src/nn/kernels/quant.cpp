@@ -1,0 +1,185 @@
+// int8 kernel entry points: runtime ISA selection over the per-level
+// variants in quant_impl.cpp, plus the (ISA-independent) weight packers.
+//
+// CMake builds quant_impl.cpp at the portable baseline and, where the
+// compiler supports the flags, again at x86-64-v3, x86-64-v4, and
+// x86-64-v4 + AVX512-VNNI (PIT_KERNELS_HAVE_V3 / _V4 / _VNNI). The VNNI
+// variant is the one that actually outruns the fp32 tiles (vpdpbusd does
+// 64 int8 MACs per instruction); the others exist so every host executes
+// the same numerics at its widest ISA.
+#include <algorithm>
+
+#include "nn/kernels/kernels.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::nn::kernels {
+
+namespace quant {
+
+#define PIT_DECLARE_QUANT_VARIANT(ns)                                       \
+  namespace ns {                                                            \
+  void conv_forward_packed_i8(const std::uint8_t* x, const std::int8_t* wp, \
+                              const float* m, const float* b,               \
+                              std::uint8_t* y_q, float* y_f,                \
+                              const ConvDims& d, index_t x_stride,          \
+                              index_t y_stride, bool relu, int out_lo);     \
+  void add_forward_i8(const std::uint8_t* a, const std::uint8_t* b,         \
+                      std::uint8_t* y, index_t rows, index_t steps,         \
+                      index_t a_stride, index_t b_stride, index_t y_stride, \
+                      float a_mul, float b_mul, float c_add, int out_lo);   \
+  void quantize_interleave_i8(const float* in, std::uint8_t* out,           \
+                              index_t n, index_t channels, index_t steps,   \
+                              index_t lead, index_t stride,                 \
+                              float inv_scale, int zp);                     \
+  }
+
+PIT_DECLARE_QUANT_VARIANT(base)
+#ifdef PIT_KERNELS_HAVE_V3
+PIT_DECLARE_QUANT_VARIANT(v3)
+#endif
+#ifdef PIT_KERNELS_HAVE_V4
+PIT_DECLARE_QUANT_VARIANT(v4)
+#endif
+#ifdef PIT_KERNELS_HAVE_VNNI
+PIT_DECLARE_QUANT_VARIANT(vnni)
+#endif
+
+#undef PIT_DECLARE_QUANT_VARIANT
+
+namespace {
+
+using ConvI8Fn = void (*)(const std::uint8_t*, const std::int8_t*,
+                          const float*, const float*, std::uint8_t*, float*,
+                          const ConvDims&, index_t, index_t, bool, int);
+using AddI8Fn = void (*)(const std::uint8_t*, const std::uint8_t*,
+                         std::uint8_t*, index_t, index_t, index_t, index_t,
+                         index_t, float, float, float, int);
+using StageI8Fn = void (*)(const float*, std::uint8_t*, index_t, index_t,
+                           index_t, index_t, index_t, float, int);
+
+struct VariantTable {
+  ConvI8Fn conv;
+  AddI8Fn add;
+  StageI8Fn stage;
+  const char* name;
+};
+
+VariantTable pick_variant() {
+#if defined(PIT_KERNELS_HAVE_V3) || defined(PIT_KERNELS_HAVE_V4) || \
+    defined(PIT_KERNELS_HAVE_VNNI)
+  __builtin_cpu_init();
+#endif
+#ifdef PIT_KERNELS_HAVE_VNNI
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512vnni")) {
+    return {vnni::conv_forward_packed_i8, vnni::add_forward_i8,
+            vnni::quantize_interleave_i8, "vnni"};
+  }
+#endif
+#ifdef PIT_KERNELS_HAVE_V4
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return {v4::conv_forward_packed_i8, v4::add_forward_i8,
+            v4::quantize_interleave_i8, "v4"};
+  }
+#endif
+#ifdef PIT_KERNELS_HAVE_V3
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return {v3::conv_forward_packed_i8, v3::add_forward_i8,
+            v3::quantize_interleave_i8, "v3"};
+  }
+#endif
+  return {base::conv_forward_packed_i8, base::add_forward_i8,
+            base::quantize_interleave_i8, "base"};
+}
+
+const VariantTable& variant() {
+  static const VariantTable table = pick_variant();
+  return table;
+}
+
+}  // namespace
+
+}  // namespace quant
+
+index_t packed_weight_bytes_i8(const ConvDims& d) {
+  const index_t co_round = (d.c_out + kQuantCo - 1) / kQuantCo * kQuantCo;
+  return quant_groups(d.c_in) * d.k * co_round * kQuantCiGroup;
+}
+
+void pack_conv_weight_i8(const std::int8_t* w, const ConvDims& d,
+                         std::int8_t* out) {
+  // (co, ci, i) row-major -> wp[((ci/4 * k + i) * co_round + co) * 4 +
+  // ci%4], zero-padded in both the quad lanes (ci) and the co tile so a
+  // register tile always reads kQuantCo x kQuantCiGroup valid bytes.
+  const index_t co_round = (d.c_out + kQuantCo - 1) / kQuantCo * kQuantCo;
+  std::fill(out, out + packed_weight_bytes_i8(d), std::int8_t{0});
+  for (index_t co = 0; co < d.c_out; ++co) {
+    for (index_t ci = 0; ci < d.c_in; ++ci) {
+      for (index_t i = 0; i < d.k; ++i) {
+        out[(((ci / kQuantCiGroup) * d.k + i) * co_round + co) *
+                kQuantCiGroup +
+            ci % kQuantCiGroup] = w[(co * d.c_in + ci) * d.k + i];
+      }
+    }
+  }
+}
+
+void conv_forward_packed_i8(const std::uint8_t* x, const std::int8_t* wp,
+                            const float* m, const float* b, std::uint8_t* y_q,
+                            float* y_f, const ConvDims& d, index_t x_stride,
+                            index_t y_stride, bool relu, int out_lo) {
+  PIT_CHECK(d.stride == 1,
+            "conv_forward_packed_i8: stride must be 1, got " << d.stride);
+  PIT_CHECK((y_q == nullptr) != (y_f == nullptr),
+            "conv_forward_packed_i8: exactly one of y_q / y_f");
+  quant::variant().conv(x, wp, m, b, y_q, y_f, d, x_stride, y_stride, relu,
+                        out_lo);
+}
+
+void linear_forward_i8(const std::uint8_t* x, const std::int8_t* wp,
+                       const float* m, const float* b, std::uint8_t* y_q,
+                       float* y_f, index_t n, index_t f4, index_t o,
+                       bool relu, int out_lo) {
+  PIT_CHECK(f4 % kQuantCiGroup == 0,
+            "linear_forward_i8: features must be a multiple of 4, got "
+                << f4);
+  // A fully-connected layer is the k = 1, t = 1 case of the quantized
+  // conv: per-sample feature bytes are one contiguous run of quads, and
+  // u8 outputs are contiguous round_up(o, 4)-byte rows.
+  ConvDims d{};
+  d.n = n;
+  d.c_in = f4;
+  d.c_out = o;
+  d.k = 1;
+  d.t_in = 1;
+  d.t_out = 1;
+  d.dilation = 1;
+  d.stride = 1;
+  conv_forward_packed_i8(x, wp, m, b, y_q, y_f, d, /*x_stride=*/1,
+                         /*y_stride=*/1, relu, out_lo);
+}
+
+void add_forward_i8(const std::uint8_t* a, const std::uint8_t* b,
+                    std::uint8_t* y, index_t rows, index_t steps,
+                    index_t a_stride, index_t b_stride, index_t y_stride,
+                    float a_mul, float b_mul, float c_add, int out_lo) {
+  quant::variant().add(a, b, y, rows, steps, a_stride, b_stride, y_stride,
+                       a_mul, b_mul, c_add, out_lo);
+}
+
+void quantize_interleave_i8(const float* in, std::uint8_t* out, index_t n,
+                            index_t channels, index_t steps, index_t lead,
+                            index_t stride, float inv_scale, int zp) {
+  quant::variant().stage(in, out, n, channels, steps, lead, stride,
+                         inv_scale, zp);
+}
+
+const char* quant_kernel_variant() { return quant::variant().name; }
+
+}  // namespace pit::nn::kernels

@@ -1,0 +1,471 @@
+// int8 kernel bodies, compiled once per x86-64 micro-architecture level.
+//
+// Like blocked_impl.cpp, this translation unit is built several times by
+// CMake with different -march flags and -DPIT_QUANT_ISA_NS={base,v3,v4,
+// vnni}; quant.cpp picks the widest variant the host CPU supports at
+// runtime. Two bodies live here behind one signature:
+//
+//   - AVX512-VNNI (the `vnni` variant): the u8 x s8 quad dot product maps
+//     1:1 onto vpdpbusd — 64 multiply-accumulates per instruction, four
+//     times the MAC density of an fp32 FMA, which is where the int8
+//     runtime's throughput win comes from. The 16-channel x 8-step output
+//     tile stays in registers across the whole c_in x k reduction; the
+//     requantize (float multiplier + bias, round, clamp) happens in the
+//     register file on the way out.
+//   - everywhere else: a portable GCC-vector-extension loop over the same
+//     packed layout (16-lane int32 accumulators, scalar quad broadcasts).
+//     Correct on any host; the compiler vectorizes it to whatever the
+//     compiled -march level offers, but without a byte dot product it has
+//     no 4x density edge over the fp32 tiles — the fp32 plan remains the
+//     speed baseline on such hosts.
+//
+// vpdpbusd is unsigned x signed: activations are stored u8 (affine, zero
+// point in [0, 255]), weights s8. The zero-point cross terms are folded
+// into the per-channel requantize bias by the plan compiler, so the
+// kernel never sees them.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "nn/kernels/kernels.hpp"
+
+#if defined(__AVX512VNNI__) && defined(__AVX512F__)
+#include <immintrin.h>
+#define PIT_QUANT_USE_VNNI 1
+// The no-mask AVX-512 narrowing intrinsics (vpmovdb & co.) pass an
+// intentionally-undefined merge operand; GCC's late -Wmaybe-uninitialized
+// pass flags it inside the system header at every inlined call site, so a
+// push/pop region cannot scope it — silence it for this TU only.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#ifndef PIT_QUANT_ISA_NS
+#define PIT_QUANT_ISA_NS base
+#endif
+
+namespace pit::nn::kernels::quant {
+namespace PIT_QUANT_ISA_NS {
+
+namespace {
+
+inline index_t round_up_co(index_t c_out) {
+  return (c_out + kQuantCo - 1) / kQuantCo * kQuantCo;
+}
+
+}  // namespace
+
+#ifdef PIT_QUANT_USE_VNNI
+
+namespace {
+
+/// One output tile of the VNNI conv: NB co blocks (1 or 2) x NT time
+/// steps. NB and NT are compile-time so every loop over the accumulator
+/// array fully unrolls and the whole NB*NT tile stays in zmm registers
+/// across the reduction — a variable trip count here makes GCC spill the
+/// accumulators to the stack, tripling the inner-loop cost. Two co blocks
+/// share every x broadcast, halving broadcast port pressure once c_out
+/// reaches 32. Each (channel-group, tap) step costs NB weight loads plus
+/// NT broadcasts and NB*NT vpdpbusd (64 MACs each).
+template <int NB, int NT>
+void conv_tile_vnni(const std::uint8_t* xn, const std::int8_t* wp,
+                    const float* m, const float* b, std::uint8_t* yqn,
+                    float* yfn, const ConvDims& d, index_t x_stride,
+                    index_t y_stride, bool relu, int out_lo, index_t cb0,
+                    index_t t0, index_t g_in, index_t g_out,
+                    index_t co_round) {
+  const index_t co0 = cb0 * kQuantCo;
+  __m512i acc[NB][NT];
+  for (int blk = 0; blk < NB; ++blk) {
+    for (int tt = 0; tt < NT; ++tt) {
+      acc[blk][tt] = _mm512_setzero_si512();
+    }
+  }
+  for (index_t ciq = 0; ciq < g_in; ++ciq) {
+    const std::uint8_t* xg = xn + ciq * kQuantCiGroup * x_stride;
+    for (index_t tap = 0; tap < d.k; ++tap) {
+      const std::int8_t* wg =
+          wp + ((ciq * d.k + tap) * co_round + co0) * kQuantCiGroup;
+      __m512i wv[NB];
+      for (int blk = 0; blk < NB; ++blk) {
+        wv[blk] = _mm512_loadu_si512(wg + blk * kQuantCo * kQuantCiGroup);
+      }
+      // Reads below t = 0 land in the zero-point-filled lead the plan
+      // materializes before every conv input row.
+      const std::uint8_t* xs = xg + kQuantCiGroup * (t0 - tap * d.dilation);
+      for (int tt = 0; tt < NT; ++tt) {
+        std::int32_t word;
+        std::memcpy(&word, xs + kQuantCiGroup * tt, sizeof(word));
+        const __m512i xq = _mm512_set1_epi32(word);
+        for (int blk = 0; blk < NB; ++blk) {
+          acc[blk][tt] = _mm512_dpbusd_epi32(acc[blk][tt], xq, wv[blk]);
+        }
+      }
+    }
+  }
+  for (int blk = 0; blk < NB; ++blk) {
+    const index_t co_b = co0 + blk * kQuantCo;
+    const __m512 mv = _mm512_loadu_ps(m + co_b);
+    const __m512 bv = _mm512_loadu_ps(b + co_b);
+    if (yfn != nullptr) {
+      const index_t nco = std::min(kQuantCo, d.c_out - co_b);
+      for (int tt = 0; tt < NT; ++tt) {
+        __m512 v =
+            _mm512_fmadd_ps(mv, _mm512_cvtepi32_ps(acc[blk][tt]), bv);
+        if (relu) {
+          v = _mm512_max_ps(v, _mm512_setzero_ps());
+        }
+        alignas(64) float tmp[kQuantCo];
+        _mm512_store_ps(tmp, v);
+        for (index_t c = 0; c < nco; ++c) {
+          yfn[(co_b + c) * y_stride + t0 + tt] = tmp[c];
+        }
+      }
+    } else {
+      const __m512i lo = _mm512_set1_epi32(out_lo);
+      const __m512i hi = _mm512_set1_epi32(255);
+      const index_t gb = (cb0 + blk) * 4;
+      const index_t ng = std::min(index_t{4}, g_out - gb);
+      for (int tt = 0; tt < NT; ++tt) {
+        const __m512 v =
+            _mm512_fmadd_ps(mv, _mm512_cvtepi32_ps(acc[blk][tt]), bv);
+        __m512i q = _mm512_cvtps_epi32(v);  // round to nearest even
+        q = _mm512_min_epi32(_mm512_max_epi32(q, lo), hi);
+        alignas(16) std::uint8_t tb[kQuantCo];
+        _mm_store_si128(reinterpret_cast<__m128i*>(tb),
+                        _mm512_cvtepi32_epi8(q));
+        for (index_t g = 0; g < ng; ++g) {
+          std::memcpy(yqn + (gb + g) * kQuantCiGroup * y_stride +
+                          kQuantCiGroup * (t0 + tt),
+                      tb + kQuantCiGroup * g, kQuantCiGroup);
+        }
+      }
+    }
+  }
+}
+
+/// Ragged-tail dispatch: instantiates the tile for every 1..8 step count
+/// so even the last partial tile keeps register-resident accumulators.
+template <int NB>
+void conv_tile_vnni_dyn(index_t nt, const std::uint8_t* xn,
+                        const std::int8_t* wp, const float* m,
+                        const float* b, std::uint8_t* yqn, float* yfn,
+                        const ConvDims& d, index_t x_stride,
+                        index_t y_stride, bool relu, int out_lo,
+                        index_t cb0, index_t t0, index_t g_in,
+                        index_t g_out, index_t co_round) {
+  switch (nt) {
+#define PIT_QUANT_TILE_CASE(NT)                                           \
+  case NT:                                                                \
+    conv_tile_vnni<NB, NT>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride, \
+                           relu, out_lo, cb0, t0, g_in, g_out, co_round); \
+    break;
+    PIT_QUANT_TILE_CASE(1)
+    PIT_QUANT_TILE_CASE(2)
+    PIT_QUANT_TILE_CASE(3)
+    PIT_QUANT_TILE_CASE(4)
+    PIT_QUANT_TILE_CASE(5)
+    PIT_QUANT_TILE_CASE(6)
+    PIT_QUANT_TILE_CASE(7)
+    PIT_QUANT_TILE_CASE(8)
+#undef PIT_QUANT_TILE_CASE
+    default:
+      break;
+  }
+}
+
+/// One (sample, co-block-pair) strip: full time tiles plus a ragged tail.
+template <int NB>
+void conv_strip_vnni(const std::uint8_t* xn, const std::int8_t* wp,
+                     const float* m, const float* b, std::uint8_t* yqn,
+                     float* yfn, const ConvDims& d, index_t x_stride,
+                     index_t y_stride, bool relu, int out_lo, index_t cb0,
+                     index_t g_in, index_t g_out, index_t co_round) {
+  static_assert(kQuantTimeTile == 8, "tile dispatch assumes 8-step tiles");
+  index_t t0 = 0;
+  for (; t0 + kQuantTimeTile <= d.t_out; t0 += kQuantTimeTile) {
+    conv_tile_vnni<NB, 8>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride,
+                          relu, out_lo, cb0, t0, g_in, g_out, co_round);
+  }
+  if (t0 < d.t_out) {
+    conv_tile_vnni_dyn<NB>(d.t_out - t0, xn, wp, m, b, yqn, yfn, d,
+                           x_stride, y_stride, relu, out_lo, cb0, t0, g_in,
+                           g_out, co_round);
+  }
+}
+
+}  // namespace
+
+void conv_forward_packed_i8(const std::uint8_t* x, const std::int8_t* wp,
+                            const float* m, const float* b, std::uint8_t* y_q,
+                            float* y_f, const ConvDims& d, index_t x_stride,
+                            index_t y_stride, bool relu, int out_lo) {
+  const index_t g_in = quant_groups(d.c_in);
+  const index_t g_out = quant_groups(d.c_out);
+  const index_t co_round = round_up_co(d.c_out);
+  const index_t co_blocks = co_round / kQuantCo;
+  const index_t cb_pairs = (co_blocks + 1) / 2;
+  const index_t x_sample = g_in * kQuantCiGroup * x_stride;    // bytes
+  const index_t yq_sample = g_out * kQuantCiGroup * y_stride;  // bytes
+  const index_t yf_sample = d.c_out * y_stride;                // floats
+#pragma omp parallel for collapse(2) schedule(static)
+  for (index_t n = 0; n < d.n; ++n) {
+    for (index_t cp = 0; cp < cb_pairs; ++cp) {
+      const index_t cb0 = cp * 2;
+      const std::uint8_t* xn = x + n * x_sample;
+      std::uint8_t* yqn = y_q != nullptr ? y_q + n * yq_sample : nullptr;
+      float* yfn = y_f != nullptr ? y_f + n * yf_sample : nullptr;
+      if (cb0 + 1 < co_blocks) {
+        conv_strip_vnni<2>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride,
+                           relu, out_lo, cb0, g_in, g_out, co_round);
+      } else {
+        conv_strip_vnni<1>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride,
+                           relu, out_lo, cb0, g_in, g_out, co_round);
+      }
+    }
+  }
+}
+
+void quantize_interleave_i8(const float* in, std::uint8_t* out, index_t n,
+                            index_t channels, index_t steps, index_t lead,
+                            index_t stride, float inv_scale, int zp) {
+  const index_t groups = quant_groups(channels);
+  const index_t rows = n * groups;
+  const __m512 inv = _mm512_set1_ps(inv_scale);
+  const __m512i zpv = _mm512_set1_epi32(zp);
+  const __m512i hi = _mm512_set1_epi32(255);
+  const __m128i zp_bytes = _mm_set1_epi8(static_cast<char>(zp));
+#pragma omp parallel for schedule(static) \
+    if (rows * stride * kQuantCiGroup >= 16384)
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t ni = r / groups;
+    const index_t g = r % groups;
+    std::uint8_t* row = out + r * kQuantCiGroup * stride;
+    std::memset(row, zp, static_cast<std::size_t>(kQuantCiGroup * lead));
+    std::uint8_t* data = row + kQuantCiGroup * lead;
+    const index_t nc = std::min(kQuantCiGroup, channels - g * kQuantCiGroup);
+    const float* src[kQuantCiGroup];
+    for (index_t j = 0; j < kQuantCiGroup; ++j) {
+      const index_t ch = g * kQuantCiGroup + std::min(j, nc - 1);
+      src[j] = in + (ni * channels + ch) * steps;
+    }
+    // Quantize 4 channel rows 16 steps at a time, then byte-transpose the
+    // 4 x 16 block into 64 contiguous interleaved bytes.
+    index_t ts = 0;
+    for (; ts + 16 <= steps; ts += 16) {
+      __m128i bytes[kQuantCiGroup];
+      for (index_t j = 0; j < kQuantCiGroup; ++j) {
+        if (j >= nc) {
+          bytes[j] = zp_bytes;
+          continue;
+        }
+        const __m512 v = _mm512_mul_ps(_mm512_loadu_ps(src[j] + ts), inv);
+        __m512i q = _mm512_add_epi32(_mm512_cvtps_epi32(v), zpv);
+        q = _mm512_min_epi32(
+            _mm512_max_epi32(q, _mm512_setzero_si512()), hi);
+        bytes[j] = _mm512_cvtepi32_epi8(q);
+      }
+      const __m128i lo01 = _mm_unpacklo_epi8(bytes[0], bytes[1]);
+      const __m128i hi01 = _mm_unpackhi_epi8(bytes[0], bytes[1]);
+      const __m128i lo23 = _mm_unpacklo_epi8(bytes[2], bytes[3]);
+      const __m128i hi23 = _mm_unpackhi_epi8(bytes[2], bytes[3]);
+      std::uint8_t* dst = data + kQuantCiGroup * ts;
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                       _mm_unpacklo_epi16(lo01, lo23));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16),
+                       _mm_unpackhi_epi16(lo01, lo23));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 32),
+                       _mm_unpacklo_epi16(hi01, hi23));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 48),
+                       _mm_unpackhi_epi16(hi01, hi23));
+    }
+    for (; ts < steps; ++ts) {
+      for (index_t j = 0; j < kQuantCiGroup; ++j) {
+        std::uint8_t q = static_cast<std::uint8_t>(zp);
+        if (j < nc) {
+          const long qi = std::lrintf(src[j][ts] * inv_scale) + zp;
+          q = static_cast<std::uint8_t>(
+              std::clamp(qi, 0L, 255L));
+        }
+        data[kQuantCiGroup * ts + j] = q;
+      }
+    }
+  }
+}
+
+void add_forward_i8(const std::uint8_t* a, const std::uint8_t* b,
+                    std::uint8_t* y, index_t rows, index_t steps,
+                    index_t a_stride, index_t b_stride, index_t y_stride,
+                    float a_mul, float b_mul, float c_add, int out_lo) {
+  const index_t bytes = kQuantCiGroup * steps;
+  const __m512 am = _mm512_set1_ps(a_mul);
+  const __m512 bm = _mm512_set1_ps(b_mul);
+  const __m512 cv = _mm512_set1_ps(c_add);
+  const __m512i lo = _mm512_set1_epi32(out_lo);
+  const __m512i hi = _mm512_set1_epi32(255);
+#pragma omp parallel for schedule(static) if (rows * bytes >= 16384)
+  for (index_t r = 0; r < rows; ++r) {
+    const std::uint8_t* arow = a + r * kQuantCiGroup * a_stride;
+    const std::uint8_t* brow = b + r * kQuantCiGroup * b_stride;
+    std::uint8_t* yrow = y + r * kQuantCiGroup * y_stride;
+    index_t i = 0;
+    for (; i + 16 <= bytes; i += 16) {
+      const __m512 av = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(arow + i))));
+      const __m512 bv = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow + i))));
+      const __m512 v =
+          _mm512_fmadd_ps(am, av, _mm512_fmadd_ps(bm, bv, cv));
+      __m512i q = _mm512_cvtps_epi32(v);
+      q = _mm512_min_epi32(_mm512_max_epi32(q, lo), hi);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(yrow + i),
+                       _mm512_cvtepi32_epi8(q));
+    }
+    for (; i < bytes; ++i) {
+      const float v = a_mul * static_cast<float>(arow[i]) +
+                      b_mul * static_cast<float>(brow[i]) + c_add;
+      yrow[i] = static_cast<std::uint8_t>(std::clamp(
+          static_cast<int>(std::lrintf(v)), out_lo, 255));
+    }
+  }
+}
+
+#else  // portable GCC-vector fallback
+
+namespace {
+
+using vi = std::int32_t __attribute__((vector_size(64)));  // 16 int32 lanes
+
+}  // namespace
+
+void conv_forward_packed_i8(const std::uint8_t* x, const std::int8_t* wp,
+                            const float* m, const float* b, std::uint8_t* y_q,
+                            float* y_f, const ConvDims& d, index_t x_stride,
+                            index_t y_stride, bool relu, int out_lo) {
+  const index_t g_in = quant_groups(d.c_in);
+  const index_t g_out = quant_groups(d.c_out);
+  const index_t co_round = round_up_co(d.c_out);
+  const index_t co_blocks = co_round / kQuantCo;
+  const index_t x_sample = g_in * kQuantCiGroup * x_stride;    // bytes
+  const index_t yq_sample = g_out * kQuantCiGroup * y_stride;  // bytes
+  const index_t yf_sample = d.c_out * y_stride;                // floats
+#pragma omp parallel for collapse(2) schedule(static)
+  for (index_t n = 0; n < d.n; ++n) {
+    for (index_t cb = 0; cb < co_blocks; ++cb) {
+      const index_t co0 = cb * kQuantCo;
+      const std::uint8_t* xn = x + n * x_sample;
+      for (index_t t0 = 0; t0 < d.t_out; t0 += kQuantTimeTile) {
+        const index_t nt = std::min(kQuantTimeTile, d.t_out - t0);
+        vi acc[kQuantTimeTile] = {};
+        for (index_t ciq = 0; ciq < g_in; ++ciq) {
+          const std::uint8_t* xg = xn + ciq * kQuantCiGroup * x_stride;
+          for (index_t tap = 0; tap < d.k; ++tap) {
+            // De-interleave the 16 x 4 weight block into one int32 vector
+            // per quad lane, amortized over the nt time steps below.
+            const std::int8_t* wg =
+                wp + ((ciq * d.k + tap) * co_round + co0) * kQuantCiGroup;
+            vi w0;
+            vi w1;
+            vi w2;
+            vi w3;
+            for (index_t c = 0; c < kQuantCo; ++c) {
+              w0[c] = wg[c * 4 + 0];
+              w1[c] = wg[c * 4 + 1];
+              w2[c] = wg[c * 4 + 2];
+              w3[c] = wg[c * 4 + 3];
+            }
+            const std::uint8_t* xs =
+                xg + kQuantCiGroup * (t0 - tap * d.dilation);
+            for (index_t tt = 0; tt < nt; ++tt) {
+              const std::uint8_t* xq = xs + kQuantCiGroup * tt;
+              acc[tt] += w0 * static_cast<std::int32_t>(xq[0]) +
+                         w1 * static_cast<std::int32_t>(xq[1]) +
+                         w2 * static_cast<std::int32_t>(xq[2]) +
+                         w3 * static_cast<std::int32_t>(xq[3]);
+            }
+          }
+        }
+        for (index_t tt = 0; tt < nt; ++tt) {
+          if (y_f != nullptr) {
+            float* yn = y_f + n * yf_sample;
+            const index_t nco = std::min(kQuantCo, d.c_out - co0);
+            for (index_t c = 0; c < nco; ++c) {
+              float v = m[co0 + c] * static_cast<float>(acc[tt][c]) +
+                        b[co0 + c];
+              if (relu && v < 0.0F) {
+                v = 0.0F;
+              }
+              yn[(co0 + c) * y_stride + t0 + tt] = v;
+            }
+          } else {
+            std::uint8_t* yn = y_q + n * yq_sample;
+            const index_t nlanes =
+                std::min(kQuantCo, (g_out - cb * 4) * kQuantCiGroup);
+            for (index_t c = 0; c < nlanes; ++c) {
+              const float v = m[co0 + c] * static_cast<float>(acc[tt][c]) +
+                              b[co0 + c];
+              const auto q = static_cast<int>(std::lrintf(v));
+              yn[(cb * 4 + c / 4) * kQuantCiGroup * y_stride +
+                 kQuantCiGroup * (t0 + tt) + c % 4] =
+                  static_cast<std::uint8_t>(std::clamp(q, out_lo, 255));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void quantize_interleave_i8(const float* in, std::uint8_t* out, index_t n,
+                            index_t channels, index_t steps, index_t lead,
+                            index_t stride, float inv_scale, int zp) {
+  const index_t groups = quant_groups(channels);
+  const index_t rows = n * groups;
+#pragma omp parallel for schedule(static) \
+    if (rows * stride * kQuantCiGroup >= 16384)
+  for (index_t r = 0; r < rows; ++r) {
+    const index_t ni = r / groups;
+    const index_t g = r % groups;
+    std::uint8_t* row = out + r * kQuantCiGroup * stride;
+    std::memset(row, zp, static_cast<std::size_t>(kQuantCiGroup * lead));
+    std::uint8_t* data = row + kQuantCiGroup * lead;
+    for (index_t ts = 0; ts < steps; ++ts) {
+      for (index_t j = 0; j < kQuantCiGroup; ++j) {
+        const index_t ch = g * kQuantCiGroup + j;
+        std::uint8_t q = static_cast<std::uint8_t>(zp);
+        if (ch < channels) {
+          const long qi =
+              std::lrintf(in[(ni * channels + ch) * steps + ts] *
+                          inv_scale) +
+              zp;
+          q = static_cast<std::uint8_t>(std::clamp(qi, 0L, 255L));
+        }
+        data[kQuantCiGroup * ts + j] = q;
+      }
+    }
+  }
+}
+
+void add_forward_i8(const std::uint8_t* a, const std::uint8_t* b,
+                    std::uint8_t* y, index_t rows, index_t steps,
+                    index_t a_stride, index_t b_stride, index_t y_stride,
+                    float a_mul, float b_mul, float c_add, int out_lo) {
+  const index_t bytes = kQuantCiGroup * steps;
+#pragma omp parallel for schedule(static) if (rows * bytes >= 16384)
+  for (index_t r = 0; r < rows; ++r) {
+    const std::uint8_t* arow = a + r * kQuantCiGroup * a_stride;
+    const std::uint8_t* brow = b + r * kQuantCiGroup * b_stride;
+    std::uint8_t* yrow = y + r * kQuantCiGroup * y_stride;
+    for (index_t i = 0; i < bytes; ++i) {
+      const float v = a_mul * static_cast<float>(arow[i]) +
+                      b_mul * static_cast<float>(brow[i]) + c_add;
+      yrow[i] = static_cast<std::uint8_t>(std::clamp(
+          static_cast<int>(std::lrintf(v)), out_lo, 255));
+    }
+  }
+}
+
+#endif  // PIT_QUANT_USE_VNNI
+
+}  // namespace PIT_QUANT_ISA_NS
+}  // namespace pit::nn::kernels::quant

@@ -511,6 +511,50 @@ index_t CompiledPlan::output_steps() const {
   return values_[static_cast<std::size_t>(output_)].steps;
 }
 
+double CompiledPlan::quant_error_bound() const {
+  PIT_CHECK(quantized_, "quant_error_bound: plan is not quantized");
+  return q_error_bound_;
+}
+
+double CompiledPlan::quant_error_estimate() const {
+  PIT_CHECK(quantized_, "quant_error_estimate: plan is not quantized");
+  return q_error_estimate_;
+}
+
+index_t CompiledPlan::OpInfo::macs() const {
+  switch (kind) {
+    case detail::OpKind::kConv:
+      return t_out * c_out * c_in * k;
+    case detail::OpKind::kLinear:
+      return c_in * c_out;
+    case detail::OpKind::kAvgPool:
+      return t_out * c_out * k;
+    case detail::OpKind::kAdd:
+      break;
+  }
+  return 0;
+}
+
+std::vector<CompiledPlan::OpInfo> CompiledPlan::op_infos() const {
+  std::vector<OpInfo> infos;
+  infos.reserve(ops_.size());
+  for (const detail::Op& op : ops_) {
+    OpInfo info;
+    info.kind = op.kind;
+    info.c_in = op.c_in;
+    info.c_out = op.c_out;
+    // Linear / add ops record no taps; normalize to the documented k = 1.
+    info.k = std::max<index_t>(op.k, 1);
+    info.dilation = op.dilation;
+    info.stride = op.stride;
+    info.t_in = op.t_in;
+    info.t_out = op.t_out;
+    info.relu = op.relu;
+    infos.push_back(info);
+  }
+  return infos;
+}
+
 index_t CompiledPlan::activation_floats_per_sample() const {
   // Sum of the planned (arena-backed) buffer sizes, padding included —
   // what the arena would need without liveness reuse.
@@ -525,6 +569,14 @@ index_t CompiledPlan::activation_floats_per_sample() const {
 
 Tensor CompiledPlan::forward(const Tensor& input,
                              ExecutionContext& ctx) const {
+  // One entry point for both programs: serving layers and facades run a
+  // quantized plan unchanged.
+  return quantized_ ? forward_quantized(input, ctx, nullptr)
+                    : forward_fp32(input, ctx, nullptr);
+}
+
+Tensor CompiledPlan::forward_fp32(const Tensor& input, ExecutionContext& ctx,
+                                  const ValueHook* hook) const {
   const index_t c = input_channels();
   const index_t t = input_steps();
   const bool flat_ok = t == 1 && input.rank() == 2 && input.dim(1) == c;
@@ -602,6 +654,10 @@ Tensor CompiledPlan::forward(const Tensor& input,
     }
   };
 
+  if (hook != nullptr) {
+    (*hook)(input_, in_data, n * c, t, t);
+  }
+
   for (const detail::Op& op : ops_) {
     switch (op.kind) {
       case detail::OpKind::kConv: {
@@ -630,6 +686,11 @@ Tensor CompiledPlan::forward(const Tensor& input,
         break;
     }
     zero_lead(op.out);
+    if (hook != nullptr) {
+      const RowSpan s = span(op.out);
+      const detail::Value& v = values_[static_cast<std::size_t>(op.out)];
+      (*hook)(op.out, s.p, n * v.channels, v.steps, s.stride);
+    }
   }
   return out;
 }
@@ -740,6 +801,11 @@ std::string CompiledPlan::summary() const {
      << arena_per_sample_ << " floats/sample (unplanned: "
      << activation_floats_per_sample() << ")"
      << (streamable_ ? ", streamable" : "") << "\n";
+  if (quantized_) {
+    os << "  int8 program: " << qweights_.size() << " packed weight bytes, "
+       << q_arena_bytes_ << " arena bytes/sample, output error bound "
+       << q_error_bound_ << " (rms estimate " << q_error_estimate_ << ")\n";
+  }
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     const detail::Op& op = ops_[i];
     os << "  #" << i << " ";

@@ -41,12 +41,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "nn/batchnorm.hpp"
 #include "nn/conv1d.hpp"
+#include "quant/quantize.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pit::runtime {
@@ -100,16 +102,36 @@ struct Value {
   index_t numel() const { return channels * steps; }
 };
 
+/// Per-op int8 lowering (parallel to the op list when the plan is
+/// quantized): offsets into the plan's packed s8 weight pool and float
+/// requantize-constant pool, plus the scalar requantize terms of the
+/// weight-less ops. Bias, input zero-point correction, and output zero
+/// point are all pre-folded into these constants — the kernels only ever
+/// compute m * acc + b.
+struct QuantOp {
+  index_t w_off = -1;      // bytes into qweights_ (conv / linear)
+  index_t m_off = -1;      // floats into qconsts_: co_round multipliers
+  index_t b_off = -1;      // floats into qconsts_: co_round biases
+  float a_mul = 0.0F;      // add / pool: input scalings and offset
+  float b_mul = 0.0F;
+  float c_add = 0.0F;
+  bool out_float = false;  // dequantized store (this op feeds the output)
+  int out_lo = 0;          // lower u8 store clamp (ReLU folds in here)
+};
+
 }  // namespace detail
 
 class CompiledPlan;
 
 /// Per-thread execution state for a CompiledPlan: the batched activation
-/// arena plus, for streaming step() execution, the per-conv dilated input
-/// history rings and per-value single-step vectors. A context is cheap to
+/// arena (dtype-aware — a float arena for fp32 plans and a byte arena for
+/// quantized plans, each grown only by the plan kind that uses it) plus,
+/// for streaming step() execution, the per-conv dilated input history
+/// rings and per-value single-step vectors. A context is cheap to
 /// construct (buffers grow lazily on first use), is bound to whichever plan
 /// last ran it, and must only ever be driven by one thread at a time. It
-/// must not outlive the plan it is bound to.
+/// must not outlive the plan it is bound to. One context may serve fp32
+/// and quantized plans interchangeably (the arenas are independent).
 class ExecutionContext {
  public:
   ExecutionContext() = default;
@@ -129,6 +151,7 @@ class ExecutionContext {
   friend class CompiledPlan;
 
   std::vector<float> arena_;        // grown to plan arena floats * max N
+  std::vector<std::uint8_t> qarena_;  // byte arena of quantized plans
   const CompiledPlan* stream_plan_ = nullptr;  // rings sized for this plan
   std::vector<float> stream_ring_;  // per-conv dilated input history
   std::vector<float> stream_vals_;  // one C-vector per live value
@@ -166,6 +189,45 @@ class CompiledPlan {
   index_t input_steps() const;
   index_t output_channels() const;
   index_t output_steps() const;
+
+  // ---- Quantized lowering (see runtime/quantize_plan.hpp) ---------------
+
+  /// True when this plan executes the int8 program: u8 affine activations
+  /// in a byte arena, s8 per-channel weights, int32 accumulation, fused
+  /// requantize on store. Built by runtime::quantize_plan(); forward()
+  /// dispatches automatically, so serving layers need no changes. step()
+  /// streaming is fp32-only (quantized plans report streamable() false).
+  bool quantized() const { return quantized_; }
+  /// Analytic worst-case |quantized - fp32 plan| output bound, valid for
+  /// inputs inside the calibrated input range. Requires quantized().
+  double quant_error_bound() const;
+  /// Probabilistic (RMS-model) estimate of the same output error — the
+  /// realistic magnitude, orders tighter than the worst-case bound.
+  double quant_error_estimate() const;
+  /// Packed s8 weight bytes of the quantized program (0 when fp32-only).
+  index_t quant_weight_bytes() const {
+    return static_cast<index_t>(qweights_.size());
+  }
+  /// Byte-arena bytes per batch sample (0 when fp32-only).
+  index_t quant_arena_bytes_per_sample() const { return q_arena_bytes_; }
+  /// Calibrated affine u8 parameters per value storage root (empty when
+  /// fp32-only; aliases report their root's entry). Bit-identical across
+  /// quantize_plan() runs over the same calibration stream.
+  const std::vector<quant::QuantParams>& activation_quant_params() const {
+    return qvalue_;
+  }
+
+  /// Public geometry of one executed op, for benches that cross-check the
+  /// plan against analytical hardware models (hw::gap8).
+  struct OpInfo {
+    detail::OpKind kind = detail::OpKind::kConv;
+    index_t c_in = 0, c_out = 0, k = 1, dilation = 1, stride = 1;
+    index_t t_in = 1, t_out = 1;
+    bool relu = false;
+    /// Multiply-accumulates per batch sample (0 for kAdd).
+    index_t macs() const;
+  };
+  std::vector<OpInfo> op_infos() const;
   /// Activation arena floats needed per batch sample (liveness-planned;
   /// compare with the sum of all activation sizes to see the reuse).
   index_t arena_floats_per_sample() const { return arena_per_sample_; }
@@ -180,9 +242,23 @@ class CompiledPlan {
 
  private:
   friend class NetBuilder;
+  friend class QuantizedCompiler;  // quantize_plan.cpp: builds/compares
   CompiledPlan() = default;
 
   void bind_stream(ExecutionContext& ctx) const;
+
+  /// Observation hook for calibration and per-layer diagnostics: invoked
+  /// once for the network input and once after each op, with the value id
+  /// and its (dense-view) float data — `data` points at (row 0, t = 0),
+  /// rows are n * channels, each `steps` long and `stride` floats apart.
+  /// The quantized executor dequantizes into a scratch row before calling.
+  using ValueHook =
+      std::function<void(ValueId, const float* data, index_t rows,
+                         index_t steps, index_t stride)>;
+  Tensor forward_fp32(const Tensor& input, ExecutionContext& ctx,
+                      const ValueHook* hook) const;
+  Tensor forward_quantized(const Tensor& input, ExecutionContext& ctx,
+                           const ValueHook* hook) const;
 
   std::vector<detail::Op> ops_;
   std::vector<detail::Value> values_;
@@ -204,6 +280,24 @@ class CompiledPlan {
   index_t ring_floats_ = 0;
   std::vector<index_t> val_off_;    // per value root; -1 for aliases
   index_t val_floats_ = 0;
+  // Quantized program (valid when quantized_): per-op lowering plus the
+  // byte-arena layout — u8 activations in channel-group-interleaved rows,
+  // q_lead_ zero-point-filled steps of causal padding per conv input row.
+  // Built by QuantizedCompiler; the fp32 section above stays intact for
+  // reference runs and per-layer comparisons.
+  bool quantized_ = false;
+  std::vector<detail::QuantOp> qops_;      // parallel to ops_
+  std::vector<std::int8_t> qweights_;      // packed s8 weights (all ops)
+  std::vector<float> qconsts_;             // requantize m / b vectors
+  std::vector<quant::QuantParams> qvalue_;  // per value root
+  std::vector<index_t> q_lead_;            // steps, per value root
+  std::vector<index_t> q_stride_;          // steps, per value root
+  std::vector<index_t> q_off_;             // arena bytes/sample, per root
+  ValueId q_stage_ = -1;                   // u8 staging copy of the input
+  index_t q_arena_bytes_ = 0;
+  double q_error_bound_ = 0.0;
+  double q_error_estimate_ = 0.0;
+  std::vector<double> q_value_bound_;      // per value root
 };
 
 /// Records a network as a sequence of fused inference ops, then plans and

@@ -1,0 +1,766 @@
+#include "runtime/quantize_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+
+#include "nn/kernels/kernels.hpp"
+#include "runtime/arena.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::runtime {
+
+namespace {
+
+using nn::kernels::kQuantCiGroup;
+using nn::kernels::kQuantCo;
+using nn::kernels::quant_groups;
+
+// Below this many output bytes the elementwise quantized ops run serially
+// (same spirit as the fp32 executor's float threshold).
+constexpr index_t kQParallelMinBytes = 16384;
+
+/// An operand's u8 buffer at run time: `p` points at the logical
+/// (group-row 0, t = 0) byte; group rows are 4 * stride bytes apart and
+/// samples groups * 4 * stride bytes apart.
+struct QSpan {
+  std::uint8_t* p = nullptr;
+  index_t stride = 0;  // time steps
+};
+
+inline int clamp_u8(long q, int lo) {
+  return static_cast<int>(std::clamp(q, static_cast<long>(lo), 255L));
+}
+
+}  // namespace
+
+// ---- Quantized execution -------------------------------------------------
+
+Tensor CompiledPlan::forward_quantized(const Tensor& input,
+                                       ExecutionContext& ctx,
+                                       const ValueHook* hook) const {
+  PIT_CHECK(quantized_, "forward_quantized: plan has no int8 program");
+  const index_t c = input_channels();
+  const index_t t = input_steps();
+  const bool flat_ok = t == 1 && input.rank() == 2 && input.dim(1) == c;
+  PIT_CHECK(flat_ok || (input.rank() == 3 && input.dim(1) == c &&
+                        input.dim(2) == t),
+            "CompiledPlan: expected (N, " << c << ", " << t << "), got "
+                                          << input.shape().to_string());
+  const index_t n = input.dim(0);
+  const auto needed = static_cast<std::size_t>(q_arena_bytes_ * n);
+  if (ctx.qarena_.size() < needed) {
+    ctx.qarena_.resize(needed);
+  }
+  std::uint8_t* arena = ctx.qarena_.data();
+
+  const detail::Value& out_value =
+      values_[static_cast<std::size_t>(output_)];
+  Tensor out = out_value.steps == 1
+                   ? Tensor::empty(Shape{n, out_value.channels})
+                   : Tensor::empty(
+                         Shape{n, out_value.channels, out_value.steps});
+  float* out_data = out.data();
+
+  const ValueId in_root = root_[static_cast<std::size_t>(input_)];
+  const ValueId out_root = root_[static_cast<std::size_t>(output_)];
+
+  // Resolves a value to its byte-arena buffer (the input resolves to its
+  // staged u8 copy). Only valid for arena-backed values — the output is
+  // written as floats by its producing op.
+  const auto qspan = [&](ValueId v) -> QSpan {
+    ValueId r = root_[static_cast<std::size_t>(v)];
+    if (r == in_root) {
+      r = q_stage_;
+    }
+    const auto ri = static_cast<std::size_t>(r);
+    PIT_CHECK(q_off_[ri] >= 0, "forward_quantized: value " << v
+                                                           << " not planned");
+    return {arena + q_off_[ri] * n + kQuantCiGroup * q_lead_[ri],
+            q_stride_[ri]};
+  };
+
+  // Stage the input: float (N, C, T) -> u8 channel-group rows, with the
+  // causal lead filled with the zero-point byte (real 0.0).
+  {
+    const auto si = static_cast<std::size_t>(q_stage_);
+    const quant::QuantParams& qp = qvalue_[si];
+    nn::kernels::quantize_interleave_i8(
+        input.data(), arena + q_off_[si] * n, n, c, t, q_lead_[si],
+        q_stride_[si], 1.0F / qp.scale, qp.zero_point);
+  }
+
+  // Refills the zero-point lead of a freshly produced value (arena reuse
+  // may have clobbered it; its conv consumer reads it as causal padding).
+  const auto refill_lead = [&](ValueId v) {
+    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
+    if (q_off_[r] < 0 || q_lead_[r] == 0) {
+      return;
+    }
+    const index_t rows = n * quant_groups(values_[r].channels);
+    const auto zp_byte = static_cast<std::uint8_t>(qvalue_[r].zero_point);
+    std::uint8_t* base = arena + q_off_[r] * n;
+    for (index_t row = 0; row < rows; ++row) {
+      std::memset(base + row * kQuantCiGroup * q_stride_[r], zp_byte,
+                  static_cast<std::size_t>(kQuantCiGroup * q_lead_[r]));
+    }
+  };
+
+  // Dequantizes a produced value into a dense float scratch for the hook.
+  std::vector<float> scratch;
+  const auto call_hook = [&](ValueId v) {
+    if (hook == nullptr) {
+      return;
+    }
+    const detail::Value& val = values_[static_cast<std::size_t>(v)];
+    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
+    if (r == static_cast<std::size_t>(out_root)) {
+      (*hook)(v, out_data, n * val.channels, val.steps, val.steps);
+      return;
+    }
+    const QSpan s = qspan(v);
+    const quant::QuantParams& qp = qvalue_[r];
+    scratch.assign(static_cast<std::size_t>(n * val.numel()), 0.0F);
+    const index_t groups = quant_groups(val.channels);
+    for (index_t ni = 0; ni < n; ++ni) {
+      const std::uint8_t* sample =
+          s.p + ni * groups * kQuantCiGroup * s.stride;
+      for (index_t ch = 0; ch < val.channels; ++ch) {
+        const std::uint8_t* grow =
+            sample + (ch / kQuantCiGroup) * kQuantCiGroup * s.stride;
+        float* drow =
+            scratch.data() + (ni * val.channels + ch) * val.steps;
+        for (index_t ts = 0; ts < val.steps; ++ts) {
+          drow[ts] = qp.dequantize(
+              grow[kQuantCiGroup * ts + ch % kQuantCiGroup]);
+        }
+      }
+    }
+    (*hook)(v, scratch.data(), n * val.channels, val.steps, val.steps);
+  };
+
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const detail::Op& op = ops_[i];
+    const detail::QuantOp& qop = qops_[i];
+    switch (op.kind) {
+      case detail::OpKind::kConv: {
+        const float* m = qconsts_.data() + qop.m_off;
+        const float* b = qconsts_.data() + qop.b_off;
+        nn::kernels::ConvDims dims{};
+        dims.n = n;
+        dims.c_in = op.c_in;
+        dims.c_out = op.c_out;
+        dims.k = op.k;
+        dims.t_in = op.t_in;
+        dims.t_out = op.t_out;
+        dims.dilation = op.dilation;
+        dims.stride = 1;
+        const QSpan x = qspan(op.in0);
+        if (qop.out_float) {
+          nn::kernels::conv_forward_packed_i8(
+              x.p, qweights_.data() + qop.w_off, m, b, nullptr, out_data,
+              dims, x.stride, op.t_out, op.relu, qop.out_lo);
+        } else {
+          const QSpan y = qspan(op.out);
+          nn::kernels::conv_forward_packed_i8(
+              x.p, qweights_.data() + qop.w_off, m, b, y.p, nullptr, dims,
+              x.stride, y.stride, op.relu, qop.out_lo);
+        }
+        break;
+      }
+      case detail::OpKind::kLinear: {
+        const float* m = qconsts_.data() + qop.m_off;
+        const float* b = qconsts_.data() + qop.b_off;
+        const auto rv = static_cast<std::size_t>(
+            root_[static_cast<std::size_t>(op.in0)]);
+        const index_t f4 = quant_groups(values_[rv].channels) *
+                           kQuantCiGroup * values_[rv].steps;
+        const QSpan x = qspan(op.in0);
+        if (qop.out_float) {
+          nn::kernels::linear_forward_i8(x.p,
+                                         qweights_.data() + qop.w_off, m, b,
+                                         nullptr, out_data, n, f4, op.c_out,
+                                         op.relu, qop.out_lo);
+        } else {
+          const QSpan y = qspan(op.out);
+          nn::kernels::linear_forward_i8(x.p,
+                                         qweights_.data() + qop.w_off, m, b,
+                                         y.p, nullptr, n, f4, op.c_out,
+                                         op.relu, qop.out_lo);
+        }
+        break;
+      }
+      case detail::OpKind::kAvgPool: {
+        const QSpan x = qspan(op.in0);
+        const index_t groups = quant_groups(op.c_out);
+        const index_t rows = n * groups;
+        const float a_mul = qop.a_mul;
+        const float c_add = qop.c_add;
+        const bool out_float = qop.out_float;
+        const QSpan y = out_float ? QSpan{} : qspan(op.out);
+#pragma omp parallel for schedule(static) \
+    if (rows * op.t_out * kQuantCiGroup >= kQParallelMinBytes)
+        for (index_t r = 0; r < rows; ++r) {
+          const std::uint8_t* xrow = x.p + r * kQuantCiGroup * x.stride;
+          for (index_t to = 0; to < op.t_out; ++to) {
+            for (index_t j = 0; j < kQuantCiGroup; ++j) {
+              std::int32_t sum = 0;
+              for (index_t w = 0; w < op.k; ++w) {
+                sum += xrow[kQuantCiGroup * (to * op.stride + w) + j];
+              }
+              const float v = a_mul * static_cast<float>(sum) + c_add;
+              if (out_float) {
+                const index_t ni = r / groups;
+                const index_t ch = (r % groups) * kQuantCiGroup + j;
+                if (ch < op.c_out) {
+                  out_data[(ni * op.c_out + ch) * op.t_out + to] = v;
+                }
+              } else {
+                y.p[r * kQuantCiGroup * y.stride + kQuantCiGroup * to + j] =
+                    static_cast<std::uint8_t>(
+                        clamp_u8(std::lrintf(v), qop.out_lo));
+              }
+            }
+          }
+        }
+        break;
+      }
+      case detail::OpKind::kAdd: {
+        const QSpan a = qspan(op.in0);
+        const QSpan bb = qspan(op.in1);
+        const index_t groups = quant_groups(op.c_out);
+        const index_t rows = n * groups;
+        const index_t steps = op.t_out;
+        if (!qop.out_float) {
+          const QSpan y = qspan(op.out);
+          nn::kernels::add_forward_i8(a.p, bb.p, y.p, rows, steps, a.stride,
+                                      bb.stride, y.stride, qop.a_mul,
+                                      qop.b_mul, qop.c_add, qop.out_lo);
+          break;
+        }
+        // Dequantizing store (this add produces the plan output): rare,
+        // so a plain loop over the dense float rows suffices.
+        const float a_mul = qop.a_mul;
+        const float b_mul = qop.b_mul;
+        const float c_add = qop.c_add;
+        const bool relu = op.relu;
+#pragma omp parallel for schedule(static) \
+    if (rows * steps * kQuantCiGroup >= kQParallelMinBytes)
+        for (index_t r = 0; r < rows; ++r) {
+          const std::uint8_t* arow = a.p + r * kQuantCiGroup * a.stride;
+          const std::uint8_t* brow = bb.p + r * kQuantCiGroup * bb.stride;
+          for (index_t ts = 0; ts < steps; ++ts) {
+            for (index_t j = 0; j < kQuantCiGroup; ++j) {
+              const index_t off = kQuantCiGroup * ts + j;
+              float v = a_mul * static_cast<float>(arow[off]) +
+                        b_mul * static_cast<float>(brow[off]) + c_add;
+              if (relu && v < 0.0F) {
+                v = 0.0F;
+              }
+              const index_t ni = r / groups;
+              const index_t ch = (r % groups) * kQuantCiGroup + j;
+              if (ch < op.c_out) {
+                out_data[(ni * op.c_out + ch) * steps + ts] = v;
+              }
+            }
+          }
+        }
+        break;
+      }
+    }
+    if (!qop.out_float) {
+      refill_lead(op.out);
+    }
+    call_hook(op.out);
+  }
+  return out;
+}
+
+// ---- Lowering ------------------------------------------------------------
+
+/// Friend of CompiledPlan: builds the int8 program onto a copy of the
+/// fp32 plan, and runs the per-layer fp32-vs-int8 comparison.
+class QuantizedCompiler {
+ public:
+  static std::shared_ptr<const CompiledPlan> quantize(
+      const CompiledPlan& src, const data::DataLoader& calib,
+      const QuantizeOptions& options);
+  static std::vector<QuantLayerDelta> compare(const CompiledPlan& q,
+                                              const Tensor& input);
+
+ private:
+  static std::string op_desc(const detail::Op& op);
+};
+
+std::string QuantizedCompiler::op_desc(const detail::Op& op) {
+  std::ostringstream os;
+  switch (op.kind) {
+    case detail::OpKind::kConv:
+      os << "conv " << op.c_in << "->" << op.c_out << " k" << op.k << " d"
+         << op.dilation;
+      break;
+    case detail::OpKind::kLinear:
+      os << "linear " << op.c_in << "->" << op.c_out;
+      break;
+    case detail::OpKind::kAvgPool:
+      os << "avg_pool k" << op.k << " s" << op.stride;
+      break;
+    case detail::OpKind::kAdd:
+      os << "add";
+      break;
+  }
+  if (op.relu) {
+    os << " +relu";
+  }
+  return os.str();
+}
+
+std::shared_ptr<const CompiledPlan> QuantizedCompiler::quantize(
+    const CompiledPlan& src, const data::DataLoader& calib,
+    const QuantizeOptions& options) {
+  // Only the stride-1 packed conv path is lowered (every conv of the
+  // reference TCNs after freezing; strided downsampling happens in pools).
+  for (const detail::Op& op : src.ops_) {
+    PIT_CHECK(op.kind != detail::OpKind::kConv || (op.packed &&
+                                                   op.stride == 1),
+              "quantize_plan: strided convs have no int8 lowering");
+  }
+
+  // ---- calibrate ---------------------------------------------------------
+  const std::size_t nsrc_values = src.values_.size();
+  std::vector<quant::RangeObserver> observers(
+      nsrc_values, quant::RangeObserver(options.observer));
+  const CompiledPlan::ValueHook hook =
+      [&](ValueId v, const float* data, index_t rows, index_t steps,
+          index_t stride) {
+        quant::RangeObserver& obs =
+            observers[static_cast<std::size_t>(
+                src.root_[static_cast<std::size_t>(v)])];
+        if (stride == steps) {
+          obs.observe({data, static_cast<std::size_t>(rows * steps)});
+        } else {
+          for (index_t r = 0; r < rows; ++r) {
+            obs.observe({data + r * stride,
+                         static_cast<std::size_t>(steps)});
+          }
+        }
+      };
+  const index_t batches =
+      std::min(calib.num_batches(), options.max_calibration_batches);
+  PIT_CHECK(batches >= 1, "quantize_plan: empty calibration loader");
+  {
+    ExecutionContext cctx;
+    for (index_t bi = 0; bi < batches; ++bi) {
+      src.forward_fp32(calib.batch(bi).inputs, cctx, &hook);
+    }
+  }
+
+  CompiledPlan q(src);
+  q.quantized_ = true;
+  q.streamable_ = false;  // streaming stays fp32-only
+
+  const auto in_root =
+      static_cast<std::size_t>(q.root_[static_cast<std::size_t>(q.input_)]);
+  const auto out_root =
+      static_cast<std::size_t>(q.root_[static_cast<std::size_t>(q.output_)]);
+
+  // The input is always staged (dtype conversion); reuse the fp32 staging
+  // value when one exists, otherwise append one. Appended entries extend
+  // every per-value array so the retained fp32 program stays consistent.
+  if (q.input_stage_ >= 0) {
+    q.q_stage_ = q.input_stage_;
+  } else {
+    const detail::Value in_value = q.values_[in_root];
+    q.q_stage_ = static_cast<ValueId>(q.values_.size());
+    q.values_.push_back({in_value.channels, in_value.steps, -1});
+    q.root_.push_back(q.q_stage_);
+    q.lead_.push_back(0);
+    q.slack_.push_back(0);
+    q.stride_.push_back(in_value.steps);
+    q.offsets_.push_back(-1);
+  }
+  const std::size_t nvals = q.values_.size();
+  const auto stage = static_cast<std::size_t>(q.q_stage_);
+
+  // ---- per-value quantization parameters and clip error ------------------
+  q.qvalue_.assign(nvals, quant::QuantParams{});
+  std::vector<double> clip_err(nvals, 0.0);
+  std::vector<double> xmax(nvals, 0.0);
+  for (std::size_t v = 0; v < nsrc_values; ++v) {
+    if (src.root_[v] != static_cast<ValueId>(v) || !observers[v].seen()) {
+      continue;
+    }
+    q.qvalue_[v] = observers[v].affine_u8_params();
+    float lo = 0.0F;
+    float hi = 0.0F;
+    observers[v].calibrated_range(&lo, &hi);
+    clip_err[v] = std::max(
+        0.0, std::max(static_cast<double>(lo) - observers[v].min(),
+                      static_cast<double>(observers[v].max()) - hi));
+    xmax[v] = std::max(std::fabs(static_cast<double>(observers[v].min())),
+                       std::fabs(static_cast<double>(observers[v].max())));
+  }
+  // Propagate to aliases (reporting convenience) and the staging value.
+  for (std::size_t v = 0; v < nsrc_values; ++v) {
+    const auto r = static_cast<std::size_t>(src.root_[v]);
+    if (r != v) {
+      q.qvalue_[v] = q.qvalue_[r];
+    }
+  }
+  q.qvalue_[stage] = q.qvalue_[in_root];
+  clip_err[stage] = clip_err[in_root];
+  xmax[stage] = xmax[in_root];
+
+  // ---- byte-row layout: zero-point lead before every conv input ----------
+  q.q_lead_.assign(nvals, 0);
+  const auto qroot = [&](ValueId v) -> std::size_t {
+    auto r = static_cast<std::size_t>(q.root_[static_cast<std::size_t>(v)]);
+    return r == in_root ? stage : r;
+  };
+  for (const detail::Op& op : q.ops_) {
+    if (op.kind == detail::OpKind::kConv) {
+      const std::size_t r = qroot(op.in0);
+      q.q_lead_[r] =
+          std::max(q.q_lead_[r], (op.k - 1) * op.dilation);
+    }
+  }
+  for (std::size_t v = 0; v < nvals; ++v) {
+    if (q.values_[v].alias_of >= 0) {
+      PIT_CHECK(q.q_lead_[qroot(static_cast<ValueId>(v))] == 0,
+                "quantize_plan: flatten of a conv-consumed value is not "
+                "supported");
+    }
+  }
+  q.q_stride_.assign(nvals, 0);
+  for (std::size_t v = 0; v < nvals; ++v) {
+    q.q_stride_[v] = q.q_lead_[v] + q.values_[v].steps;
+  }
+
+  // ---- liveness + byte arena (same planner as the fp32 arena) ------------
+  std::vector<int> def(nvals, -1);
+  std::vector<int> last(nvals, -1);
+  for (std::size_t i = 0; i < q.ops_.size(); ++i) {
+    const detail::Op& op = q.ops_[i];
+    const auto touch = [&](ValueId v, std::vector<int>& slot) {
+      if (v >= 0) {
+        slot[qroot(v)] = static_cast<int>(i);
+      }
+    };
+    touch(op.in0, last);
+    touch(op.in1, last);
+    touch(op.out, def);
+  }
+  std::vector<ArenaRequest> requests;
+  std::vector<std::size_t> request_root;
+  // Staging block: live from before op 0 until the last input reader.
+  requests.push_back({quant_groups(q.values_[stage].channels) *
+                          kQuantCiGroup * q.q_stride_[stage],
+                      0, std::max(last[stage], 0)});
+  request_root.push_back(stage);
+  for (std::size_t v = 0; v < nvals; ++v) {
+    if (q.root_[v] != static_cast<ValueId>(v) || v == stage ||
+        v == out_root || def[v] < 0) {
+      continue;
+    }
+    requests.push_back({quant_groups(q.values_[v].channels) *
+                            kQuantCiGroup * q.q_stride_[v],
+                        def[v], std::max(last[v], def[v])});
+    request_root.push_back(v);
+  }
+  const ArenaPlan arena = plan_arena(requests);
+  q.q_off_.assign(nvals, -1);
+  for (std::size_t r = 0; r < request_root.size(); ++r) {
+    q.q_off_[request_root[r]] = arena.offsets[r];
+  }
+  q.q_arena_bytes_ = arena.total;
+
+  // ---- per-op lowering + error propagation -------------------------------
+  std::vector<double> bound(nvals, 0.0);   // worst-case |int8 - fp32|
+  std::vector<double> var(nvals, 0.0);     // RMS model variance
+  {
+    const double s_in = q.qvalue_[stage].scale;
+    bound[stage] = s_in / 2.0 + clip_err[stage];
+    var[stage] = s_in * s_in / 12.0;
+    bound[in_root] = bound[stage];
+    var[in_root] = var[stage];
+  }
+
+  q.qops_.assign(q.ops_.size(), detail::QuantOp{});
+  for (std::size_t i = 0; i < q.ops_.size(); ++i) {
+    const detail::Op& op = q.ops_[i];
+    detail::QuantOp& qop = q.qops_[i];
+    const std::size_t rin = qroot(op.in0);
+    const std::size_t rout = qroot(op.out);
+    qop.out_float = rout == out_root;
+    const quant::QuantParams px = q.qvalue_[rin];
+    const quant::QuantParams py = q.qvalue_[rout];
+    const double e_in = bound[rin];
+    const double e_store =
+        qop.out_float ? 0.0 : py.scale / 2.0 + clip_err[rout];
+    const double var_store =
+        qop.out_float
+            ? 0.0
+            : static_cast<double>(py.scale) * py.scale / 12.0 +
+                  clip_err[rout] * clip_err[rout];
+    qop.out_lo = (!qop.out_float && op.relu) ? py.zero_point : 0;
+
+    if (op.kind == detail::OpKind::kConv ||
+        op.kind == detail::OpKind::kLinear) {
+      const bool is_conv = op.kind == detail::OpKind::kConv;
+      // Recover the folded float weights from the fp32 program.
+      const index_t cnt = op.c_in * (is_conv ? op.k : 1);
+      index_t f4 = cnt;  // quantized feature count (pad lanes included)
+      std::vector<float> w(static_cast<std::size_t>(op.c_out * cnt));
+      if (is_conv) {
+        // Undo the fp32 inference packing: wp[(ci*k + i)*co_r4 + co].
+        const index_t co_r4 = (op.c_out + nn::kernels::kPackCo - 1) /
+                              nn::kernels::kPackCo * nn::kernels::kPackCo;
+        for (index_t co = 0; co < op.c_out; ++co) {
+          for (index_t ci = 0; ci < op.c_in; ++ci) {
+            for (index_t tap = 0; tap < op.k; ++tap) {
+              w[static_cast<std::size_t>((co * op.c_in + ci) * op.k + tap)] =
+                  q.params_[static_cast<std::size_t>(
+                      op.w_off + (ci * op.k + tap) * co_r4 + co)];
+            }
+          }
+        }
+      } else {
+        // Permute the dense (o, f) columns into the flattened C4 byte
+        // order of the input value (pad lanes get zero columns).
+        const auto rv = static_cast<std::size_t>(
+            q.root_[static_cast<std::size_t>(op.in0)]);
+        const index_t c_r = q.values_[rv].channels;
+        const index_t t_r = q.values_[rv].steps;
+        PIT_CHECK(op.c_in == c_r * t_r,
+                  "quantize_plan: linear features " << op.c_in
+                                                    << " != " << c_r << "x"
+                                                    << t_r);
+        f4 = quant_groups(c_r) * kQuantCiGroup * t_r;
+        w.assign(static_cast<std::size_t>(op.c_out * f4), 0.0F);
+        for (index_t o = 0; o < op.c_out; ++o) {
+          for (index_t ch = 0; ch < c_r; ++ch) {
+            for (index_t ts = 0; ts < t_r; ++ts) {
+              w[static_cast<std::size_t>(
+                  o * f4 + (ch / kQuantCiGroup) * kQuantCiGroup * t_r +
+                  kQuantCiGroup * ts + ch % kQuantCiGroup)] =
+                  q.params_[static_cast<std::size_t>(
+                      op.w_off + o * op.c_in + ch * t_r + ts)];
+            }
+          }
+        }
+      }
+      const index_t row = is_conv ? cnt : f4;
+
+      // Per-output-channel symmetric s8 quantization of the weights.
+      std::vector<std::int8_t> wq(w.size());
+      std::vector<float> s_w(static_cast<std::size_t>(op.c_out));
+      std::vector<std::int32_t> wsum(static_cast<std::size_t>(op.c_out), 0);
+      double worst_term = 0.0;
+      double worst_var = 0.0;
+      for (index_t co = 0; co < op.c_out; ++co) {
+        const float* wrow = w.data() + co * row;
+        float max_abs = 0.0F;
+        double l1 = 0.0;
+        double l2 = 0.0;
+        for (index_t e = 0; e < row; ++e) {
+          max_abs = std::max(max_abs, std::fabs(wrow[e]));
+          l1 += std::fabs(static_cast<double>(wrow[e]));
+          l2 += static_cast<double>(wrow[e]) * wrow[e];
+        }
+        const float scale =
+            max_abs > 0.0F ? std::max(max_abs / 127.0F, quant::kMinScale)
+                           : 1.0F;
+        s_w[static_cast<std::size_t>(co)] = scale;
+        for (index_t e = 0; e < row; ++e) {
+          const auto v = static_cast<std::int32_t>(std::clamp<long>(
+              std::lrintf(wrow[e] / scale), -127, 127));
+          wq[static_cast<std::size_t>(co * row + e)] =
+              static_cast<std::int8_t>(v);
+          wsum[static_cast<std::size_t>(co)] += v;
+        }
+        // |Δy| <= Σ|w||Δx| + Σ|Δw|(|x| + |Δx|), |Δw| <= s_w/2 per weight.
+        const double dw = scale / 2.0;
+        worst_term = std::max(
+            worst_term, l1 * e_in + dw * static_cast<double>(cnt) *
+                                        (xmax[rin] + e_in));
+        worst_var = std::max(
+            worst_var,
+            l2 * var[rin] + dw * dw / 3.0 * static_cast<double>(cnt) *
+                                (xmax[rin] / 2.0) * (xmax[rin] / 2.0));
+      }
+
+      // Pack and emit the requantize constants (bias, zero-point
+      // correction, and output zero point folded in).
+      nn::kernels::ConvDims wd{};
+      wd.c_in = is_conv ? op.c_in : f4;
+      wd.c_out = op.c_out;
+      wd.k = is_conv ? op.k : 1;
+      qop.w_off = static_cast<index_t>(q.qweights_.size());
+      q.qweights_.resize(q.qweights_.size() +
+                         static_cast<std::size_t>(
+                             nn::kernels::packed_weight_bytes_i8(wd)));
+      nn::kernels::pack_conv_weight_i8(wq.data(), wd,
+                                       q.qweights_.data() + qop.w_off);
+
+      const index_t co_round =
+          (op.c_out + kQuantCo - 1) / kQuantCo * kQuantCo;
+      qop.m_off = static_cast<index_t>(q.qconsts_.size());
+      q.qconsts_.resize(q.qconsts_.size() +
+                        static_cast<std::size_t>(co_round));
+      qop.b_off = static_cast<index_t>(q.qconsts_.size());
+      q.qconsts_.resize(q.qconsts_.size() +
+                        static_cast<std::size_t>(co_round));
+      float* mv = q.qconsts_.data() + qop.m_off;
+      float* bv = q.qconsts_.data() + qop.b_off;
+      for (index_t co = 0; co < co_round; ++co) {
+        if (co >= op.c_out) {
+          mv[co] = 0.0F;
+          bv[co] = qop.out_float ? 0.0F
+                                 : static_cast<float>(py.zero_point);
+          continue;
+        }
+        const float bias =
+            op.b_off >= 0
+                ? q.params_[static_cast<std::size_t>(op.b_off + co)]
+                : 0.0F;
+        const float sw = s_w[static_cast<std::size_t>(co)];
+        const auto ws =
+            static_cast<float>(wsum[static_cast<std::size_t>(co)]);
+        if (qop.out_float) {
+          mv[co] = px.scale * sw;
+          bv[co] = bias - mv[co] * static_cast<float>(px.zero_point) * ws;
+        } else {
+          mv[co] = px.scale * sw / py.scale;
+          bv[co] = bias / py.scale + static_cast<float>(py.zero_point) -
+                   mv[co] * static_cast<float>(px.zero_point) * ws;
+        }
+      }
+      bound[rout] = worst_term + e_store;
+      var[rout] = worst_var + var_store;
+    } else if (op.kind == detail::OpKind::kAvgPool) {
+      const auto inv_k = 1.0F / static_cast<float>(op.k);
+      if (qop.out_float) {
+        qop.a_mul = px.scale * inv_k;
+        qop.c_add = -px.scale * static_cast<float>(px.zero_point);
+      } else {
+        qop.a_mul = px.scale * inv_k / py.scale;
+        qop.c_add = static_cast<float>(py.zero_point) -
+                    px.scale / py.scale *
+                        static_cast<float>(px.zero_point);
+      }
+      bound[rout] = e_in + e_store;
+      var[rout] = var[rin] + var_store;
+    } else {  // kAdd
+      const std::size_t rb = qroot(op.in1);
+      const quant::QuantParams pb = q.qvalue_[rb];
+      if (qop.out_float) {
+        qop.a_mul = px.scale;
+        qop.b_mul = pb.scale;
+        qop.c_add = -px.scale * static_cast<float>(px.zero_point) -
+                    pb.scale * static_cast<float>(pb.zero_point);
+      } else {
+        qop.a_mul = px.scale / py.scale;
+        qop.b_mul = pb.scale / py.scale;
+        qop.c_add = static_cast<float>(py.zero_point) -
+                    qop.a_mul * static_cast<float>(px.zero_point) -
+                    qop.b_mul * static_cast<float>(pb.zero_point);
+      }
+      bound[rout] = e_in + bound[rb] + e_store;
+      var[rout] = var[rin] + var[rb] + var_store;
+    }
+  }
+
+  q.q_value_bound_ = bound;
+  q.q_error_bound_ = bound[out_root];
+  q.q_error_estimate_ = std::sqrt(var[out_root]);
+  return std::make_shared<const CompiledPlan>(std::move(q));
+}
+
+std::vector<QuantLayerDelta> QuantizedCompiler::compare(
+    const CompiledPlan& q, const Tensor& input) {
+  PIT_CHECK(q.quantized_, "compare_quantized_layers: plan is not quantized");
+  std::unordered_map<ValueId, std::vector<float>> reference;
+  const CompiledPlan::ValueHook capture =
+      [&](ValueId v, const float* data, index_t rows, index_t steps,
+          index_t stride) {
+        std::vector<float>& dst = reference[v];
+        dst.resize(static_cast<std::size_t>(rows * steps));
+        for (index_t r = 0; r < rows; ++r) {
+          std::copy(data + r * stride, data + r * stride + steps,
+                    dst.data() + r * steps);
+        }
+      };
+  ExecutionContext ref_ctx;
+  q.forward_fp32(input, ref_ctx, &capture);
+
+  std::vector<QuantLayerDelta> deltas;
+  std::unordered_map<ValueId, std::size_t> op_of;
+  for (std::size_t i = 0; i < q.ops_.size(); ++i) {
+    op_of[q.ops_[i].out] = i;
+  }
+  const CompiledPlan::ValueHook compare_hook =
+      [&](ValueId v, const float* data, index_t rows, index_t steps,
+          index_t stride) {
+        const auto it = op_of.find(v);
+        if (it == op_of.end()) {
+          return;  // the input value
+        }
+        const std::vector<float>& ref = reference.at(v);
+        double worst = 0.0;
+        double total = 0.0;
+        for (index_t r = 0; r < rows; ++r) {
+          for (index_t s = 0; s < steps; ++s) {
+            const double diff = std::fabs(
+                static_cast<double>(data[r * stride + s]) -
+                ref[static_cast<std::size_t>(r * steps + s)]);
+            worst = std::max(worst, diff);
+            total += diff;
+          }
+        }
+        QuantLayerDelta d;
+        d.op = it->second;
+        d.desc = op_desc(q.ops_[it->second]);
+        d.max_abs_err = worst;
+        d.mean_abs_err =
+            total / static_cast<double>(std::max<index_t>(rows * steps, 1));
+        d.bound = q.q_value_bound_[static_cast<std::size_t>(
+            q.root_[static_cast<std::size_t>(v)])];
+        deltas.push_back(d);
+      };
+  ExecutionContext q_ctx;
+  q.forward_quantized(input, q_ctx, &compare_hook);
+  std::sort(deltas.begin(), deltas.end(),
+            [](const QuantLayerDelta& a, const QuantLayerDelta& b) {
+              return a.op < b.op;
+            });
+  return deltas;
+}
+
+// ---- Public API ----------------------------------------------------------
+
+std::shared_ptr<const CompiledPlan> quantize_plan(
+    const CompiledPlan& plan, const data::DataLoader& calib,
+    const QuantizeOptions& options) {
+  return QuantizedCompiler::quantize(plan, calib, options);
+}
+
+std::shared_ptr<const CompiledPlan> compile_quantized(
+    const models::TempoNet& model, const data::DataLoader& calib,
+    const QuantizeOptions& options) {
+  return quantize_plan(*compile_plan(model), calib, options);
+}
+
+std::shared_ptr<const CompiledPlan> compile_quantized(
+    const models::ResTCN& model, index_t input_steps,
+    const data::DataLoader& calib, const QuantizeOptions& options) {
+  return quantize_plan(*compile_plan(model, input_steps), calib, options);
+}
+
+std::vector<QuantLayerDelta> compare_quantized_layers(
+    const CompiledPlan& quantized, const Tensor& input) {
+  return QuantizedCompiler::compare(quantized, input);
+}
+
+}  // namespace pit::runtime

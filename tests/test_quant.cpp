@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "models/temponet.hpp"
 #include "nn/conv1d.hpp"
 #include "tensor/error.hpp"
@@ -32,6 +34,46 @@ TEST(QuantParams, ConstantTensorDoesNotDivideByZero) {
   std::vector<float> values = {0.0F, 0.0F};
   EXPECT_NO_THROW(calibrate_symmetric(values));
   EXPECT_NO_THROW(calibrate_affine(values));
+}
+
+TEST(QuantParams, DegenerateRangesClampToMinimumScale) {
+  // Regression: a denormal-width range used to produce a denormal scale
+  // whose reciprocal overflowed the zero point; an empty span threw.
+  const std::vector<float> denormal = {1e-42F, 2e-42F};
+  const QuantParams sym = calibrate_symmetric(denormal);
+  EXPECT_GE(sym.scale, kMinScale);
+  EXPECT_TRUE(std::isfinite(sym.scale));
+  const QuantParams aff = calibrate_affine(denormal);
+  EXPECT_GE(aff.scale, kMinScale);
+  EXPECT_TRUE(std::isfinite(aff.scale));
+  EXPECT_GE(aff.zero_point, -128);
+  EXPECT_LE(aff.zero_point, 127);
+
+  EXPECT_NO_THROW(calibrate_symmetric(std::span<const float>{}));
+  EXPECT_NO_THROW(calibrate_affine(std::span<const float>{}));
+  EXPECT_FLOAT_EQ(calibrate_symmetric(std::span<const float>{}).scale, 1.0F);
+
+  // All-constant (non-zero) data stays usable and round-trips exactly.
+  const std::vector<float> constant = {2.5F, 2.5F, 2.5F};
+  const QuantParams c = calibrate_affine(constant);
+  EXPECT_TRUE(std::isfinite(c.scale));
+  EXPECT_NEAR(c.dequantize(c.quantize(2.5F)), 2.5F, c.scale / 2 + 1e-6F);
+}
+
+TEST(QuantParams, AffineU8CoversRangeAndClampsDegenerates) {
+  const QuantParams p = affine_u8_from_range(-1.0F, 3.0F);
+  EXPECT_GE(p.zero_point, 0);
+  EXPECT_LE(p.zero_point, 255);
+  EXPECT_NEAR(p.scale, 4.0F / 255.0F, 1e-6F);
+  // Zero is exactly representable: q = zero_point.
+  EXPECT_EQ(quantize_u8(0.0F, p), p.zero_point);
+  EXPECT_EQ(quantize_u8(-100.0F, p), 0);    // clamps below the range
+  EXPECT_EQ(quantize_u8(100.0F, p), 255);   // clamps above the range
+  EXPECT_NEAR(p.dequantize(quantize_u8(2.3F, p)), 2.3F, p.scale / 2);
+
+  const QuantParams tiny = affine_u8_from_range(0.0F, 1e-40F);
+  EXPECT_GE(tiny.scale, kMinScale);
+  EXPECT_TRUE(std::isfinite(tiny.scale));
 }
 
 TEST(QuantRoundTrip, ErrorBoundedByHalfScale) {
