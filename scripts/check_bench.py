@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Loads every ``BENCH_*.json`` found in the given directories (or files),
+validates each against its schema (documented in docs/BENCHMARKS.md), and
+fails the run when a tracked speedup bar is missed — so the 2-3x wins the
+engine benches record cannot silently rot.
+
+Usage::
+
+    check_bench.py [dir_or_file ...]      # default: current directory
+
+Bars and their hardware conditions (see docs/BENCHMARKS.md "CI gates"):
+
+  BENCH_kernels.json  best forward-row speedup >= 2.0       (always)
+  BENCH_runtime.json  worst_batched_temponet_speedup >= 2.0 (always)
+  BENCH_serve.json    batched_over_single_speedup >= 2.0    (>= 4 hw threads)
+  BENCH_quant.json    worst_batched_temponet_int8_speedup
+                      >= 1.5                                 (vnni kernels)
+                      gap8_macs_all_match == true            (always)
+  BENCH_stream.json   int8_over_fp32_stream_speedup >= 1.5   (vnni kernels)
+                      tick_over_unbatched_speedup >= 2.0     (>= 4 hw threads)
+
+A bar whose hardware condition is not met is SKIPPED (reported, not
+failed): the portable int8 fallback has no 4x MAC-density edge and a
+single-core runner has no parallel win to measure. An unknown
+``BENCH_*.json`` is an error — teach this script (and BENCHMARKS.md) its
+schema before shipping a new bench writer.
+"""
+import json
+import pathlib
+import sys
+
+MIN_PARALLEL_THREADS = 4  # parallel bars need a multi-core host
+
+
+class Gate:
+    """Collects per-file schema errors, bar failures, and skips."""
+
+    def __init__(self):
+        self.errors = []
+        self.passed = []
+        self.skipped = []
+
+    def fail(self, msg):
+        self.errors.append(msg)
+
+    def ok(self, msg):
+        self.passed.append(msg)
+
+    def skip(self, msg):
+        self.skipped.append(msg)
+
+
+def require(gate, name, data, field, kind):
+    if field not in data:
+        gate.fail(f"{name}: missing field '{field}'")
+        return None
+    value = data[field]
+    if kind is float and isinstance(value, int):
+        value = float(value)
+    if not isinstance(value, kind):
+        gate.fail(f"{name}: field '{field}' is {type(value).__name__}, "
+                  f"expected {kind.__name__}")
+        return None
+    return value
+
+
+def require_rows(gate, name, data, key, row_fields):
+    rows = require(gate, name, data, key, list)
+    if rows is None:
+        return []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            gate.fail(f"{name}: {key}[{i}] is not an object")
+            return []
+        for field, kind in row_fields.items():
+            require(gate, f"{name}: {key}[{i}]", row, field, kind)
+    return rows
+
+
+def bar(gate, name, label, value, minimum, condition=True, why=""):
+    if value is None:
+        return
+    if not condition:
+        gate.skip(f"{name}: {label} = {value:.2f} (bar >= {minimum}) "
+                  f"SKIPPED: {why}")
+        return
+    if value >= minimum:
+        gate.ok(f"{name}: {label} = {value:.2f} >= {minimum}")
+    else:
+        gate.fail(f"{name}: {label} = {value:.2f} MISSES the bar "
+                  f">= {minimum}")
+
+
+def check_kernels(gate, name, data):
+    if require(gate, name, data, "bench", str) != "kernels_backend_compare":
+        gate.fail(f"{name}: bench != 'kernels_backend_compare'")
+    require(gate, name, data, "threads", int)
+    rows = require_rows(gate, name, data, "results", {
+        "shape": str, "kernel": str, "macs": int,
+        "scalar_ms": float, "blocked_ms": float, "speedup": float,
+    })
+    forward = [r["speedup"] for r in rows
+               if isinstance(r, dict) and r.get("kernel") == "forward"
+               and isinstance(r.get("speedup"), (int, float))]
+    if not forward:
+        gate.fail(f"{name}: no forward rows")
+        return
+    bar(gate, name, "best blocked-over-scalar forward speedup",
+        max(forward), 2.0)
+
+
+def check_runtime(gate, name, data):
+    require(gate, name, data, "max_threads", int)
+    require_rows(gate, name, data, "results", {
+        "model": str, "batch": int, "threads": int,
+        "module_ms": float, "compiled_ms": float, "speedup": float,
+    })
+    bar(gate, name, "worst_batched_temponet_speedup",
+        require(gate, name, data, "worst_batched_temponet_speedup", float),
+        2.0)
+
+
+def check_serve(gate, name, data):
+    threads = require(gate, name, data, "hardware_threads", int)
+    require(gate, name, data, "pool_threads", int)
+    require(gate, name, data, "requests_per_policy", int)
+    require_rows(gate, name, data, "results", {
+        "policy": str, "threads": int, "max_batch": int, "clients": int,
+        "throughput_rps": float, "p50_ms": float, "p99_ms": float,
+        "mean_batch": float,
+    })
+    bar(gate, name, "batched_over_single_speedup",
+        require(gate, name, data, "batched_over_single_speedup", float),
+        2.0,
+        condition=threads is not None and threads >= MIN_PARALLEL_THREADS,
+        why=f"{threads} hardware threads < {MIN_PARALLEL_THREADS}")
+
+
+def check_quant(gate, name, data):
+    variant = require(gate, name, data, "i8_kernel_variant", str)
+    require(gate, name, data, "max_threads", int)
+    macs_match = require(gate, name, data, "gap8_macs_all_match", bool)
+    if macs_match is False:
+        gate.fail(f"{name}: gap8_macs_all_match is false")
+    require_rows(gate, name, data, "results", {
+        "model": str, "batch": int, "threads": int,
+        "fp32_ms": float, "int8_ms": float, "speedup": float,
+    })
+    require_rows(gate, name, data, "layers", {
+        "model": str, "op": int, "desc": str,
+        "max_abs_err": float, "mean_abs_err": float, "bound": float,
+    })
+    bar(gate, name, "worst_batched_temponet_int8_speedup",
+        require(gate, name, data,
+                "worst_batched_temponet_int8_speedup", float),
+        1.5, condition=variant == "vnni",
+        why=f"i8 kernel variant '{variant}' has no VNNI dot product")
+
+
+def check_stream(gate, name, data):
+    threads = require(gate, name, data, "hardware_threads", int)
+    variant = require(gate, name, data, "i8_kernel_variant", str)
+    require(gate, name, data, "model", str)
+    rows = require_rows(gate, name, data, "results", {
+        "dtype": str, "mode": str, "sessions": int,
+        "steps_per_sec": float, "p50_us": float, "p99_us": float,
+    })
+    modes = {r.get("mode") for r in rows if isinstance(r, dict)}
+    for needed in ("single", "unbatched", "tick"):
+        if needed not in modes:
+            gate.fail(f"{name}: no '{needed}' rows")
+    bar(gate, name, "int8_over_fp32_stream_speedup",
+        require(gate, name, data, "int8_over_fp32_stream_speedup", float),
+        1.5, condition=variant == "vnni",
+        why=f"i8 kernel variant '{variant}' has no VNNI dot product")
+    bar(gate, name, "tick_over_unbatched_speedup",
+        require(gate, name, data, "tick_over_unbatched_speedup", float),
+        2.0,
+        condition=threads is not None and threads >= MIN_PARALLEL_THREADS,
+        why=f"{threads} hardware threads < {MIN_PARALLEL_THREADS}")
+
+
+CHECKERS = {
+    "BENCH_kernels.json": check_kernels,
+    "BENCH_runtime.json": check_runtime,
+    "BENCH_serve.json": check_serve,
+    "BENCH_quant.json": check_quant,
+    "BENCH_stream.json": check_stream,
+}
+
+
+def main(argv):
+    roots = [pathlib.Path(a) for a in argv[1:]] or [pathlib.Path(".")]
+    files = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.glob("BENCH_*.json")))
+        else:
+            files.append(root)
+    gate = Gate()
+    if not files:
+        gate.fail(f"no BENCH_*.json found under: "
+                  f"{', '.join(str(r) for r in roots)}")
+    for path in files:
+        name = path.name
+        checker = CHECKERS.get(name)
+        if checker is None:
+            gate.fail(f"{name}: unknown benchmark file — add its schema to "
+                      f"scripts/check_bench.py and docs/BENCHMARKS.md")
+            continue
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as err:
+            gate.fail(f"{name}: unreadable ({err})")
+            continue
+        checker(gate, name, data)
+
+    for msg in gate.passed:
+        print(f"PASS  {msg}")
+    for msg in gate.skipped:
+        print(f"SKIP  {msg}")
+    for msg in gate.errors:
+        print(f"FAIL  {msg}")
+    total = len(files)
+    if gate.errors:
+        print(f"\ncheck_bench: {len(gate.errors)} failure(s) across "
+              f"{total} file(s)")
+        return 1
+    print(f"\ncheck_bench: OK ({total} file(s), {len(gate.passed)} bar(s) "
+          f"held, {len(gate.skipped)} skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

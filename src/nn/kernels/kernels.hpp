@@ -216,6 +216,25 @@ void add_forward_i8(const std::uint8_t* a, const std::uint8_t* b,
                     index_t a_stride, index_t b_stride, index_t y_stride,
                     float a_mul, float b_mul, float c_add, int out_lo);
 
+/// Single-timestep quantized causal conv over a dilated u8 ring-buffer
+/// history (the streaming counterpart of conv_forward_packed_i8). The
+/// ring holds quant_groups(c_in) group-major channel rows of `span` =
+/// (k-1)*dilation+1 interleaved quad slots:
+///   ring[(group * span + slot) * 4 + lane]
+/// with the current input already written at slot `pos` and slot
+/// (pos - tap*dilation) mod span holding the input from tap*dilation
+/// steps back — slots the stream has not reached yet must hold the input
+/// value's zero-point byte (the causal padding). Weights, requantize
+/// constants, `relu`, and `out_lo` are exactly those of the batched
+/// kernel; the output is one step: either quant_groups(c_out) u8 quads
+/// (`y_q`) or c_out floats (`y_f`), matching the batched kernel's store
+/// for the same accumulators bit for bit.
+void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,
+                  const float* m, const float* b, std::uint8_t* y_q,
+                  float* y_f, index_t c_in, index_t c_out, index_t k,
+                  index_t dilation, index_t span, index_t pos, bool relu,
+                  int out_lo);
+
 /// Name of the i8 kernel variant the running CPU resolved to
 /// ("vnni", "v4", "v3", or "base") — for bench/summary reporting.
 const char* quant_kernel_variant();

@@ -31,6 +31,11 @@ namespace quant {
                               index_t n, index_t channels, index_t steps,   \
                               index_t lead, index_t stride,                 \
                               float inv_scale, int zp);                     \
+  void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,        \
+                    const float* m, const float* b, std::uint8_t* y_q,      \
+                    float* y_f, index_t c_in, index_t c_out, index_t k,     \
+                    index_t dilation, index_t span, index_t pos,            \
+                    bool relu, int out_lo);                                 \
   }
 
 PIT_DECLARE_QUANT_VARIANT(base)
@@ -56,11 +61,16 @@ using AddI8Fn = void (*)(const std::uint8_t*, const std::uint8_t*,
                          index_t, float, float, float, int);
 using StageI8Fn = void (*)(const float*, std::uint8_t*, index_t, index_t,
                            index_t, index_t, index_t, float, int);
+using StepI8Fn = void (*)(const std::uint8_t*, const std::int8_t*,
+                          const float*, const float*, std::uint8_t*, float*,
+                          index_t, index_t, index_t, index_t, index_t,
+                          index_t, bool, int);
 
 struct VariantTable {
   ConvI8Fn conv;
   AddI8Fn add;
   StageI8Fn stage;
+  StepI8Fn step;
   const char* name;
 };
 
@@ -76,7 +86,7 @@ VariantTable pick_variant() {
       __builtin_cpu_supports("avx512vl") &&
       __builtin_cpu_supports("avx512vnni")) {
     return {vnni::conv_forward_packed_i8, vnni::add_forward_i8,
-            vnni::quantize_interleave_i8, "vnni"};
+            vnni::quantize_interleave_i8, vnni::conv_step_i8, "vnni"};
   }
 #endif
 #ifdef PIT_KERNELS_HAVE_V4
@@ -85,17 +95,17 @@ VariantTable pick_variant() {
       __builtin_cpu_supports("avx512dq") &&
       __builtin_cpu_supports("avx512vl")) {
     return {v4::conv_forward_packed_i8, v4::add_forward_i8,
-            v4::quantize_interleave_i8, "v4"};
+            v4::quantize_interleave_i8, v4::conv_step_i8, "v4"};
   }
 #endif
 #ifdef PIT_KERNELS_HAVE_V3
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
     return {v3::conv_forward_packed_i8, v3::add_forward_i8,
-            v3::quantize_interleave_i8, "v3"};
+            v3::quantize_interleave_i8, v3::conv_step_i8, "v3"};
   }
 #endif
   return {base::conv_forward_packed_i8, base::add_forward_i8,
-            base::quantize_interleave_i8, "base"};
+            base::quantize_interleave_i8, base::conv_step_i8, "base"};
 }
 
 const VariantTable& variant() {
@@ -178,6 +188,19 @@ void quantize_interleave_i8(const float* in, std::uint8_t* out, index_t n,
                             index_t stride, float inv_scale, int zp) {
   quant::variant().stage(in, out, n, channels, steps, lead, stride,
                          inv_scale, zp);
+}
+
+void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,
+                  const float* m, const float* b, std::uint8_t* y_q,
+                  float* y_f, index_t c_in, index_t c_out, index_t k,
+                  index_t dilation, index_t span, index_t pos, bool relu,
+                  int out_lo) {
+  PIT_CHECK((y_q == nullptr) != (y_f == nullptr),
+            "conv_step_i8: exactly one of y_q / y_f");
+  PIT_CHECK(span == (k - 1) * dilation + 1 && pos >= 0 && pos < span,
+            "conv_step_i8: ring geometry span=" << span << " pos=" << pos);
+  quant::variant().step(ring, wp, m, b, y_q, y_f, c_in, c_out, k, dilation,
+                        span, pos, relu, out_lo);
 }
 
 const char* quant_kernel_variant() { return quant::variant().name; }

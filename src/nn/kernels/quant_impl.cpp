@@ -322,10 +322,73 @@ void add_forward_i8(const std::uint8_t* a, const std::uint8_t* b,
                        _mm512_cvtepi32_epi8(q));
     }
     for (; i < bytes; ++i) {
-      const float v = a_mul * static_cast<float>(arow[i]) +
-                      b_mul * static_cast<float>(brow[i]) + c_add;
+      // Nested like the vector path's fmadd(am, a, fmadd(bm, b, c)) so a
+      // ragged tail (and the steps == 1 streaming case) rounds the same
+      // way the full tiles do — stream parity compares these bytes.
+      const float v = std::fmaf(a_mul, static_cast<float>(arow[i]),
+                                std::fmaf(b_mul, static_cast<float>(brow[i]),
+                                          c_add));
       yrow[i] = static_cast<std::uint8_t>(std::clamp(
           static_cast<int>(std::lrintf(v)), out_lo, 255));
+    }
+  }
+}
+
+void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,
+                  const float* m, const float* b, std::uint8_t* y_q,
+                  float* y_f, index_t c_in, index_t c_out, index_t k,
+                  index_t dilation, index_t span, index_t pos, bool relu,
+                  int out_lo) {
+  // One output step: the NT = 1 slice of the batched VNNI tile, with the
+  // per-tap look-back resolved through the ring instead of a contiguous
+  // row. Accumulation is integer-exact and the requantize uses the same
+  // fmadd / cvt / clamp sequence, so the stored step matches the batched
+  // kernel's column bit for bit.
+  const index_t g_in = quant_groups(c_in);
+  const index_t g_out = quant_groups(c_out);
+  const index_t co_round = round_up_co(c_out);
+  const index_t co_blocks = co_round / kQuantCo;
+  for (index_t cb = 0; cb < co_blocks; ++cb) {
+    const index_t co0 = cb * kQuantCo;
+    __m512i acc = _mm512_setzero_si512();
+    for (index_t ciq = 0; ciq < g_in; ++ciq) {
+      const std::uint8_t* ring_row = ring + ciq * span * kQuantCiGroup;
+      for (index_t tap = 0; tap < k; ++tap) {
+        const index_t back = tap * dilation;  // < span by construction
+        const index_t slot = pos >= back ? pos - back : pos - back + span;
+        std::int32_t word;
+        std::memcpy(&word, ring_row + slot * kQuantCiGroup, sizeof(word));
+        const __m512i wv = _mm512_loadu_si512(
+            wp + ((ciq * k + tap) * co_round + co0) * kQuantCiGroup);
+        acc = _mm512_dpbusd_epi32(acc, _mm512_set1_epi32(word), wv);
+      }
+    }
+    const __m512 mv = _mm512_loadu_ps(m + co0);
+    const __m512 bv = _mm512_loadu_ps(b + co0);
+    if (y_f != nullptr) {
+      __m512 v = _mm512_fmadd_ps(mv, _mm512_cvtepi32_ps(acc), bv);
+      if (relu) {
+        v = _mm512_max_ps(v, _mm512_setzero_ps());
+      }
+      alignas(64) float tmp[kQuantCo];
+      _mm512_store_ps(tmp, v);
+      const index_t nco = std::min(kQuantCo, c_out - co0);
+      for (index_t c = 0; c < nco; ++c) {
+        y_f[co0 + c] = tmp[c];
+      }
+    } else {
+      const __m512 v = _mm512_fmadd_ps(mv, _mm512_cvtepi32_ps(acc), bv);
+      __m512i q = _mm512_cvtps_epi32(v);  // round to nearest even
+      q = _mm512_min_epi32(
+          _mm512_max_epi32(q, _mm512_set1_epi32(out_lo)),
+          _mm512_set1_epi32(255));
+      alignas(16) std::uint8_t tb[kQuantCo];
+      _mm_store_si128(reinterpret_cast<__m128i*>(tb),
+                      _mm512_cvtepi32_epi8(q));
+      const index_t gb = cb * 4;
+      const index_t ng = std::min(index_t{4}, g_out - gb);
+      std::memcpy(y_q + gb * kQuantCiGroup,
+                  tb, static_cast<std::size_t>(ng * kQuantCiGroup));
     }
   }
 }
@@ -461,6 +524,68 @@ void add_forward_i8(const std::uint8_t* a, const std::uint8_t* b,
                       b_mul * static_cast<float>(brow[i]) + c_add;
       yrow[i] = static_cast<std::uint8_t>(std::clamp(
           static_cast<int>(std::lrintf(v)), out_lo, 255));
+    }
+  }
+}
+
+void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,
+                  const float* m, const float* b, std::uint8_t* y_q,
+                  float* y_f, index_t c_in, index_t c_out, index_t k,
+                  index_t dilation, index_t span, index_t pos, bool relu,
+                  int out_lo) {
+  // One output step of the portable tile: same packed-weight walk and the
+  // same requantize expressions as the batched body, with each tap's quad
+  // read through the ring's dilated look-back slot.
+  const index_t g_in = quant_groups(c_in);
+  const index_t g_out = quant_groups(c_out);
+  const index_t co_round = round_up_co(c_out);
+  const index_t co_blocks = co_round / kQuantCo;
+  for (index_t cb = 0; cb < co_blocks; ++cb) {
+    const index_t co0 = cb * kQuantCo;
+    vi acc = {};
+    for (index_t ciq = 0; ciq < g_in; ++ciq) {
+      const std::uint8_t* ring_row = ring + ciq * span * kQuantCiGroup;
+      for (index_t tap = 0; tap < k; ++tap) {
+        const std::int8_t* wg =
+            wp + ((ciq * k + tap) * co_round + co0) * kQuantCiGroup;
+        vi w0;
+        vi w1;
+        vi w2;
+        vi w3;
+        for (index_t c = 0; c < kQuantCo; ++c) {
+          w0[c] = wg[c * 4 + 0];
+          w1[c] = wg[c * 4 + 1];
+          w2[c] = wg[c * 4 + 2];
+          w3[c] = wg[c * 4 + 3];
+        }
+        const index_t back = tap * dilation;  // < span by construction
+        const index_t slot = pos >= back ? pos - back : pos - back + span;
+        const std::uint8_t* xq = ring_row + slot * kQuantCiGroup;
+        acc += w0 * static_cast<std::int32_t>(xq[0]) +
+               w1 * static_cast<std::int32_t>(xq[1]) +
+               w2 * static_cast<std::int32_t>(xq[2]) +
+               w3 * static_cast<std::int32_t>(xq[3]);
+      }
+    }
+    if (y_f != nullptr) {
+      const index_t nco = std::min(kQuantCo, c_out - co0);
+      for (index_t c = 0; c < nco; ++c) {
+        float v = m[co0 + c] * static_cast<float>(acc[c]) + b[co0 + c];
+        if (relu && v < 0.0F) {
+          v = 0.0F;
+        }
+        y_f[co0 + c] = v;
+      }
+    } else {
+      const index_t nlanes =
+          std::min(kQuantCo, (g_out - cb * 4) * kQuantCiGroup);
+      for (index_t c = 0; c < nlanes; ++c) {
+        const float v = m[co0 + c] * static_cast<float>(acc[c]) +
+                        b[co0 + c];
+        const auto q = static_cast<int>(std::lrintf(v));
+        y_q[(cb * 4 + c / 4) * kQuantCiGroup + c % 4] =
+            static_cast<std::uint8_t>(std::clamp(q, out_lo, 255));
+      }
     }
   }
 }

@@ -81,6 +81,28 @@ std::shared_ptr<const CompiledPlan> compile_plan(const models::ResTCN& model,
   return std::make_shared<const CompiledPlan>(std::move(b).compile(x));
 }
 
+std::shared_ptr<const CompiledPlan> compile_stream_backbone(
+    const models::TempoNet& model, index_t input_steps) {
+  const models::TempoNetConfig& cfg = model.config();
+  NetBuilder b;
+  ValueId x = b.input(cfg.input_channels, input_steps);
+  const std::vector<nn::Module*> convs = model.temporal_convs();
+  PIT_CHECK(convs.size() == 7,
+            "compile_stream_backbone(TempoNet): expected 7 convs");
+  for (std::size_t i = 0; i < convs.size(); ++i) {
+    FrozenConv fc = freeze_temporal_conv(*convs[i]);
+    PIT_CHECK(fc.stride == 1,
+              "compile_stream_backbone(TempoNet): conv " << i
+                                                         << " is strided");
+    fold_batchnorm(fc, model.norm(i));
+    x = b.conv(x, fc, /*fuse_relu=*/true);
+  }
+  auto plan = std::make_shared<const CompiledPlan>(std::move(b).compile(x));
+  PIT_CHECK(plan->streamable(),
+            "compile_stream_backbone(TempoNet): plan is not streamable");
+  return plan;
+}
+
 CompiledNet compile(const models::TempoNet& model) {
   return CompiledNet(compile_plan(model));
 }

@@ -36,6 +36,16 @@ std::shared_ptr<const CompiledPlan> compile_plan(const models::TempoNet& model);
 std::shared_ptr<const CompiledPlan> compile_plan(const models::ResTCN& model,
                                                  index_t input_steps);
 
+/// Compiles TempoNet's temporal-conv backbone — the seven BN-folded,
+/// ReLU-fused dilated convs, without the stride-2 pools and the FC head —
+/// into a streamable plan over `input_steps`-step windows. This is the
+/// paper's continuous-sensing deployment shape: a causal feature extractor
+/// advanced one PPG/accelerometer tick at a time (StreamSession /
+/// SessionManager); the pooled-and-flattened regression head stays on the
+/// windowed forward() path.
+std::shared_ptr<const CompiledPlan> compile_stream_backbone(
+    const models::TempoNet& model, index_t input_steps);
+
 /// Single-threaded facades over the plans above.
 CompiledNet compile(const models::TempoNet& model);
 CompiledNet compile(const models::ResTCN& model, index_t input_steps);

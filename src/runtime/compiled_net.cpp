@@ -703,8 +703,12 @@ void CompiledPlan::bind_stream(ExecutionContext& ctx) const {
             "pool, linear, or strided conv — run forward() on whole "
             "sequences instead)");
   if (ctx.stream_plan_ != this) {
-    ctx.stream_ring_.assign(static_cast<std::size_t>(ring_floats_), 0.0F);
-    ctx.stream_vals_.assign(static_cast<std::size_t>(val_floats_), 0.0F);
+    if (quantized_) {
+      bind_stream_quantized(ctx);  // zero-point-filled u8 rings
+    } else {
+      ctx.stream_ring_.assign(static_cast<std::size_t>(ring_floats_), 0.0F);
+      ctx.stream_vals_.assign(static_cast<std::size_t>(val_floats_), 0.0F);
+    }
     ctx.stream_t_ = 0;
     ctx.stream_plan_ = this;
   }
@@ -713,6 +717,10 @@ void CompiledPlan::bind_stream(ExecutionContext& ctx) const {
 void CompiledPlan::step(const float* input, float* output,
                         ExecutionContext& ctx) const {
   bind_stream(ctx);
+  if (quantized_) {
+    step_quantized(input, output, ctx);
+    return;
+  }
   float* rings = ctx.stream_ring_.data();
   float* vals = ctx.stream_vals_.data();
   const auto t = static_cast<index_t>(ctx.stream_t_);

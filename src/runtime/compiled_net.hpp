@@ -155,6 +155,11 @@ class ExecutionContext {
   const CompiledPlan* stream_plan_ = nullptr;  // rings sized for this plan
   std::vector<float> stream_ring_;  // per-conv dilated input history
   std::vector<float> stream_vals_;  // one C-vector per live value
+  // Streaming state of quantized plans: the same ring/value split, held
+  // as u8 bytes in the channel-group-interleaved layout (rings initialize
+  // to each conv input's zero-point byte — the causal padding).
+  std::vector<std::uint8_t> qstream_ring_;
+  std::vector<std::uint8_t> qstream_vals_;
   std::uint64_t stream_t_ = 0;
 };
 
@@ -178,9 +183,11 @@ class CompiledPlan {
   /// Streaming single-step execution: consumes one time-step vector
   /// (input_channels() floats) and produces one output vector
   /// (output_channels() floats). After T steps from a reset context the
-  /// outputs match columns 0..T-1 of forward() on the same sequence.
-  /// Requires streamable(); the context's history is zero before the first
-  /// step (the implicit causal padding).
+  /// outputs match columns 0..T-1 of forward() on the same sequence —
+  /// bit-exactly for quantized plans, whose step runs the int8 program
+  /// over u8 ring-buffer history. Requires streamable(); the context's
+  /// history before the first step is the implicit causal padding (zeros
+  /// for fp32 plans, zero-point bytes for quantized ones).
   void step(const float* input, float* output, ExecutionContext& ctx) const;
   /// Tensor convenience overload: input rank-1 (C,), returns (C_out,).
   Tensor step(const Tensor& input, ExecutionContext& ctx) const;
@@ -195,8 +202,9 @@ class CompiledPlan {
   /// True when this plan executes the int8 program: u8 affine activations
   /// in a byte arena, s8 per-channel weights, int32 accumulation, fused
   /// requantize on store. Built by runtime::quantize_plan(); forward()
-  /// dispatches automatically, so serving layers need no changes. step()
-  /// streaming is fp32-only (quantized plans report streamable() false).
+  /// and step() dispatch automatically, so serving layers need no
+  /// changes — a quantized plan of a streamable network streams int8
+  /// (u8 ring-buffer history, single-step i8 kernels).
   bool quantized() const { return quantized_; }
   /// Analytic worst-case |quantized - fp32 plan| output bound, valid for
   /// inputs inside the calibrated input range. Requires quantized().
@@ -246,6 +254,14 @@ class CompiledPlan {
   CompiledPlan() = default;
 
   void bind_stream(ExecutionContext& ctx) const;
+  // Quantized streaming internals (quantize_plan.cpp): alias-resolved
+  // storage root in the quantized program (the input maps to its u8
+  // staging value), zero-point ring initialization, and the int8 step
+  // executor.
+  std::size_t quant_root(ValueId v) const;
+  void bind_stream_quantized(ExecutionContext& ctx) const;
+  void step_quantized(const float* input, float* output,
+                      ExecutionContext& ctx) const;
 
   /// Observation hook for calibration and per-layer diagnostics: invoked
   /// once for the network input and once after each op, with the value id
@@ -295,6 +311,14 @@ class CompiledPlan {
   std::vector<index_t> q_off_;             // arena bytes/sample, per root
   ValueId q_stage_ = -1;                   // u8 staging copy of the input
   index_t q_arena_bytes_ = 0;
+  // Quantized streaming layout (valid when streamable_ && quantized_):
+  // one u8 history ring per conv op — quant_groups(c_in) group rows of
+  // (k-1)*dilation+1 interleaved quad slots — and one single-step u8 quad
+  // vector per value root. All offsets/sizes in bytes.
+  std::vector<index_t> q_ring_off_;        // per op; -1 for non-conv ops
+  index_t q_ring_bytes_ = 0;
+  std::vector<index_t> q_val_off_;         // per value root; -1 otherwise
+  index_t q_val_bytes_ = 0;
   double q_error_bound_ = 0.0;
   double q_error_estimate_ = 0.0;
   std::vector<double> q_value_bound_;      // per value root

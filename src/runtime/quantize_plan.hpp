@@ -29,7 +29,10 @@
 // geometry queries keep working. Execution obeys the same thread-safety
 // contract — immutable plan, per-thread ExecutionContext (whose byte
 // arena backs the quantized program) — so serve::InferenceServer serves a
-// quantized plan unchanged. Streaming step() stays fp32-only.
+// quantized plan unchanged. Streamable plans keep streaming after the
+// lowering: step() runs the int8 program over per-conv u8 ring-buffer
+// history (zero-point-filled leads as causal padding) and matches the
+// batched int8 forward's columns bit-exactly.
 //
 // Error accounting: the lowering propagates two per-value figures —
 //   - a worst-case bound (interval arithmetic over rounding, weight

@@ -14,7 +14,10 @@
 // single-shot runtime of PR 2 hold up under many concurrent clients.
 //
 // For latency-critical single-sample flows (one time step arriving at a
-// time), see StreamSession in stream_session.hpp instead.
+// time), see StreamSession in stream_session.hpp; for session-scale
+// streaming — thousands of concurrent sequences with pooled state and
+// same-tick micro-batching — see SessionManager in session_manager.hpp.
+// All three serve fp32 and int8 plans alike (the plan dispatches).
 #pragma once
 
 #include <chrono>

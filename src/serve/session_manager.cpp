@@ -1,0 +1,362 @@
+#include "serve/session_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "tensor/error.hpp"
+
+namespace pit::serve {
+
+namespace {
+
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+
+int default_tick_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int spare = hw > 1 ? static_cast<int>(hw) - 1 : 0;
+  return std::min(spare, 8);
+}
+
+}  // namespace
+
+SessionManager::SessionManager(
+    std::shared_ptr<const runtime::CompiledPlan> plan,
+    SessionManagerOptions options)
+    : plan_(std::move(plan)), options_(options) {
+  PIT_CHECK(plan_ != nullptr, "SessionManager: null plan");
+  PIT_CHECK(plan_->streamable(),
+            "SessionManager: plan is not streamable — it contains a pool, "
+            "linear, or strided conv; serve whole windows through "
+            "InferenceServer instead");
+  PIT_CHECK(options_.max_sessions >= 1, "SessionManager: max_sessions = 0");
+  if (options_.tick_threads <= 0) {
+    options_.tick_threads = default_tick_threads();
+  }
+}
+
+SessionManager::~SessionManager() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+}
+
+SessionManager::SessionId SessionManager::open() {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t idx = kNpos;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    ++stats_.recycled;
+  } else if (slots_.size() < options_.max_sessions) {
+    slots_.push_back(std::make_unique<Slot>());
+    idx = slots_.size() - 1;
+  } else {
+    idx = evict_one_locked(now);
+    PIT_CHECK(idx != kNpos,
+              "SessionManager::open: " << options_.max_sessions
+                                       << " live sessions and none is "
+                                          "evictable — backpressure");
+    ++stats_.recycled;
+  }
+  Slot* slot = slots_[idx].get();
+  // Reset-on-reuse: the next step starts from the implicit causal padding
+  // again, exactly like a freshly constructed context (the plan re-fills
+  // the ring buffers on rebind). The slot mutex is held for the rewrite:
+  // a stale step() that resolved this slot before its previous tenant
+  // closed may be about to lock it and read the tenancy fields.
+  {
+    std::lock_guard<std::mutex> slot_lock(slot->mutex);
+    slot->ctx.reset_stream();
+    slot->id = next_id_++;
+    slot->steps = 0;
+    slot->created = now;
+    slot->last_step.store(now, std::memory_order_relaxed);
+  }
+  index_.emplace(slot->id, idx);
+  ++stats_.opened;
+  return slot->id;
+}
+
+void SessionManager::close(SessionId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(id);
+  PIT_CHECK(it != index_.end(),
+            "SessionManager::close: unknown session " << id);
+  const std::size_t idx = it->second;
+  Slot* slot = slots_[idx].get();
+  // Waits out a concurrent step on this session (a caller-contract
+  // violation, but it must not corrupt the slot's next tenant).
+  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+  slot->id = 0;
+  index_.erase(it);
+  free_.push_back(idx);
+  ++stats_.closed;
+}
+
+SessionManager::Slot* SessionManager::resolve(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(id);
+  PIT_CHECK(it != index_.end(), "SessionManager: unknown session " << id);
+  return slots_[it->second].get();
+}
+
+void SessionManager::run_step(Slot* slot, SessionId id, const float* input,
+                              float* output) {
+  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+  // The slot may have been evicted (and possibly re-opened) between the
+  // registry lookup and here; its current tenant must not be disturbed.
+  PIT_CHECK(slot->id == id,
+            "SessionManager::step: session " << id << " was evicted");
+  plan_->step(input, output, slot->ctx);
+  ++slot->steps;
+  slot->last_step.store(std::chrono::steady_clock::now(),
+                        std::memory_order_relaxed);
+  steps_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SessionManager::step(SessionId id, const float* input, float* output) {
+  run_step(resolve(id), id, input, output);
+}
+
+Tensor SessionManager::step(SessionId id, const Tensor& input) {
+  PIT_CHECK(input.rank() == 1 && input.dim(0) == plan_->input_channels(),
+            "SessionManager::step: expected a ("
+                << plan_->input_channels() << ",) time-step vector, got "
+                << input.shape().to_string());
+  Tensor out = Tensor::empty(Shape{plan_->output_channels()});
+  step(id, input.data(), out.data());
+  return out;
+}
+
+void SessionManager::ensure_pool_locked() {
+  if (!workers_.empty() || options_.tick_threads == 0) {
+    return;
+  }
+  workers_.reserve(static_cast<std::size_t>(options_.tick_threads));
+  for (int i = 0; i < options_.tick_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void SessionManager::work_on_tick() {
+  // Claim small index chunks under the pool lock, run them outside it.
+  for (;;) {
+    std::size_t begin;
+    std::size_t end;
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (tick_next_ >= tick_count_) {
+        return;
+      }
+      const std::size_t chunk = std::max<std::size_t>(
+          1, tick_count_ /
+                 (8 * (static_cast<std::size_t>(options_.tick_threads) + 1)));
+      begin = tick_next_;
+      end = std::min(tick_count_, begin + chunk);
+      tick_next_ = end;
+    }
+    const index_t c_in = plan_->input_channels();
+    const index_t c_out = plan_->output_channels();
+    std::exception_ptr error;
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        run_step(tick_slots_[i], tick_ids_[i], tick_inputs_ + i * c_in,
+                 tick_outputs_ + i * c_out);
+      } catch (...) {
+        if (error == nullptr) {
+          error = std::current_exception();
+        }
+      }
+    }
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (error != nullptr && tick_error_ == nullptr) {
+        tick_error_ = error;
+      }
+      tick_pending_ -= end - begin;
+      last = tick_pending_ == 0;
+    }
+    if (last) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void SessionManager::worker_loop() {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] {
+        return pool_stop_ || (tick_gen_ != seen_gen && tick_pending_ > 0);
+      });
+      if (pool_stop_) {
+        return;
+      }
+      seen_gen = tick_gen_;
+    }
+    work_on_tick();
+  }
+}
+
+void SessionManager::step_tick(const SessionId* ids, std::size_t count,
+                               const float* inputs, float* outputs) {
+  if (count == 0) {
+    return;
+  }
+  // One tick at a time: concurrent tickers queue here rather than
+  // interleaving their jobs through the pool.
+  std::lock_guard<std::mutex> tick_lock(tick_mutex_);
+  tick_slots_.resize(count);
+  tick_ids_.assign(ids, ids + count);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto it = index_.find(ids[i]);
+      PIT_CHECK(it != index_.end(),
+                "SessionManager::step_tick: unknown session " << ids[i]);
+      tick_slots_[i] = slots_[it->second].get();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    ensure_pool_locked();
+    tick_inputs_ = inputs;
+    tick_outputs_ = outputs;
+    tick_count_ = count;
+    tick_next_ = 0;
+    tick_pending_ = count;
+    tick_error_ = nullptr;
+    ++tick_gen_;
+  }
+  pool_cv_.notify_all();
+  work_on_tick();  // the caller is a worker too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    done_cv_.wait(lock, [&] { return tick_pending_ == 0; });
+    error = tick_error_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.ticks;
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+Tensor SessionManager::step_tick(const std::vector<SessionId>& ids,
+                                 const Tensor& inputs) {
+  const auto n = static_cast<index_t>(ids.size());
+  PIT_CHECK(inputs.rank() == 2 && inputs.dim(0) == n &&
+                inputs.dim(1) == plan_->input_channels(),
+            "SessionManager::step_tick: expected ("
+                << n << ", " << plan_->input_channels() << ") inputs, got "
+                << inputs.shape().to_string());
+  Tensor out = Tensor::empty(Shape{n, plan_->output_channels()});
+  step_tick(ids.data(), ids.size(), inputs.data(), out.data());
+  return out;
+}
+
+void SessionManager::reset(SessionId id) {
+  Slot* slot = resolve(id);
+  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+  PIT_CHECK(slot->id == id,
+            "SessionManager::reset: session " << id << " was evicted");
+  slot->ctx.reset_stream();
+}
+
+std::size_t SessionManager::evict_one_locked(
+    std::chrono::steady_clock::time_point now) {
+  if (options_.idle_timeout.count() <= 0) {
+    return kNpos;
+  }
+  const auto deadline = now - options_.idle_timeout;
+  // Every timed-out candidate, stalest first: if the stalest is mid-step
+  // (its try_lock fails — it is not actually idle), the next one is
+  // still a legitimate eviction, not a reason to throw backpressure.
+  std::vector<std::pair<std::chrono::steady_clock::time_point, std::size_t>>
+      candidates;
+  for (const auto& [id, idx] : index_) {
+    const auto last =
+        slots_[idx]->last_step.load(std::memory_order_relaxed);
+    if (last <= deadline) {
+      candidates.emplace_back(last, idx);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const auto& [last, idx] : candidates) {
+    Slot* slot = slots_[idx].get();
+    if (!slot->mutex.try_lock()) {
+      continue;  // mid-step: not idle, whatever its timestamp said
+    }
+    index_.erase(slot->id);
+    slot->id = 0;
+    slot->mutex.unlock();
+    ++stats_.evicted;
+    return idx;
+  }
+  return kNpos;
+}
+
+std::size_t SessionManager::evict_idle(std::chrono::milliseconds min_idle) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline = now - min_idle;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t evicted = 0;
+  for (auto it = index_.begin(); it != index_.end();) {
+    Slot* slot = slots_[it->second].get();
+    if (slot->last_step.load(std::memory_order_relaxed) > deadline ||
+        !slot->mutex.try_lock()) {
+      ++it;
+      continue;
+    }
+    slot->id = 0;
+    slot->mutex.unlock();
+    free_.push_back(it->second);
+    it = index_.erase(it);
+    ++evicted;
+  }
+  stats_.evicted += evicted;
+  return evicted;
+}
+
+bool SessionManager::alive(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(id) > 0;
+}
+
+SessionStats SessionManager::session_stats(SessionId id) const {
+  Slot* slot = resolve(id);
+  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+  PIT_CHECK(slot->id == id,
+            "SessionManager::session_stats: session " << id
+                                                      << " was evicted");
+  SessionStats out;
+  out.steps = slot->steps;
+  out.created = slot->created;
+  out.last_step = slot->last_step.load(std::memory_order_relaxed);
+  return out;
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SessionManagerStats out = stats_;
+  out.steps = steps_total_.load(std::memory_order_relaxed);
+  out.active = index_.size();
+  out.pooled = free_.size();
+  return out;
+}
+
+}  // namespace pit::serve

@@ -1,0 +1,185 @@
+// Session-scale streaming serving: thousands of concurrent streaming
+// sessions over ONE shared CompiledPlan (fp32 or int8).
+//
+// A StreamSession (stream_session.hpp) is one sequence bound to one
+// private ExecutionContext — perfect for a single sensor, useless for a
+// fleet. SessionManager is the fleet: it owns a pool of recycled session
+// slots (each an ExecutionContext whose ring buffers are reset on reuse,
+// so a recycled session is bit-identical to a fresh one), hands out
+// opaque SessionIds, and serves three access patterns:
+//
+//   step      — advance one session by one time step (the low-latency
+//               path; same per-step work as StreamSession),
+//   step_tick — advance MANY sessions that received a sample in the same
+//               tick: one call, one pass over a persistent worker pool,
+//               amortizing dispatch and spreading the per-session conv
+//               work across cores. This is the serving shape of a
+//               wearable fleet: every device ticks at the sensor rate and
+//               the server advances all live sequences together.
+//   evict     — sessions idle past a deadline are evictable; open()
+//               recycles the stalest evictable slot when the manager is
+//               full, so abandoned sequences cannot pin memory forever.
+//
+// THREAD SAFETY. All public methods are thread-safe. Each session must be
+// driven by one caller at a time (its sequence order is meaningless
+// otherwise); different sessions never contend beyond the registry lock.
+// Internally: a registry mutex guards the id -> slot map and the free
+// list; a per-slot mutex serializes the slot's ExecutionContext between
+// step(), step_tick() workers, and eviction (eviction only claims slots
+// whose mutex it can take without blocking — never one mid-step). A
+// stale id (closed or evicted) throws pit::Error; ids are never reused.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/compiled_net.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pit::serve {
+
+struct SessionManagerOptions {
+  /// Hard cap on live sessions. open() beyond it evicts the stalest
+  /// idle-timed-out session, or throws when nothing is evictable.
+  std::size_t max_sessions = 4096;
+  /// Sessions idle at least this long are evictable (by open() under
+  /// pressure and by evict_idle()). Zero disables idle eviction.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Worker threads for step_tick (the caller participates too, so the
+  /// tick runs on tick_threads + 1 cores). 0 picks hardware concurrency
+  /// minus one, capped at 8. The pool starts on the first tick; pure
+  /// step() callers never pay for it.
+  int tick_threads = 0;
+};
+
+/// Per-session counters (a snapshot; the session keeps moving).
+struct SessionStats {
+  std::uint64_t steps = 0;  ///< Steps since open (reset restarts the
+                            ///< sequence, not this counter).
+  std::chrono::steady_clock::time_point created;
+  std::chrono::steady_clock::time_point last_step;
+};
+
+struct SessionManagerStats {
+  std::uint64_t opened = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t recycled = 0;  ///< opens served from the pooled free list
+  std::uint64_t steps = 0;     ///< session-steps across all sessions
+  std::uint64_t ticks = 0;     ///< step_tick calls
+  std::size_t active = 0;
+  std::size_t pooled = 0;      ///< free slots holding recyclable state
+};
+
+class SessionManager {
+ public:
+  using SessionId = std::uint64_t;
+
+  explicit SessionManager(std::shared_ptr<const runtime::CompiledPlan> plan,
+                          SessionManagerOptions options = {});
+  ~SessionManager();
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Starts a new sequence and returns its id. Recycles a pooled slot
+  /// when one exists (reset to the implicit causal padding — bit-identical
+  /// to a fresh session); under pressure evicts the stalest timed-out
+  /// session; throws pit::Error when the manager is full of live,
+  /// non-evictable sessions.
+  SessionId open();
+
+  /// Ends a sequence and pools its slot for reuse. Throws on a stale id.
+  void close(SessionId id);
+
+  /// Advances one session by one time step: `input` is input_channels()
+  /// floats, `output` receives output_channels() floats — column t of the
+  /// whole-sequence forward (bit-exact for int8 plans).
+  void step(SessionId id, const float* input, float* output);
+  /// Tensor convenience overload: (C,) in, (C_out,) out.
+  Tensor step(SessionId id, const Tensor& input);
+
+  /// Advances `count` sessions by one step each, spread over the worker
+  /// pool: inputs is (count, C) row-major, outputs (count, C_out). Ids
+  /// must be distinct live sessions. Equivalent to count step() calls,
+  /// minus the per-call dispatch and plus the parallelism.
+  void step_tick(const SessionId* ids, std::size_t count,
+                 const float* inputs, float* outputs);
+  /// Tensor convenience overload: inputs (S, C) -> outputs (S, C_out).
+  Tensor step_tick(const std::vector<SessionId>& ids, const Tensor& inputs);
+
+  /// Restarts a session's sequence (history back to the causal padding).
+  void reset(SessionId id);
+
+  /// Evicts every session idle at least `min_idle` (pass the options'
+  /// idle_timeout for the configured policy). Returns how many.
+  std::size_t evict_idle(std::chrono::milliseconds min_idle);
+
+  /// True while `id` names a live (non-closed, non-evicted) session.
+  bool alive(SessionId id) const;
+  SessionStats session_stats(SessionId id) const;
+  SessionManagerStats stats() const;
+  const runtime::CompiledPlan& plan() const { return *plan_; }
+
+ private:
+  struct Slot {
+    runtime::ExecutionContext ctx;
+    SessionId id = 0;  // 0 = pooled
+    std::uint64_t steps = 0;
+    std::chrono::steady_clock::time_point created;
+    // Atomic: written under the slot mutex by run_step but read by the
+    // eviction scans, which hold only the registry mutex.
+    std::atomic<std::chrono::steady_clock::time_point> last_step;
+    std::mutex mutex;  // serializes ctx between step/tick/eviction
+  };
+
+  Slot* resolve(SessionId id) const;
+  void run_step(Slot* slot, SessionId id, const float* input,
+                float* output);
+  /// Registry lock held. Returns the freed slot index or npos.
+  std::size_t evict_one_locked(std::chrono::steady_clock::time_point now);
+  void ensure_pool_locked();
+  void worker_loop();
+  void work_on_tick();
+
+  std::shared_ptr<const runtime::CompiledPlan> plan_;
+  SessionManagerOptions options_;
+
+  mutable std::mutex mutex_;  // registry: map, free list, stats
+  std::unordered_map<SessionId, std::size_t> index_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::size_t> free_;
+  SessionId next_id_ = 1;
+  SessionManagerStats stats_;  // steps live in steps_total_ instead
+  // Atomic so the per-step hot path touches the registry mutex once
+  // (resolve) instead of twice (resolve + counter bump).
+  std::atomic<std::uint64_t> steps_total_{0};
+
+  // step_tick pool: one job at a time, guarded by tick_mutex_ (callers
+  // serialize on it), handed to the workers through job fields + a
+  // generation counter.
+  std::mutex tick_mutex_;            // at most one tick in flight
+  std::mutex pool_mutex_;            // job handoff + completion
+  std::condition_variable pool_cv_;  // wakes workers on a new generation
+  std::condition_variable done_cv_;  // wakes the caller on completion
+  std::vector<std::thread> workers_;
+  bool pool_stop_ = false;
+  std::uint64_t tick_gen_ = 0;
+  // Current job (valid while pending_ > 0).
+  std::vector<Slot*> tick_slots_;
+  std::vector<SessionId> tick_ids_;
+  const float* tick_inputs_ = nullptr;
+  float* tick_outputs_ = nullptr;
+  std::size_t tick_count_ = 0;
+  std::size_t tick_next_ = 0;     // next unclaimed session (pool_mutex_)
+  std::size_t tick_pending_ = 0;  // sessions not yet finished
+  std::exception_ptr tick_error_;
+};
+
+}  // namespace pit::serve

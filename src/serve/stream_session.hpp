@@ -7,8 +7,15 @@
 // wanted immediately: it binds one ExecutionContext to a shared
 // CompiledPlan and advances the per-conv dilated ring-buffer history by
 // one step per call — O(sum_l c_in*k*c_out) work per step, no re-running
-// of the whole window. Any number of sessions may share one plan (each is
-// an independent sequence); a single session is single-threaded.
+// of the whole window. The plan may be fp32 or int8: a quantized plan
+// streams its int8 program over u8 rings and its steps match the batched
+// int8 forward bit-exactly. Any number of sessions may share one plan
+// (each is an independent sequence); a single session is single-threaded.
+//
+// This is the one-sequence facade. For serving THOUSANDS of concurrent
+// sequences — pooled/recycled state, same-tick micro-batching across
+// sessions, idle eviction — use serve::SessionManager
+// (session_manager.hpp) instead.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +46,8 @@ class StreamSession {
     plan_->step(input, output, ctx_);
   }
 
-  /// Starts a fresh sequence (history back to the implicit zero padding).
+  /// Starts a fresh sequence (history back to the implicit causal
+  /// padding — zeros for fp32 plans, zero-point bytes for int8 ones).
   void reset() { ctx_.reset_stream(); }
   /// Steps consumed since construction or the last reset().
   std::uint64_t position() const { return ctx_.stream_position(); }

@@ -113,7 +113,7 @@ TEST(QuantizedConvPlan, ParityAcrossAdversarialShapes) {
     data::DataLoader loader(dataset, 4, /*shuffle=*/false);
     const auto qplan = quantize_plan(*plan, loader);
     EXPECT_TRUE(qplan->quantized());
-    EXPECT_FALSE(qplan->streamable());
+    EXPECT_TRUE(qplan->streamable());  // stride-1 convs: streams as int8
     // Evaluate strictly inside the calibrated range (slices of the calib
     // rows), across batch sizes including 1 (per-sample arena scaling).
     const Tensor all = stack_all(loader);
@@ -295,7 +295,7 @@ TEST(QuantizedPlan, InferenceServerServesQuantizedPlanUnchanged) {
   server.shutdown();
 }
 
-TEST(QuantizedPlan, StepThrowsAndGeometryQueriesKeepWorking) {
+TEST(QuantizedPlan, StreamabilitySurvivesLoweringAndGeometryQueriesWork) {
   RandomEngine rng(751);
   models::ResTcnConfig cfg;
   cfg.input_channels = 4;
@@ -309,9 +309,12 @@ TEST(QuantizedPlan, StepThrowsAndGeometryQueriesKeepWorking) {
   data::TensorDataset dataset = random_dataset(8, 4, 16, rng);
   data::DataLoader loader(dataset, 4, /*shuffle=*/false);
   const auto qplan = quantize_plan(*plan, loader);
-  EXPECT_FALSE(qplan->streamable());  // streaming stays fp32-only
+  EXPECT_TRUE(qplan->streamable());  // the int8 program streams too
   ExecutionContext ctx;
-  EXPECT_THROW(qplan->step(Tensor::zeros(Shape{4}), ctx), Error);
+  const Tensor out = qplan->step(Tensor::zeros(Shape{4}), ctx);
+  EXPECT_EQ(out.rank(), 1);
+  EXPECT_EQ(out.dim(0), 4);
+  EXPECT_EQ(ctx.stream_position(), 1u);
   EXPECT_EQ(qplan->input_channels(), plan->input_channels());
   EXPECT_EQ(qplan->output_steps(), plan->output_steps());
   EXPECT_EQ(qplan->num_ops(), plan->num_ops());
@@ -322,6 +325,150 @@ TEST(QuantizedPlan, StepThrowsAndGeometryQueriesKeepWorking) {
             plan->arena_floats_per_sample() * 4);
   const std::string text = qplan->summary();
   EXPECT_NE(text.find("int8 program"), std::string::npos);
+}
+
+// ---- Quantized streaming ---------------------------------------------------
+
+/// Steps the quantized plan through the (1, C, T) sequence `x` and asserts
+/// every step equals the matching column of the batched int8 forward —
+/// bit-exactly: integer accumulation is order-free and the step kernels
+/// share the batched kernels' requantize arithmetic.
+void expect_stream_bit_exact(const CompiledPlan& qplan, const Tensor& x) {
+  ASSERT_TRUE(qplan.streamable());
+  const index_t c = qplan.input_channels();
+  const index_t co = qplan.output_channels();
+  const index_t steps = x.dim(2);
+  ExecutionContext bctx;
+  const Tensor full = qplan.forward(x, bctx);
+  ExecutionContext sctx;
+  std::vector<float> in(static_cast<std::size_t>(c));
+  std::vector<float> out(static_cast<std::size_t>(co));
+  for (index_t t = 0; t < steps; ++t) {
+    for (index_t ch = 0; ch < c; ++ch) {
+      in[static_cast<std::size_t>(ch)] = x.data()[ch * steps + t];
+    }
+    qplan.step(in.data(), out.data(), sctx);
+    for (index_t ch = 0; ch < co; ++ch) {
+      ASSERT_EQ(out[static_cast<std::size_t>(ch)],
+                full.data()[ch * steps + t])
+          << "channel " << ch << " at step " << t << " of " << steps;
+    }
+  }
+  EXPECT_EQ(sctx.stream_position(), static_cast<std::uint64_t>(steps));
+}
+
+TEST(QuantizedStreaming, StepsMatchBatchedForwardBitExactAcrossShapes) {
+  // Odd channels / ragged quads and co tiles, k*d spans up to (and past)
+  // the sequence length, k = 1 pointwise, multi-wrap rings.
+  const std::vector<ConvCase> cases = {
+      {3, 5, 1, 1, 7},   {4, 16, 3, 2, 32},  {6, 17, 5, 3, 31},
+      {1, 1, 7, 4, 40},  {13, 8, 3, 8, 64},  {5, 20, 2, 1, 5},
+      {5, 7, 5, 9, 20},  {8, 32, 9, 4, 96},
+  };
+  RandomEngine rng(787);
+  for (const ConvCase& c : cases) {
+    nn::Conv1d conv(c.c_in, c.c_out, c.k,
+                    {.dilation = c.dilation, .stride = 1, .bias = true},
+                    rng);
+    NetBuilder b;
+    ValueId x = b.input(c.c_in, c.steps);
+    ValueId h = b.conv(x, freeze_conv(conv), /*fuse_relu=*/true);
+    nn::Conv1d conv2(c.c_out, c.c_out, 1, {.dilation = 1, .stride = 1,
+                                           .bias = false},
+                     rng);
+    ValueId y = b.conv(h, freeze_conv(conv2), /*fuse_relu=*/false);
+    const auto plan =
+        std::make_shared<const CompiledPlan>(std::move(b).compile(y));
+    ASSERT_TRUE(plan->streamable());
+
+    data::TensorDataset dataset = random_dataset(12, c.c_in, c.steps, rng);
+    data::DataLoader loader(dataset, 4, /*shuffle=*/false);
+    const auto qplan = quantize_plan(*plan, loader);
+    ASSERT_TRUE(qplan->streamable());
+    Tensor in = Tensor::empty(Shape{1, c.c_in, c.steps});
+    const Tensor all = stack_all(loader);
+    std::copy(all.data(), all.data() + in.numel(), in.data());
+    expect_stream_bit_exact(*qplan, in);
+  }
+}
+
+TEST(QuantizedStreaming, ResTcnWithResidualAddsStreamsBitExact) {
+  RandomEngine rng(797);
+  models::ResTcnConfig cfg;
+  cfg.input_channels = 6;
+  cfg.output_channels = 5;   // ragged co tile in the head
+  cfg.hidden_channels = 10;  // ragged channel quads everywhere
+  models::ResTCN model(
+      cfg, models::dilated_conv_factory(rng, {1, 2, 4, 8, 16, 2, 1, 32}),
+      rng);
+  model.eval();
+  const index_t steps = 72;  // several ring wraps at every dilation
+  const auto plan = compile_plan(model, steps);
+  data::TensorDataset dataset = random_dataset(8, 6, steps, rng);
+  data::DataLoader loader(dataset, 4, /*shuffle=*/false);
+  const auto qplan = compile_quantized(model, steps, loader);
+  Tensor in = Tensor::empty(Shape{1, 6, steps});
+  const Tensor all = stack_all(loader);
+  std::copy(all.data(), all.data() + in.numel(), in.data());
+  expect_stream_bit_exact(*qplan, in);
+  // And the streamed output still tracks the fp32 plan within the bound.
+  ExecutionContext fctx;
+  ExecutionContext qctx;
+  const Tensor want = plan->forward(in, fctx);
+  const Tensor got = qplan->forward(in, qctx);
+  EXPECT_LE(max_abs_diff(got, want),
+            qplan->quant_error_bound() * 1.02 + 1e-3);
+}
+
+TEST(QuantizedStreaming, ResetRestoresZeroPointPadding) {
+  RandomEngine rng(809);
+  models::ResTcnConfig cfg;
+  cfg.input_channels = 4;
+  cfg.output_channels = 4;
+  cfg.hidden_channels = 8;
+  models::ResTCN model(
+      cfg, models::dilated_conv_factory(rng, {1, 1, 2, 2, 4, 4, 8, 8}), rng);
+  model.eval();
+  const auto plan = compile_plan(model, 16);
+  data::TensorDataset dataset = random_dataset(8, 4, 16, rng);
+  data::DataLoader loader(dataset, 4, /*shuffle=*/false);
+  const auto qplan = quantize_plan(*plan, loader);
+  ExecutionContext ctx;
+  Tensor in = Tensor::randn(Shape{4}, rng);
+  const Tensor first = qplan->step(in, ctx);
+  qplan->step(Tensor::randn(Shape{4}, rng), ctx);  // pollute the history
+  ctx.reset_stream();
+  EXPECT_EQ(ctx.stream_position(), 0u);
+  const Tensor again = qplan->step(in, ctx);
+  EXPECT_EQ(max_abs_diff(first, again), 0.0F)
+      << "reset must restore the zero-point causal padding bit-exactly";
+}
+
+TEST(QuantizedStreaming, OneContextAlternatesBetweenDtypes) {
+  // A context that streamed the fp32 plan rebinds cleanly to the int8
+  // plan of the same network (and back) — the state is per-plan.
+  RandomEngine rng(811);
+  models::ResTcnConfig cfg;
+  cfg.input_channels = 4;
+  cfg.output_channels = 4;
+  cfg.hidden_channels = 8;
+  models::ResTCN model(
+      cfg, models::dilated_conv_factory(rng, {1, 1, 2, 2, 4, 4, 8, 8}), rng);
+  model.eval();
+  const auto plan = compile_plan(model, 16);
+  data::TensorDataset dataset = random_dataset(8, 4, 16, rng);
+  data::DataLoader loader(dataset, 4, /*shuffle=*/false);
+  const auto qplan = quantize_plan(*plan, loader);
+  ExecutionContext ctx;
+  Tensor in = Tensor::randn(Shape{4}, rng);
+  const Tensor f0 = plan->step(in, ctx);     // fp32 binding
+  ctx.reset_stream();
+  const Tensor q0 = qplan->step(in, ctx);    // rebind to int8
+  ctx.reset_stream();
+  const Tensor f1 = plan->step(in, ctx);     // and back
+  EXPECT_EQ(max_abs_diff(f0, f1), 0.0F);
+  EXPECT_LE(max_abs_diff(q0, f0),
+            static_cast<float>(qplan->quant_error_bound()) * 1.02F + 1e-3F);
 }
 
 TEST(QuantizedPlan, OpInfosMatchThePlanGeometry) {

@@ -11,9 +11,12 @@
 #include <thread>
 #include <vector>
 
+#include "data/dataloader.hpp"
+#include "data/dataset.hpp"
 #include "models/restcn.hpp"
 #include "models/temponet.hpp"
 #include "runtime/compile_models.hpp"
+#include "runtime/quantize_plan.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::runtime {
@@ -153,6 +156,110 @@ TEST(CompiledPlanStreaming, StepsReproduceFullSequenceForward) {
     }
   }
   EXPECT_EQ(ctx.stream_position(), static_cast<std::uint64_t>(steps));
+}
+
+TEST(CompiledPlanStreaming, FullSequenceParityForBothDtypes) {
+  // Every step of a long sequence — not just the tail — must match the
+  // whole-sequence forward for the fp32 AND the int8 program. The
+  // dilation pattern drives every ring through multiple wraps and the
+  // sequence runs well past the receptive field, so the t == (k-1)*d
+  // wrap boundaries of each conv are all crossed.
+  RandomEngine rng(941);
+  models::ResTcnConfig cfg;
+  cfg.input_channels = 5;    // ragged quad
+  cfg.output_channels = 5;
+  cfg.hidden_channels = 10;
+  models::ResTCN model(
+      cfg, models::dilated_conv_factory(rng, {1, 3, 2, 8, 16, 2, 5, 32}),
+      rng);
+  model.eval();
+  const index_t steps = 96;
+  const auto plan = compile_plan(model, steps);
+  ASSERT_TRUE(plan->streamable());
+
+  std::vector<Tensor> calib_rows;
+  std::vector<Tensor> calib_targets;
+  for (int i = 0; i < 8; ++i) {
+    calib_rows.push_back(Tensor::randn(Shape{5, steps}, rng));
+    calib_targets.push_back(Tensor::zeros(Shape{1}));
+  }
+  data::TensorDataset dataset(std::move(calib_rows),
+                              std::move(calib_targets));
+  data::DataLoader loader(dataset, 4, /*shuffle=*/false);
+  const auto qplan = quantize_plan(*plan, loader);
+  ASSERT_TRUE(qplan->streamable());
+
+  Tensor x = Tensor::empty(Shape{1, 5, steps});
+  const Tensor batch0 = loader.batch(0).inputs;  // batch() materializes
+  std::copy(batch0.data(), batch0.data() + x.numel(), x.data());
+  ExecutionContext fp32_batch;
+  ExecutionContext int8_batch;
+  const Tensor full_fp32 = plan->forward(x, fp32_batch);
+  const Tensor full_int8 = qplan->forward(x, int8_batch);
+
+  ExecutionContext fp32_stream;
+  ExecutionContext int8_stream;
+  std::vector<float> in(5);
+  std::vector<float> out_f(5);
+  std::vector<float> out_q(5);
+  for (index_t t = 0; t < steps; ++t) {
+    for (index_t c = 0; c < 5; ++c) {
+      in[static_cast<std::size_t>(c)] = x.data()[c * steps + t];
+    }
+    plan->step(in.data(), out_f.data(), fp32_stream);
+    qplan->step(in.data(), out_q.data(), int8_stream);
+    for (index_t c = 0; c < 5; ++c) {
+      // fp32: the step kernel accumulates taps in a different order than
+      // the batched tiles, so parity is tight-but-float — relative, since
+      // a fresh random residual stack can reach 1e9-scale activations.
+      const float ref = full_fp32.data()[c * steps + t];
+      ASSERT_NEAR(out_f[static_cast<std::size_t>(c)], ref,
+                  1e-4F * std::max(1.0F, std::abs(ref)))
+          << "fp32 channel " << c << " at step " << t;
+      // int8: integer accumulation is order-free — bit-exact.
+      ASSERT_EQ(out_q[static_cast<std::size_t>(c)],
+                full_int8.data()[c * steps + t])
+          << "int8 channel " << c << " at step " << t;
+    }
+  }
+}
+
+TEST(CompiledPlanStreaming, TempoNetBackboneStreamsFullSequence) {
+  // The paper's continuous-sensing deployment: TempoNet's conv backbone
+  // (pools and FC head dropped) streamed one sensor tick at a time.
+  RandomEngine rng(947);
+  models::TempoNetConfig cfg;
+  cfg.input_length = 64;
+  cfg.channel_scale = 0.25;
+  models::TempoNet model(
+      cfg, models::dilated_conv_factory(rng, {2, 2, 1, 4, 4, 8, 8}), rng);
+  model.train();
+  model.forward(Tensor::randn(Shape{8, 4, 64}, rng));
+  model.eval();
+  const index_t steps = 48;
+  const auto plan = compile_stream_backbone(model, steps);
+  ASSERT_TRUE(plan->streamable());
+  EXPECT_EQ(plan->output_steps(), steps);  // no pools: time is preserved
+
+  Tensor x = Tensor::randn(Shape{1, 4, steps}, rng);
+  ExecutionContext batch_ctx;
+  const Tensor full = plan->forward(x, batch_ctx);
+  const index_t co = plan->output_channels();
+  ExecutionContext ctx;
+  std::vector<float> in(4);
+  std::vector<float> out(static_cast<std::size_t>(co));
+  for (index_t t = 0; t < steps; ++t) {
+    for (index_t c = 0; c < 4; ++c) {
+      in[static_cast<std::size_t>(c)] = x.data()[c * steps + t];
+    }
+    plan->step(in.data(), out.data(), ctx);
+    for (index_t c = 0; c < co; ++c) {
+      const float ref = full.data()[c * steps + t];
+      ASSERT_NEAR(out[static_cast<std::size_t>(c)], ref,
+                  1e-4F * std::max(1.0F, std::abs(ref)))
+          << "channel " << c << " at step " << t;
+    }
+  }
 }
 
 TEST(CompiledPlanStreaming, ResetStartsAFreshSequence) {

@@ -1,0 +1,306 @@
+// SessionManager: session-scale streaming over one shared plan. Pooled
+// slots must be bit-identical to fresh sessions after recycling, tick
+// micro-batching must equal per-session stepping, eviction must only
+// claim idle sessions, and the whole registry must survive an 8-thread
+// interleaved open/step/close hammer (TSan-clean).
+#include "serve/session_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "data/dataloader.hpp"
+#include "data/dataset.hpp"
+#include "models/restcn.hpp"
+#include "runtime/compile_models.hpp"
+#include "runtime/quantize_plan.hpp"
+#include "serve/stream_session.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::serve {
+namespace {
+
+using runtime::CompiledPlan;
+
+std::shared_ptr<const CompiledPlan> small_plan(std::uint64_t seed) {
+  RandomEngine rng(seed);
+  models::ResTcnConfig cfg;
+  cfg.input_channels = 4;
+  cfg.output_channels = 4;
+  cfg.hidden_channels = 8;
+  models::ResTCN model(
+      cfg, models::dilated_conv_factory(rng, {1, 1, 2, 2, 4, 4, 8, 8}), rng);
+  model.eval();
+  return runtime::compile_plan(model, 16);
+}
+
+std::shared_ptr<const CompiledPlan> small_quantized_plan(std::uint64_t seed) {
+  RandomEngine rng(seed + 1);
+  const auto plan = small_plan(seed);
+  std::vector<Tensor> rows;
+  std::vector<Tensor> targets;
+  for (int i = 0; i < 8; ++i) {
+    rows.push_back(Tensor::randn(Shape{4, 16}, rng));
+    targets.push_back(Tensor::zeros(Shape{1}));
+  }
+  data::TensorDataset dataset(std::move(rows), std::move(targets));
+  data::DataLoader loader(dataset, 4, /*shuffle=*/false);
+  return runtime::quantize_plan(*plan, loader);
+}
+
+/// Deterministic per-(session, step) input vector.
+void fill_input(std::uint64_t session, index_t t, float* out, index_t c) {
+  for (index_t i = 0; i < c; ++i) {
+    out[i] = std::sin(0.1F * static_cast<float>(t + 1) *
+                      static_cast<float>(i + 1)) +
+             0.01F * static_cast<float>(session % 17);
+  }
+}
+
+TEST(SessionManager, SessionsMatchIndependentStreamSessionsBothDtypes) {
+  for (const bool quantized : {false, true}) {
+    const auto plan =
+        quantized ? small_quantized_plan(101) : small_plan(101);
+    SessionManager manager(plan);
+    StreamSession mirror_a(plan);
+    StreamSession mirror_b(plan);
+    const auto a = manager.open();
+    const auto b = manager.open();
+    float in[4];
+    float got[4];
+    float want[4];
+    for (index_t t = 0; t < 40; ++t) {
+      fill_input(1, t, in, 4);
+      manager.step(a, in, got);
+      mirror_a.step(in, want);
+      for (int c = 0; c < 4; ++c) {
+        ASSERT_EQ(got[c], want[c]) << "session a, step " << t;
+      }
+      fill_input(2, t, in, 4);
+      manager.step(b, in, got);
+      mirror_b.step(in, want);
+      for (int c = 0; c < 4; ++c) {
+        ASSERT_EQ(got[c], want[c]) << "session b, step " << t;
+      }
+    }
+    EXPECT_EQ(manager.session_stats(a).steps, 40u);
+    EXPECT_EQ(manager.stats().steps, 80u);
+  }
+}
+
+TEST(SessionManager, RecycledSlotIsBitIdenticalToFresh) {
+  const auto plan = small_quantized_plan(103);
+  SessionManager manager(plan);
+  float in[4];
+  std::vector<float> first;
+  std::vector<float> again;
+  // Drive a session deep into a sequence, close it, and reuse its slot:
+  // the recycled session must reproduce a fresh session's outputs
+  // bit-for-bit (reset-on-reuse restores the causal padding).
+  const auto s1 = manager.open();
+  float out[4];
+  for (index_t t = 0; t < 25; ++t) {
+    fill_input(7, t, in, 4);
+    manager.step(s1, in, out);
+    first.insert(first.end(), out, out + 4);
+  }
+  manager.close(s1);
+  ASSERT_EQ(manager.stats().pooled, 1u);
+  const auto s2 = manager.open();
+  EXPECT_EQ(manager.stats().recycled, 1u);  // same slot, reset state
+  EXPECT_NE(s1, s2);                        // ids are never reused
+  for (index_t t = 0; t < 25; ++t) {
+    fill_input(7, t, in, 4);
+    manager.step(s2, in, out);
+    again.insert(again.end(), out, out + 4);
+  }
+  ASSERT_EQ(first.size(), again.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i], again[i]) << "output float " << i;
+  }
+  EXPECT_THROW(manager.step(s1, in, out), Error);  // stale id
+}
+
+TEST(SessionManager, TickMatchesPerSessionStepsBitExact) {
+  const auto plan = small_quantized_plan(107);
+  SessionManagerOptions options;
+  options.tick_threads = 3;
+  SessionManager ticked(plan, options);
+  SessionManager stepped(plan);
+  constexpr std::size_t kSessions = 37;  // odd: ragged worker chunks
+  std::vector<SessionManager::SessionId> tick_ids;
+  std::vector<SessionManager::SessionId> step_ids;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    tick_ids.push_back(ticked.open());
+    step_ids.push_back(stepped.open());
+  }
+  std::vector<float> inputs(kSessions * 4);
+  std::vector<float> tick_out(kSessions * 4);
+  std::vector<float> step_out(4);
+  for (index_t t = 0; t < 20; ++t) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      fill_input(s, t, inputs.data() + s * 4, 4);
+    }
+    ticked.step_tick(tick_ids.data(), kSessions, inputs.data(),
+                     tick_out.data());
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      stepped.step(step_ids[s], inputs.data() + s * 4, step_out.data());
+      for (int c = 0; c < 4; ++c) {
+        ASSERT_EQ(tick_out[s * 4 + static_cast<std::size_t>(c)],
+                  step_out[static_cast<std::size_t>(c)])
+            << "session " << s << ", step " << t;
+      }
+    }
+  }
+  const auto stats = ticked.stats();
+  EXPECT_EQ(stats.ticks, 20u);
+  EXPECT_EQ(stats.steps, 20u * kSessions);
+}
+
+TEST(SessionManager, TensorOverloadsAndShapeChecks) {
+  const auto plan = small_plan(109);
+  SessionManager manager(plan);
+  const auto a = manager.open();
+  const auto b = manager.open();
+  RandomEngine rng(211);
+  const Tensor out = manager.step(a, Tensor::randn(Shape{4}, rng));
+  EXPECT_EQ(out.rank(), 1);
+  EXPECT_EQ(out.dim(0), 4);
+  const Tensor ticked = manager.step_tick(
+      {a, b}, Tensor::randn(Shape{2, 4}, rng));
+  EXPECT_EQ(ticked.dim(0), 2);
+  EXPECT_EQ(ticked.dim(1), 4);
+  EXPECT_THROW(manager.step(a, Tensor::randn(Shape{5}, rng)), Error);
+  EXPECT_THROW(manager.step_tick({a, b}, Tensor::randn(Shape{3, 4}, rng)),
+               Error);
+}
+
+TEST(SessionManager, OpenEvictsStalestOnlyPastTheIdleDeadline) {
+  const auto plan = small_plan(113);
+  SessionManagerOptions options;
+  options.max_sessions = 2;
+  options.idle_timeout = std::chrono::milliseconds(30);
+  SessionManager manager(plan, options);
+  const auto a = manager.open();
+  const auto b = manager.open();
+  // Both sessions fresh: nothing is evictable yet.
+  EXPECT_THROW(manager.open(), Error);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  // Keep b warm; a goes stale.
+  float in[4];
+  float out[4];
+  fill_input(3, 0, in, 4);
+  manager.step(b, in, out);
+  const auto c = manager.open();  // evicts a, the stalest
+  EXPECT_FALSE(manager.alive(a));
+  EXPECT_TRUE(manager.alive(b));
+  EXPECT_TRUE(manager.alive(c));
+  EXPECT_EQ(manager.stats().evicted, 1u);
+  EXPECT_THROW(manager.step(a, in, out), Error);
+  // The evicted slot's tenant starts from a fresh sequence.
+  StreamSession mirror(plan);
+  manager.step(c, in, out);
+  float want[4];
+  mirror.step(in, want);
+  for (int ch = 0; ch < 4; ++ch) {
+    EXPECT_EQ(out[ch], want[ch]);
+  }
+}
+
+TEST(SessionManager, ExplicitIdleSweep) {
+  const auto plan = small_plan(127);
+  SessionManager manager(plan);
+  const auto a = manager.open();
+  const auto b = manager.open();
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  float in[4];
+  float out[4];
+  fill_input(5, 0, in, 4);
+  manager.step(b, in, out);
+  EXPECT_EQ(manager.evict_idle(std::chrono::milliseconds(20)), 1u);
+  EXPECT_FALSE(manager.alive(a));
+  EXPECT_TRUE(manager.alive(b));
+  EXPECT_EQ(manager.stats().active, 1u);
+  EXPECT_EQ(manager.stats().pooled, 1u);
+}
+
+TEST(SessionManager, BackpressureWithoutIdleTimeout) {
+  const auto plan = small_plan(131);
+  SessionManagerOptions options;
+  options.max_sessions = 2;  // idle_timeout 0: nothing is ever evictable
+  SessionManager manager(plan, options);
+  manager.open();
+  manager.open();
+  EXPECT_THROW(manager.open(), Error);
+}
+
+TEST(SessionManagerConcurrency, HammerInterleavedOpenStepCloseOneSharedPlan) {
+  const auto plan = small_plan(137);
+  SessionManagerOptions options;
+  options.max_sessions = 256;
+  options.tick_threads = 2;
+  SessionManager manager(plan, options);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      StreamSession mirror(plan);
+      std::uint64_t state = 0x9E3779B97F4A7C15ULL * (tid + 1);
+      for (int round = 0; round < kRounds; ++round) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const int steps = 3 + static_cast<int>((state >> 33) % 14);
+        const bool use_tick = (state & 1) != 0;
+        const auto id = manager.open();
+        const auto id2 = use_tick ? manager.open() : 0;
+        mirror.reset();
+        float in[2 * 4];
+        float out[2 * 4];
+        float want[4];
+        for (int t = 0; t < steps; ++t) {
+          fill_input(id, t, in, 4);
+          if (use_tick) {
+            // Tick the thread's own pair of sessions in one call.
+            fill_input(id, t, in + 4, 4);
+            const SessionManager::SessionId ids[2] = {id, id2};
+            manager.step_tick(ids, 2, in, out);
+          } else {
+            manager.step(id, in, out);
+          }
+          mirror.step(in, want);
+          for (int c = 0; c < 4; ++c) {
+            if (out[c] != want[c]) {
+              ++failures;
+            }
+            if (use_tick && out[4 + c] != want[c]) {
+              ++failures;
+            }
+          }
+        }
+        manager.close(id);
+        if (use_tick) {
+          manager.close(id2);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0)
+      << "concurrent sessions diverged from their single-session mirrors";
+  const auto stats = manager.stats();
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_EQ(stats.opened, stats.closed);
+  EXPECT_GT(stats.recycled, 0u);
+}
+
+}  // namespace
+}  // namespace pit::serve
