@@ -25,7 +25,7 @@
 #include "core/pit_conv1d.hpp"
 #include "core/regularizer.hpp"
 #include "nn/conv1d.hpp"
-#include "nn/kernels/kernels.hpp"
+#include "nn/kernels/registry.hpp"
 #include "tensor/ops.hpp"
 
 namespace pit {
@@ -254,13 +254,139 @@ void run_backend_compare(const char* json_path) {
     }
   }
 
+  // ---- Generic vs specialized registry variants -------------------------
+  //
+  // The frozen paper-network conv signatures (TempoNet blocks, ResTCN
+  // hidden convs), each timed through the registry's auto-selected variant
+  // against the guaranteed-fallback generic kernel, fp32 and i8. One
+  // deliberately unmatched fp32 signature (ragged c_in) documents the
+  // fallback: specialized == generic, speedup ~1.0.
+  struct SpecShape {
+    const char* name;
+    index_t k, c_in, c_out, dilation;
+  };
+  const std::vector<SpecShape> spec_shapes = {
+      {"temponet_b1_in", 3, 4, 32, 2},    {"temponet_b1", 3, 32, 32, 2},
+      {"temponet_b2_in", 5, 32, 64, 1},   {"temponet_b2", 3, 64, 64, 4},
+      {"temponet_b3_in", 3, 64, 128, 8},  {"temponet_b3", 3, 128, 128, 8},
+      {"restcn_hidden", 5, 88, 150, 1},   {"restcn_ragged_in", 5, 9, 150, 1},
+  };
+  struct SpecRow {
+    std::string shape;
+    const char* dtype;
+    index_t k, c_in, c_out, t;
+    double generic_ms;
+    double specialized_ms;
+    std::string kernel;  // "<isa>/<variant>" of the auto-selected bind
+  };
+  std::vector<SpecRow> spec_rows;
+  const kern::Registry& reg = kern::Registry::instance();
+  const index_t sn = 8;
+  const index_t st = 128;
+  std::printf("\ngeneric vs specialized registry variants (best-of-5 ms)\n");
+  std::printf("%-18s %-5s %-10s %10s %12s %8s\n", "shape", "dtype", "kernel",
+              "generic", "specialized", "speedup");
+  for (const auto& s : spec_shapes) {
+    kern::ConvDims d{};
+    d.n = sn;
+    d.c_in = s.c_in;
+    d.c_out = s.c_out;
+    d.k = s.k;
+    d.t_in = st;
+    d.t_out = st;
+    d.dilation = s.dilation;
+    d.stride = 1;
+    const index_t lead = (s.k - 1) * s.dilation;
+    const kern::ConvSig sig{s.k, s.c_in, s.c_out};
+
+    // fp32: padded row layout of the compiled plan's arena.
+    {
+      const index_t stride = lead + st + kern::kPackTimeTile;
+      Tensor xr = Tensor::randn(Shape{sn * s.c_in, stride}, rng);
+      for (index_t r = 0; r < sn * s.c_in; ++r) {
+        std::fill_n(xr.data() + r * stride, lead, 0.0F);  // causal lead
+      }
+      Tensor w = Tensor::randn(Shape{s.c_out, s.c_in, s.k}, rng);
+      std::vector<float> wp(
+          static_cast<std::size_t>(kern::packed_weight_floats(d)));
+      kern::pack_conv_weight(w.data(), d, wp.data());
+      Tensor bias = Tensor::randn(Shape{s.c_out}, rng);
+      Tensor y = Tensor::zeros(Shape{sn, s.c_out, st});
+      const float* xp = xr.data() + lead;
+      const auto spec = reg.conv_packed_f32(sig);
+      const auto gen = reg.conv_packed_f32_generic();
+      const double g_ms = time_ms([&] {
+        gen.fn(xp, wp.data(), bias.data(), y.data(), d, stride, st,
+               /*x_padded=*/true, /*relu=*/true);
+      });
+      const double s_ms = time_ms([&] {
+        spec.fn(xp, wp.data(), bias.data(), y.data(), d, stride, st,
+                /*x_padded=*/true, /*relu=*/true);
+      });
+      const std::string kname =
+          std::string(spec.meta->isa) + "/" + spec.meta->variant;
+      spec_rows.push_back(
+          {s.name, "fp32", s.k, s.c_in, s.c_out, st, g_ms, s_ms, kname});
+      std::printf("%-18s %-5s %-10s %9.3fms %10.3fms %7.2fx\n", s.name,
+                  "fp32", kname.c_str(), g_ms, s_ms, g_ms / s_ms);
+    }
+
+    // i8: channel-group u8 rows with a zero-point lead.
+    {
+      const index_t stride = lead + st;
+      const index_t g_in = kern::quant_groups(s.c_in);
+      std::vector<std::uint8_t> x(
+          static_cast<std::size_t>(sn * g_in * kern::kQuantCiGroup * stride));
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<std::uint8_t>((i * 31 + 7) % 256);
+      }
+      for (index_t r = 0; r < sn * g_in; ++r) {
+        std::memset(x.data() + r * kern::kQuantCiGroup * stride, 128,
+                    static_cast<std::size_t>(kern::kQuantCiGroup * lead));
+      }
+      const std::uint8_t* xp = x.data() + kern::kQuantCiGroup * lead;
+      std::vector<std::int8_t> wq(
+          static_cast<std::size_t>(s.c_out * s.c_in * s.k));
+      for (std::size_t i = 0; i < wq.size(); ++i) {
+        wq[i] = static_cast<std::int8_t>((i * 53 + 11) % 255 - 127);
+      }
+      std::vector<std::int8_t> wp(
+          static_cast<std::size_t>(kern::packed_weight_bytes_i8(d)));
+      kern::pack_conv_weight_i8(wq.data(), d, wp.data());
+      const index_t co_round =
+          (s.c_out + kern::kQuantCo - 1) / kern::kQuantCo * kern::kQuantCo;
+      std::vector<float> m(static_cast<std::size_t>(co_round), 0.001F);
+      std::vector<float> bq(static_cast<std::size_t>(co_round), 128.0F);
+      std::vector<std::uint8_t> yq(static_cast<std::size_t>(
+          sn * kern::quant_groups(s.c_out) * kern::kQuantCiGroup * st));
+      const auto spec = reg.conv_packed_i8(sig);
+      const auto gen = reg.conv_packed_i8_generic();
+      const double g_ms = time_ms([&] {
+        gen.fn(xp, wp.data(), m.data(), bq.data(), yq.data(), nullptr, d,
+               stride, st, /*relu=*/true, /*out_lo=*/128);
+      });
+      const double s_ms = time_ms([&] {
+        spec.fn(xp, wp.data(), m.data(), bq.data(), yq.data(), nullptr, d,
+                stride, st, /*relu=*/true, /*out_lo=*/128);
+      });
+      const std::string kname =
+          std::string(spec.meta->isa) + "/" + spec.meta->variant;
+      spec_rows.push_back(
+          {s.name, "i8", s.k, s.c_in, s.c_out, st, g_ms, s_ms, kname});
+      std::printf("%-18s %-5s %-10s %9.3fms %10.3fms %7.2fx\n", s.name, "i8",
+                  kname.c_str(), g_ms, s_ms, g_ms / s_ms);
+    }
+  }
+
   int threads = 1;
 #ifdef _OPENMP
   threads = omp_get_max_threads();
 #endif
   std::ofstream out(json_path);
   out << "{\n  \"bench\": \"kernels_backend_compare\",\n"
-      << "  \"threads\": " << threads << ",\n  \"results\": [\n";
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"fp32_isa\": \"" << reg.fp32_isa() << "\",\n"
+      << "  \"i8_isa\": \"" << reg.i8_isa() << "\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const CompareRow& r = rows[i];
     out << "    {\"shape\": \"" << r.shape << "\", \"kernel\": \"" << r.kernel
@@ -268,6 +394,18 @@ void run_backend_compare(const char* json_path) {
         << ", \"blocked_ms\": " << r.blocked_ms
         << ", \"speedup\": " << r.scalar_ms / r.blocked_ms << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"specialized\": [\n";
+  for (std::size_t i = 0; i < spec_rows.size(); ++i) {
+    const SpecRow& r = spec_rows[i];
+    out << "    {\"shape\": \"" << r.shape << "\", \"dtype\": \"" << r.dtype
+        << "\", \"k\": " << r.k << ", \"c_in\": " << r.c_in
+        << ", \"c_out\": " << r.c_out << ", \"t\": " << r.t
+        << ", \"generic_ms\": " << r.generic_ms
+        << ", \"specialized_ms\": " << r.specialized_ms
+        << ", \"speedup\": " << r.generic_ms / r.specialized_ms
+        << ", \"kernel\": \"" << r.kernel << "\"}"
+        << (i + 1 < spec_rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::printf("wrote %s (threads=%d)\n", json_path, threads);

@@ -13,6 +13,9 @@ Usage::
 Bars and their hardware conditions (see docs/BENCHMARKS.md "CI gates"):
 
   BENCH_kernels.json  best forward-row speedup >= 2.0       (always)
+                      best specialized-variant speedup
+                      >= 1.03                                (fp32 SIMD, not
+                                                             the base ISA)
   BENCH_runtime.json  worst_batched_temponet_speedup >= 2.0 (always)
   BENCH_serve.json    batched_over_single_speedup >= 2.0    (>= 4 hw threads)
   BENCH_quant.json    worst_batched_temponet_int8_speedup
@@ -97,6 +100,8 @@ def check_kernels(gate, name, data):
     if require(gate, name, data, "bench", str) != "kernels_backend_compare":
         gate.fail(f"{name}: bench != 'kernels_backend_compare'")
     require(gate, name, data, "threads", int)
+    fp32_isa = require(gate, name, data, "fp32_isa", str)
+    require(gate, name, data, "i8_isa", str)
     rows = require_rows(gate, name, data, "results", {
         "shape": str, "kernel": str, "macs": int,
         "scalar_ms": float, "blocked_ms": float, "speedup": float,
@@ -109,6 +114,25 @@ def check_kernels(gate, name, data):
         return
     bar(gate, name, "best blocked-over-scalar forward speedup",
         max(forward), 2.0)
+    spec_rows = require_rows(gate, name, data, "specialized", {
+        "shape": str, "dtype": str, "k": int, "c_in": int, "c_out": int,
+        "t": int, "generic_ms": float, "specialized_ms": float,
+        "speedup": float, "kernel": str,
+    })
+    # Rows whose signature fell back to generic (kernel "<isa>/generic")
+    # measure the fallback's zero cost, not a specialization win.
+    matched = [r["speedup"] for r in spec_rows
+               if isinstance(r, dict) and isinstance(r.get("kernel"), str)
+               and not r["kernel"].endswith("/generic")
+               and isinstance(r.get("speedup"), (int, float))]
+    if not matched:
+        gate.fail(f"{name}: no specialized (non-fallback) rows")
+        return
+    bar(gate, name, "best specialized-over-generic speedup",
+        max(matched), 1.03,
+        condition=fp32_isa is not None and fp32_isa != "base",
+        why=f"fp32 ISA level '{fp32_isa}' — no SIMD kernels to "
+            f"specialize on this hardware")
 
 
 def check_runtime(gate, name, data):

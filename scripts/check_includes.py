@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Include-hygiene check for the executor split.
+
+The per-executor translation units (src/runtime/executor_*.cpp) run ops
+exclusively through the function pointers bound on the plan at build time
+(nn/kernels/registry.hpp). If one of them starts including a raw kernel
+entry-point header or calling the per-call dispatch layer, plan-time
+binding silently degrades back to per-call resolution — exactly what the
+registry refactor removed. This check makes that regression loud:
+
+  - every src/runtime/executor_*.cpp must include
+    "nn/kernels/registry.hpp" (the only sanctioned kernel surface);
+  - none of them may reference nn/kernels/kernels.hpp, the per-ISA impl
+    TUs (blocked_impl / quant_impl), the dispatch layer, or
+    resolve_backend.
+
+Exits non-zero listing every violation.
+"""
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+REQUIRED_INCLUDE = '#include "nn/kernels/registry.hpp"'
+BANNED = (
+    "nn/kernels/kernels.hpp",
+    "blocked_impl",
+    "quant_impl",
+    "dispatch",
+    "resolve_backend",
+)
+
+
+def main() -> int:
+    executors = sorted((ROOT / "src" / "runtime").glob("executor_*.cpp"))
+    errors = []
+    if not executors:
+        errors.append("no src/runtime/executor_*.cpp found — the executor "
+                      "split this check guards is gone")
+    for cpp in executors:
+        rel = cpp.relative_to(ROOT)
+        text = cpp.read_text(encoding="utf-8")
+        if REQUIRED_INCLUDE not in text:
+            errors.append(f"{rel}: missing {REQUIRED_INCLUDE} — executors "
+                          f"consume kernels only through the registry")
+        for needle in BANNED:
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                if needle in line:
+                    errors.append(
+                        f"{rel}:{lineno}: references '{needle}' — executors "
+                        f"must use the kernel pointers bound on the plan, "
+                        f"not raw impls or per-call dispatch")
+    for err in errors:
+        print(err)
+    checked = ", ".join(str(p.relative_to(ROOT)) for p in executors)
+    if errors:
+        print(f"\ncheck_includes: {len(errors)} violation(s) in {checked}")
+        return 1
+    print(f"check_includes: OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,7 @@
 // thread count.
 #include <algorithm>
 
-#include "nn/kernels/kernels.hpp"
+#include "nn/kernels/registry.hpp"
 
 #ifndef PIT_BLOCKED_ISA_NS
 #define PIT_BLOCKED_ISA_NS base
@@ -332,12 +332,21 @@ void conv_backward_weight(const float* dy, const float* x, float* dw,
   }
 }
 
-void conv_forward_packed(const float* x, const float* wp, const float* bias,
-                         float* y, const ConvDims& d, index_t x_stride,
-                         index_t y_stride, bool x_padded, bool relu) {
+// Tap-count template: KK == 0 is the generic kernel (d.k read at
+// runtime); KK > 0 instantiates a variant whose tap loops have a
+// compile-time trip count (registered with the kernel registry for
+// signatures with k == KK), so the per-tap pointer stepping constant-folds
+// and the reduction fully unrolls. The FMA order per (ci, tap) pair is
+// identical for every KK — unrolling a loop does not reassociate it — so
+// all instantiations agree to rounding on the same input.
+template <int KK>
+void conv_forward_packed_t(const float* x, const float* wp, const float* bias,
+                           float* y, const ConvDims& d, index_t x_stride,
+                           index_t y_stride, bool x_padded, bool relu) {
+  const index_t kk = KK > 0 ? KK : d.k;
   const index_t co_round = (d.c_out + kPackCo - 1) / kPackCo * kPackCo;
   const index_t co_blocks = co_round / kPackCo;
-  const index_t max_back = (d.k - 1) * d.dilation;
+  const index_t max_back = (kk - 1) * d.dilation;
 #pragma omp parallel for collapse(2) schedule(static)
   for (index_t n = 0; n < d.n; ++n) {
     for (index_t cb = 0; cb < co_blocks; ++cb) {
@@ -369,7 +378,7 @@ void conv_forward_packed(const float* x, const float* wp, const float* bias,
           const float* wg = wp + co0;
           for (index_t ci = 0; ci < d.c_in; ++ci) {
             const float* xrow = xn + ci * x_stride + t0;
-            for (index_t i = 0; i < d.k; ++i) {
+            for (index_t i = 0; i < kk; ++i) {
               const float* xs = xrow - i * d.dilation;
               const vf xl = load16(xs);
               const vf xh = load16(xs + kVf);
@@ -411,7 +420,7 @@ void conv_forward_packed(const float* x, const float* wp, const float* bias,
           const float* wg = wp + co0;
           for (index_t ci = 0; ci < d.c_in; ++ci) {
             const float* xrow = xn + ci * x_stride;
-            for (index_t i = 0; i < d.k; ++i) {
+            for (index_t i = 0; i < kk; ++i) {
               const float w0 = wg[0];
               const float w1 = wg[1];
               const float w2 = wg[2];
@@ -449,6 +458,83 @@ void conv_forward_packed(const float* x, const float* wp, const float* bias,
     }
   }
 }
+
+void conv_forward_packed(const float* x, const float* wp, const float* bias,
+                         float* y, const ConvDims& d, index_t x_stride,
+                         index_t y_stride, bool x_padded, bool relu) {
+  conv_forward_packed_t<0>(x, wp, bias, y, d, x_stride, y_stride, x_padded,
+                           relu);
+}
+
+#define PIT_DEFINE_PACKED_K(K)                                               \
+  void conv_forward_packed_k##K(const float* x, const float* wp,             \
+                                const float* bias, float* y,                 \
+                                const ConvDims& d, index_t x_stride,         \
+                                index_t y_stride, bool x_padded,             \
+                                bool relu) {                                 \
+    conv_forward_packed_t<K>(x, wp, bias, y, d, x_stride, y_stride,          \
+                             x_padded, relu);                                \
+  }
+PIT_FOREACH_SPEC_K(PIT_DEFINE_PACKED_K)
+#undef PIT_DEFINE_PACKED_K
+
+// Streaming single-step conv over a dilated fp32 ring (contract in
+// registry.hpp). The body is the loop CompiledPlan::step historically ran
+// inline, moved here verbatim so it multi-versions per ISA and the tap
+// loop can specialize: accumulation order over (ci, tap) and the
+// zero-input skip are preserved exactly.
+template <int KK>
+void conv_step_t(const float* ring, const float* wp, const float* bias,
+                 float* y, index_t c_in, index_t c_out, index_t k,
+                 index_t dilation, index_t span, index_t pos, bool relu) {
+  const index_t kk = KK > 0 ? KK : k;
+  if (bias != nullptr) {
+    std::copy(bias, bias + c_out, y);
+  } else {
+    std::fill(y, y + c_out, 0.0F);
+  }
+  // Packed weight layout: wp[(ci*k + tap) * co_round + co] — contiguous
+  // over output channels, which is the inner loop here too.
+  const index_t co_round = (c_out + kPackCo - 1) / kPackCo * kPackCo;
+  for (index_t ci = 0; ci < c_in; ++ci) {
+    const float* crow = ring + ci * span;
+    for (index_t tap = 0; tap < kk; ++tap) {
+      const index_t back = tap * dilation;  // < span by construction
+      const index_t slot = pos >= back ? pos - back : pos - back + span;
+      const float xv = crow[slot];
+      if (xv == 0.0F) {
+        continue;  // padding region and post-ReLU zeros are common
+      }
+      const float* wrow = wp + (ci * kk + tap) * co_round;
+      for (index_t co = 0; co < c_out; ++co) {
+        y[co] += wrow[co] * xv;
+      }
+    }
+  }
+  if (relu) {
+    for (index_t co = 0; co < c_out; ++co) {
+      y[co] = y[co] > 0.0F ? y[co] : 0.0F;
+    }
+  }
+}
+
+void conv_step(const float* ring, const float* wp, const float* bias,
+               float* y, index_t c_in, index_t c_out, index_t k,
+               index_t dilation, index_t span, index_t pos, bool relu) {
+  conv_step_t<0>(ring, wp, bias, y, c_in, c_out, k, dilation, span, pos,
+                 relu);
+}
+
+#define PIT_DEFINE_STEP_K(K)                                                 \
+  void conv_step_k##K(const float* ring, const float* wp, const float* bias, \
+                      float* y, index_t c_in, index_t c_out, index_t k,      \
+                      index_t dilation, index_t span, index_t pos,           \
+                      bool relu) {                                           \
+    conv_step_t<K>(ring, wp, bias, y, c_in, c_out, k, dilation, span, pos,   \
+                   relu);                                                    \
+  }
+PIT_FOREACH_SPEC_K(PIT_DEFINE_STEP_K)
+#undef PIT_DEFINE_STEP_K
 
 void linear_forward(const float* x, const float* w, const float* bias,
                     float* y, index_t n, index_t f, index_t o, bool relu) {

@@ -6,10 +6,9 @@
 //      "blocked"; anything else throws at the first dispatched conv),
 //   3. problem-size heuristic: blocked once the MAC count can amortise
 //      tile setup; tiny problems stay on the leaner scalar loops.
-#include <cstdlib>
 #include <cstring>
 
-#include "nn/kernels/kernels.hpp"
+#include "nn/kernels/registry.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::nn::kernels {
@@ -20,14 +19,12 @@ namespace {
 constexpr index_t kBlockedMinMacs = 16384;
 
 Backend env_backend() {
-  // An unknown value throws from parse_backend_name at the first dispatched
-  // conv: a typo (PIT_CONV_BACKEND=block) must fail loudly, not silently
-  // run the heuristic the user thought they had overridden.
-  static const Backend cached = [] {
-    const char* v = std::getenv("PIT_CONV_BACKEND");
-    return v == nullptr ? Backend::kAuto : parse_backend_name(v);
-  }();
-  return cached;
+  // PIT_CONV_BACKEND is read and parsed exactly once, when the kernel
+  // registry is constructed; an unknown value throws from there at the
+  // first dispatched conv. A typo (PIT_CONV_BACKEND=block) must fail
+  // loudly, not silently run the heuristic the user thought they had
+  // overridden.
+  return Registry::instance().env_filter();
 }
 
 Backend g_default = Backend::kAuto;

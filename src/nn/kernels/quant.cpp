@@ -9,12 +9,24 @@
 // the same numerics at its widest ISA.
 #include <algorithm>
 
-#include "nn/kernels/kernels.hpp"
+#include "nn/kernels/registry.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::nn::kernels {
 
 namespace quant {
+
+#define PIT_DECLARE_QCONV_K(K)                                              \
+  void conv_forward_packed_i8_k##K(                                         \
+      const std::uint8_t* x, const std::int8_t* wp, const float* m,         \
+      const float* b, std::uint8_t* y_q, float* y_f, const ConvDims& d,     \
+      index_t x_stride, index_t y_stride, bool relu, int out_lo);
+#define PIT_DECLARE_QSTEP_K(K)                                              \
+  void conv_step_i8_k##K(const std::uint8_t* ring, const std::int8_t* wp,   \
+                         const float* m, const float* b,                    \
+                         std::uint8_t* y_q, float* y_f, index_t c_in,       \
+                         index_t c_out, index_t k, index_t dilation,        \
+                         index_t span, index_t pos, bool relu, int out_lo);
 
 #define PIT_DECLARE_QUANT_VARIANT(ns)                                       \
   namespace ns {                                                            \
@@ -36,6 +48,8 @@ namespace quant {
                     float* y_f, index_t c_in, index_t c_out, index_t k,     \
                     index_t dilation, index_t span, index_t pos,            \
                     bool relu, int out_lo);                                 \
+  PIT_FOREACH_SPEC_K(PIT_DECLARE_QCONV_K)                                   \
+  PIT_FOREACH_SPEC_K(PIT_DECLARE_QSTEP_K)                                   \
   }
 
 PIT_DECLARE_QUANT_VARIANT(base)
@@ -50,6 +64,8 @@ PIT_DECLARE_QUANT_VARIANT(vnni)
 #endif
 
 #undef PIT_DECLARE_QUANT_VARIANT
+#undef PIT_DECLARE_QCONV_K
+#undef PIT_DECLARE_QSTEP_K
 
 namespace {
 
@@ -114,6 +130,64 @@ const VariantTable& variant() {
 }
 
 }  // namespace
+
+// Resolves the ISA level once (same ladder as pick_variant, including the
+// VNNI tier) and registers that level's generic i8 kernels plus the
+// k-specialized instantiations. i8 specialization keys on k alone — the
+// C4-interleaved layout already pads ragged channel quads.
+void register_kernels(Registry& r) {
+#define PIT_REG_QUANT_K(ns, isa, K)                                         \
+  r.add_conv_packed_i8(&ns::conv_forward_packed_i8_k##K, "k" #K, isa, K);   \
+  r.add_conv_step_i8(&ns::conv_step_i8_k##K, "k" #K, isa, K);
+#define PIT_REG_QUANT_NS(ns, isa)                                           \
+  do {                                                                      \
+    r.add_conv_packed_i8(&ns::conv_forward_packed_i8, "generic", isa, 0);   \
+    r.add_conv_step_i8(&ns::conv_step_i8, "generic", isa, 0);               \
+    r.add_add_i8(&ns::add_forward_i8, isa);                                 \
+    r.add_stage_i8(&ns::quantize_interleave_i8, isa);                       \
+    PIT_REG_QUANT_K(ns, isa, 1)                                             \
+    PIT_REG_QUANT_K(ns, isa, 2)                                             \
+    PIT_REG_QUANT_K(ns, isa, 3)                                             \
+    PIT_REG_QUANT_K(ns, isa, 4)                                             \
+    PIT_REG_QUANT_K(ns, isa, 5)                                             \
+    PIT_REG_QUANT_K(ns, isa, 6)                                             \
+    PIT_REG_QUANT_K(ns, isa, 7)                                             \
+    PIT_REG_QUANT_K(ns, isa, 8)                                             \
+    PIT_REG_QUANT_K(ns, isa, 9)                                             \
+  } while (false)
+#if defined(PIT_KERNELS_HAVE_V3) || defined(PIT_KERNELS_HAVE_V4) || \
+    defined(PIT_KERNELS_HAVE_VNNI)
+  __builtin_cpu_init();
+#endif
+#ifdef PIT_KERNELS_HAVE_VNNI
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512vnni")) {
+    PIT_REG_QUANT_NS(vnni, "vnni");
+    return;
+  }
+#endif
+#ifdef PIT_KERNELS_HAVE_V4
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    PIT_REG_QUANT_NS(v4, "v4");
+    return;
+  }
+#endif
+#ifdef PIT_KERNELS_HAVE_V3
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    PIT_REG_QUANT_NS(v3, "v3");
+    return;
+  }
+#endif
+  PIT_REG_QUANT_NS(base, "base");
+#undef PIT_REG_QUANT_NS
+#undef PIT_REG_QUANT_K
+}
 
 }  // namespace quant
 

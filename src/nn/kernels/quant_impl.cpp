@@ -28,7 +28,7 @@
 #include <cstdint>
 #include <cstring>
 
-#include "nn/kernels/kernels.hpp"
+#include "nn/kernels/registry.hpp"
 
 #if defined(__AVX512VNNI__) && defined(__AVX512F__)
 #include <immintrin.h>
@@ -67,13 +67,14 @@ namespace {
 /// share every x broadcast, halving broadcast port pressure once c_out
 /// reaches 32. Each (channel-group, tap) step costs NB weight loads plus
 /// NT broadcasts and NB*NT vpdpbusd (64 MACs each).
-template <int NB, int NT>
+template <int NB, int NT, int KK>
 void conv_tile_vnni(const std::uint8_t* xn, const std::int8_t* wp,
                     const float* m, const float* b, std::uint8_t* yqn,
                     float* yfn, const ConvDims& d, index_t x_stride,
                     index_t y_stride, bool relu, int out_lo, index_t cb0,
                     index_t t0, index_t g_in, index_t g_out,
                     index_t co_round) {
+  const index_t kk = KK > 0 ? KK : d.k;
   const index_t co0 = cb0 * kQuantCo;
   __m512i acc[NB][NT];
   for (int blk = 0; blk < NB; ++blk) {
@@ -83,9 +84,9 @@ void conv_tile_vnni(const std::uint8_t* xn, const std::int8_t* wp,
   }
   for (index_t ciq = 0; ciq < g_in; ++ciq) {
     const std::uint8_t* xg = xn + ciq * kQuantCiGroup * x_stride;
-    for (index_t tap = 0; tap < d.k; ++tap) {
+    for (index_t tap = 0; tap < kk; ++tap) {
       const std::int8_t* wg =
-          wp + ((ciq * d.k + tap) * co_round + co0) * kQuantCiGroup;
+          wp + ((ciq * kk + tap) * co_round + co0) * kQuantCiGroup;
       __m512i wv[NB];
       for (int blk = 0; blk < NB; ++blk) {
         wv[blk] = _mm512_loadu_si512(wg + blk * kQuantCo * kQuantCiGroup);
@@ -146,7 +147,7 @@ void conv_tile_vnni(const std::uint8_t* xn, const std::int8_t* wp,
 
 /// Ragged-tail dispatch: instantiates the tile for every 1..8 step count
 /// so even the last partial tile keeps register-resident accumulators.
-template <int NB>
+template <int NB, int KK>
 void conv_tile_vnni_dyn(index_t nt, const std::uint8_t* xn,
                         const std::int8_t* wp, const float* m,
                         const float* b, std::uint8_t* yqn, float* yfn,
@@ -157,8 +158,9 @@ void conv_tile_vnni_dyn(index_t nt, const std::uint8_t* xn,
   switch (nt) {
 #define PIT_QUANT_TILE_CASE(NT)                                           \
   case NT:                                                                \
-    conv_tile_vnni<NB, NT>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride, \
-                           relu, out_lo, cb0, t0, g_in, g_out, co_round); \
+    conv_tile_vnni<NB, NT, KK>(xn, wp, m, b, yqn, yfn, d, x_stride,       \
+                               y_stride, relu, out_lo, cb0, t0, g_in,     \
+                               g_out, co_round);                          \
     break;
     PIT_QUANT_TILE_CASE(1)
     PIT_QUANT_TILE_CASE(2)
@@ -175,7 +177,7 @@ void conv_tile_vnni_dyn(index_t nt, const std::uint8_t* xn,
 }
 
 /// One (sample, co-block-pair) strip: full time tiles plus a ragged tail.
-template <int NB>
+template <int NB, int KK>
 void conv_strip_vnni(const std::uint8_t* xn, const std::int8_t* wp,
                      const float* m, const float* b, std::uint8_t* yqn,
                      float* yfn, const ConvDims& d, index_t x_stride,
@@ -184,22 +186,27 @@ void conv_strip_vnni(const std::uint8_t* xn, const std::int8_t* wp,
   static_assert(kQuantTimeTile == 8, "tile dispatch assumes 8-step tiles");
   index_t t0 = 0;
   for (; t0 + kQuantTimeTile <= d.t_out; t0 += kQuantTimeTile) {
-    conv_tile_vnni<NB, 8>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride,
-                          relu, out_lo, cb0, t0, g_in, g_out, co_round);
+    conv_tile_vnni<NB, 8, KK>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride,
+                              relu, out_lo, cb0, t0, g_in, g_out, co_round);
   }
   if (t0 < d.t_out) {
-    conv_tile_vnni_dyn<NB>(d.t_out - t0, xn, wp, m, b, yqn, yfn, d,
-                           x_stride, y_stride, relu, out_lo, cb0, t0, g_in,
-                           g_out, co_round);
+    conv_tile_vnni_dyn<NB, KK>(d.t_out - t0, xn, wp, m, b, yqn, yfn, d,
+                               x_stride, y_stride, relu, out_lo, cb0, t0,
+                               g_in, g_out, co_round);
   }
 }
 
 }  // namespace
 
-void conv_forward_packed_i8(const std::uint8_t* x, const std::int8_t* wp,
-                            const float* m, const float* b, std::uint8_t* y_q,
-                            float* y_f, const ConvDims& d, index_t x_stride,
-                            index_t y_stride, bool relu, int out_lo) {
+// Tap-count template over the strips: KK == 0 reads d.k at runtime,
+// KK > 0 is the registry-selected specialization (integer accumulation is
+// order-independent, so every instantiation is bit-exact to the generic).
+template <int KK>
+void conv_forward_packed_i8_t(const std::uint8_t* x, const std::int8_t* wp,
+                              const float* m, const float* b,
+                              std::uint8_t* y_q, float* y_f,
+                              const ConvDims& d, index_t x_stride,
+                              index_t y_stride, bool relu, int out_lo) {
   const index_t g_in = quant_groups(d.c_in);
   const index_t g_out = quant_groups(d.c_out);
   const index_t co_round = round_up_co(d.c_out);
@@ -216,11 +223,11 @@ void conv_forward_packed_i8(const std::uint8_t* x, const std::int8_t* wp,
       std::uint8_t* yqn = y_q != nullptr ? y_q + n * yq_sample : nullptr;
       float* yfn = y_f != nullptr ? y_f + n * yf_sample : nullptr;
       if (cb0 + 1 < co_blocks) {
-        conv_strip_vnni<2>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride,
-                           relu, out_lo, cb0, g_in, g_out, co_round);
+        conv_strip_vnni<2, KK>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride,
+                               relu, out_lo, cb0, g_in, g_out, co_round);
       } else {
-        conv_strip_vnni<1>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride,
-                           relu, out_lo, cb0, g_in, g_out, co_round);
+        conv_strip_vnni<1, KK>(xn, wp, m, b, yqn, yfn, d, x_stride, y_stride,
+                               relu, out_lo, cb0, g_in, g_out, co_round);
       }
     }
   }
@@ -334,16 +341,18 @@ void add_forward_i8(const std::uint8_t* a, const std::uint8_t* b,
   }
 }
 
-void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,
-                  const float* m, const float* b, std::uint8_t* y_q,
-                  float* y_f, index_t c_in, index_t c_out, index_t k,
-                  index_t dilation, index_t span, index_t pos, bool relu,
-                  int out_lo) {
+template <int KK>
+void conv_step_i8_t(const std::uint8_t* ring, const std::int8_t* wp,
+                    const float* m, const float* b, std::uint8_t* y_q,
+                    float* y_f, index_t c_in, index_t c_out, index_t k,
+                    index_t dilation, index_t span, index_t pos, bool relu,
+                    int out_lo) {
   // One output step: the NT = 1 slice of the batched VNNI tile, with the
   // per-tap look-back resolved through the ring instead of a contiguous
   // row. Accumulation is integer-exact and the requantize uses the same
   // fmadd / cvt / clamp sequence, so the stored step matches the batched
   // kernel's column bit for bit.
+  const index_t kk = KK > 0 ? KK : k;
   const index_t g_in = quant_groups(c_in);
   const index_t g_out = quant_groups(c_out);
   const index_t co_round = round_up_co(c_out);
@@ -353,13 +362,13 @@ void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,
     __m512i acc = _mm512_setzero_si512();
     for (index_t ciq = 0; ciq < g_in; ++ciq) {
       const std::uint8_t* ring_row = ring + ciq * span * kQuantCiGroup;
-      for (index_t tap = 0; tap < k; ++tap) {
+      for (index_t tap = 0; tap < kk; ++tap) {
         const index_t back = tap * dilation;  // < span by construction
         const index_t slot = pos >= back ? pos - back : pos - back + span;
         std::int32_t word;
         std::memcpy(&word, ring_row + slot * kQuantCiGroup, sizeof(word));
         const __m512i wv = _mm512_loadu_si512(
-            wp + ((ciq * k + tap) * co_round + co0) * kQuantCiGroup);
+            wp + ((ciq * kk + tap) * co_round + co0) * kQuantCiGroup);
         acc = _mm512_dpbusd_epi32(acc, _mm512_set1_epi32(word), wv);
       }
     }
@@ -401,10 +410,16 @@ using vi = std::int32_t __attribute__((vector_size(64)));  // 16 int32 lanes
 
 }  // namespace
 
-void conv_forward_packed_i8(const std::uint8_t* x, const std::int8_t* wp,
-                            const float* m, const float* b, std::uint8_t* y_q,
-                            float* y_f, const ConvDims& d, index_t x_stride,
-                            index_t y_stride, bool relu, int out_lo) {
+// Tap-count template: KK == 0 reads d.k at runtime, KK > 0 is the
+// registry-selected specialization (integer accumulation is
+// order-independent, so every instantiation is bit-exact to the generic).
+template <int KK>
+void conv_forward_packed_i8_t(const std::uint8_t* x, const std::int8_t* wp,
+                              const float* m, const float* b,
+                              std::uint8_t* y_q, float* y_f,
+                              const ConvDims& d, index_t x_stride,
+                              index_t y_stride, bool relu, int out_lo) {
+  const index_t kk = KK > 0 ? KK : d.k;
   const index_t g_in = quant_groups(d.c_in);
   const index_t g_out = quant_groups(d.c_out);
   const index_t co_round = round_up_co(d.c_out);
@@ -422,11 +437,11 @@ void conv_forward_packed_i8(const std::uint8_t* x, const std::int8_t* wp,
         vi acc[kQuantTimeTile] = {};
         for (index_t ciq = 0; ciq < g_in; ++ciq) {
           const std::uint8_t* xg = xn + ciq * kQuantCiGroup * x_stride;
-          for (index_t tap = 0; tap < d.k; ++tap) {
+          for (index_t tap = 0; tap < kk; ++tap) {
             // De-interleave the 16 x 4 weight block into one int32 vector
             // per quad lane, amortized over the nt time steps below.
             const std::int8_t* wg =
-                wp + ((ciq * d.k + tap) * co_round + co0) * kQuantCiGroup;
+                wp + ((ciq * kk + tap) * co_round + co0) * kQuantCiGroup;
             vi w0;
             vi w1;
             vi w2;
@@ -528,14 +543,16 @@ void add_forward_i8(const std::uint8_t* a, const std::uint8_t* b,
   }
 }
 
-void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,
-                  const float* m, const float* b, std::uint8_t* y_q,
-                  float* y_f, index_t c_in, index_t c_out, index_t k,
-                  index_t dilation, index_t span, index_t pos, bool relu,
-                  int out_lo) {
+template <int KK>
+void conv_step_i8_t(const std::uint8_t* ring, const std::int8_t* wp,
+                    const float* m, const float* b, std::uint8_t* y_q,
+                    float* y_f, index_t c_in, index_t c_out, index_t k,
+                    index_t dilation, index_t span, index_t pos, bool relu,
+                    int out_lo) {
   // One output step of the portable tile: same packed-weight walk and the
   // same requantize expressions as the batched body, with each tap's quad
   // read through the ring's dilated look-back slot.
+  const index_t kk = KK > 0 ? KK : k;
   const index_t g_in = quant_groups(c_in);
   const index_t g_out = quant_groups(c_out);
   const index_t co_round = round_up_co(c_out);
@@ -545,9 +562,9 @@ void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,
     vi acc = {};
     for (index_t ciq = 0; ciq < g_in; ++ciq) {
       const std::uint8_t* ring_row = ring + ciq * span * kQuantCiGroup;
-      for (index_t tap = 0; tap < k; ++tap) {
+      for (index_t tap = 0; tap < kk; ++tap) {
         const std::int8_t* wg =
-            wp + ((ciq * k + tap) * co_round + co0) * kQuantCiGroup;
+            wp + ((ciq * kk + tap) * co_round + co0) * kQuantCiGroup;
         vi w0;
         vi w1;
         vi w2;
@@ -591,6 +608,49 @@ void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,
 }
 
 #endif  // PIT_QUANT_USE_VNNI
+
+// Public entry points over the tap-count templates — one set per ISA
+// namespace, shared by the VNNI and portable bodies above.
+
+void conv_forward_packed_i8(const std::uint8_t* x, const std::int8_t* wp,
+                            const float* m, const float* b, std::uint8_t* y_q,
+                            float* y_f, const ConvDims& d, index_t x_stride,
+                            index_t y_stride, bool relu, int out_lo) {
+  conv_forward_packed_i8_t<0>(x, wp, m, b, y_q, y_f, d, x_stride, y_stride,
+                              relu, out_lo);
+}
+
+void conv_step_i8(const std::uint8_t* ring, const std::int8_t* wp,
+                  const float* m, const float* b, std::uint8_t* y_q,
+                  float* y_f, index_t c_in, index_t c_out, index_t k,
+                  index_t dilation, index_t span, index_t pos, bool relu,
+                  int out_lo) {
+  conv_step_i8_t<0>(ring, wp, m, b, y_q, y_f, c_in, c_out, k, dilation, span,
+                    pos, relu, out_lo);
+}
+
+#define PIT_DEFINE_QCONV_K(K)                                                \
+  void conv_forward_packed_i8_k##K(                                         \
+      const std::uint8_t* x, const std::int8_t* wp, const float* m,          \
+      const float* b, std::uint8_t* y_q, float* y_f, const ConvDims& d,      \
+      index_t x_stride, index_t y_stride, bool relu, int out_lo) {           \
+    conv_forward_packed_i8_t<K>(x, wp, m, b, y_q, y_f, d, x_stride,          \
+                                y_stride, relu, out_lo);                     \
+  }
+PIT_FOREACH_SPEC_K(PIT_DEFINE_QCONV_K)
+#undef PIT_DEFINE_QCONV_K
+
+#define PIT_DEFINE_QSTEP_K(K)                                                \
+  void conv_step_i8_k##K(const std::uint8_t* ring, const std::int8_t* wp,    \
+                         const float* m, const float* b, std::uint8_t* y_q,  \
+                         float* y_f, index_t c_in, index_t c_out, index_t k, \
+                         index_t dilation, index_t span, index_t pos,        \
+                         bool relu, int out_lo) {                            \
+    conv_step_i8_t<K>(ring, wp, m, b, y_q, y_f, c_in, c_out, k, dilation,    \
+                      span, pos, relu, out_lo);                              \
+  }
+PIT_FOREACH_SPEC_K(PIT_DEFINE_QSTEP_K)
+#undef PIT_DEFINE_QSTEP_K
 
 }  // namespace PIT_QUANT_ISA_NS
 }  // namespace pit::nn::kernels::quant

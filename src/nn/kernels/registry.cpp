@@ -1,0 +1,169 @@
+// Registry construction and bind logic. See registry.hpp for the model.
+#include "nn/kernels/registry.hpp"
+
+#include <cstdlib>
+
+#include "tensor/error.hpp"
+
+namespace pit::nn::kernels {
+
+const Registry& Registry::instance() {
+  // Magic static: constructed once, immutable afterwards — concurrent
+  // first calls are serialized by the compiler, so plan builders on any
+  // thread see a fully-registered table.
+  static const Registry reg;
+  return reg;
+}
+
+Registry::Registry() {
+  // The single PIT_CONV_BACKEND read of the process. An unknown value
+  // throws here — i.e. at the first registry use — so a typo
+  // (PIT_CONV_BACKEND=block) still fails loudly instead of silently
+  // running the heuristic the user thought they had overridden.
+  const char* v = std::getenv("PIT_CONV_BACKEND");
+  env_filter_ = v == nullptr ? Backend::kAuto : parse_backend_name(v);
+  add_conv_train_f32(&scalar::conv_forward, "train", "scalar");
+  blocked::register_kernels(*this);
+  quant::register_kernels(*this);
+  fp32_isa_ = conv_packed_f32_generic().meta->isa;
+  i8_isa_ = conv_packed_i8_generic().meta->isa;
+}
+
+const KernelMeta& Registry::inline_meta() {
+  static const KernelMeta meta{"builtin", "inline", "cpp", false};
+  return meta;
+}
+
+bool Registry::specialization_enabled() const {
+  // An explicit scalar/blocked override — set_default_backend() or the
+  // env var — says "run the engine I named": pin the generic variants.
+  const Backend effective =
+      default_backend() != Backend::kAuto ? default_backend() : env_filter_;
+  return effective == Backend::kAuto;
+}
+
+template <typename Fn>
+Bound<Fn> Registry::bind(const std::vector<Entry<Fn>>& table,
+                         const ConvSig& sig, bool allow_specialized) const {
+  const Entry<Fn>* best = nullptr;
+  for (const Entry<Fn>& e : table) {
+    if (e.meta.specialized) {
+      if (!allow_specialized) {
+        continue;
+      }
+      if (e.k != 0 && e.k != sig.k) {
+        continue;
+      }
+      if (e.quad_cin && sig.c_in % 4 != 0) {
+        continue;
+      }
+    }
+    if (best == nullptr || (e.meta.specialized && !best->meta.specialized)) {
+      best = &e;
+    }
+  }
+  PIT_CHECK(best != nullptr, "kernel registry: no variant registered");
+  return {best->fn, &best->meta};
+}
+
+Bound<ConvPackedF32Fn> Registry::conv_packed_f32(const ConvSig& sig) const {
+  return bind(conv_packed_f32_, sig, specialization_enabled());
+}
+
+Bound<ConvStepF32Fn> Registry::conv_step_f32(const ConvSig& sig) const {
+  return bind(conv_step_f32_, sig, specialization_enabled());
+}
+
+Bound<LinearF32Fn> Registry::linear_f32() const {
+  return bind(linear_f32_, ConvSig{}, false);
+}
+
+Bound<ConvTrainF32Fn> Registry::conv_train_f32(const ConvDims& dims) const {
+  // The strided path keeps the full historical resolution order
+  // (set_default_backend / env var / MAC heuristic) — evaluated once
+  // here, for the op's fixed geometry, instead of per forward() call.
+  const Backend b = resolve_backend(Backend::kAuto, dims);
+  return bind(b == Backend::kBlocked ? conv_train_blocked_
+                                     : conv_train_scalar_,
+              ConvSig{}, false);
+}
+
+Bound<ConvPackedI8Fn> Registry::conv_packed_i8(const ConvSig& sig) const {
+  return bind(conv_packed_i8_, sig, specialization_enabled());
+}
+
+Bound<ConvStepI8Fn> Registry::conv_step_i8(const ConvSig& sig) const {
+  return bind(conv_step_i8_, sig, specialization_enabled());
+}
+
+Bound<AddI8Fn> Registry::add_i8() const {
+  return bind(add_i8_, ConvSig{}, false);
+}
+
+Bound<StageI8Fn> Registry::stage_i8() const {
+  return bind(stage_i8_, ConvSig{}, false);
+}
+
+Bound<ConvPackedF32Fn> Registry::conv_packed_f32_generic() const {
+  return bind(conv_packed_f32_, ConvSig{}, false);
+}
+
+Bound<ConvStepF32Fn> Registry::conv_step_f32_generic() const {
+  return bind(conv_step_f32_, ConvSig{}, false);
+}
+
+Bound<ConvPackedI8Fn> Registry::conv_packed_i8_generic() const {
+  return bind(conv_packed_i8_, ConvSig{}, false);
+}
+
+Bound<ConvStepI8Fn> Registry::conv_step_i8_generic() const {
+  return bind(conv_step_i8_, ConvSig{}, false);
+}
+
+void Registry::add_conv_packed_f32(ConvPackedF32Fn fn, const char* variant,
+                                   const char* isa, index_t k,
+                                   bool quad_cin) {
+  conv_packed_f32_.push_back(
+      {fn, {"conv.packed.f32", variant, isa, k != 0}, k, quad_cin});
+}
+
+void Registry::add_conv_step_f32(ConvStepF32Fn fn, const char* variant,
+                                 const char* isa, index_t k, bool quad_cin) {
+  conv_step_f32_.push_back(
+      {fn, {"conv.step.f32", variant, isa, k != 0}, k, quad_cin});
+}
+
+void Registry::add_linear_f32(LinearF32Fn fn, const char* isa) {
+  linear_f32_.push_back({fn, {"linear.f32", "generic", isa, false}, 0, false});
+}
+
+void Registry::add_conv_train_f32(ConvTrainF32Fn fn, const char* variant,
+                                  const char* isa) {
+  // Scalar vs blocked is keyed on the variant's ISA name: "scalar" is the
+  // reference loop, anything else is a blocked-engine level.
+  auto& dest = (isa != nullptr && isa[0] == 's') ? conv_train_scalar_
+                                                 : conv_train_blocked_;
+  dest.push_back({fn, {"conv.train.f32", variant, isa, false}, 0, false});
+}
+
+void Registry::add_conv_packed_i8(ConvPackedI8Fn fn, const char* variant,
+                                  const char* isa, index_t k) {
+  conv_packed_i8_.push_back(
+      {fn, {"conv.packed.i8", variant, isa, k != 0}, k, false});
+}
+
+void Registry::add_conv_step_i8(ConvStepI8Fn fn, const char* variant,
+                                const char* isa, index_t k) {
+  conv_step_i8_.push_back(
+      {fn, {"conv.step.i8", variant, isa, k != 0}, k, false});
+}
+
+void Registry::add_add_i8(AddI8Fn fn, const char* isa) {
+  add_i8_.push_back({fn, {"add.i8", "generic", isa, false}, 0, false});
+}
+
+void Registry::add_stage_i8(StageI8Fn fn, const char* isa) {
+  stage_i8_.push_back({fn, {"stage.i8", "generic", isa, false}, 0, false});
+}
+
+}  // namespace pit::nn::kernels

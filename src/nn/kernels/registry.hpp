@@ -1,0 +1,234 @@
+// Signature-keyed kernel registry with plan-build-time binding.
+//
+// PIT's whole point is that search freezes the architecture: a compiled
+// plan knows every op's (k, dilation, c_in, c_out, dtype) at compile()
+// time, so nothing about kernel selection needs to happen per call. The
+// registry is the single place where kernel variants live, keyed by
+//
+//   op class x shape class x ISA level x dtype
+//
+// - op class: what the kernel computes (packed fp32 conv, fp32 linear,
+//   fp32 streaming step, strided/training conv, i8 conv, i8 add, i8 input
+//   staging, i8 streaming step) — one typed bind method each.
+// - shape class: the signature constraints a specialized variant demands
+//   (exact tap count k, quad-aligned c_in). Generic variants carry no
+//   constraints and are the guaranteed fallback: an unmatched signature
+//   binds generic, it never fails.
+// - ISA level: resolved ONCE at registry construction via
+//   __builtin_cpu_supports (the same base/v3/v4[/vnni] ladder the old
+//   per-call VariantTable walked); only the winning level's function
+//   pointers are registered, so a bound kernel is a direct call.
+// - dtype: fp32 vs i8 (separate op classes; the i8 ladder adds "vnni").
+//
+// NetBuilder::compile() / QuantizedCompiler::quantize() call the bind_*
+// methods once per op and store the returned Bound<Fn> (function pointer
+// plus a KernelMeta describing what was bound) on the op. The executors
+// (runtime/executor_*.cpp) consume kernels ONLY through those bindings —
+// scripts/check_includes.py enforces that they include this header and
+// never the raw impl entry points.
+//
+// PIT_CONV_BACKEND is parsed exactly once, at registry construction, with
+// the same accepted values ("auto" / "scalar" / "blocked") and the same
+// loud error for anything else. It acts as a registry *filter*:
+//   - the strided (training-kernel) conv path resolves scalar-vs-blocked
+//     through the usual override order (set_default_backend, then the env
+//     var, then the MAC-count heuristic) — but at bind time, not per call;
+//   - an explicit "scalar" or "blocked" override also pins the packed
+//     inference paths to their generic variants (the plain, debuggable
+//     kernels), since an override says "run the engine I named, not
+//     whatever the signature matcher picks".
+//
+// Adding a variant: implement it per-ISA in blocked_impl.cpp /
+// quant_impl.cpp, declare it in blocked.cpp / quant.cpp, and register it
+// from the register_kernels() hook there with its shape constraints. See
+// docs/ARCHITECTURE.md ("Kernel registry & specialization").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/kernels/kernels.hpp"
+
+namespace pit::nn::kernels {
+
+// Tap counts that get fully-unrolled template instantiations (the frozen
+// paper networks use k in {3, 5}; anything up to 9 comes free). The
+// X-macro stamps out declarations/definitions/registrations in one list.
+inline constexpr index_t kMaxSpecializedK = 9;
+#define PIT_FOREACH_SPEC_K(X) X(1) X(2) X(3) X(4) X(5) X(6) X(7) X(8) X(9)
+
+// ---- Kernel function-pointer signatures ---------------------------------
+//
+// These mirror the free-function contracts in kernels.hpp; a bound pointer
+// is the concrete per-ISA implementation with no dispatch wrapper around
+// it (so the executors also skip the wrappers' per-call PIT_CHECKs — the
+// plan proved those invariants at compile time).
+
+using ConvPackedF32Fn = void (*)(const float* x, const float* wp,
+                                 const float* bias, float* y,
+                                 const ConvDims& d, index_t x_stride,
+                                 index_t y_stride, bool x_padded, bool relu);
+using ConvTrainF32Fn = void (*)(const float* x, const float* w,
+                                const float* bias, float* y,
+                                const ConvDims& d);
+using LinearF32Fn = void (*)(const float* x, const float* w,
+                             const float* bias, float* y, index_t n,
+                             index_t f, index_t o, bool relu);
+/// Streaming single-step fp32 conv over a dilated ring-buffer history
+/// (the fp32 counterpart of conv_step_i8). The ring holds c_in channel
+/// rows of span = (k-1)*dilation+1 float slots, ring[ci * span + slot],
+/// with the current input already written at slot `pos`; slots the stream
+/// has not reached yet must hold 0.0 (the causal padding). Writes one
+/// step: y[co] = [relu] (bias[co] + sum taps), bias may be null. Weights
+/// are the packed inference layout of conv_forward_packed.
+using ConvStepF32Fn = void (*)(const float* ring, const float* wp,
+                               const float* bias, float* y, index_t c_in,
+                               index_t c_out, index_t k, index_t dilation,
+                               index_t span, index_t pos, bool relu);
+using ConvPackedI8Fn = void (*)(const std::uint8_t* x, const std::int8_t* wp,
+                                const float* m, const float* b,
+                                std::uint8_t* y_q, float* y_f,
+                                const ConvDims& d, index_t x_stride,
+                                index_t y_stride, bool relu, int out_lo);
+using AddI8Fn = void (*)(const std::uint8_t* a, const std::uint8_t* b,
+                         std::uint8_t* y, index_t rows, index_t steps,
+                         index_t a_stride, index_t b_stride,
+                         index_t y_stride, float a_mul, float b_mul,
+                         float c_add, int out_lo);
+using StageI8Fn = void (*)(const float* in, std::uint8_t* out, index_t n,
+                           index_t channels, index_t steps, index_t lead,
+                           index_t stride, float inv_scale, int zp);
+using ConvStepI8Fn = void (*)(const std::uint8_t* ring,
+                              const std::int8_t* wp, const float* m,
+                              const float* b, std::uint8_t* y_q, float* y_f,
+                              index_t c_in, index_t c_out, index_t k,
+                              index_t dilation, index_t span, index_t pos,
+                              bool relu, int out_lo);
+
+/// What got bound: the registry key parts, for describe() output and
+/// benches. Points into the registry singleton — valid for the program's
+/// lifetime, so plans store it by pointer.
+struct KernelMeta {
+  const char* op = "";       // op-class key, e.g. "conv.packed.f32"
+  const char* variant = "";  // "generic", "k3", ..., "train", "inline"
+  const char* isa = "";      // "base" / "v3" / "v4" / "vnni" / "scalar"...
+  bool specialized = false;  // a shape-matched template instantiation
+};
+
+/// A resolved kernel: the concrete function pointer plus its metadata.
+template <typename Fn>
+struct Bound {
+  Fn fn = nullptr;
+  const KernelMeta* meta = nullptr;
+  explicit operator bool() const { return fn != nullptr; }
+};
+
+/// The shape class a plan presents when binding a conv-like op.
+struct ConvSig {
+  index_t k = 0;
+  index_t c_in = 0;
+  index_t c_out = 0;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry. Construction (first call) reads
+  /// PIT_CONV_BACKEND once — an unknown value throws pit::Error naming
+  /// the accepted backends — and registers the widest ISA level the CPU
+  /// supports. Immutable afterwards; safe to use from any thread.
+  static const Registry& instance();
+
+  // ---- bind (plan-build time) ------------------------------------------
+  // Every bind returns a non-null fn: specialized when the signature
+  // matches a registered variant (and no scalar/blocked override pins
+  // generic), the generic kernel otherwise.
+
+  Bound<ConvPackedF32Fn> conv_packed_f32(const ConvSig& sig) const;
+  Bound<ConvStepF32Fn> conv_step_f32(const ConvSig& sig) const;
+  Bound<LinearF32Fn> linear_f32() const;
+  /// Strided convs run the training kernels; scalar-vs-blocked resolves
+  /// here, once, through the usual override order (set_default_backend /
+  /// PIT_CONV_BACKEND / MAC heuristic) for the op's fixed geometry.
+  Bound<ConvTrainF32Fn> conv_train_f32(const ConvDims& dims) const;
+  Bound<ConvPackedI8Fn> conv_packed_i8(const ConvSig& sig) const;
+  Bound<ConvStepI8Fn> conv_step_i8(const ConvSig& sig) const;
+  Bound<AddI8Fn> add_i8() const;
+  Bound<StageI8Fn> stage_i8() const;
+
+  // Generic-only binds (benches/tests: the baseline a specialized variant
+  // is compared against).
+  Bound<ConvPackedF32Fn> conv_packed_f32_generic() const;
+  Bound<ConvStepF32Fn> conv_step_f32_generic() const;
+  Bound<ConvPackedI8Fn> conv_packed_i8_generic() const;
+  Bound<ConvStepI8Fn> conv_step_i8_generic() const;
+
+  /// The PIT_CONV_BACKEND value, parsed exactly once at construction.
+  Backend env_filter() const { return env_filter_; }
+  /// ISA level the fp32 / i8 ladders resolved to ("base", "v3", "v4",
+  /// and for i8 possibly "vnni").
+  const char* fp32_isa() const { return fp32_isa_; }
+  const char* i8_isa() const { return i8_isa_; }
+
+  /// Meta for ops the executors run as plain inline loops (avg-pool, the
+  /// fp32 elementwise add): lets describe() report a binding for every
+  /// op, not just the kernel-backed ones.
+  static const KernelMeta& inline_meta();
+
+  // ---- registration (blocked.cpp / quant.cpp, construction only) -------
+  void add_conv_packed_f32(ConvPackedF32Fn fn, const char* variant,
+                           const char* isa, index_t k, bool quad_cin);
+  void add_conv_step_f32(ConvStepF32Fn fn, const char* variant,
+                         const char* isa, index_t k, bool quad_cin);
+  void add_linear_f32(LinearF32Fn fn, const char* isa);
+  void add_conv_train_f32(ConvTrainF32Fn fn, const char* variant,
+                          const char* isa);
+  void add_conv_packed_i8(ConvPackedI8Fn fn, const char* variant,
+                          const char* isa, index_t k);
+  void add_conv_step_i8(ConvStepI8Fn fn, const char* variant,
+                        const char* isa, index_t k);
+  void add_add_i8(AddI8Fn fn, const char* isa);
+  void add_stage_i8(StageI8Fn fn, const char* isa);
+
+ private:
+  Registry();
+
+  template <typename Fn>
+  struct Entry {
+    Fn fn = nullptr;
+    KernelMeta meta;
+    index_t k = 0;          // 0 = any tap count (generic)
+    bool quad_cin = false;  // requires c_in % 4 == 0
+  };
+
+  template <typename Fn>
+  Bound<Fn> bind(const std::vector<Entry<Fn>>& table, const ConvSig& sig,
+                 bool allow_specialized) const;
+  /// True unless an explicit scalar/blocked override pins generic.
+  bool specialization_enabled() const;
+
+  std::vector<Entry<ConvPackedF32Fn>> conv_packed_f32_;
+  std::vector<Entry<ConvStepF32Fn>> conv_step_f32_;
+  std::vector<Entry<LinearF32Fn>> linear_f32_;
+  std::vector<Entry<ConvTrainF32Fn>> conv_train_scalar_;
+  std::vector<Entry<ConvTrainF32Fn>> conv_train_blocked_;
+  std::vector<Entry<ConvPackedI8Fn>> conv_packed_i8_;
+  std::vector<Entry<ConvStepI8Fn>> conv_step_i8_;
+  std::vector<Entry<AddI8Fn>> add_i8_;
+  std::vector<Entry<StageI8Fn>> stage_i8_;
+  Backend env_filter_ = Backend::kAuto;
+  const char* fp32_isa_ = "base";
+  const char* i8_isa_ = "base";
+};
+
+namespace blocked {
+/// Registers the fp32 kernels (generic + specialized) of the widest ISA
+/// level the CPU supports. Called once from the Registry constructor.
+void register_kernels(Registry& r);
+}  // namespace blocked
+
+namespace quant {
+/// Same for the i8 kernels (ladder adds the VNNI level).
+void register_kernels(Registry& r);
+}  // namespace quant
+
+}  // namespace pit::nn::kernels

@@ -48,6 +48,7 @@
 
 #include "nn/batchnorm.hpp"
 #include "nn/conv1d.hpp"
+#include "nn/kernels/registry.hpp"
 #include "quant/quantize.hpp"
 #include "tensor/tensor.hpp"
 
@@ -81,6 +82,20 @@ namespace detail {
 
 enum class OpKind { kConv, kLinear, kAvgPool, kAdd };
 
+/// Kernels resolved for one fp32 op at plan-build time (the registry is
+/// consulted exactly once, in NetBuilder::compile()); the executors call
+/// these pointers directly — no per-call backend resolution. `meta` /
+/// `step_meta` describe what was bound for describe() output. Ops the
+/// executors run inline (avg-pool, the fp32 add) carry only a meta.
+struct OpBinding {
+  nn::kernels::ConvPackedF32Fn conv = nullptr;      // packed stride-1 conv
+  nn::kernels::ConvTrainF32Fn conv_train = nullptr; // strided conv
+  nn::kernels::LinearF32Fn linear = nullptr;
+  nn::kernels::ConvStepF32Fn step = nullptr;        // streaming single step
+  const nn::kernels::KernelMeta* meta = nullptr;
+  const nn::kernels::KernelMeta* step_meta = nullptr;
+};
+
 struct Op {
   OpKind kind = OpKind::kConv;
   ValueId in0 = -1;
@@ -93,6 +108,7 @@ struct Op {
   index_t dilation = 1, stride = 1;
   index_t t_in = 0, t_out = 0;
   index_t w_off = -1, b_off = -1;  // offsets into the packed param block
+  OpBinding bind;                  // kernels resolved at plan-build time
 };
 
 struct Value {
@@ -108,6 +124,16 @@ struct Value {
 /// weight-less ops. Bias, input zero-point correction, and output zero
 /// point are all pre-folded into these constants — the kernels only ever
 /// compute m * acc + b.
+/// Kernels resolved for one quantized op at lowering time (the registry
+/// is consulted exactly once, in QuantizedCompiler::quantize()).
+struct QuantBinding {
+  nn::kernels::ConvPackedI8Fn conv = nullptr;  // conv AND linear (k=1 form)
+  nn::kernels::ConvStepI8Fn step = nullptr;    // streaming single step
+  nn::kernels::AddI8Fn add = nullptr;
+  const nn::kernels::KernelMeta* meta = nullptr;
+  const nn::kernels::KernelMeta* step_meta = nullptr;
+};
+
 struct QuantOp {
   index_t w_off = -1;      // bytes into qweights_ (conv / linear)
   index_t m_off = -1;      // floats into qconsts_: co_round multipliers
@@ -117,6 +143,7 @@ struct QuantOp {
   float c_add = 0.0F;
   bool out_float = false;  // dequantized store (this op feeds the output)
   int out_lo = 0;          // lower u8 store clamp (ReLU folds in here)
+  QuantBinding bind;       // kernels resolved at lowering time
 };
 
 }  // namespace detail
@@ -247,6 +274,12 @@ class CompiledPlan {
   std::size_t num_ops() const { return ops_.size(); }
   /// Human-readable plan dump: ops, fusions, arena offsets, totals.
   std::string summary() const;
+  /// summary() plus the kernel binding of every op — registry key, ISA
+  /// level, and specialized-vs-generic — so benches and bug reports can
+  /// attribute performance to the exact kernel that ran. Quantized plans
+  /// report the i8 bindings (plus the input staging kernel); streamable
+  /// plans also show each conv's streaming-step binding.
+  std::string describe() const;
 
  private:
   friend class NetBuilder;
@@ -311,6 +344,9 @@ class CompiledPlan {
   std::vector<index_t> q_off_;             // arena bytes/sample, per root
   ValueId q_stage_ = -1;                   // u8 staging copy of the input
   index_t q_arena_bytes_ = 0;
+  // Input staging kernel of the quantized program, bound at lowering time.
+  nn::kernels::StageI8Fn qstage_fn_ = nullptr;
+  const nn::kernels::KernelMeta* qstage_meta_ = nullptr;
   // Quantized streaming layout (valid when streamable_ && quantized_):
   // one u8 history ring per conv op — quant_groups(c_in) group rows of
   // (k-1)*dilation+1 interleaved quad slots — and one single-step u8 quad

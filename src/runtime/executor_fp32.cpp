@@ -1,0 +1,246 @@
+// Batched fp32 execution of a CompiledPlan. Every op runs through the
+// kernel pointer bound at plan-build time (detail::OpBinding) — this TU
+// performs no backend resolution and never consults the registry.
+#include <algorithm>
+
+#include "nn/kernels/registry.hpp"
+#include "runtime/compiled_net.hpp"
+#include "runtime/executor_detail.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::runtime {
+
+namespace {
+
+using detail::kParallelMinFloats;
+using detail::RowSpan;
+
+void relu_inplace(float* y, index_t count) {
+#pragma omp parallel for schedule(static) if (count >= kParallelMinFloats)
+  for (index_t i = 0; i < count; ++i) {
+    y[i] = y[i] > 0.0F ? y[i] : 0.0F;
+  }
+}
+
+void exec_conv(const detail::Op& op, const float* params, RowSpan x,
+               RowSpan y, index_t n, bool x_padded) {
+  nn::kernels::ConvDims dims{};
+  dims.n = n;
+  dims.c_in = op.c_in;
+  dims.c_out = op.c_out;
+  dims.k = op.k;
+  dims.t_in = op.t_in;
+  dims.t_out = op.t_out;
+  dims.dilation = op.dilation;
+  dims.stride = op.stride;
+  if (op.packed) {
+    // Stride-1 fast path: overwrite semantics with bias and ReLU fused
+    // into the kernel's store — no zero-fill, no separate activation pass.
+    op.bind.conv(x.p, params + op.w_off,
+                 op.b_off >= 0 ? params + op.b_off : nullptr, y.p, dims,
+                 x.stride, y.stride, x_padded, op.relu);
+    return;
+  }
+  // Strided convs take the training kernels (dense layouts only), which
+  // accumulate: seed the output with the bias (or zero) instead of paying
+  // a zero-fill plus an in-kernel bias pass.
+  PIT_CHECK(x.stride == op.t_in && y.stride == op.t_out,
+            "CompiledPlan: strided conv requires dense operand layouts");
+  const index_t out_floats = n * op.c_out * op.t_out;
+  if (op.b_off >= 0) {
+    const float* b = params + op.b_off;
+#pragma omp parallel for collapse(2) schedule(static) \
+    if (out_floats >= kParallelMinFloats)
+    for (index_t ni = 0; ni < n; ++ni) {
+      for (index_t co = 0; co < op.c_out; ++co) {
+        float* row = y.p + (ni * op.c_out + co) * op.t_out;
+        std::fill(row, row + op.t_out, b[co]);
+      }
+    }
+  } else {
+    std::fill(y.p, y.p + out_floats, 0.0F);
+  }
+  op.bind.conv_train(x.p, params + op.w_off, nullptr, y.p, dims);
+  if (op.relu) {
+    relu_inplace(y.p, out_floats);
+  }
+}
+
+void exec_linear(const detail::Op& op, const float* params, RowSpan x,
+                 RowSpan y, index_t n) {
+  // Dense, contiguous operands — guaranteed at compile time (flatten is
+  // only legal over dense storage, and dense writers cannot produce
+  // padded values), so the buffers are exactly the (n, f) / (n, o)
+  // matrices the kernel wants; the row strides are irrelevant here.
+  op.bind.linear(x.p, params + op.w_off,
+                 op.b_off >= 0 ? params + op.b_off : nullptr, y.p, n,
+                 op.c_in, op.c_out, op.relu);
+}
+
+void exec_avg_pool(const detail::Op& op, RowSpan x, RowSpan y, index_t n) {
+  const index_t rows = n * op.c_out;  // pooling keeps the channel count
+  const float inv_k = 1.0F / static_cast<float>(op.k);
+#pragma omp parallel for schedule(static) \
+    if (rows * op.t_out >= kParallelMinFloats)
+  for (index_t r = 0; r < rows; ++r) {
+    const float* xrow = x.p + r * x.stride;
+    float* yrow = y.p + r * y.stride;
+    for (index_t to = 0; to < op.t_out; ++to) {
+      float acc = 0.0F;
+      for (index_t k = 0; k < op.k; ++k) {
+        acc += xrow[to * op.stride + k];
+      }
+      yrow[to] = acc * inv_k;
+    }
+  }
+}
+
+void exec_add(const detail::Op& op, RowSpan a, RowSpan b, RowSpan y,
+              index_t n) {
+  const index_t rows = n * op.c_out;
+  const index_t steps = op.t_out;
+  const bool fuse_relu = op.relu;
+#pragma omp parallel for schedule(static) \
+    if (rows * steps >= kParallelMinFloats)
+  for (index_t r = 0; r < rows; ++r) {
+    const float* arow = a.p + r * a.stride;
+    const float* brow = b.p + r * b.stride;
+    float* yrow = y.p + r * y.stride;
+    for (index_t t = 0; t < steps; ++t) {
+      const float s = arow[t] + brow[t];
+      yrow[t] = fuse_relu && s < 0.0F ? 0.0F : s;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor CompiledPlan::forward(const Tensor& input,
+                             ExecutionContext& ctx) const {
+  // One entry point for both programs: serving layers and facades run a
+  // quantized plan unchanged.
+  return quantized_ ? forward_quantized(input, ctx, nullptr)
+                    : forward_fp32(input, ctx, nullptr);
+}
+
+Tensor CompiledPlan::forward_fp32(const Tensor& input, ExecutionContext& ctx,
+                                  const ValueHook* hook) const {
+  const index_t c = input_channels();
+  const index_t t = input_steps();
+  const bool flat_ok = t == 1 && input.rank() == 2 && input.dim(1) == c;
+  PIT_CHECK(flat_ok || (input.rank() == 3 && input.dim(1) == c &&
+                        input.dim(2) == t),
+            "CompiledPlan: expected (N, " << c << ", " << t << "), got "
+                                          << input.shape().to_string());
+  const index_t n = input.dim(0);
+  const auto needed = static_cast<std::size_t>(arena_per_sample_ * n);
+  if (ctx.arena_.size() < needed) {
+    ctx.arena_.resize(needed);
+  }
+  float* arena = ctx.arena_.data();
+
+  const detail::Value& out_value =
+      values_[static_cast<std::size_t>(output_)];
+  Tensor out = out_value.steps == 1
+                   ? Tensor::empty(Shape{n, out_value.channels})
+                   : Tensor::empty(
+                         Shape{n, out_value.channels, out_value.steps});
+
+  const ValueId in_root = root_[static_cast<std::size_t>(input_)];
+  const ValueId out_root = root_[static_cast<std::size_t>(output_)];
+  const float* in_data = input.data();
+  float* out_data = out.data();
+
+  // Stage the input into its padded arena layout when some conv needs it.
+  if (input_stage_ >= 0) {
+    const auto si = static_cast<std::size_t>(input_stage_);
+    const index_t rows = n * values_[si].channels;
+    const index_t steps = values_[si].steps;
+    const index_t lead = lead_[si];
+    const index_t stride = stride_[si];
+    float* base = arena + offsets_[si] * n;
+#pragma omp parallel for schedule(static) \
+    if (rows * stride >= kParallelMinFloats)
+    for (index_t r = 0; r < rows; ++r) {
+      float* row = base + r * stride;
+      std::fill(row, row + lead, 0.0F);
+      std::copy(in_data + r * steps, in_data + (r + 1) * steps, row + lead);
+      std::fill(row + lead + steps, row + stride, 0.0F);
+    }
+  }
+
+  // Resolves a value to its run-time buffer. Aliases share their root's
+  // storage; the input resolves to its padded stage when one exists.
+  const auto span = [&](ValueId v) -> RowSpan {
+    ValueId r = root_[static_cast<std::size_t>(v)];
+    if (r == in_root) {
+      if (input_stage_ >= 0) {
+        r = input_stage_;
+      } else {
+        return {const_cast<float*>(in_data),
+                values_[static_cast<std::size_t>(r)].steps};
+      }
+    }
+    if (r == out_root) {
+      return {out_data, out_value.steps};
+    }
+    const auto ri = static_cast<std::size_t>(r);
+    return {arena + offsets_[ri] * n + lead_[ri], stride_[ri]};
+  };
+  // Zeroes a freshly produced value's lead region (the materialized
+  // causal padding its conv consumer will read).
+  const auto zero_lead = [&](ValueId v) {
+    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
+    if (offsets_[r] < 0 || lead_[r] == 0) {
+      return;
+    }
+    const index_t rows = n * values_[r].channels;
+    float* base = arena + offsets_[r] * n;
+    for (index_t row = 0; row < rows; ++row) {
+      float* p = base + row * stride_[r];
+      std::fill(p, p + lead_[r], 0.0F);
+    }
+  };
+
+  if (hook != nullptr) {
+    (*hook)(input_, in_data, n * c, t, t);
+  }
+
+  for (const detail::Op& op : ops_) {
+    switch (op.kind) {
+      case detail::OpKind::kConv: {
+        bool x_padded = false;
+        if (op.packed) {
+          ValueId r = root_[static_cast<std::size_t>(op.in0)];
+          if (r == in_root && input_stage_ >= 0) {
+            r = input_stage_;
+          }
+          const auto ri = static_cast<std::size_t>(r);
+          x_padded = lead_[ri] >= (op.k - 1) * op.dilation &&
+                     slack_[ri] >= nn::kernels::kPackTimeTile;
+        }
+        exec_conv(op, params_.data(), span(op.in0), span(op.out), n,
+                  x_padded);
+        break;
+      }
+      case detail::OpKind::kLinear:
+        exec_linear(op, params_.data(), span(op.in0), span(op.out), n);
+        break;
+      case detail::OpKind::kAvgPool:
+        exec_avg_pool(op, span(op.in0), span(op.out), n);
+        break;
+      case detail::OpKind::kAdd:
+        exec_add(op, span(op.in0), span(op.in1), span(op.out), n);
+        break;
+    }
+    zero_lead(op.out);
+    if (hook != nullptr) {
+      const RowSpan s = span(op.out);
+      const detail::Value& v = values_[static_cast<std::size_t>(op.out)];
+      (*hook)(op.out, s.p, n * v.channels, v.steps, s.stride);
+    }
+  }
+  return out;
+}
+
+}  // namespace pit::runtime

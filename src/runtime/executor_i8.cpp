@@ -1,0 +1,271 @@
+// Batched int8 execution of a quantized CompiledPlan. Every kernel-backed
+// op runs through the pointer bound at lowering time (detail::QuantBinding)
+// — this TU performs no variant-table walks and never consults the
+// registry.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "nn/kernels/registry.hpp"
+#include "runtime/compiled_net.hpp"
+#include "runtime/executor_detail.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::runtime {
+
+namespace {
+using detail::clamp_u8;
+using detail::kQParallelMinBytes;
+using detail::QSpan;
+using nn::kernels::kQuantCiGroup;
+using nn::kernels::quant_groups;
+}  // namespace
+
+Tensor CompiledPlan::forward_quantized(const Tensor& input,
+                                       ExecutionContext& ctx,
+                                       const ValueHook* hook) const {
+  PIT_CHECK(quantized_, "forward_quantized: plan has no int8 program");
+  const index_t c = input_channels();
+  const index_t t = input_steps();
+  const bool flat_ok = t == 1 && input.rank() == 2 && input.dim(1) == c;
+  PIT_CHECK(flat_ok || (input.rank() == 3 && input.dim(1) == c &&
+                        input.dim(2) == t),
+            "CompiledPlan: expected (N, " << c << ", " << t << "), got "
+                                          << input.shape().to_string());
+  const index_t n = input.dim(0);
+  const auto needed = static_cast<std::size_t>(q_arena_bytes_ * n);
+  if (ctx.qarena_.size() < needed) {
+    ctx.qarena_.resize(needed);
+  }
+  std::uint8_t* arena = ctx.qarena_.data();
+
+  const detail::Value& out_value =
+      values_[static_cast<std::size_t>(output_)];
+  Tensor out = out_value.steps == 1
+                   ? Tensor::empty(Shape{n, out_value.channels})
+                   : Tensor::empty(
+                         Shape{n, out_value.channels, out_value.steps});
+  float* out_data = out.data();
+
+  const ValueId in_root = root_[static_cast<std::size_t>(input_)];
+  const ValueId out_root = root_[static_cast<std::size_t>(output_)];
+
+  // Resolves a value to its byte-arena buffer (the input resolves to its
+  // staged u8 copy). Only valid for arena-backed values — the output is
+  // written as floats by its producing op.
+  const auto qspan = [&](ValueId v) -> QSpan {
+    ValueId r = root_[static_cast<std::size_t>(v)];
+    if (r == in_root) {
+      r = q_stage_;
+    }
+    const auto ri = static_cast<std::size_t>(r);
+    PIT_CHECK(q_off_[ri] >= 0, "forward_quantized: value " << v
+                                                           << " not planned");
+    return {arena + q_off_[ri] * n + kQuantCiGroup * q_lead_[ri],
+            q_stride_[ri]};
+  };
+
+  // Stage the input: float (N, C, T) -> u8 channel-group rows, with the
+  // causal lead filled with the zero-point byte (real 0.0).
+  {
+    const auto si = static_cast<std::size_t>(q_stage_);
+    const quant::QuantParams& qp = qvalue_[si];
+    qstage_fn_(input.data(), arena + q_off_[si] * n, n, c, t, q_lead_[si],
+               q_stride_[si], 1.0F / qp.scale, qp.zero_point);
+  }
+
+  // Refills the zero-point lead of a freshly produced value (arena reuse
+  // may have clobbered it; its conv consumer reads it as causal padding).
+  const auto refill_lead = [&](ValueId v) {
+    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
+    if (q_off_[r] < 0 || q_lead_[r] == 0) {
+      return;
+    }
+    const index_t rows = n * quant_groups(values_[r].channels);
+    const auto zp_byte = static_cast<std::uint8_t>(qvalue_[r].zero_point);
+    std::uint8_t* base = arena + q_off_[r] * n;
+    for (index_t row = 0; row < rows; ++row) {
+      std::memset(base + row * kQuantCiGroup * q_stride_[r], zp_byte,
+                  static_cast<std::size_t>(kQuantCiGroup * q_lead_[r]));
+    }
+  };
+
+  // Dequantizes a produced value into a dense float scratch for the hook.
+  std::vector<float> scratch;
+  const auto call_hook = [&](ValueId v) {
+    if (hook == nullptr) {
+      return;
+    }
+    const detail::Value& val = values_[static_cast<std::size_t>(v)];
+    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
+    if (r == static_cast<std::size_t>(out_root)) {
+      (*hook)(v, out_data, n * val.channels, val.steps, val.steps);
+      return;
+    }
+    const QSpan s = qspan(v);
+    const quant::QuantParams& qp = qvalue_[r];
+    scratch.assign(static_cast<std::size_t>(n * val.numel()), 0.0F);
+    const index_t groups = quant_groups(val.channels);
+    for (index_t ni = 0; ni < n; ++ni) {
+      const std::uint8_t* sample =
+          s.p + ni * groups * kQuantCiGroup * s.stride;
+      for (index_t ch = 0; ch < val.channels; ++ch) {
+        const std::uint8_t* grow =
+            sample + (ch / kQuantCiGroup) * kQuantCiGroup * s.stride;
+        float* drow =
+            scratch.data() + (ni * val.channels + ch) * val.steps;
+        for (index_t ts = 0; ts < val.steps; ++ts) {
+          drow[ts] = qp.dequantize(
+              grow[kQuantCiGroup * ts + ch % kQuantCiGroup]);
+        }
+      }
+    }
+    (*hook)(v, scratch.data(), n * val.channels, val.steps, val.steps);
+  };
+
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const detail::Op& op = ops_[i];
+    const detail::QuantOp& qop = qops_[i];
+    switch (op.kind) {
+      case detail::OpKind::kConv: {
+        const float* m = qconsts_.data() + qop.m_off;
+        const float* b = qconsts_.data() + qop.b_off;
+        nn::kernels::ConvDims dims{};
+        dims.n = n;
+        dims.c_in = op.c_in;
+        dims.c_out = op.c_out;
+        dims.k = op.k;
+        dims.t_in = op.t_in;
+        dims.t_out = op.t_out;
+        dims.dilation = op.dilation;
+        dims.stride = 1;
+        const QSpan x = qspan(op.in0);
+        if (qop.out_float) {
+          qop.bind.conv(x.p, qweights_.data() + qop.w_off, m, b, nullptr,
+                        out_data, dims, x.stride, op.t_out, op.relu,
+                        qop.out_lo);
+        } else {
+          const QSpan y = qspan(op.out);
+          qop.bind.conv(x.p, qweights_.data() + qop.w_off, m, b, y.p,
+                        nullptr, dims, x.stride, y.stride, op.relu,
+                        qop.out_lo);
+        }
+        break;
+      }
+      case detail::OpKind::kLinear: {
+        const float* m = qconsts_.data() + qop.m_off;
+        const float* b = qconsts_.data() + qop.b_off;
+        const auto rv = static_cast<std::size_t>(
+            root_[static_cast<std::size_t>(op.in0)]);
+        const index_t f4 = quant_groups(values_[rv].channels) *
+                           kQuantCiGroup * values_[rv].steps;
+        // The bound kernel is the k = 1, t = 1 conv over one contiguous
+        // run of f4 feature quads per sample.
+        nn::kernels::ConvDims dims{};
+        dims.n = n;
+        dims.c_in = f4;
+        dims.c_out = op.c_out;
+        dims.k = 1;
+        dims.t_in = 1;
+        dims.t_out = 1;
+        dims.dilation = 1;
+        dims.stride = 1;
+        const QSpan x = qspan(op.in0);
+        if (qop.out_float) {
+          qop.bind.conv(x.p, qweights_.data() + qop.w_off, m, b, nullptr,
+                        out_data, dims, 1, 1, op.relu, qop.out_lo);
+        } else {
+          const QSpan y = qspan(op.out);
+          qop.bind.conv(x.p, qweights_.data() + qop.w_off, m, b, y.p,
+                        nullptr, dims, 1, 1, op.relu, qop.out_lo);
+        }
+        break;
+      }
+      case detail::OpKind::kAvgPool: {
+        const QSpan x = qspan(op.in0);
+        const index_t groups = quant_groups(op.c_out);
+        const index_t rows = n * groups;
+        const float a_mul = qop.a_mul;
+        const float c_add = qop.c_add;
+        const bool out_float = qop.out_float;
+        const QSpan y = out_float ? QSpan{} : qspan(op.out);
+#pragma omp parallel for schedule(static) \
+    if (rows * op.t_out * kQuantCiGroup >= kQParallelMinBytes)
+        for (index_t r = 0; r < rows; ++r) {
+          const std::uint8_t* xrow = x.p + r * kQuantCiGroup * x.stride;
+          for (index_t to = 0; to < op.t_out; ++to) {
+            for (index_t j = 0; j < kQuantCiGroup; ++j) {
+              std::int32_t sum = 0;
+              for (index_t w = 0; w < op.k; ++w) {
+                sum += xrow[kQuantCiGroup * (to * op.stride + w) + j];
+              }
+              const float v = a_mul * static_cast<float>(sum) + c_add;
+              if (out_float) {
+                const index_t ni = r / groups;
+                const index_t ch = (r % groups) * kQuantCiGroup + j;
+                if (ch < op.c_out) {
+                  out_data[(ni * op.c_out + ch) * op.t_out + to] = v;
+                }
+              } else {
+                y.p[r * kQuantCiGroup * y.stride + kQuantCiGroup * to + j] =
+                    static_cast<std::uint8_t>(
+                        clamp_u8(std::lrintf(v), qop.out_lo));
+              }
+            }
+          }
+        }
+        break;
+      }
+      case detail::OpKind::kAdd: {
+        const QSpan a = qspan(op.in0);
+        const QSpan bb = qspan(op.in1);
+        const index_t groups = quant_groups(op.c_out);
+        const index_t rows = n * groups;
+        const index_t steps = op.t_out;
+        if (!qop.out_float) {
+          const QSpan y = qspan(op.out);
+          qop.bind.add(a.p, bb.p, y.p, rows, steps, a.stride, bb.stride,
+                       y.stride, qop.a_mul, qop.b_mul, qop.c_add,
+                       qop.out_lo);
+          break;
+        }
+        // Dequantizing store (this add produces the plan output): rare,
+        // so a plain loop over the dense float rows suffices.
+        const float a_mul = qop.a_mul;
+        const float b_mul = qop.b_mul;
+        const float c_add = qop.c_add;
+        const bool relu = op.relu;
+#pragma omp parallel for schedule(static) \
+    if (rows * steps * kQuantCiGroup >= kQParallelMinBytes)
+        for (index_t r = 0; r < rows; ++r) {
+          const std::uint8_t* arow = a.p + r * kQuantCiGroup * a.stride;
+          const std::uint8_t* brow = bb.p + r * kQuantCiGroup * bb.stride;
+          for (index_t ts = 0; ts < steps; ++ts) {
+            for (index_t j = 0; j < kQuantCiGroup; ++j) {
+              const index_t off = kQuantCiGroup * ts + j;
+              float v = a_mul * static_cast<float>(arow[off]) +
+                        b_mul * static_cast<float>(brow[off]) + c_add;
+              if (relu && v < 0.0F) {
+                v = 0.0F;
+              }
+              const index_t ni = r / groups;
+              const index_t ch = (r % groups) * kQuantCiGroup + j;
+              if (ch < op.c_out) {
+                out_data[(ni * op.c_out + ch) * steps + ts] = v;
+              }
+            }
+          }
+        }
+        break;
+      }
+    }
+    if (!qop.out_float) {
+      refill_lead(op.out);
+    }
+    call_hook(op.out);
+  }
+  return out;
+}
+
+}  // namespace pit::runtime

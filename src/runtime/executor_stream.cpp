@@ -1,0 +1,91 @@
+// Streaming fp32 single-step execution of a CompiledPlan. The per-conv MAC
+// loop is the streaming-step kernel bound at plan-build time
+// (detail::OpBinding::step) — this TU only manages the ring buffers and
+// per-value vectors and never consults the registry.
+#include <algorithm>
+
+#include "nn/kernels/registry.hpp"
+#include "runtime/compiled_net.hpp"
+#include "runtime/executor_detail.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::runtime {
+
+void CompiledPlan::bind_stream(ExecutionContext& ctx) const {
+  PIT_CHECK(streamable_,
+            "CompiledPlan::step: plan is not streamable (it contains a "
+            "pool, linear, or strided conv — run forward() on whole "
+            "sequences instead)");
+  if (ctx.stream_plan_ != this) {
+    if (quantized_) {
+      bind_stream_quantized(ctx);  // zero-point-filled u8 rings
+    } else {
+      ctx.stream_ring_.assign(static_cast<std::size_t>(ring_floats_), 0.0F);
+      ctx.stream_vals_.assign(static_cast<std::size_t>(val_floats_), 0.0F);
+    }
+    ctx.stream_t_ = 0;
+    ctx.stream_plan_ = this;
+  }
+}
+
+void CompiledPlan::step(const float* input, float* output,
+                        ExecutionContext& ctx) const {
+  bind_stream(ctx);
+  if (quantized_) {
+    step_quantized(input, output, ctx);
+    return;
+  }
+  float* rings = ctx.stream_ring_.data();
+  float* vals = ctx.stream_vals_.data();
+  const auto t = static_cast<index_t>(ctx.stream_t_);
+
+  const auto vec = [&](ValueId v) -> float* {
+    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
+    return vals + val_off_[r];
+  };
+  std::copy(input, input + input_channels(), vec(input_));
+
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const detail::Op& op = ops_[i];
+    float* y = vec(op.out);
+    if (op.kind == detail::OpKind::kAdd) {
+      const float* a = vec(op.in0);
+      const float* b = vec(op.in1);
+      for (index_t ch = 0; ch < op.c_out; ++ch) {
+        const float s = a[ch] + b[ch];
+        y[ch] = op.relu && s < 0.0F ? 0.0F : s;
+      }
+      continue;
+    }
+    // Conv: push the current input vector into this op's history ring,
+    // then hand the ring to the bound single-step kernel, which dots
+    // every tap against its dilated look-back slot. Slots the sequence
+    // has not reached yet still hold their zero initialization — exactly
+    // the implicit causal padding of the batched kernels.
+    const float* x = vec(op.in0);
+    const index_t span = detail::ring_span(op);
+    const index_t pos = t % span;
+    float* ring = rings + ring_off_[static_cast<std::size_t>(i)];
+    for (index_t ci = 0; ci < op.c_in; ++ci) {
+      ring[ci * span + pos] = x[ci];
+    }
+    op.bind.step(ring, params_.data() + op.w_off,
+                 op.b_off >= 0 ? params_.data() + op.b_off : nullptr, y,
+                 op.c_in, op.c_out, op.k, op.dilation, span, pos, op.relu);
+  }
+  const float* out_vec = vec(output_);
+  std::copy(out_vec, out_vec + output_channels(), output);
+  ++ctx.stream_t_;
+}
+
+Tensor CompiledPlan::step(const Tensor& input, ExecutionContext& ctx) const {
+  PIT_CHECK(input.rank() == 1 && input.dim(0) == input_channels(),
+            "CompiledPlan::step: expected a (" << input_channels()
+                                               << ",) time-step vector, got "
+                                               << input.shape().to_string());
+  Tensor out = Tensor::empty(Shape{output_channels()});
+  step(input.data(), out.data(), ctx);
+  return out;
+}
+
+}  // namespace pit::runtime

@@ -1,0 +1,112 @@
+// Streaming int8 single-step execution of a quantized CompiledPlan. The
+// per-conv MAC loop is the single-step i8 kernel bound at lowering time
+// (detail::QuantBinding::step) — this TU only manages the u8 ring buffers
+// and per-value quad vectors and never consults the registry.
+#include <cstring>
+
+#include "nn/kernels/registry.hpp"
+#include "runtime/compiled_net.hpp"
+#include "runtime/executor_detail.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::runtime {
+
+namespace {
+using nn::kernels::kQuantCiGroup;
+using nn::kernels::quant_groups;
+}  // namespace
+
+std::size_t CompiledPlan::quant_root(ValueId v) const {
+  const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
+  const auto in_root =
+      static_cast<std::size_t>(root_[static_cast<std::size_t>(input_)]);
+  return r == in_root ? static_cast<std::size_t>(q_stage_) : r;
+}
+
+void CompiledPlan::bind_stream_quantized(ExecutionContext& ctx) const {
+  // Rings start life holding each conv input's zero-point byte: slots the
+  // stream has not reached yet read as real 0.0 — the same causal padding
+  // the batched program materializes in its row leads.
+  ctx.qstream_ring_.assign(static_cast<std::size_t>(q_ring_bytes_), 0);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const detail::Op& op = ops_[i];
+    if (op.kind != detail::OpKind::kConv) {
+      continue;
+    }
+    const auto zp =
+        static_cast<std::uint8_t>(qvalue_[quant_root(op.in0)].zero_point);
+    const index_t bytes = quant_groups(op.c_in) *
+                          ((op.k - 1) * op.dilation + 1) * kQuantCiGroup;
+    std::memset(ctx.qstream_ring_.data() + q_ring_off_[i], zp,
+                static_cast<std::size_t>(bytes));
+  }
+  ctx.qstream_vals_.assign(static_cast<std::size_t>(q_val_bytes_), 0);
+}
+
+void CompiledPlan::step_quantized(const float* input, float* output,
+                                  ExecutionContext& ctx) const {
+  std::uint8_t* rings = ctx.qstream_ring_.data();
+  std::uint8_t* vals = ctx.qstream_vals_.data();
+  const auto t = static_cast<index_t>(ctx.stream_t_);
+  const auto qvec = [&](ValueId v) -> std::uint8_t* {
+    return vals + q_val_off_[quant_root(v)];
+  };
+
+  // Quantize the input step into its staged quad vector through the same
+  // staging kernel as the batched program (a (1, C, 1) batch with no
+  // lead), so the rounding arithmetic — and with it the stream's
+  // bit-exactness — can never drift from the batched path's.
+  {
+    const std::size_t stage = quant_root(input_);
+    const quant::QuantParams& qp = qvalue_[stage];
+    qstage_fn_(input, vals + q_val_off_[stage], /*n=*/1, input_channels(),
+               /*steps=*/1, /*lead=*/0, /*stride=*/1, 1.0F / qp.scale,
+               qp.zero_point);
+  }
+
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const detail::Op& op = ops_[i];
+    const detail::QuantOp& qop = qops_[i];
+    if (op.kind == detail::OpKind::kAdd) {
+      const std::uint8_t* a = qvec(op.in0);
+      const std::uint8_t* bb = qvec(op.in1);
+      if (!qop.out_float) {
+        qop.bind.add(a, bb, qvec(op.out), quant_groups(op.c_out),
+                     /*steps=*/1, 1, 1, 1, qop.a_mul, qop.b_mul, qop.c_add,
+                     qop.out_lo);
+      } else {
+        // Dequantizing store of the plan output — the same expression as
+        // the batched out_float add path in forward_quantized().
+        for (index_t ch = 0; ch < op.c_out; ++ch) {
+          float v = qop.a_mul * static_cast<float>(a[ch]) +
+                    qop.b_mul * static_cast<float>(bb[ch]) + qop.c_add;
+          if (op.relu && v < 0.0F) {
+            v = 0.0F;
+          }
+          output[ch] = v;
+        }
+      }
+      continue;
+    }
+    // Conv: push the current input quads into this op's history ring,
+    // then run the bound single-step i8 kernel over the dilated look-back.
+    const std::uint8_t* x = qvec(op.in0);
+    const index_t span = (op.k - 1) * op.dilation + 1;
+    const index_t pos = t % span;
+    std::uint8_t* ring = rings + q_ring_off_[i];
+    const index_t g_in = quant_groups(op.c_in);
+    for (index_t g = 0; g < g_in; ++g) {
+      std::memcpy(ring + (g * span + pos) * kQuantCiGroup,
+                  x + g * kQuantCiGroup, kQuantCiGroup);
+    }
+    const float* m = qconsts_.data() + qop.m_off;
+    const float* b = qconsts_.data() + qop.b_off;
+    qop.bind.step(ring, qweights_.data() + qop.w_off, m, b,
+                  qop.out_float ? nullptr : qvec(op.out),
+                  qop.out_float ? output : nullptr, op.c_in, op.c_out, op.k,
+                  op.dilation, span, pos, op.relu, qop.out_lo);
+  }
+  ++ctx.stream_t_;
+}
+
+}  // namespace pit::runtime

@@ -1,134 +1,18 @@
-#include "runtime/compiled_net.hpp"
-
+// Plan construction: module freezing, BN folding, the NetBuilder graph
+// recorder, arena/streaming layout planning, and the plan-build-time kernel
+// binding that resolves every op to a concrete registry kernel exactly
+// once. Execution lives in the executor_*.cpp translation units.
 #include <algorithm>
 #include <cmath>
 #include <sstream>
 
-#include "nn/kernels/kernels.hpp"
+#include "nn/kernels/registry.hpp"
 #include "runtime/arena.hpp"
+#include "runtime/compiled_net.hpp"
+#include "runtime/executor_detail.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::runtime {
-
-namespace {
-
-// Below this many output floats an op runs serially: the OpenMP fork costs
-// more than the loop (same spirit as the kernel engine's MAC threshold).
-constexpr index_t kParallelMinFloats = 16384;
-
-/// An operand's buffer at run time: `p` points at the logical (row 0,
-/// t = 0) element; consecutive channel rows are `stride` floats apart.
-struct RowSpan {
-  float* p = nullptr;
-  index_t stride = 0;
-};
-
-void relu_inplace(float* y, index_t count) {
-#pragma omp parallel for schedule(static) if (count >= kParallelMinFloats)
-  for (index_t i = 0; i < count; ++i) {
-    y[i] = y[i] > 0.0F ? y[i] : 0.0F;
-  }
-}
-
-void exec_conv(const detail::Op& op, const float* params, RowSpan x,
-               RowSpan y, index_t n, bool x_padded) {
-  nn::kernels::ConvDims dims{};
-  dims.n = n;
-  dims.c_in = op.c_in;
-  dims.c_out = op.c_out;
-  dims.k = op.k;
-  dims.t_in = op.t_in;
-  dims.t_out = op.t_out;
-  dims.dilation = op.dilation;
-  dims.stride = op.stride;
-  if (op.packed) {
-    // Stride-1 fast path: overwrite semantics with bias and ReLU fused
-    // into the kernel's store — no zero-fill, no separate activation pass.
-    nn::kernels::conv_forward_packed(
-        x.p, params + op.w_off,
-        op.b_off >= 0 ? params + op.b_off : nullptr, y.p, dims, x.stride,
-        y.stride, x_padded, op.relu);
-    return;
-  }
-  // Strided convs take the training kernels (dense layouts only), which
-  // accumulate: seed the output with the bias (or zero) instead of paying
-  // a zero-fill plus an in-kernel bias pass.
-  PIT_CHECK(x.stride == op.t_in && y.stride == op.t_out,
-            "CompiledPlan: strided conv requires dense operand layouts");
-  const index_t out_floats = n * op.c_out * op.t_out;
-  if (op.b_off >= 0) {
-    const float* b = params + op.b_off;
-#pragma omp parallel for collapse(2) schedule(static) \
-    if (out_floats >= kParallelMinFloats)
-    for (index_t ni = 0; ni < n; ++ni) {
-      for (index_t co = 0; co < op.c_out; ++co) {
-        float* row = y.p + (ni * op.c_out + co) * op.t_out;
-        std::fill(row, row + op.t_out, b[co]);
-      }
-    }
-  } else {
-    std::fill(y.p, y.p + out_floats, 0.0F);
-  }
-  nn::kernels::conv_forward(x.p, params + op.w_off, nullptr, y.p, dims);
-  if (op.relu) {
-    relu_inplace(y.p, out_floats);
-  }
-}
-
-void exec_linear(const detail::Op& op, const float* params, RowSpan x,
-                 RowSpan y, index_t n) {
-  // Dense, contiguous operands — guaranteed at compile time (flatten is
-  // only legal over dense storage, and dense writers cannot produce
-  // padded values), so the buffers are exactly the (n, f) / (n, o)
-  // matrices the kernel wants; the row strides are irrelevant here.
-  nn::kernels::linear_forward(x.p, params + op.w_off,
-                              op.b_off >= 0 ? params + op.b_off : nullptr,
-                              y.p, n, op.c_in, op.c_out, op.relu);
-}
-
-void exec_avg_pool(const detail::Op& op, RowSpan x, RowSpan y, index_t n) {
-  const index_t rows = n * op.c_out;  // pooling keeps the channel count
-  const float inv_k = 1.0F / static_cast<float>(op.k);
-#pragma omp parallel for schedule(static) \
-    if (rows * op.t_out >= kParallelMinFloats)
-  for (index_t r = 0; r < rows; ++r) {
-    const float* xrow = x.p + r * x.stride;
-    float* yrow = y.p + r * y.stride;
-    for (index_t to = 0; to < op.t_out; ++to) {
-      float acc = 0.0F;
-      for (index_t k = 0; k < op.k; ++k) {
-        acc += xrow[to * op.stride + k];
-      }
-      yrow[to] = acc * inv_k;
-    }
-  }
-}
-
-void exec_add(const detail::Op& op, RowSpan a, RowSpan b, RowSpan y,
-              index_t n) {
-  const index_t rows = n * op.c_out;
-  const index_t steps = op.t_out;
-  const bool fuse_relu = op.relu;
-#pragma omp parallel for schedule(static) \
-    if (rows * steps >= kParallelMinFloats)
-  for (index_t r = 0; r < rows; ++r) {
-    const float* arow = a.p + r * a.stride;
-    const float* brow = b.p + r * b.stride;
-    float* yrow = y.p + r * y.stride;
-    for (index_t t = 0; t < steps; ++t) {
-      const float s = arow[t] + brow[t];
-      yrow[t] = fuse_relu && s < 0.0F ? 0.0F : s;
-    }
-  }
-}
-
-/// Ring slots a streaming conv keeps per input channel: the current input
-/// plus the (k-1)*dilation past steps its oldest tap reaches back to.
-index_t ring_span(const detail::Op& op) {
-  return (op.k - 1) * op.dilation + 1;
-}
-
-}  // namespace
 
 FrozenConv freeze_conv(const nn::Conv1d& conv) {
   FrozenConv out;
@@ -223,7 +107,7 @@ ValueId NetBuilder::conv(ValueId x, const FrozenConv& c, bool fuse_relu) {
   op.t_out = nn::causal_conv1d_output_steps(in.steps, c.stride);
   if (c.stride == 1) {
     // Stride-1 convs (the TCN hot path) get the inference-packed weight
-    // layout so execution takes conv_forward_packed.
+    // layout so execution takes the packed conv kernels.
     op.packed = true;
     nn::kernels::ConvDims dims{};
     dims.c_in = c.c_in;
@@ -479,7 +363,7 @@ CompiledPlan NetBuilder::compile(ValueId output) && {
       const detail::Op& op = net.ops_[i];
       if (op.kind == detail::OpKind::kConv) {
         net.ring_off_[i] = net.ring_floats_;
-        net.ring_floats_ += op.c_in * ring_span(op);
+        net.ring_floats_ += op.c_in * detail::ring_span(op);
       }
     }
     net.val_off_.assign(net.values_.size(), -1);
@@ -490,10 +374,57 @@ CompiledPlan NetBuilder::compile(ValueId output) && {
       }
     }
   }
+
+  // Kernel binding: resolve every op to concrete registry kernels, once.
+  // The executors only ever call these pointers — there is no backend
+  // resolution, env lookup, or signature matching on the hot path.
+  const auto& reg = nn::kernels::Registry::instance();
+  for (detail::Op& op : net.ops_) {
+    switch (op.kind) {
+      case detail::OpKind::kConv:
+        if (op.packed) {
+          const nn::kernels::ConvSig sig{op.k, op.c_in, op.c_out};
+          const auto conv = reg.conv_packed_f32(sig);
+          op.bind.conv = conv.fn;
+          op.bind.meta = conv.meta;
+          const auto step = reg.conv_step_f32(sig);
+          op.bind.step = step.fn;
+          op.bind.step_meta = step.meta;
+        } else {
+          // Strided conv: the historical scalar-vs-blocked resolution
+          // (override, env, MAC heuristic) runs here, once, for the op's
+          // per-sample geometry.
+          nn::kernels::ConvDims dims{};
+          dims.n = 1;
+          dims.c_in = op.c_in;
+          dims.c_out = op.c_out;
+          dims.k = op.k;
+          dims.t_in = op.t_in;
+          dims.t_out = op.t_out;
+          dims.dilation = op.dilation;
+          dims.stride = op.stride;
+          const auto train = reg.conv_train_f32(dims);
+          op.bind.conv_train = train.fn;
+          op.bind.meta = train.meta;
+        }
+        break;
+      case detail::OpKind::kLinear: {
+        const auto lin = reg.linear_f32();
+        op.bind.linear = lin.fn;
+        op.bind.meta = lin.meta;
+        break;
+      }
+      case detail::OpKind::kAvgPool:
+      case detail::OpKind::kAdd:
+        // Executed by loops inside the executor itself.
+        op.bind.meta = &nn::kernels::Registry::inline_meta();
+        break;
+    }
+  }
   return net;
 }
 
-// ---- CompiledPlan --------------------------------------------------------
+// ---- CompiledPlan introspection ------------------------------------------
 
 index_t CompiledPlan::input_channels() const {
   return values_[static_cast<std::size_t>(input_)].channels;
@@ -567,240 +498,42 @@ index_t CompiledPlan::activation_floats_per_sample() const {
   return total;
 }
 
-Tensor CompiledPlan::forward(const Tensor& input,
-                             ExecutionContext& ctx) const {
-  // One entry point for both programs: serving layers and facades run a
-  // quantized plan unchanged.
-  return quantized_ ? forward_quantized(input, ctx, nullptr)
-                    : forward_fp32(input, ctx, nullptr);
-}
+namespace {
 
-Tensor CompiledPlan::forward_fp32(const Tensor& input, ExecutionContext& ctx,
-                                  const ValueHook* hook) const {
-  const index_t c = input_channels();
-  const index_t t = input_steps();
-  const bool flat_ok = t == 1 && input.rank() == 2 && input.dim(1) == c;
-  PIT_CHECK(flat_ok || (input.rank() == 3 && input.dim(1) == c &&
-                        input.dim(2) == t),
-            "CompiledPlan: expected (N, " << c << ", " << t << "), got "
-                                          << input.shape().to_string());
-  const index_t n = input.dim(0);
-  const auto needed = static_cast<std::size_t>(arena_per_sample_ * n);
-  if (ctx.arena_.size() < needed) {
-    ctx.arena_.resize(needed);
+void print_op_head(std::ostringstream& os, const detail::Op& op) {
+  switch (op.kind) {
+    case detail::OpKind::kConv:
+      os << "conv " << op.c_in << "->" << op.c_out << " k" << op.k << " d"
+         << op.dilation << " s" << op.stride;
+      break;
+    case detail::OpKind::kLinear:
+      os << "linear " << op.c_in << "->" << op.c_out;
+      break;
+    case detail::OpKind::kAvgPool:
+      os << "avg_pool k" << op.k << " s" << op.stride;
+      break;
+    case detail::OpKind::kAdd:
+      os << "add";
+      break;
   }
-  float* arena = ctx.arena_.data();
-
-  const detail::Value& out_value =
-      values_[static_cast<std::size_t>(output_)];
-  Tensor out = out_value.steps == 1
-                   ? Tensor::empty(Shape{n, out_value.channels})
-                   : Tensor::empty(
-                         Shape{n, out_value.channels, out_value.steps});
-
-  const ValueId in_root = root_[static_cast<std::size_t>(input_)];
-  const ValueId out_root = root_[static_cast<std::size_t>(output_)];
-  const float* in_data = input.data();
-  float* out_data = out.data();
-
-  // Stage the input into its padded arena layout when some conv needs it.
-  if (input_stage_ >= 0) {
-    const auto si = static_cast<std::size_t>(input_stage_);
-    const index_t rows = n * values_[si].channels;
-    const index_t steps = values_[si].steps;
-    const index_t lead = lead_[si];
-    const index_t stride = stride_[si];
-    float* base = arena + offsets_[si] * n;
-#pragma omp parallel for schedule(static) \
-    if (rows * stride >= kParallelMinFloats)
-    for (index_t r = 0; r < rows; ++r) {
-      float* row = base + r * stride;
-      std::fill(row, row + lead, 0.0F);
-      std::copy(in_data + r * steps, in_data + (r + 1) * steps, row + lead);
-      std::fill(row + lead + steps, row + stride, 0.0F);
-    }
-  }
-
-  // Resolves a value to its run-time buffer. Aliases share their root's
-  // storage; the input resolves to its padded stage when one exists.
-  const auto span = [&](ValueId v) -> RowSpan {
-    ValueId r = root_[static_cast<std::size_t>(v)];
-    if (r == in_root) {
-      if (input_stage_ >= 0) {
-        r = input_stage_;
-      } else {
-        return {const_cast<float*>(in_data),
-                values_[static_cast<std::size_t>(r)].steps};
-      }
-    }
-    if (r == out_root) {
-      return {out_data, out_value.steps};
-    }
-    const auto ri = static_cast<std::size_t>(r);
-    return {arena + offsets_[ri] * n + lead_[ri], stride_[ri]};
-  };
-  // Zeroes a freshly produced value's lead region (the materialized
-  // causal padding its conv consumer will read).
-  const auto zero_lead = [&](ValueId v) {
-    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
-    if (offsets_[r] < 0 || lead_[r] == 0) {
-      return;
-    }
-    const index_t rows = n * values_[r].channels;
-    float* base = arena + offsets_[r] * n;
-    for (index_t row = 0; row < rows; ++row) {
-      float* p = base + row * stride_[r];
-      std::fill(p, p + lead_[r], 0.0F);
-    }
-  };
-
-  if (hook != nullptr) {
-    (*hook)(input_, in_data, n * c, t, t);
-  }
-
-  for (const detail::Op& op : ops_) {
-    switch (op.kind) {
-      case detail::OpKind::kConv: {
-        bool x_padded = false;
-        if (op.packed) {
-          ValueId r = root_[static_cast<std::size_t>(op.in0)];
-          if (r == in_root && input_stage_ >= 0) {
-            r = input_stage_;
-          }
-          const auto ri = static_cast<std::size_t>(r);
-          x_padded = lead_[ri] >= (op.k - 1) * op.dilation &&
-                     slack_[ri] >= nn::kernels::kPackTimeTile;
-        }
-        exec_conv(op, params_.data(), span(op.in0), span(op.out), n,
-                  x_padded);
-        break;
-      }
-      case detail::OpKind::kLinear:
-        exec_linear(op, params_.data(), span(op.in0), span(op.out), n);
-        break;
-      case detail::OpKind::kAvgPool:
-        exec_avg_pool(op, span(op.in0), span(op.out), n);
-        break;
-      case detail::OpKind::kAdd:
-        exec_add(op, span(op.in0), span(op.in1), span(op.out), n);
-        break;
-    }
-    zero_lead(op.out);
-    if (hook != nullptr) {
-      const RowSpan s = span(op.out);
-      const detail::Value& v = values_[static_cast<std::size_t>(op.out)];
-      (*hook)(op.out, s.p, n * v.channels, v.steps, s.stride);
-    }
-  }
-  return out;
-}
-
-// ---- Streaming step execution --------------------------------------------
-
-void CompiledPlan::bind_stream(ExecutionContext& ctx) const {
-  PIT_CHECK(streamable_,
-            "CompiledPlan::step: plan is not streamable (it contains a "
-            "pool, linear, or strided conv — run forward() on whole "
-            "sequences instead)");
-  if (ctx.stream_plan_ != this) {
-    if (quantized_) {
-      bind_stream_quantized(ctx);  // zero-point-filled u8 rings
-    } else {
-      ctx.stream_ring_.assign(static_cast<std::size_t>(ring_floats_), 0.0F);
-      ctx.stream_vals_.assign(static_cast<std::size_t>(val_floats_), 0.0F);
-    }
-    ctx.stream_t_ = 0;
-    ctx.stream_plan_ = this;
+  os << " t" << op.t_in << "->" << op.t_out;
+  if (op.relu) {
+    os << " +relu";
   }
 }
 
-void CompiledPlan::step(const float* input, float* output,
-                        ExecutionContext& ctx) const {
-  bind_stream(ctx);
-  if (quantized_) {
-    step_quantized(input, output, ctx);
+void print_kernel(std::ostringstream& os, const char* tag,
+                  const nn::kernels::KernelMeta* m) {
+  os << ' ' << tag << '=';
+  if (m == nullptr) {
+    os << "unbound";
     return;
   }
-  float* rings = ctx.stream_ring_.data();
-  float* vals = ctx.stream_vals_.data();
-  const auto t = static_cast<index_t>(ctx.stream_t_);
-
-  const auto vec = [&](ValueId v) -> float* {
-    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
-    return vals + val_off_[r];
-  };
-  std::copy(input, input + input_channels(), vec(input_));
-
-  for (std::size_t i = 0; i < ops_.size(); ++i) {
-    const detail::Op& op = ops_[i];
-    float* y = vec(op.out);
-    if (op.kind == detail::OpKind::kAdd) {
-      const float* a = vec(op.in0);
-      const float* b = vec(op.in1);
-      for (index_t ch = 0; ch < op.c_out; ++ch) {
-        const float s = a[ch] + b[ch];
-        y[ch] = op.relu && s < 0.0F ? 0.0F : s;
-      }
-      continue;
-    }
-    // Conv: push the current input vector into this op's history ring,
-    // then dot every tap against its dilated look-back slot. Slots the
-    // sequence has not reached yet still hold their zero initialization —
-    // exactly the implicit causal padding of the batched kernels.
-    const float* x = vec(op.in0);
-    const index_t span = ring_span(op);
-    const index_t pos = t % span;
-    float* ring = rings + ring_off_[static_cast<std::size_t>(i)];
-    for (index_t ci = 0; ci < op.c_in; ++ci) {
-      ring[ci * span + pos] = x[ci];
-    }
-    if (op.b_off >= 0) {
-      const float* b = params_.data() + op.b_off;
-      std::copy(b, b + op.c_out, y);
-    } else {
-      std::fill(y, y + op.c_out, 0.0F);
-    }
-    // Packed weight layout: wp[(ci*k + i) * co_round + co] — contiguous
-    // over output channels, which is the inner loop here too.
-    const index_t co_round =
-        (op.c_out + nn::kernels::kPackCo - 1) / nn::kernels::kPackCo *
-        nn::kernels::kPackCo;
-    const float* wp = params_.data() + op.w_off;
-    for (index_t ci = 0; ci < op.c_in; ++ci) {
-      const float* crow = ring + ci * span;
-      for (index_t tap = 0; tap < op.k; ++tap) {
-        const index_t back = tap * op.dilation;  // < span by construction
-        const index_t slot = pos >= back ? pos - back : pos - back + span;
-        const float xv = crow[slot];
-        if (xv == 0.0F) {
-          continue;  // padding region and post-ReLU zeros are common
-        }
-        const float* wrow = wp + (ci * op.k + tap) * co_round;
-        for (index_t co = 0; co < op.c_out; ++co) {
-          y[co] += wrow[co] * xv;
-        }
-      }
-    }
-    if (op.relu) {
-      for (index_t co = 0; co < op.c_out; ++co) {
-        y[co] = y[co] > 0.0F ? y[co] : 0.0F;
-      }
-    }
-  }
-  const float* out_vec = vec(output_);
-  std::copy(out_vec, out_vec + output_channels(), output);
-  ++ctx.stream_t_;
+  os << m->isa << '/' << m->variant << ' '
+     << (m->specialized ? "specialized" : "generic") << " key=" << m->op;
 }
 
-Tensor CompiledPlan::step(const Tensor& input, ExecutionContext& ctx) const {
-  PIT_CHECK(input.rank() == 1 && input.dim(0) == input_channels(),
-            "CompiledPlan::step: expected a (" << input_channels()
-                                               << ",) time-step vector, got "
-                                               << input.shape().to_string());
-  Tensor out = Tensor::empty(Shape{output_channels()});
-  step(input.data(), out.data(), ctx);
-  return out;
-}
+}  // namespace
 
 std::string CompiledPlan::summary() const {
   std::ostringstream os;
@@ -817,31 +550,42 @@ std::string CompiledPlan::summary() const {
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     const detail::Op& op = ops_[i];
     os << "  #" << i << " ";
-    switch (op.kind) {
-      case detail::OpKind::kConv:
-        os << "conv " << op.c_in << "->" << op.c_out << " k" << op.k << " d"
-           << op.dilation << " s" << op.stride;
-        break;
-      case detail::OpKind::kLinear:
-        os << "linear " << op.c_in << "->" << op.c_out;
-        break;
-      case detail::OpKind::kAvgPool:
-        os << "avg_pool k" << op.k << " s" << op.stride;
-        break;
-      case detail::OpKind::kAdd:
-        os << "add";
-        break;
-    }
-    os << " t" << op.t_in << "->" << op.t_out;
-    if (op.relu) {
-      os << " +relu";
-    }
+    print_op_head(os, op);
     const ValueId r = root_[static_cast<std::size_t>(op.out)];
     const index_t off = offsets_[static_cast<std::size_t>(r)];
     if (off >= 0) {
       os << " @" << off;
     } else {
       os << " @out";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string CompiledPlan::describe() const {
+  std::ostringstream os;
+  os << "CompiledPlan bindings (" << (quantized_ ? "int8" : "fp32")
+     << " program):\n";
+  if (quantized_ && qstage_meta_ != nullptr) {
+    os << "  input stage";
+    print_kernel(os, "kernel", qstage_meta_);
+    os << "\n";
+  }
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const detail::Op& op = ops_[i];
+    os << "  #" << i << " ";
+    print_op_head(os, op);
+    os << " |";
+    // Quantized plans execute the int8 lowering — report what actually
+    // runs; the fp32 bindings still exist but only serve reference runs.
+    const nn::kernels::KernelMeta* meta =
+        quantized_ ? qops_[i].bind.meta : op.bind.meta;
+    const nn::kernels::KernelMeta* step_meta =
+        quantized_ ? qops_[i].bind.step_meta : op.bind.step_meta;
+    print_kernel(os, "kernel", meta);
+    if (streamable_ && op.kind == detail::OpKind::kConv) {
+      print_kernel(os, "step", step_meta);
     }
     os << "\n";
   }

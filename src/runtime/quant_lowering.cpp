@@ -1,382 +1,27 @@
+// Int8 lowering of a CompiledPlan: calibration, per-value quantization
+// parameters, byte-arena planning, per-op requantize-constant emission,
+// error propagation, and the lowering-time kernel binding that resolves
+// every quantized op to a concrete registry kernel exactly once.
+// Execution lives in executor_i8.cpp / executor_stream_i8.cpp.
 #include "runtime/quantize_plan.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 #include <sstream>
 #include <unordered_map>
 
-#include "nn/kernels/kernels.hpp"
+#include "nn/kernels/registry.hpp"
 #include "runtime/arena.hpp"
+#include "runtime/executor_detail.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::runtime {
 
 namespace {
-
 using nn::kernels::kQuantCiGroup;
 using nn::kernels::kQuantCo;
 using nn::kernels::quant_groups;
-
-// Below this many output bytes the elementwise quantized ops run serially
-// (same spirit as the fp32 executor's float threshold).
-constexpr index_t kQParallelMinBytes = 16384;
-
-/// An operand's u8 buffer at run time: `p` points at the logical
-/// (group-row 0, t = 0) byte; group rows are 4 * stride bytes apart and
-/// samples groups * 4 * stride bytes apart.
-struct QSpan {
-  std::uint8_t* p = nullptr;
-  index_t stride = 0;  // time steps
-};
-
-inline int clamp_u8(long q, int lo) {
-  return static_cast<int>(std::clamp(q, static_cast<long>(lo), 255L));
-}
-
 }  // namespace
-
-// ---- Quantized execution -------------------------------------------------
-
-Tensor CompiledPlan::forward_quantized(const Tensor& input,
-                                       ExecutionContext& ctx,
-                                       const ValueHook* hook) const {
-  PIT_CHECK(quantized_, "forward_quantized: plan has no int8 program");
-  const index_t c = input_channels();
-  const index_t t = input_steps();
-  const bool flat_ok = t == 1 && input.rank() == 2 && input.dim(1) == c;
-  PIT_CHECK(flat_ok || (input.rank() == 3 && input.dim(1) == c &&
-                        input.dim(2) == t),
-            "CompiledPlan: expected (N, " << c << ", " << t << "), got "
-                                          << input.shape().to_string());
-  const index_t n = input.dim(0);
-  const auto needed = static_cast<std::size_t>(q_arena_bytes_ * n);
-  if (ctx.qarena_.size() < needed) {
-    ctx.qarena_.resize(needed);
-  }
-  std::uint8_t* arena = ctx.qarena_.data();
-
-  const detail::Value& out_value =
-      values_[static_cast<std::size_t>(output_)];
-  Tensor out = out_value.steps == 1
-                   ? Tensor::empty(Shape{n, out_value.channels})
-                   : Tensor::empty(
-                         Shape{n, out_value.channels, out_value.steps});
-  float* out_data = out.data();
-
-  const ValueId in_root = root_[static_cast<std::size_t>(input_)];
-  const ValueId out_root = root_[static_cast<std::size_t>(output_)];
-
-  // Resolves a value to its byte-arena buffer (the input resolves to its
-  // staged u8 copy). Only valid for arena-backed values — the output is
-  // written as floats by its producing op.
-  const auto qspan = [&](ValueId v) -> QSpan {
-    ValueId r = root_[static_cast<std::size_t>(v)];
-    if (r == in_root) {
-      r = q_stage_;
-    }
-    const auto ri = static_cast<std::size_t>(r);
-    PIT_CHECK(q_off_[ri] >= 0, "forward_quantized: value " << v
-                                                           << " not planned");
-    return {arena + q_off_[ri] * n + kQuantCiGroup * q_lead_[ri],
-            q_stride_[ri]};
-  };
-
-  // Stage the input: float (N, C, T) -> u8 channel-group rows, with the
-  // causal lead filled with the zero-point byte (real 0.0).
-  {
-    const auto si = static_cast<std::size_t>(q_stage_);
-    const quant::QuantParams& qp = qvalue_[si];
-    nn::kernels::quantize_interleave_i8(
-        input.data(), arena + q_off_[si] * n, n, c, t, q_lead_[si],
-        q_stride_[si], 1.0F / qp.scale, qp.zero_point);
-  }
-
-  // Refills the zero-point lead of a freshly produced value (arena reuse
-  // may have clobbered it; its conv consumer reads it as causal padding).
-  const auto refill_lead = [&](ValueId v) {
-    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
-    if (q_off_[r] < 0 || q_lead_[r] == 0) {
-      return;
-    }
-    const index_t rows = n * quant_groups(values_[r].channels);
-    const auto zp_byte = static_cast<std::uint8_t>(qvalue_[r].zero_point);
-    std::uint8_t* base = arena + q_off_[r] * n;
-    for (index_t row = 0; row < rows; ++row) {
-      std::memset(base + row * kQuantCiGroup * q_stride_[r], zp_byte,
-                  static_cast<std::size_t>(kQuantCiGroup * q_lead_[r]));
-    }
-  };
-
-  // Dequantizes a produced value into a dense float scratch for the hook.
-  std::vector<float> scratch;
-  const auto call_hook = [&](ValueId v) {
-    if (hook == nullptr) {
-      return;
-    }
-    const detail::Value& val = values_[static_cast<std::size_t>(v)];
-    const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
-    if (r == static_cast<std::size_t>(out_root)) {
-      (*hook)(v, out_data, n * val.channels, val.steps, val.steps);
-      return;
-    }
-    const QSpan s = qspan(v);
-    const quant::QuantParams& qp = qvalue_[r];
-    scratch.assign(static_cast<std::size_t>(n * val.numel()), 0.0F);
-    const index_t groups = quant_groups(val.channels);
-    for (index_t ni = 0; ni < n; ++ni) {
-      const std::uint8_t* sample =
-          s.p + ni * groups * kQuantCiGroup * s.stride;
-      for (index_t ch = 0; ch < val.channels; ++ch) {
-        const std::uint8_t* grow =
-            sample + (ch / kQuantCiGroup) * kQuantCiGroup * s.stride;
-        float* drow =
-            scratch.data() + (ni * val.channels + ch) * val.steps;
-        for (index_t ts = 0; ts < val.steps; ++ts) {
-          drow[ts] = qp.dequantize(
-              grow[kQuantCiGroup * ts + ch % kQuantCiGroup]);
-        }
-      }
-    }
-    (*hook)(v, scratch.data(), n * val.channels, val.steps, val.steps);
-  };
-
-  for (std::size_t i = 0; i < ops_.size(); ++i) {
-    const detail::Op& op = ops_[i];
-    const detail::QuantOp& qop = qops_[i];
-    switch (op.kind) {
-      case detail::OpKind::kConv: {
-        const float* m = qconsts_.data() + qop.m_off;
-        const float* b = qconsts_.data() + qop.b_off;
-        nn::kernels::ConvDims dims{};
-        dims.n = n;
-        dims.c_in = op.c_in;
-        dims.c_out = op.c_out;
-        dims.k = op.k;
-        dims.t_in = op.t_in;
-        dims.t_out = op.t_out;
-        dims.dilation = op.dilation;
-        dims.stride = 1;
-        const QSpan x = qspan(op.in0);
-        if (qop.out_float) {
-          nn::kernels::conv_forward_packed_i8(
-              x.p, qweights_.data() + qop.w_off, m, b, nullptr, out_data,
-              dims, x.stride, op.t_out, op.relu, qop.out_lo);
-        } else {
-          const QSpan y = qspan(op.out);
-          nn::kernels::conv_forward_packed_i8(
-              x.p, qweights_.data() + qop.w_off, m, b, y.p, nullptr, dims,
-              x.stride, y.stride, op.relu, qop.out_lo);
-        }
-        break;
-      }
-      case detail::OpKind::kLinear: {
-        const float* m = qconsts_.data() + qop.m_off;
-        const float* b = qconsts_.data() + qop.b_off;
-        const auto rv = static_cast<std::size_t>(
-            root_[static_cast<std::size_t>(op.in0)]);
-        const index_t f4 = quant_groups(values_[rv].channels) *
-                           kQuantCiGroup * values_[rv].steps;
-        const QSpan x = qspan(op.in0);
-        if (qop.out_float) {
-          nn::kernels::linear_forward_i8(x.p,
-                                         qweights_.data() + qop.w_off, m, b,
-                                         nullptr, out_data, n, f4, op.c_out,
-                                         op.relu, qop.out_lo);
-        } else {
-          const QSpan y = qspan(op.out);
-          nn::kernels::linear_forward_i8(x.p,
-                                         qweights_.data() + qop.w_off, m, b,
-                                         y.p, nullptr, n, f4, op.c_out,
-                                         op.relu, qop.out_lo);
-        }
-        break;
-      }
-      case detail::OpKind::kAvgPool: {
-        const QSpan x = qspan(op.in0);
-        const index_t groups = quant_groups(op.c_out);
-        const index_t rows = n * groups;
-        const float a_mul = qop.a_mul;
-        const float c_add = qop.c_add;
-        const bool out_float = qop.out_float;
-        const QSpan y = out_float ? QSpan{} : qspan(op.out);
-#pragma omp parallel for schedule(static) \
-    if (rows * op.t_out * kQuantCiGroup >= kQParallelMinBytes)
-        for (index_t r = 0; r < rows; ++r) {
-          const std::uint8_t* xrow = x.p + r * kQuantCiGroup * x.stride;
-          for (index_t to = 0; to < op.t_out; ++to) {
-            for (index_t j = 0; j < kQuantCiGroup; ++j) {
-              std::int32_t sum = 0;
-              for (index_t w = 0; w < op.k; ++w) {
-                sum += xrow[kQuantCiGroup * (to * op.stride + w) + j];
-              }
-              const float v = a_mul * static_cast<float>(sum) + c_add;
-              if (out_float) {
-                const index_t ni = r / groups;
-                const index_t ch = (r % groups) * kQuantCiGroup + j;
-                if (ch < op.c_out) {
-                  out_data[(ni * op.c_out + ch) * op.t_out + to] = v;
-                }
-              } else {
-                y.p[r * kQuantCiGroup * y.stride + kQuantCiGroup * to + j] =
-                    static_cast<std::uint8_t>(
-                        clamp_u8(std::lrintf(v), qop.out_lo));
-              }
-            }
-          }
-        }
-        break;
-      }
-      case detail::OpKind::kAdd: {
-        const QSpan a = qspan(op.in0);
-        const QSpan bb = qspan(op.in1);
-        const index_t groups = quant_groups(op.c_out);
-        const index_t rows = n * groups;
-        const index_t steps = op.t_out;
-        if (!qop.out_float) {
-          const QSpan y = qspan(op.out);
-          nn::kernels::add_forward_i8(a.p, bb.p, y.p, rows, steps, a.stride,
-                                      bb.stride, y.stride, qop.a_mul,
-                                      qop.b_mul, qop.c_add, qop.out_lo);
-          break;
-        }
-        // Dequantizing store (this add produces the plan output): rare,
-        // so a plain loop over the dense float rows suffices.
-        const float a_mul = qop.a_mul;
-        const float b_mul = qop.b_mul;
-        const float c_add = qop.c_add;
-        const bool relu = op.relu;
-#pragma omp parallel for schedule(static) \
-    if (rows * steps * kQuantCiGroup >= kQParallelMinBytes)
-        for (index_t r = 0; r < rows; ++r) {
-          const std::uint8_t* arow = a.p + r * kQuantCiGroup * a.stride;
-          const std::uint8_t* brow = bb.p + r * kQuantCiGroup * bb.stride;
-          for (index_t ts = 0; ts < steps; ++ts) {
-            for (index_t j = 0; j < kQuantCiGroup; ++j) {
-              const index_t off = kQuantCiGroup * ts + j;
-              float v = a_mul * static_cast<float>(arow[off]) +
-                        b_mul * static_cast<float>(brow[off]) + c_add;
-              if (relu && v < 0.0F) {
-                v = 0.0F;
-              }
-              const index_t ni = r / groups;
-              const index_t ch = (r % groups) * kQuantCiGroup + j;
-              if (ch < op.c_out) {
-                out_data[(ni * op.c_out + ch) * steps + ts] = v;
-              }
-            }
-          }
-        }
-        break;
-      }
-    }
-    if (!qop.out_float) {
-      refill_lead(op.out);
-    }
-    call_hook(op.out);
-  }
-  return out;
-}
-
-// ---- Quantized streaming execution ---------------------------------------
-
-std::size_t CompiledPlan::quant_root(ValueId v) const {
-  const auto r = static_cast<std::size_t>(root_[static_cast<std::size_t>(v)]);
-  const auto in_root =
-      static_cast<std::size_t>(root_[static_cast<std::size_t>(input_)]);
-  return r == in_root ? static_cast<std::size_t>(q_stage_) : r;
-}
-
-void CompiledPlan::bind_stream_quantized(ExecutionContext& ctx) const {
-  // Rings start life holding each conv input's zero-point byte: slots the
-  // stream has not reached yet read as real 0.0 — the same causal padding
-  // the batched program materializes in its row leads.
-  ctx.qstream_ring_.assign(static_cast<std::size_t>(q_ring_bytes_), 0);
-  for (std::size_t i = 0; i < ops_.size(); ++i) {
-    const detail::Op& op = ops_[i];
-    if (op.kind != detail::OpKind::kConv) {
-      continue;
-    }
-    const auto zp =
-        static_cast<std::uint8_t>(qvalue_[quant_root(op.in0)].zero_point);
-    const index_t bytes = quant_groups(op.c_in) *
-                          ((op.k - 1) * op.dilation + 1) * kQuantCiGroup;
-    std::memset(ctx.qstream_ring_.data() + q_ring_off_[i], zp,
-                static_cast<std::size_t>(bytes));
-  }
-  ctx.qstream_vals_.assign(static_cast<std::size_t>(q_val_bytes_), 0);
-}
-
-void CompiledPlan::step_quantized(const float* input, float* output,
-                                  ExecutionContext& ctx) const {
-  std::uint8_t* rings = ctx.qstream_ring_.data();
-  std::uint8_t* vals = ctx.qstream_vals_.data();
-  const auto t = static_cast<index_t>(ctx.stream_t_);
-  const auto qvec = [&](ValueId v) -> std::uint8_t* {
-    return vals + q_val_off_[quant_root(v)];
-  };
-
-  // Quantize the input step into its staged quad vector through the same
-  // staging kernel as the batched program (a (1, C, 1) batch with no
-  // lead), so the rounding arithmetic — and with it the stream's
-  // bit-exactness — can never drift from the batched path's.
-  {
-    const std::size_t stage = quant_root(input_);
-    const quant::QuantParams& qp = qvalue_[stage];
-    nn::kernels::quantize_interleave_i8(
-        input, vals + q_val_off_[stage], /*n=*/1, input_channels(),
-        /*steps=*/1, /*lead=*/0, /*stride=*/1, 1.0F / qp.scale,
-        qp.zero_point);
-  }
-
-  for (std::size_t i = 0; i < ops_.size(); ++i) {
-    const detail::Op& op = ops_[i];
-    const detail::QuantOp& qop = qops_[i];
-    if (op.kind == detail::OpKind::kAdd) {
-      const std::uint8_t* a = qvec(op.in0);
-      const std::uint8_t* bb = qvec(op.in1);
-      if (!qop.out_float) {
-        nn::kernels::add_forward_i8(a, bb, qvec(op.out),
-                                    quant_groups(op.c_out), /*steps=*/1,
-                                    1, 1, 1, qop.a_mul, qop.b_mul,
-                                    qop.c_add, qop.out_lo);
-      } else {
-        // Dequantizing store of the plan output — the same expression as
-        // the batched out_float add path in forward_quantized().
-        for (index_t ch = 0; ch < op.c_out; ++ch) {
-          float v = qop.a_mul * static_cast<float>(a[ch]) +
-                    qop.b_mul * static_cast<float>(bb[ch]) + qop.c_add;
-          if (op.relu && v < 0.0F) {
-            v = 0.0F;
-          }
-          output[ch] = v;
-        }
-      }
-      continue;
-    }
-    // Conv: push the current input quads into this op's history ring,
-    // then run the single-step i8 kernel over the dilated look-back.
-    const std::uint8_t* x = qvec(op.in0);
-    const index_t span = (op.k - 1) * op.dilation + 1;
-    const index_t pos = t % span;
-    std::uint8_t* ring = rings + q_ring_off_[i];
-    const index_t g_in = quant_groups(op.c_in);
-    for (index_t g = 0; g < g_in; ++g) {
-      std::memcpy(ring + (g * span + pos) * kQuantCiGroup,
-                  x + g * kQuantCiGroup, kQuantCiGroup);
-    }
-    const float* m = qconsts_.data() + qop.m_off;
-    const float* b = qconsts_.data() + qop.b_off;
-    nn::kernels::conv_step_i8(
-        ring, qweights_.data() + qop.w_off, m, b,
-        qop.out_float ? nullptr : qvec(op.out),
-        qop.out_float ? output : nullptr, op.c_in, op.c_out, op.k,
-        op.dilation, span, pos, op.relu, qop.out_lo);
-  }
-  ++ctx.stream_t_;
-}
-
-// ---- Lowering ------------------------------------------------------------
 
 /// Friend of CompiledPlan: builds the int8 program onto a copy of the
 /// fp32 plan, and runs the per-layer fp32-vs-int8 comparison.
@@ -789,6 +434,59 @@ std::shared_ptr<const CompiledPlan> QuantizedCompiler::quantize(
       }
       bound[rout] = e_in + bound[rb] + e_store;
       var[rout] = var[rin] + var[rb] + var_store;
+    }
+  }
+
+  // ---- kernel binding ----------------------------------------------------
+  // Resolve every lowered op to concrete i8 registry kernels, once. The
+  // quantized executors only ever call these pointers — no per-call
+  // variant table walks.
+  const auto& reg = nn::kernels::Registry::instance();
+  {
+    const auto stage_k = reg.stage_i8();
+    q.qstage_fn_ = stage_k.fn;
+    q.qstage_meta_ = stage_k.meta;
+  }
+  for (std::size_t i = 0; i < q.ops_.size(); ++i) {
+    const detail::Op& op = q.ops_[i];
+    detail::QuantOp& qop = q.qops_[i];
+    switch (op.kind) {
+      case detail::OpKind::kConv: {
+        const nn::kernels::ConvSig sig{op.k, op.c_in, op.c_out};
+        const auto conv = reg.conv_packed_i8(sig);
+        qop.bind.conv = conv.fn;
+        qop.bind.meta = conv.meta;
+        const auto step = reg.conv_step_i8(sig);
+        qop.bind.step = step.fn;
+        qop.bind.step_meta = step.meta;
+        break;
+      }
+      case detail::OpKind::kLinear: {
+        // The i8 linear is the k = 1, t = 1 case of the quantized conv
+        // (one contiguous run of f4 feature quads) — bind that signature.
+        const auto rv = static_cast<std::size_t>(
+            q.root_[static_cast<std::size_t>(op.in0)]);
+        const index_t f4 = quant_groups(q.values_[rv].channels) *
+                           kQuantCiGroup * q.values_[rv].steps;
+        const auto lin = reg.conv_packed_i8({1, f4, op.c_out});
+        qop.bind.conv = lin.fn;
+        qop.bind.meta = lin.meta;
+        break;
+      }
+      case detail::OpKind::kAvgPool:
+        // Executed by a loop inside the quantized executor itself.
+        qop.bind.meta = &nn::kernels::Registry::inline_meta();
+        break;
+      case detail::OpKind::kAdd: {
+        const auto add = reg.add_i8();
+        qop.bind.add = add.fn;
+        // A dequantizing (out_float) add runs the executor's inline
+        // float-store loop instead of the u8 kernel.
+        qop.bind.meta = qop.out_float
+                            ? &nn::kernels::Registry::inline_meta()
+                            : add.meta;
+        break;
+      }
     }
   }
 
