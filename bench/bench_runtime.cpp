@@ -24,6 +24,7 @@
 #include "models/restcn.hpp"
 #include "models/temponet.hpp"
 #include "runtime/compile_models.hpp"
+#include "runtime/verify.hpp"
 #include "tensor/tensor.hpp"
 
 namespace {
@@ -203,6 +204,44 @@ int main(int argc, char** argv) {
   }
   set_threads(max_threads);
 
+  // Plan-build cost of the always-on static verification pass
+  // (runtime/verify.hpp). Verification runs once per compile and never on
+  // the forward path, so its entire cost lives here; the tracked bar is
+  // verify_overhead_frac <= 10% of an unverified plan build.
+  double plan_build_ms = 0.0;
+  double plan_build_noverify_ms = 0.0;
+  {
+    // Paper-sized model: its ~ms-scale weight packing makes the compile
+    // long enough that the fraction is not timing-noise on a toy build.
+    models::TempoNetConfig cfg;
+    cfg.channel_scale = 1.0;
+    cfg.input_length = 256;
+    RandomEngine prng(53);
+    models::TempoNet model(
+        cfg, models::dilated_conv_factory(prng, cfg.dilations), prng);
+    model.eval();
+    constexpr int kPlansPerRep = 3;
+    const int reps = quick ? 3 : 5;
+    const auto build_many = [&] {
+      for (int i = 0; i < kPlansPerRep; ++i) {
+        runtime::compile_plan(model);
+      }
+    };
+    plan_build_ms = time_min_ms(build_many, reps) / kPlansPerRep;
+    const bool prev = runtime::analysis::set_verify_enabled(false);
+    plan_build_noverify_ms = time_min_ms(build_many, reps) / kPlansPerRep;
+    runtime::analysis::set_verify_enabled(prev);
+  }
+  const double verify_overhead_frac =
+      plan_build_noverify_ms > 0.0
+          ? std::max(0.0, plan_build_ms - plan_build_noverify_ms) /
+                plan_build_noverify_ms
+          : 0.0;
+  std::printf("\nplan build: %.3f ms verified, %.3f ms unverified "
+              "(verify overhead %.1f%%)\n",
+              plan_build_ms, plan_build_noverify_ms,
+              verify_overhead_frac * 100.0);
+
   // The tracked acceptance number: worst batched (N >= 16) TempoNet speedup.
   double worst_batched_temponet = 1e300;
   for (const Row& r : rows) {
@@ -225,6 +264,11 @@ int main(int argc, char** argv) {
   std::fprintf(json, "{\n  \"max_threads\": %d,\n", max_threads);
   std::fprintf(json, "  \"worst_batched_temponet_speedup\": %.3f,\n",
                worst_batched_temponet);
+  std::fprintf(json, "  \"plan_build_ms\": %.4f,\n", plan_build_ms);
+  std::fprintf(json, "  \"plan_build_noverify_ms\": %.4f,\n",
+               plan_build_noverify_ms);
+  std::fprintf(json, "  \"verify_overhead_frac\": %.4f,\n",
+               verify_overhead_frac);
   std::fprintf(json, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

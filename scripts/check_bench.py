@@ -144,6 +144,20 @@ def check_runtime(gate, name, data):
     bar(gate, name, "worst_batched_temponet_speedup",
         require(gate, name, data, "worst_batched_temponet_speedup", float),
         2.0)
+    # Static plan verification must stay a plan-build-time cost: <= 10% on
+    # top of an unverified compile, and (by construction — it never runs on
+    # the forward path) 0% in steady state, which the speedup bar above
+    # already watches.
+    build = require(gate, name, data, "plan_build_ms", float)
+    noverify = require(gate, name, data, "plan_build_noverify_ms", float)
+    frac = require(gate, name, data, "verify_overhead_frac", float)
+    if frac is not None:
+        if frac <= 0.10:
+            gate.ok(f"{name}: verify_overhead_frac = {frac:.3f} <= 0.10")
+        else:
+            gate.fail(f"{name}: verify_overhead_frac = {frac:.3f} EXCEEDS "
+                      f"0.10 (plan build {build} ms verified vs {noverify} "
+                      f"ms unverified)")
 
 
 def check_serve(gate, name, data):

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Source-level invariant gate (companion to runtime/verify.hpp).
+
+The plan verifier proves the compiled-plan IR's memory model at plan-build
+time; this script pins the source-level conventions that the verifier and
+the executors assume but no compiler enforces:
+
+1. kernels-no-mutable-state — src/nn/kernels/ holds pure compute kernels
+   plus an immutable, bind-once registry. Mutable namespace-scope or
+   static state there would break the "bound kernels are direct calls
+   with no hidden coupling" contract (and the thread-safety story that
+   lets one plan serve many threads). Detected: non-const `static`
+   declarations, `thread_local`, and namespace-scope `g_*` variables.
+   The one allowed exception is dispatch.cpp's `g_default` — the
+   documented set_default_backend() override surface, read once at
+   registry construction.
+
+2. serve-lock-order — src/serve acquires its mutexes in one global order
+   (tick_mutex_ -> mutex_ -> pool_mutex_ -> slot->mutex). A nested
+   acquisition that goes DOWN that order is a lock-inversion deadlock
+   waiting for the right interleaving. Tracked per function body with
+   brace-scope guard lifetimes.
+
+3. entry-point-checks — the runtime's throwing entry points must keep
+   their guard: compile()/quantize() run verify_or_throw on every plan
+   they produce, plan_arena self-checks its assignment, and the
+   executors PIT_CHECK their call contracts before touching the arena.
+
+Usage::
+
+    check_invariants.py [repo_root]    # default: script's parent repo
+
+Exit 1 with a per-violation report when any rule is broken.
+"""
+import pathlib
+import re
+import sys
+
+# ---- rule 1: no mutable state in the kernel layer --------------------------
+
+# (file name, variable) pairs exempt from the kernel-state rule.
+KERNEL_STATE_ALLOWED = {("dispatch.cpp", "g_default")}
+
+STATIC_MUTABLE = re.compile(r"^\s*(?:inline\s+)?static\s+(?!const\b|constexpr\b)")
+THREAD_LOCAL = re.compile(r"\bthread_local\b")
+# A declaration line: optional qualifiers and a type, then the g_ name,
+# then an initializer or `;` — anchored so mere *uses* (loop bounds, call
+# arguments) never match.
+GLOBAL_VAR = re.compile(r"^[\w\s:<>,*&]*\bg_(\w+)\s*[={;]")
+CONST_DECL = re.compile(r"\b(?:const|constexpr)\b")
+# `static Ret name(...)` is a member-function declaration, not state.
+FUNCTION_DECL = re.compile(r"\w\s*\(")
+
+
+def check_kernel_state(root, violations):
+    for path in sorted((root / "src" / "nn" / "kernels").glob("*.[ch]pp")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//")[0]
+            flagged = None
+            if THREAD_LOCAL.search(code):
+                flagged = "thread_local state"
+            elif (STATIC_MUTABLE.search(code)
+                  and CONST_DECL.search(code) is None
+                  and FUNCTION_DECL.search(code) is None):
+                flagged = "non-const static"
+            else:
+                m = GLOBAL_VAR.search(code)
+                if m and CONST_DECL.search(code) is None:
+                    if (path.name, "g_" + m.group(1)) in KERNEL_STATE_ALLOWED:
+                        continue
+                    flagged = f"namespace-scope variable 'g_{m.group(1)}'"
+            if flagged:
+                violations.append(
+                    f"{path.relative_to(root)}:{lineno}: "
+                    f"kernels-no-mutable-state: {flagged} in the kernel "
+                    f"layer: {line.strip()}")
+
+
+# ---- rule 2: serve lock order ----------------------------------------------
+
+LOCK_DECL = re.compile(
+    r"std::(?:lock_guard|unique_lock|scoped_lock)<[^>]*>\s+\w+\(([^)]*)\)")
+
+LOCK_RANKS = [
+    (re.compile(r"\btick_mutex_\b"), 0, "tick_mutex_"),
+    (re.compile(r"(?<![\w.>])mutex_\b"), 1, "mutex_"),
+    (re.compile(r"\bpool_mutex_\b"), 2, "pool_mutex_"),
+    (re.compile(r"(?:->|\.)mutex\b"), 3, "slot->mutex"),
+]
+
+
+def lock_rank(expr):
+    for pattern, rank, name in LOCK_RANKS:
+        if pattern.search(expr):
+            return rank, name
+    return None, expr.strip()
+
+
+def brace_delta(code):
+    return code.count("{") - code.count("}")
+
+
+def check_serve_lock_order(root, violations):
+    for path in sorted((root / "src" / "serve").glob("*.[ch]pp")):
+        depth = 0
+        held = []  # (decl_depth, rank, name, lineno) of live guards
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//")[0]
+            m = LOCK_DECL.search(code)
+            if m:
+                rank, name = lock_rank(m.group(1))
+                if rank is not None:
+                    for _, held_rank, held_name, held_line in held:
+                        if held_rank > rank:
+                            violations.append(
+                                f"{path.relative_to(root)}:{lineno}: "
+                                f"serve-lock-order: acquires {name} (rank "
+                                f"{rank}) while holding {held_name} (rank "
+                                f"{held_rank}, line {held_line}) — order "
+                                f"is tick_mutex_ -> mutex_ -> pool_mutex_ "
+                                f"-> slot->mutex")
+                    held.append((depth, rank, name, lineno))
+                else:
+                    violations.append(
+                        f"{path.relative_to(root)}:{lineno}: "
+                        f"serve-lock-order: unknown mutex '{name}' — add "
+                        f"it to the lock order in check_invariants.py")
+            depth += brace_delta(code)
+            held = [g for g in held if g[0] <= depth]
+
+
+# ---- rule 3: entry points keep their checks --------------------------------
+
+# (file, function signature fragment, required marker)
+ENTRY_POINTS = [
+    ("src/runtime/executor_fp32.cpp", "CompiledPlan::forward_fp32",
+     "PIT_CHECK"),
+    ("src/runtime/executor_i8.cpp", "CompiledPlan::forward_quantized",
+     "PIT_CHECK"),
+    ("src/runtime/executor_stream.cpp", "CompiledPlan::bind_stream",
+     "PIT_CHECK"),
+    ("src/runtime/plan_builder.cpp", "NetBuilder::compile",
+     "verify_or_throw"),
+    ("src/runtime/quant_lowering.cpp", "QuantizedCompiler::quantize",
+     "verify_or_throw"),
+    ("src/runtime/arena.cpp", "ArenaPlan plan_arena", "check_arena_plan"),
+]
+
+
+def function_body(text, signature):
+    start = text.find(signature)
+    if start < 0:
+        return None
+    brace = text.find("{", start)
+    if brace < 0:
+        return None
+    depth = 0
+    for i in range(brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[brace:i + 1]
+    return None
+
+
+def check_entry_points(root, violations):
+    for rel, signature, marker in ENTRY_POINTS:
+        path = root / rel
+        if not path.is_file():
+            violations.append(f"{rel}: entry-point-checks: file not found "
+                              f"(update check_invariants.py)")
+            continue
+        body = function_body(path.read_text(), signature)
+        if body is None:
+            violations.append(
+                f"{rel}: entry-point-checks: function '{signature}' not "
+                f"found (update check_invariants.py)")
+        elif marker not in body:
+            violations.append(
+                f"{rel}: entry-point-checks: '{signature}' no longer "
+                f"contains {marker} — the entry-point guard was removed")
+
+
+def main(argv):
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent
+    violations = []
+    check_kernel_state(root, violations)
+    check_serve_lock_order(root, violations)
+    check_entry_points(root, violations)
+    for v in violations:
+        print(f"FAIL  {v}")
+    if violations:
+        print(f"\ncheck_invariants: {len(violations)} violation(s)")
+        return 1
+    print("check_invariants: OK (kernel state, serve lock order, "
+          "entry-point checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

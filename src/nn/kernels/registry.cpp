@@ -120,6 +120,25 @@ Bound<ConvStepI8Fn> Registry::conv_step_i8_generic() const {
   return bind(conv_step_i8_, ConvSig{}, false);
 }
 
+KernelFootprint Registry::conv_packed_f32_footprint(const ConvSig& sig,
+                                                    index_t dilation,
+                                                    bool x_padded) {
+  if (!x_padded) {
+    // The unpadded path bounds-checks every tap: row data only.
+    return {};
+  }
+  return {(sig.k - 1) * dilation, kPackTimeTile, 0};
+}
+
+KernelFootprint Registry::conv_packed_i8_footprint(const ConvSig& sig,
+                                                   index_t dilation) {
+  // Interleaved u8 rows advance kQuantCiGroup bytes per time step, so the
+  // (k-1)*dilation causal look-back spans that many bytes per group row.
+  return {kQuantCiGroup * (sig.k - 1) * dilation, 0, 0};
+}
+
+KernelFootprint Registry::exact_footprint() { return {}; }
+
 void Registry::add_conv_packed_f32(ConvPackedF32Fn fn, const char* variant,
                                    const char* isa, index_t k,
                                    bool quad_cin) {

@@ -130,6 +130,23 @@ struct ConvSig {
   index_t c_out = 0;
 };
 
+/// Per-variant read/write footprint of a bound kernel, relative to its
+/// operands' row data: how many elements before t = 0 a kernel may read
+/// (the causal look-back the planned lead must cover), how many past the
+/// data end it may read (the register-tile overreach the planned slack
+/// must cover), and how many past the data end it may WRITE (always 0 —
+/// every store path clamps to t_out; the plan verifier and the sanitizer
+/// hardening layer both enforce that declaration). Elements are floats
+/// for fp32 kernels and bytes for i8 kernels. The model is uniform across
+/// ISA levels and specialized variants of one op class: kPackTimeTile /
+/// kQuantTimeTile bound the widest tile any registered variant uses, so
+/// one declaration covers base through v4/vnni.
+struct KernelFootprint {
+  index_t read_before = 0;
+  index_t read_after = 0;
+  index_t write_after = 0;
+};
+
 class Registry {
  public:
   /// The process-wide registry. Construction (first call) reads
@@ -173,6 +190,27 @@ class Registry {
   /// fp32 elementwise add): lets describe() report a binding for every
   /// op, not just the kernel-backed ones.
   static const KernelMeta& inline_meta();
+
+  // ---- footprint model (consumed by runtime/verify.cpp) ----------------
+  // What a bound kernel may touch outside its operands' [0, t) row data.
+  // See KernelFootprint for units and the uniform-across-variants rule.
+
+  /// Packed fp32 conv: with x_padded the kernel reads the (k-1)*dilation
+  /// lead (materialized causal padding) and up to a full register tile
+  /// past the input row's data end; the bounds-checked unpadded path
+  /// touches row data only. Output rows are written exactly [0, t_out).
+  static KernelFootprint conv_packed_f32_footprint(const ConvSig& sig,
+                                                   index_t dilation,
+                                                   bool x_padded);
+  /// Packed i8 conv (and the k=1 linear form): reads the zero-point lead
+  /// of (k-1)*dilation interleaved quad steps before the row data; the
+  /// time loop clamps its tile, so no tail overread. Bytes.
+  static KernelFootprint conv_packed_i8_footprint(const ConvSig& sig,
+                                                  index_t dilation);
+  /// Streaming step kernels (fp32 and i8) index exactly within their
+  /// (k-1)*dilation+1-slot ring span; the dense fp32 linear, the i8 add,
+  /// and the i8 staging kernel touch exactly their operand extents.
+  static KernelFootprint exact_footprint();
 
   // ---- registration (blocked.cpp / quant.cpp, construction only) -------
   void add_conv_packed_f32(ConvPackedF32Fn fn, const char* variant,

@@ -1,6 +1,7 @@
 #include "runtime/arena.hpp"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 #include <queue>
 #include <tuple>
@@ -91,7 +92,76 @@ ArenaPlan plan_arena(const std::vector<ArenaRequest>& requests) {
     plan.offsets[idx] = offset;
     live.emplace(r.end, offset, r.size);
   }
+  check_arena_plan(requests, plan);
   return plan;
+}
+
+void check_arena_plan(const std::vector<ArenaRequest>& requests,
+                      const ArenaPlan& plan) {
+  PIT_CHECK(plan.offsets.size() == requests.size(),
+            "check_arena_plan: " << plan.offsets.size() << " offsets for "
+                                 << requests.size() << " requests");
+  // Time-ordered event sweep: releases at end+1 before grants at the same
+  // tick (inclusive lifetimes — [a,b] and [b+1,c] may share memory). The
+  // active set is offset-ordered, so a grant only has to compare against
+  // its two neighbors to detect any byte overlap.
+  struct Event {
+    int time = 0;
+    bool grant = false;  // releases sort before grants at one tick
+    std::size_t idx = 0;
+  };
+  std::vector<Event> events;
+  events.reserve(requests.size() * 2);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    PIT_CHECK(plan.offsets[i] >= 0 &&
+                  plan.offsets[i] + requests[i].size <= plan.total,
+              "check_arena_plan: request " << i << " at offset "
+                                           << plan.offsets[i] << " size "
+                                           << requests[i].size
+                                           << " exceeds arena total "
+                                           << plan.total);
+    events.push_back({requests[i].start, true, i});
+    events.push_back({requests[i].end + 1, false, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.time != b.time ? a.time < b.time : a.grant < b.grant;
+  });
+  std::map<index_t, std::size_t> active;  // offset -> request index
+  for (const Event& e : events) {
+    if (!e.grant) {
+      active.erase(plan.offsets[e.idx]);
+      continue;
+    }
+    const index_t lo = plan.offsets[e.idx];
+    const index_t hi = lo + requests[e.idx].size;
+    const auto [it, inserted] = active.emplace(lo, e.idx);
+    const auto clash = [&](std::size_t other) {
+      PIT_CHECK(false, "check_arena_plan: live requests "
+                           << e.idx << " [" << lo << ", " << hi << ") and "
+                           << other << " [" << plan.offsets[other] << ", "
+                           << plan.offsets[other] + requests[other].size
+                           << ") overlap over ops ["
+                           << std::max(requests[e.idx].start,
+                                       requests[other].start)
+                           << ", "
+                           << std::min(requests[e.idx].end,
+                                       requests[other].end)
+                           << "]");
+    };
+    if (!inserted) {
+      clash(it->second);
+    }
+    if (it != active.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->first + requests[prev->second].size > lo) {
+        clash(prev->second);
+      }
+    }
+    if (const auto next = std::next(it); next != active.end() &&
+                                         hi > next->first) {
+      clash(next->second);
+    }
+  }
 }
 
 }  // namespace pit::runtime

@@ -32,4 +32,13 @@ struct ArenaPlan {
 /// before the other's `start`.
 ArenaPlan plan_arena(const std::vector<ArenaRequest>& requests);
 
+/// Asserts that `plan` is a valid assignment for `requests`: every offset
+/// in bounds and no two lifetime-overlapping requests sharing bytes.
+/// O(n log n) interval sweep. plan_arena() runs this on everything it
+/// returns — a planner bug throws pit::Error at plan time instead of
+/// corrupting activations at run time; exposed so tests can probe it with
+/// corrupted plans directly.
+void check_arena_plan(const std::vector<ArenaRequest>& requests,
+                      const ArenaPlan& plan);
+
 }  // namespace pit::runtime

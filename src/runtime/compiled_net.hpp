@@ -54,6 +54,11 @@
 
 namespace pit::runtime {
 
+namespace analysis {
+class PlanVerifier;  // runtime/verify.cpp: static plan verification pass
+}
+class PlanMutator;  // tests: seeds plan corruptions the verifier must catch
+
 /// Inference-only snapshot of a causal dilated conv: packed weights and
 /// resolved geometry, detached from any Module.
 struct FrozenConv {
@@ -284,6 +289,8 @@ class CompiledPlan {
  private:
   friend class NetBuilder;
   friend class QuantizedCompiler;  // quantize_plan.cpp: builds/compares
+  friend class analysis::PlanVerifier;  // read-only verification pass
+  friend class PlanMutator;             // test-only plan corruption
   CompiledPlan() = default;
 
   void bind_stream(ExecutionContext& ctx) const;

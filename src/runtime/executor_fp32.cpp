@@ -6,6 +6,7 @@
 #include "nn/kernels/registry.hpp"
 #include "runtime/compiled_net.hpp"
 #include "runtime/executor_detail.hpp"
+#include "runtime/hardening.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::runtime {
@@ -134,10 +135,31 @@ Tensor CompiledPlan::forward_fp32(const Tensor& input, ExecutionContext& ctx,
                                           << input.shape().to_string());
   const index_t n = input.dim(0);
   const auto needed = static_cast<std::size_t>(arena_per_sample_ * n);
-  if (ctx.arena_.size() < needed) {
-    ctx.arena_.resize(needed);
+  // Dynamic enforcement of the verified memory model (runtime/hardening.hpp):
+  // kPoison shadows the whole arena and re-opens exactly each op's declared
+  // operand regions; kCanary pads the arena tail and each output row's
+  // slack with a pattern re-checked after every op.
+  const hardening::Mode hmode = hardening::mode();
+  const std::size_t reserve =
+      hmode == hardening::Mode::kCanary
+          ? needed + static_cast<std::size_t>(hardening::kArenaTailPadFloats)
+          : needed;
+  if (ctx.arena_.size() < reserve) {
+    ctx.arena_.resize(reserve);
   }
   float* arena = ctx.arena_.data();
+  // The arena vector must never stay poisoned past this forward (resize,
+  // destruction, and the next forward's writes need clean shadow) — RAII
+  // so a throwing op cannot leak poisoned heap memory.
+  hardening::UnpoisonOnExit unpoison_guard(arena, needed * sizeof(float));
+  if (hmode == hardening::Mode::kPoison) {
+    hardening::poison(arena, needed * sizeof(float));
+  } else if (hmode == hardening::Mode::kCanary) {
+    hardening::fill_canary(
+        arena + needed,
+        static_cast<std::size_t>(hardening::kArenaTailPadFloats) *
+            sizeof(float));
+  }
 
   const detail::Value& out_value =
       values_[static_cast<std::size_t>(output_)];
@@ -159,6 +181,10 @@ Tensor CompiledPlan::forward_fp32(const Tensor& input, ExecutionContext& ctx,
     const index_t lead = lead_[si];
     const index_t stride = stride_[si];
     float* base = arena + offsets_[si] * n;
+    // Staging overwrites every byte of the region (lead, data, and slack),
+    // so the whole block becomes legally addressable here.
+    hardening::unpoison(
+        base, static_cast<std::size_t>(rows * stride) * sizeof(float));
 #pragma omp parallel for schedule(static) \
     if (rows * stride >= kParallelMinFloats)
     for (index_t r = 0; r < rows; ++r) {
@@ -202,11 +228,109 @@ Tensor CompiledPlan::forward_fp32(const Tensor& input, ExecutionContext& ctx,
     }
   };
 
+  // Resolves a value to its arena-resident storage root, or -1 when it
+  // lives in an external buffer (the raw input / the output tensor).
+  const auto arena_root = [&](ValueId v) -> ValueId {
+    ValueId r = root_[static_cast<std::size_t>(v)];
+    if (r == in_root) {
+      if (input_stage_ < 0) {
+        return -1;
+      }
+      r = input_stage_;
+    }
+    if (r == out_root || offsets_[static_cast<std::size_t>(r)] < 0) {
+      return -1;
+    }
+    return r;
+  };
+  // An op's INPUT region is fully readable — data, lead, and slack (the
+  // packed kernels' declared read footprint covers the whole row).
+  const auto open_input = [&](ValueId v) {
+    const ValueId r = arena_root(v);
+    if (r < 0) {
+      return;
+    }
+    const auto ri = static_cast<std::size_t>(r);
+    hardening::unpoison(arena + offsets_[ri] * n,
+                        static_cast<std::size_t>(n * values_[ri].channels *
+                                                 stride_[ri]) *
+                            sizeof(float));
+  };
+  // An op's OUTPUT rows open up to their declared write footprint only:
+  // lead + data stay writable, the per-row tail slack is (re-)poisoned —
+  // arena reuse may have legitimately opened these bytes for an earlier
+  // reader — so an out-of-footprint store trips ASan with the faulting
+  // kernel frame.
+  const auto open_output = [&](ValueId v) {
+    const ValueId r = arena_root(v);
+    if (r < 0) {
+      return;
+    }
+    const auto ri = static_cast<std::size_t>(r);
+    float* base = arena + offsets_[ri] * n;
+    const index_t rows = n * values_[ri].channels;
+    hardening::unpoison_rows(base, rows, stride_[ri], slack_[ri]);
+    if (slack_[ri] > 0) {
+      const index_t keep = stride_[ri] - slack_[ri];
+      for (index_t row = 0; row < rows; ++row) {
+        hardening::poison(base + row * stride_[ri] + keep,
+                          static_cast<std::size_t>(slack_[ri]) *
+                              sizeof(float));
+      }
+    }
+  };
+  // kCanary: pattern-fill the output rows' slack before the kernel runs,
+  // re-check it afterwards.
+  const auto canary_fill_output = [&](ValueId v) {
+    const ValueId r = arena_root(v);
+    if (r < 0 || slack_[static_cast<std::size_t>(r)] == 0) {
+      return;
+    }
+    const auto ri = static_cast<std::size_t>(r);
+    const index_t keep = lead_[ri] + values_[ri].steps;
+    float* base = arena + offsets_[ri] * n;
+    const index_t rows = n * values_[ri].channels;
+    for (index_t row = 0; row < rows; ++row) {
+      hardening::fill_canary(
+          base + row * stride_[ri] + keep,
+          static_cast<std::size_t>(slack_[ri]) * sizeof(float));
+    }
+  };
+  const auto canary_check_output = [&](ValueId v, int op_index) {
+    const ValueId r = arena_root(v);
+    if (r < 0 || slack_[static_cast<std::size_t>(r)] == 0) {
+      return;
+    }
+    const auto ri = static_cast<std::size_t>(r);
+    const index_t keep = lead_[ri] + values_[ri].steps;
+    const float* base = arena + offsets_[ri] * n;
+    const index_t rows = n * values_[ri].channels;
+    for (index_t row = 0; row < rows; ++row) {
+      if (!hardening::check_canary(
+              base + row * stride_[ri] + keep,
+              static_cast<std::size_t>(slack_[ri]) * sizeof(float))) {
+        hardening::raise_canary_failure(
+            "forward_fp32", op_index, r, row * stride_[ri] + keep,
+            row * stride_[ri] + stride_[ri]);
+      }
+    }
+  };
+
   if (hook != nullptr) {
     (*hook)(input_, in_data, n * c, t, t);
   }
 
-  for (const detail::Op& op : ops_) {
+  for (std::size_t opi = 0; opi < ops_.size(); ++opi) {
+    const detail::Op& op = ops_[opi];
+    if (hmode == hardening::Mode::kPoison) {
+      open_input(op.in0);
+      if (op.in1 >= 0) {
+        open_input(op.in1);
+      }
+      open_output(op.out);
+    } else if (hmode == hardening::Mode::kCanary) {
+      canary_fill_output(op.out);
+    }
     switch (op.kind) {
       case detail::OpKind::kConv: {
         bool x_padded = false;
@@ -234,11 +358,24 @@ Tensor CompiledPlan::forward_fp32(const Tensor& input, ExecutionContext& ctx,
         break;
     }
     zero_lead(op.out);
+    if (hmode == hardening::Mode::kCanary) {
+      canary_check_output(op.out, static_cast<int>(opi));
+    }
     if (hook != nullptr) {
       const RowSpan s = span(op.out);
       const detail::Value& v = values_[static_cast<std::size_t>(op.out)];
       (*hook)(op.out, s.p, n * v.channels, v.steps, s.stride);
     }
+  }
+  if (hmode == hardening::Mode::kCanary &&
+      !hardening::check_canary(
+          arena + needed,
+          static_cast<std::size_t>(hardening::kArenaTailPadFloats) *
+              sizeof(float))) {
+    hardening::raise_canary_failure("forward_fp32", -1, -1,
+                                    static_cast<long long>(needed),
+                                    static_cast<long long>(needed) +
+                                        hardening::kArenaTailPadFloats);
   }
   return out;
 }

@@ -10,6 +10,7 @@
 #include "nn/kernels/registry.hpp"
 #include "runtime/compiled_net.hpp"
 #include "runtime/executor_detail.hpp"
+#include "runtime/hardening.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::runtime {
@@ -35,10 +36,42 @@ Tensor CompiledPlan::forward_quantized(const Tensor& input,
                                           << input.shape().to_string());
   const index_t n = input.dim(0);
   const auto needed = static_cast<std::size_t>(q_arena_bytes_ * n);
-  if (ctx.qarena_.size() < needed) {
-    ctx.qarena_.resize(needed);
+  // Dynamic enforcement (runtime/hardening.hpp). u8 rows carry no tail
+  // slack, so kPoison guards the DEAD regions between planned blocks and
+  // kCanary guards a pattern-filled pad past the arena's planned end.
+  const hardening::Mode hmode = hardening::mode();
+  const std::size_t pad =
+      static_cast<std::size_t>(hardening::kArenaTailPadFloats) *
+      sizeof(float);
+  const std::size_t reserve =
+      hmode == hardening::Mode::kCanary ? needed + pad : needed;
+  if (ctx.qarena_.size() < reserve) {
+    ctx.qarena_.resize(reserve);
   }
   std::uint8_t* arena = ctx.qarena_.data();
+  hardening::UnpoisonOnExit unpoison_guard(arena, needed);
+  if (hmode == hardening::Mode::kPoison) {
+    hardening::poison(arena, needed);
+  } else if (hmode == hardening::Mode::kCanary) {
+    hardening::fill_canary(arena + needed, pad);
+  }
+  // Opens a value's full planned byte region (u8 reads and writes both
+  // stay inside it — the verifier proved the lead covers the look-back).
+  const auto open_region = [&](ValueId v) {
+    ValueId r = root_[static_cast<std::size_t>(v)];
+    if (r == root_[static_cast<std::size_t>(input_)]) {
+      r = q_stage_;
+    }
+    const auto ri = static_cast<std::size_t>(r);
+    if (q_off_[ri] < 0) {
+      return;
+    }
+    hardening::unpoison(
+        arena + q_off_[ri] * n,
+        static_cast<std::size_t>(n *
+                                 quant_groups(values_[ri].channels) *
+                                 kQuantCiGroup * q_stride_[ri]));
+  };
 
   const detail::Value& out_value =
       values_[static_cast<std::size_t>(output_)];
@@ -71,6 +104,7 @@ Tensor CompiledPlan::forward_quantized(const Tensor& input,
   {
     const auto si = static_cast<std::size_t>(q_stage_);
     const quant::QuantParams& qp = qvalue_[si];
+    open_region(q_stage_);
     qstage_fn_(input.data(), arena + q_off_[si] * n, n, c, t, q_lead_[si],
                q_stride_[si], 1.0F / qp.scale, qp.zero_point);
   }
@@ -127,6 +161,15 @@ Tensor CompiledPlan::forward_quantized(const Tensor& input,
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     const detail::Op& op = ops_[i];
     const detail::QuantOp& qop = qops_[i];
+    if (hmode == hardening::Mode::kPoison) {
+      open_region(op.in0);
+      if (op.in1 >= 0) {
+        open_region(op.in1);
+      }
+      if (!qop.out_float) {
+        open_region(op.out);
+      }
+    }
     switch (op.kind) {
       case detail::OpKind::kConv: {
         const float* m = qconsts_.data() + qop.m_off;
@@ -264,6 +307,12 @@ Tensor CompiledPlan::forward_quantized(const Tensor& input,
       refill_lead(op.out);
     }
     call_hook(op.out);
+  }
+  if (hmode == hardening::Mode::kCanary &&
+      !hardening::check_canary(arena + needed, pad)) {
+    hardening::raise_canary_failure(
+        "forward_quantized", -1, -1, static_cast<long long>(needed),
+        static_cast<long long>(needed + pad));
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include "nn/kernels/registry.hpp"
 #include "runtime/compiled_net.hpp"
 #include "runtime/executor_detail.hpp"
+#include "runtime/hardening.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::runtime {
@@ -17,6 +18,30 @@ void CompiledPlan::bind_stream(ExecutionContext& ctx) const {
             "pool, linear, or strided conv — run forward() on whole "
             "sequences instead)");
   if (ctx.stream_plan_ != this) {
+    if (hardening::mode() != hardening::Mode::kOff) {
+      // Dynamic ring-size enforcement: re-derive the exact streaming
+      // layout from the op list before any step indexes into it. Each
+      // conv keeps (k-1)*dilation+1 slots per input channel — a ring
+      // sized any other way would make step() read or write out of its
+      // span.
+      index_t ring = 0;
+      index_t vals = 0;
+      for (const detail::Op& op : ops_) {
+        if (op.kind == detail::OpKind::kConv) {
+          ring += op.c_in * detail::ring_span(op);
+        }
+      }
+      for (std::size_t v = 0; v < values_.size(); ++v) {
+        if (root_[v] == static_cast<ValueId>(v)) {
+          vals += values_[v].channels;
+        }
+      }
+      PIT_CHECK(ring_floats_ == ring && val_floats_ == vals,
+                "bind_stream: streaming layout holds "
+                    << ring_floats_ << "/" << val_floats_
+                    << " ring/value floats, ops need " << ring << "/"
+                    << vals);
+    }
     if (quantized_) {
       bind_stream_quantized(ctx);  // zero-point-filled u8 rings
     } else {

@@ -7,6 +7,7 @@
 #include "nn/kernels/registry.hpp"
 #include "runtime/compiled_net.hpp"
 #include "runtime/executor_detail.hpp"
+#include "runtime/hardening.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::runtime {
@@ -24,6 +25,28 @@ std::size_t CompiledPlan::quant_root(ValueId v) const {
 }
 
 void CompiledPlan::bind_stream_quantized(ExecutionContext& ctx) const {
+  if (hardening::mode() != hardening::Mode::kOff) {
+    // Dynamic ring-size enforcement for the u8 layout (see bind_stream):
+    // quant_groups(c_in) group rows of (k-1)*dilation+1 quad slots per
+    // conv, one quad vector per storage root.
+    index_t ring = 0;
+    index_t vals = 0;
+    for (const detail::Op& op : ops_) {
+      if (op.kind == detail::OpKind::kConv) {
+        ring += quant_groups(op.c_in) * detail::ring_span(op) *
+                kQuantCiGroup;
+      }
+    }
+    for (std::size_t v = 0; v < values_.size(); ++v) {
+      if (root_[v] == static_cast<ValueId>(v)) {
+        vals += quant_groups(values_[v].channels) * kQuantCiGroup;
+      }
+    }
+    PIT_CHECK(q_ring_bytes_ == ring && q_val_bytes_ == vals,
+              "bind_stream_quantized: u8 streaming layout holds "
+                  << q_ring_bytes_ << "/" << q_val_bytes_
+                  << " ring/value bytes, ops need " << ring << "/" << vals);
+  }
   // Rings start life holding each conv input's zero-point byte: slots the
   // stream has not reached yet read as real 0.0 — the same causal padding
   // the batched program materializes in its row leads.

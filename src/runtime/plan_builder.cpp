@@ -10,6 +10,7 @@
 #include "runtime/arena.hpp"
 #include "runtime/compiled_net.hpp"
 #include "runtime/executor_detail.hpp"
+#include "runtime/verify.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::runtime {
@@ -421,6 +422,10 @@ CompiledPlan NetBuilder::compile(ValueId output) && {
         break;
     }
   }
+
+  // Prove the planned layouts and bindings before anything can execute
+  // them — a plan that compiles is a plan whose memory model verified.
+  analysis::verify_or_throw(net, "NetBuilder::compile");
   return net;
 }
 

@@ -13,6 +13,7 @@
 #include "nn/kernels/registry.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/executor_detail.hpp"
+#include "runtime/verify.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::runtime {
@@ -493,6 +494,10 @@ std::shared_ptr<const CompiledPlan> QuantizedCompiler::quantize(
   q.q_value_bound_ = bound;
   q.q_error_bound_ = bound[out_root];
   q.q_error_estimate_ = std::sqrt(var[out_root]);
+
+  // Re-prove the full memory model over the lowered program: the fp32
+  // layouts survived intact AND the int8 byte arena / bindings hold.
+  analysis::verify_or_throw(q, "quantize_plan");
   return std::make_shared<const CompiledPlan>(std::move(q));
 }
 

@@ -1,0 +1,972 @@
+// Static verification pass over the compiled-plan IR. See verify.hpp for
+// the invariant families; this TU re-derives each layout from the op list
+// (the same arithmetic plan_builder.cpp / quant_lowering.cpp used to build
+// it) and reports every divergence as a structured Issue.
+#include "runtime/verify.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include "nn/kernels/registry.hpp"
+#include "runtime/compiled_net.hpp"
+#include "runtime/executor_detail.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::runtime::analysis {
+
+namespace {
+using nn::kernels::KernelFootprint;
+using nn::kernels::kQuantCiGroup;
+using nn::kernels::quant_groups;
+using nn::kernels::Registry;
+
+std::atomic<bool> g_verify_enabled{true};
+}  // namespace
+
+const char* invariant_name(Invariant inv) {
+  switch (inv) {
+    case Invariant::kArenaOverlap:
+      return "arena-overlap";
+    case Invariant::kFootprint:
+      return "footprint";
+    case Invariant::kBinding:
+      return "binding";
+    case Invariant::kRing:
+      return "ring";
+    case Invariant::kQuantParams:
+      return "quant-params";
+    case Invariant::kParamPool:
+      return "param-pool";
+    case Invariant::kLayout:
+      return "layout";
+  }
+  return "unknown";
+}
+
+std::string Issue::to_string() const {
+  std::ostringstream os;
+  os << '[' << invariant_name(invariant) << ']';
+  if (op >= 0) {
+    os << " op#" << op;
+  }
+  if (value >= 0) {
+    os << " v" << value;
+  }
+  if (lo != 0 || hi != 0) {
+    os << " [" << lo << ", " << hi << ')';
+  }
+  if (other_lo != 0 || other_hi != 0) {
+    os << " vs [" << other_lo << ", " << other_hi << ')';
+  }
+  if (!registry_key.empty()) {
+    os << " key=" << registry_key;
+  }
+  os << ": " << message;
+  return os.str();
+}
+
+bool Report::has(Invariant inv) const {
+  return std::any_of(issues.begin(), issues.end(),
+                     [inv](const Issue& i) { return i.invariant == inv; });
+}
+
+std::string Report::to_string() const {
+  if (issues.empty()) {
+    return "plan verifies clean";
+  }
+  std::ostringstream os;
+  os << issues.size() << " invariant violation(s):";
+  for (const Issue& i : issues) {
+    os << "\n  " << i.to_string();
+  }
+  return os.str();
+}
+
+/// Friend of CompiledPlan: read-only access to the planned layouts.
+class PlanVerifier {
+ public:
+  explicit PlanVerifier(const CompiledPlan& plan) : p_(plan) {}
+
+  Report run() {
+    if (!check_structure()) {
+      return std::move(report_);  // per-value arrays unusable; stop here
+    }
+    check_shapes();
+    check_row_layout();
+    check_arena();
+    check_footprints();
+    check_param_pool();
+    check_bindings();
+    check_streaming();
+    if (p_.quantized_) {
+      check_quant_layout();
+      check_quant_arena();
+      check_quant_params();
+      check_quant_pools();
+      check_quant_bindings();
+      check_quant_streaming();
+    }
+    return std::move(report_);
+  }
+
+ private:
+  // One live arena region: a storage root's planned byte/float block over
+  // its inclusive op lifetime.
+  struct Region {
+    ValueId root = -1;
+    long long lo = 0, hi = 0;  // half-open offset range
+    int start = 0, end = 0;    // inclusive op interval
+  };
+
+  void issue(Invariant inv, int op, int value, long long lo, long long hi,
+             long long olo, long long ohi, std::string key,
+             std::string message) {
+    report_.issues.push_back({inv, op, value, lo, hi, olo, ohi,
+                              std::move(key), std::move(message)});
+  }
+  void issue(Invariant inv, int op, int value, std::string message) {
+    issue(inv, op, value, 0, 0, 0, 0, {}, std::move(message));
+  }
+
+  bool value_ok(ValueId v) const {
+    return v >= 0 && v < static_cast<ValueId>(p_.values_.size());
+  }
+
+  ValueId root(ValueId v) const {
+    return p_.root_[static_cast<std::size_t>(v)];
+  }
+
+  // Storage root a packed conv actually reads at run time: the input
+  // resolves to its padded staging value when one exists (the executor's
+  // span() substitution).
+  ValueId fp32_read_root(ValueId v) const {
+    ValueId r = root(v);
+    if (r == root(p_.input_) && p_.input_stage_ >= 0) {
+      r = p_.input_stage_;
+    }
+    return r;
+  }
+
+  std::size_t qroot(ValueId v) const {
+    auto r = static_cast<std::size_t>(root(v));
+    return r == static_cast<std::size_t>(root(p_.input_))
+               ? static_cast<std::size_t>(p_.q_stage_)
+               : r;
+  }
+
+  // ---- structure: ids in range, per-value/per-op arrays sized ------------
+  bool check_structure() {
+    const auto nv = p_.values_.size();
+    const auto no = p_.ops_.size();
+    bool ok = true;
+    const auto sized = [&](std::size_t got, std::size_t want,
+                           const char* name) {
+      if (got != want) {
+        std::ostringstream os;
+        os << name << " holds " << got << " entries for " << want;
+        issue(Invariant::kLayout, -1, -1, os.str());
+        ok = false;
+      }
+    };
+    sized(p_.root_.size(), nv, "root_");
+    sized(p_.offsets_.size(), nv, "offsets_");
+    sized(p_.lead_.size(), nv, "lead_");
+    sized(p_.slack_.size(), nv, "slack_");
+    sized(p_.stride_.size(), nv, "stride_");
+    if (p_.quantized_) {
+      sized(p_.qops_.size(), no, "qops_");
+      sized(p_.qvalue_.size(), nv, "qvalue_");
+      sized(p_.q_lead_.size(), nv, "q_lead_");
+      sized(p_.q_stride_.size(), nv, "q_stride_");
+      sized(p_.q_off_.size(), nv, "q_off_");
+    }
+    if (no == 0 || !value_ok(p_.input_) || !value_ok(p_.output_)) {
+      issue(Invariant::kLayout, -1, -1,
+            "empty op list or input/output value out of range");
+      ok = false;
+    }
+    for (std::size_t i = 0; ok && i < no; ++i) {
+      const detail::Op& op = p_.ops_[i];
+      if (!value_ok(op.in0) || !value_ok(op.out) ||
+          (op.kind == detail::OpKind::kAdd && !value_ok(op.in1))) {
+        issue(Invariant::kLayout, static_cast<int>(i), -1,
+              "op references a value id out of range");
+        ok = false;
+      }
+    }
+    if (!ok) {
+      return false;
+    }
+    // Alias chains resolve to the stored roots (aliases point backwards).
+    for (std::size_t v = 0; v < nv; ++v) {
+      const ValueId a = p_.values_[v].alias_of;
+      const ValueId want =
+          a < 0 ? static_cast<ValueId>(v)
+                : (a < static_cast<ValueId>(v)
+                       ? p_.root_[static_cast<std::size_t>(a)]
+                       : -1);
+      if (want < 0 || p_.root_[v] != want) {
+        issue(Invariant::kLayout, -1, static_cast<int>(v),
+              "alias does not resolve to its storage root");
+      }
+    }
+    return report_.ok();
+  }
+
+  // ---- per-op geometry against the recorded value shapes -----------------
+  void check_shapes() {
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const detail::Value& in = p_.values_[static_cast<std::size_t>(op.in0)];
+      const detail::Value& out = p_.values_[static_cast<std::size_t>(op.out)];
+      const auto shape_issue = [&](const char* what) {
+        std::ostringstream os;
+        os << what << " (op geometry " << op.c_in << "->" << op.c_out << " t"
+           << op.t_in << "->" << op.t_out << ")";
+        issue(Invariant::kLayout, static_cast<int>(i), op.out, os.str());
+      };
+      if (out.channels != op.c_out || out.steps != op.t_out) {
+        shape_issue("output value shape disagrees with the op");
+      }
+      switch (op.kind) {
+        case detail::OpKind::kConv:
+          if (in.channels != op.c_in || in.steps != op.t_in) {
+            shape_issue("conv input shape disagrees with the op");
+          }
+          if (op.t_out !=
+              nn::causal_conv1d_output_steps(op.t_in, op.stride)) {
+            shape_issue("conv t_out is not the causal output length");
+          }
+          break;
+        case detail::OpKind::kLinear:
+          if (in.steps != 1 || op.t_in != 1 || op.t_out != 1 ||
+              in.channels != op.c_in) {
+            shape_issue("linear requires a flat (steps == 1) input");
+          }
+          break;
+        case detail::OpKind::kAvgPool:
+          if (in.channels != op.c_in || in.steps != op.t_in ||
+              op.c_in != op.c_out ||
+              op.t_out != (op.t_in - op.k) / op.stride + 1) {
+            shape_issue("avg_pool geometry disagrees with its values");
+          }
+          break;
+        case detail::OpKind::kAdd: {
+          const detail::Value& in1 =
+              p_.values_[static_cast<std::size_t>(op.in1)];
+          if (in.channels != op.c_out || in.steps != op.t_out ||
+              in1.channels != op.c_out || in1.steps != op.t_out) {
+            shape_issue("add operand shapes disagree");
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- fp32 row layout bookkeeping ---------------------------------------
+  void check_row_layout() {
+    for (std::size_t v = 0; v < p_.values_.size(); ++v) {
+      if (p_.lead_[v] < 0 || p_.slack_[v] < 0 ||
+          p_.stride_[v] !=
+              p_.lead_[v] + p_.values_[v].steps + p_.slack_[v]) {
+        std::ostringstream os;
+        os << "row stride " << p_.stride_[v] << " != lead " << p_.lead_[v]
+           << " + steps " << p_.values_[v].steps << " + slack "
+           << p_.slack_[v];
+        issue(Invariant::kLayout, -1, static_cast<int>(v), os.str());
+      }
+    }
+  }
+
+  // Recomputes per-root inclusive [def, last] lifetimes through `to_root`.
+  template <typename RootFn>
+  void liveness(RootFn to_root, std::vector<int>& def,
+                std::vector<int>& last) const {
+    def.assign(p_.values_.size(), -1);
+    last.assign(p_.values_.size(), -1);
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const auto touch = [&](ValueId v, std::vector<int>& slot) {
+        if (v >= 0) {
+          slot[to_root(v)] = static_cast<int>(i);
+        }
+      };
+      touch(op.in0, last);
+      touch(op.in1, last);
+      touch(op.out, def);
+    }
+  }
+
+  // Pairwise disjointness of simultaneously-live regions + capacity.
+  void check_regions(const std::vector<Region>& regions, long long capacity,
+                     const char* arena, const char* unit) {
+    for (const Region& r : regions) {
+      if (r.lo < 0 || r.hi > capacity) {
+        std::ostringstream os;
+        os << arena << " region falls outside the planned " << capacity
+           << ' ' << unit;
+        issue(Invariant::kArenaOverlap, -1, r.root, r.lo, r.hi, 0, capacity,
+              {}, os.str());
+      }
+    }
+    for (std::size_t a = 0; a < regions.size(); ++a) {
+      for (std::size_t b = a + 1; b < regions.size(); ++b) {
+        const Region& ra = regions[a];
+        const Region& rb = regions[b];
+        const bool live_together =
+            !(ra.end < rb.start || rb.end < ra.start);
+        const bool overlap = ra.lo < rb.hi && rb.lo < ra.hi;
+        if (live_together && overlap) {
+          std::ostringstream os;
+          os << arena << " regions of v" << ra.root << " and v" << rb.root
+             << " overlap while both live (ops " << std::max(ra.start,
+                                                             rb.start)
+             << ".." << std::min(ra.end, rb.end) << ", " << unit << ")";
+          issue(Invariant::kArenaOverlap, -1, ra.root, ra.lo, ra.hi, rb.lo,
+                rb.hi, {}, os.str());
+        }
+      }
+    }
+  }
+
+  // ---- fp32 arena non-aliasing -------------------------------------------
+  void check_arena() {
+    std::vector<int> def;
+    std::vector<int> last;
+    liveness([&](ValueId v) { return static_cast<std::size_t>(root(v)); },
+             def, last);
+    const ValueId in_root = root(p_.input_);
+    const ValueId out_root = root(p_.output_);
+    std::vector<Region> regions;
+    for (std::size_t v = 0; v < p_.values_.size(); ++v) {
+      const auto vid = static_cast<ValueId>(v);
+      if (p_.root_[v] != vid || p_.offsets_[v] < 0) {
+        continue;
+      }
+      if (vid == in_root || vid == out_root) {
+        issue(Invariant::kArenaOverlap, -1, static_cast<int>(v),
+              "externally-buffered value carries an arena offset");
+        continue;
+      }
+      Region r;
+      r.root = vid;
+      r.lo = p_.offsets_[v];
+      r.hi = r.lo + static_cast<long long>(p_.values_[v].channels) *
+                        p_.stride_[v];
+      if (vid == p_.input_stage_) {
+        r.start = 0;
+        r.end = std::max(last[static_cast<std::size_t>(in_root)], 0);
+      } else if (def[v] < 0) {
+        issue(Invariant::kArenaOverlap, -1, static_cast<int>(v),
+              "planned value is never produced by any op");
+        continue;
+      } else {
+        r.start = def[v];
+        r.end = std::max(last[v], def[v]);
+      }
+      regions.push_back(r);
+    }
+    check_regions(regions, p_.arena_per_sample_, "fp32 arena", "floats");
+    // Every arena-resident operand an op touches must actually be planned.
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const auto planned = [&](ValueId v) {
+        if (v < 0) {
+          return;
+        }
+        const ValueId r = fp32_read_root(v);
+        if (r != in_root && r != out_root &&
+            p_.offsets_[static_cast<std::size_t>(r)] < 0) {
+          issue(Invariant::kArenaOverlap, static_cast<int>(i), r,
+                "operand's storage root has no arena offset");
+        }
+      };
+      planned(op.in0);
+      planned(op.in1);
+      planned(op.out);
+    }
+  }
+
+  // ---- kernel footprint containment --------------------------------------
+  void check_footprints() {
+    const ValueId in_root = root(p_.input_);
+    const ValueId out_root = root(p_.output_);
+    const auto dense = [&](ValueId r) {
+      const auto ri = static_cast<std::size_t>(r);
+      return p_.lead_[ri] == 0 && p_.slack_[ri] == 0;
+    };
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const int oi = static_cast<int>(i);
+      switch (op.kind) {
+        case detail::OpKind::kConv:
+          if (op.packed) {
+            const ValueId r = fp32_read_root(op.in0);
+            if (r == in_root) {
+              break;  // unstaged external input: dense clamped path
+            }
+            const auto ri = static_cast<std::size_t>(r);
+            const KernelFootprint fp = Registry::conv_packed_f32_footprint(
+                {op.k, op.c_in, op.c_out}, op.dilation, true);
+            if (p_.lead_[ri] < fp.read_before ||
+                p_.slack_[ri] < fp.read_after) {
+              std::ostringstream os;
+              os << "packed conv needs lead >= " << fp.read_before
+                 << " and slack >= " << fp.read_after << " floats, input "
+                 << "row has lead " << p_.lead_[ri] << " slack "
+                 << p_.slack_[ri];
+              issue(Invariant::kFootprint, oi, r, p_.lead_[ri],
+                    p_.slack_[ri], fp.read_before, fp.read_after,
+                    "conv.packed.f32", os.str());
+            }
+          } else if (!dense(root(op.in0)) || !dense(root(op.out))) {
+            issue(Invariant::kFootprint, oi, root(op.in0), 0, 0, 0, 0,
+                  "conv.train.f32",
+                  "strided conv requires dense (unpadded) operand rows");
+          }
+          break;
+        case detail::OpKind::kLinear:
+          if (!dense(root(op.in0)) || !dense(root(op.out))) {
+            issue(Invariant::kFootprint, oi, root(op.in0), 0, 0, 0, 0,
+                  "linear.f32",
+                  "linear requires dense (unpadded) operand rows");
+          }
+          break;
+        case detail::OpKind::kAvgPool:
+          if ((op.t_out - 1) * op.stride + op.k > op.t_in) {
+            std::ostringstream os;
+            os << "pool window reads past t_in: (t_out-1)*stride + k = "
+               << (op.t_out - 1) * op.stride + op.k << " > " << op.t_in;
+            issue(Invariant::kFootprint, oi, op.in0, 0,
+                  (op.t_out - 1) * op.stride + op.k, 0, op.t_in, {},
+                  os.str());
+          }
+          break;
+        case detail::OpKind::kAdd:
+          break;
+      }
+      (void)out_root;
+    }
+  }
+
+  // ---- packed parameter pool containment ---------------------------------
+  void check_param_pool() {
+    const auto pool = static_cast<long long>(p_.params_.size());
+    const auto contained = [&](int oi, index_t off, index_t count,
+                               const char* what) {
+      if (off < 0 || static_cast<long long>(off) + count > pool) {
+        std::ostringstream os;
+        os << what << " spills the packed parameter pool";
+        issue(Invariant::kParamPool, oi, -1, off, off + count, 0, pool, {},
+              os.str());
+      }
+    };
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const int oi = static_cast<int>(i);
+      switch (op.kind) {
+        case detail::OpKind::kConv: {
+          index_t wfloats = op.c_out * op.c_in * op.k;
+          if (op.packed) {
+            nn::kernels::ConvDims dims{};
+            dims.c_in = op.c_in;
+            dims.c_out = op.c_out;
+            dims.k = op.k;
+            wfloats = nn::kernels::packed_weight_floats(dims);
+          }
+          contained(oi, op.w_off, wfloats, "conv weights");
+          if (op.b_off >= 0) {
+            contained(oi, op.b_off, op.c_out, "conv bias");
+          }
+          break;
+        }
+        case detail::OpKind::kLinear:
+          contained(oi, op.w_off, op.c_out * op.c_in, "linear weights");
+          if (op.b_off >= 0) {
+            contained(oi, op.b_off, op.c_out, "linear bias");
+          }
+          break;
+        case detail::OpKind::kAvgPool:
+        case detail::OpKind::kAdd:
+          break;
+      }
+    }
+  }
+
+  // ---- fp32 binding coherence: re-bind and compare -----------------------
+  void check_bindings() {
+    const Registry& reg = Registry::instance();
+    const auto mismatch = [&](int oi, const char* key, const char* what) {
+      std::ostringstream os;
+      os << what << " differs from what the registry binds for the op's "
+         << "signature";
+      issue(Invariant::kBinding, oi, -1, 0, 0, 0, 0, key, os.str());
+    };
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const int oi = static_cast<int>(i);
+      switch (op.kind) {
+        case detail::OpKind::kConv:
+          if (op.packed) {
+            const nn::kernels::ConvSig sig{op.k, op.c_in, op.c_out};
+            const auto conv = reg.conv_packed_f32(sig);
+            if (op.bind.conv != conv.fn || op.bind.meta != conv.meta) {
+              mismatch(oi, "conv.packed.f32", "packed conv binding");
+            }
+            const auto step = reg.conv_step_f32(sig);
+            if (op.bind.step != step.fn || op.bind.step_meta != step.meta) {
+              mismatch(oi, "conv.step.f32", "streaming step binding");
+            }
+          } else {
+            nn::kernels::ConvDims dims{};
+            dims.n = 1;
+            dims.c_in = op.c_in;
+            dims.c_out = op.c_out;
+            dims.k = op.k;
+            dims.t_in = op.t_in;
+            dims.t_out = op.t_out;
+            dims.dilation = op.dilation;
+            dims.stride = op.stride;
+            const auto train = reg.conv_train_f32(dims);
+            if (op.bind.conv_train != train.fn ||
+                op.bind.meta != train.meta) {
+              mismatch(oi, "conv.train.f32", "strided conv binding");
+            }
+          }
+          break;
+        case detail::OpKind::kLinear: {
+          const auto lin = reg.linear_f32();
+          if (op.bind.linear != lin.fn || op.bind.meta != lin.meta) {
+            mismatch(oi, "linear.f32", "linear binding");
+          }
+          break;
+        }
+        case detail::OpKind::kAvgPool:
+        case detail::OpKind::kAdd:
+          if (op.bind.meta != &Registry::inline_meta()) {
+            mismatch(oi, "builtin/inline", "inline-op meta");
+          }
+          break;
+      }
+    }
+  }
+
+  // ---- streaming ring / step-vector layout -------------------------------
+  void check_streaming() {
+    if (!p_.streamable_) {
+      return;
+    }
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const bool ok =
+          (op.kind == detail::OpKind::kConv && op.stride == 1 &&
+           op.packed) ||
+          op.kind == detail::OpKind::kAdd;
+      if (!ok) {
+        issue(Invariant::kRing, static_cast<int>(i), -1,
+              "plan is marked streamable but this op cannot stream");
+      }
+    }
+    if (p_.ring_off_.size() != p_.ops_.size() ||
+        p_.val_off_.size() != p_.values_.size()) {
+      issue(Invariant::kRing, -1, -1,
+            "streaming layout arrays are missing or mis-sized");
+      return;
+    }
+    index_t ring = 0;
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const index_t want =
+          op.kind == detail::OpKind::kConv ? ring : static_cast<index_t>(-1);
+      if (p_.ring_off_[i] != want) {
+        std::ostringstream os;
+        os << "conv ring offset " << p_.ring_off_[i] << ", expected "
+           << want << " ((k-1)*dilation+1 slots per input channel)";
+        issue(Invariant::kRing, static_cast<int>(i), -1, p_.ring_off_[i], 0,
+              want, 0, {}, os.str());
+      }
+      if (op.kind == detail::OpKind::kConv) {
+        ring += op.c_in * detail::ring_span(op);
+      }
+    }
+    if (p_.ring_floats_ != ring) {
+      std::ostringstream os;
+      os << "ring arena holds " << p_.ring_floats_ << " floats, ops need "
+         << ring;
+      issue(Invariant::kRing, -1, -1, p_.ring_floats_, 0, ring, 0, {},
+            os.str());
+    }
+    index_t vals = 0;
+    for (std::size_t v = 0; v < p_.values_.size(); ++v) {
+      const index_t want = p_.root_[v] == static_cast<ValueId>(v)
+                               ? vals
+                               : static_cast<index_t>(-1);
+      if (p_.val_off_[v] != want) {
+        issue(Invariant::kRing, -1, static_cast<int>(v), p_.val_off_[v], 0,
+              want, 0, {}, "step-vector offset mismatch");
+      }
+      if (p_.root_[v] == static_cast<ValueId>(v)) {
+        vals += p_.values_[v].channels;
+      }
+    }
+    if (p_.val_floats_ != vals) {
+      issue(Invariant::kRing, -1, -1, p_.val_floats_, 0, vals, 0, {},
+            "step-vector arena total mismatch");
+    }
+  }
+
+  // ---- quantized byte-row layout -----------------------------------------
+  void check_quant_layout() {
+    if (!value_ok(p_.q_stage_) ||
+        p_.root_[static_cast<std::size_t>(p_.q_stage_)] != p_.q_stage_) {
+      issue(Invariant::kLayout, -1, p_.q_stage_,
+            "quantized plan has no valid u8 staging value");
+      return;
+    }
+    for (std::size_t v = 0; v < p_.values_.size(); ++v) {
+      if (p_.q_lead_[v] < 0 ||
+          p_.q_stride_[v] != p_.q_lead_[v] + p_.values_[v].steps) {
+        std::ostringstream os;
+        os << "u8 row stride " << p_.q_stride_[v] << " != lead "
+           << p_.q_lead_[v] << " + steps " << p_.values_[v].steps;
+        issue(Invariant::kLayout, -1, static_cast<int>(v), os.str());
+      }
+    }
+    // i8 conv reads its causal look-back from the zero-point lead; the
+    // kernel has no unpadded fallback, so containment is mandatory.
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      if (op.kind != detail::OpKind::kConv) {
+        continue;
+      }
+      const std::size_t rin = qroot(op.in0);
+      const KernelFootprint fp = Registry::conv_packed_i8_footprint(
+          {op.k, op.c_in, op.c_out}, op.dilation);
+      if (kQuantCiGroup * p_.q_lead_[rin] < fp.read_before) {
+        std::ostringstream os;
+        os << "i8 conv needs " << fp.read_before
+           << " lead bytes per group row, input has "
+           << kQuantCiGroup * p_.q_lead_[rin];
+        issue(Invariant::kFootprint, static_cast<int>(i),
+              static_cast<int>(rin), kQuantCiGroup * p_.q_lead_[rin], 0,
+              fp.read_before, 0, "conv.packed.i8", os.str());
+      }
+    }
+  }
+
+  // ---- byte-arena non-aliasing -------------------------------------------
+  void check_quant_arena() {
+    std::vector<int> def;
+    std::vector<int> last;
+    liveness([&](ValueId v) { return qroot(v); }, def, last);
+    const auto stage = static_cast<std::size_t>(p_.q_stage_);
+    const auto out_root = static_cast<std::size_t>(root(p_.output_));
+    std::vector<Region> regions;
+    for (std::size_t v = 0; v < p_.values_.size(); ++v) {
+      if (p_.root_[v] != static_cast<ValueId>(v) || p_.q_off_[v] < 0) {
+        continue;
+      }
+      if (v == out_root) {
+        issue(Invariant::kArenaOverlap, -1, static_cast<int>(v),
+              "the float-stored output carries a byte-arena offset");
+        continue;
+      }
+      Region r;
+      r.root = static_cast<ValueId>(v);
+      r.lo = p_.q_off_[v];
+      r.hi = r.lo + static_cast<long long>(
+                        quant_groups(p_.values_[v].channels)) *
+                        kQuantCiGroup * p_.q_stride_[v];
+      if (v == stage) {
+        r.start = 0;
+        r.end = std::max(last[stage], 0);
+      } else if (def[v] < 0) {
+        issue(Invariant::kArenaOverlap, -1, static_cast<int>(v),
+              "planned u8 value is never produced by any op");
+        continue;
+      } else {
+        r.start = def[v];
+        r.end = std::max(last[v], def[v]);
+      }
+      regions.push_back(r);
+    }
+    check_regions(regions, p_.q_arena_bytes_, "u8 arena", "bytes");
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const detail::QuantOp& qop = p_.qops_[i];
+      const auto planned = [&](ValueId v) {
+        const std::size_t r = qroot(v);
+        if (p_.q_off_[r] < 0) {
+          issue(Invariant::kArenaOverlap, static_cast<int>(i),
+                static_cast<int>(r),
+                "u8 operand's storage root has no byte-arena offset");
+        }
+      };
+      planned(op.in0);
+      if (op.kind == detail::OpKind::kAdd) {
+        planned(op.in1);
+      }
+      const bool writes_output = qroot(op.out) == out_root;
+      if (qop.out_float != writes_output) {
+        issue(Invariant::kLayout, static_cast<int>(i), op.out,
+              "out_float flag disagrees with the op writing the output");
+      } else if (!qop.out_float) {
+        planned(op.out);
+      }
+    }
+  }
+
+  // ---- quantization parameter sanity -------------------------------------
+  void check_quant_params() {
+    const auto check_value = [&](std::size_t r, int oi) {
+      const quant::QuantParams& qp = p_.qvalue_[r];
+      if (!std::isfinite(qp.scale) || qp.scale <= 0.0F ||
+          qp.zero_point < 0 || qp.zero_point > 255) {
+        std::ostringstream os;
+        os << "degenerate u8 affine params: scale=" << qp.scale
+           << " zero_point=" << qp.zero_point;
+        issue(Invariant::kQuantParams, oi, static_cast<int>(r), os.str());
+      }
+    };
+    check_value(static_cast<std::size_t>(p_.q_stage_), -1);
+    const auto finite_consts = [&](int oi, index_t off, index_t count,
+                                   const char* what) {
+      for (index_t e = 0; e < count; ++e) {
+        const float v = p_.qconsts_[static_cast<std::size_t>(off + e)];
+        if (!std::isfinite(v)) {
+          std::ostringstream os;
+          os << what << '[' << e << "] is not finite";
+          issue(Invariant::kQuantParams, oi, -1, os.str());
+          return;
+        }
+      }
+    };
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const detail::QuantOp& qop = p_.qops_[i];
+      const int oi = static_cast<int>(i);
+      const std::size_t rout = qroot(op.out);
+      check_value(qroot(op.in0), oi);
+      if (op.kind == detail::OpKind::kAdd) {
+        check_value(qroot(op.in1), oi);
+      }
+      if (!qop.out_float) {
+        check_value(rout, oi);
+        const int want_lo = op.relu ? p_.qvalue_[rout].zero_point : 0;
+        if (qop.out_lo != want_lo) {
+          std::ostringstream os;
+          os << "out_lo " << qop.out_lo << " != " << want_lo
+             << " (ReLU folds into the lower u8 clamp)";
+          issue(Invariant::kQuantParams, oi, op.out, qop.out_lo, 0, want_lo,
+                0, {}, os.str());
+        }
+      } else if (qop.out_lo != 0) {
+        issue(Invariant::kQuantParams, oi, op.out,
+              "dequantizing store must not clamp (out_lo != 0)");
+      }
+      if (op.kind == detail::OpKind::kConv ||
+          op.kind == detail::OpKind::kLinear) {
+        const index_t co_round = (op.c_out + nn::kernels::kQuantCo - 1) /
+                                 nn::kernels::kQuantCo *
+                                 nn::kernels::kQuantCo;
+        const auto pool = static_cast<long long>(p_.qconsts_.size());
+        if (qop.m_off >= 0 && qop.m_off + co_round <= pool) {
+          finite_consts(oi, qop.m_off, co_round, "requantize multiplier");
+        }
+        if (qop.b_off >= 0 && qop.b_off + co_round <= pool) {
+          finite_consts(oi, qop.b_off, co_round, "requantize bias");
+        }
+      } else if (!std::isfinite(qop.a_mul) || !std::isfinite(qop.b_mul) ||
+                 !std::isfinite(qop.c_add)) {
+        issue(Invariant::kQuantParams, oi, -1,
+              "scalar requantize terms are not finite");
+      }
+    }
+  }
+
+  // ---- packed s8 weight / requantize-const pool containment --------------
+  void check_quant_pools() {
+    const auto wpool = static_cast<long long>(p_.qweights_.size());
+    const auto cpool = static_cast<long long>(p_.qconsts_.size());
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const detail::QuantOp& qop = p_.qops_[i];
+      const int oi = static_cast<int>(i);
+      if (op.kind != detail::OpKind::kConv &&
+          op.kind != detail::OpKind::kLinear) {
+        continue;
+      }
+      nn::kernels::ConvDims wd{};
+      wd.c_out = op.c_out;
+      if (op.kind == detail::OpKind::kConv) {
+        wd.c_in = op.c_in;
+        wd.k = op.k;
+      } else {
+        const auto rv = static_cast<std::size_t>(root(op.in0));
+        wd.c_in = quant_groups(p_.values_[rv].channels) * kQuantCiGroup *
+                  p_.values_[rv].steps;
+        wd.k = 1;
+      }
+      const index_t wbytes = nn::kernels::packed_weight_bytes_i8(wd);
+      if (qop.w_off < 0 ||
+          static_cast<long long>(qop.w_off) + wbytes > wpool) {
+        issue(Invariant::kParamPool, oi, -1, qop.w_off, qop.w_off + wbytes,
+              0, wpool, {}, "packed s8 weights spill the weight pool");
+      }
+      const index_t co_round = (op.c_out + nn::kernels::kQuantCo - 1) /
+                               nn::kernels::kQuantCo * nn::kernels::kQuantCo;
+      const auto consts = [&](index_t off, const char* what) {
+        if (off < 0 || static_cast<long long>(off) + co_round > cpool) {
+          std::ostringstream os;
+          os << what << " spills the requantize-constant pool";
+          issue(Invariant::kParamPool, oi, -1, off, off + co_round, 0,
+                cpool, {}, os.str());
+        }
+      };
+      consts(qop.m_off, "multiplier vector");
+      consts(qop.b_off, "bias vector");
+    }
+  }
+
+  // ---- quantized binding coherence ---------------------------------------
+  void check_quant_bindings() {
+    const Registry& reg = Registry::instance();
+    const auto mismatch = [&](int oi, const char* key, const char* what) {
+      std::ostringstream os;
+      os << what << " differs from what the registry binds for the op's "
+         << "signature";
+      issue(Invariant::kBinding, oi, -1, 0, 0, 0, 0, key, os.str());
+    };
+    {
+      const auto stage = reg.stage_i8();
+      if (p_.qstage_fn_ != stage.fn || p_.qstage_meta_ != stage.meta) {
+        mismatch(-1, "stage.i8", "input staging binding");
+      }
+    }
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const detail::QuantOp& qop = p_.qops_[i];
+      const int oi = static_cast<int>(i);
+      switch (op.kind) {
+        case detail::OpKind::kConv: {
+          const nn::kernels::ConvSig sig{op.k, op.c_in, op.c_out};
+          const auto conv = reg.conv_packed_i8(sig);
+          if (qop.bind.conv != conv.fn || qop.bind.meta != conv.meta) {
+            mismatch(oi, "conv.packed.i8", "i8 conv binding");
+          }
+          const auto step = reg.conv_step_i8(sig);
+          if (qop.bind.step != step.fn ||
+              qop.bind.step_meta != step.meta) {
+            mismatch(oi, "conv.step.i8", "i8 streaming step binding");
+          }
+          break;
+        }
+        case detail::OpKind::kLinear: {
+          const auto rv = static_cast<std::size_t>(root(op.in0));
+          const index_t f4 = quant_groups(p_.values_[rv].channels) *
+                             kQuantCiGroup * p_.values_[rv].steps;
+          const auto lin = reg.conv_packed_i8({1, f4, op.c_out});
+          if (qop.bind.conv != lin.fn || qop.bind.meta != lin.meta) {
+            mismatch(oi, "conv.packed.i8", "i8 linear binding");
+          }
+          break;
+        }
+        case detail::OpKind::kAvgPool:
+          if (qop.bind.meta != &Registry::inline_meta()) {
+            mismatch(oi, "builtin/inline", "i8 pool meta");
+          }
+          break;
+        case detail::OpKind::kAdd: {
+          const auto add = reg.add_i8();
+          const nn::kernels::KernelMeta* want_meta =
+              qop.out_float ? &Registry::inline_meta() : add.meta;
+          if (qop.bind.add != add.fn || qop.bind.meta != want_meta) {
+            mismatch(oi, "add.i8", "i8 add binding");
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- quantized streaming ring / step-vector layout ---------------------
+  void check_quant_streaming() {
+    if (!p_.streamable_) {
+      return;
+    }
+    if (p_.q_ring_off_.size() != p_.ops_.size() ||
+        p_.q_val_off_.size() != p_.values_.size()) {
+      issue(Invariant::kRing, -1, -1,
+            "quantized streaming layout arrays are missing or mis-sized");
+      return;
+    }
+    index_t ring = 0;
+    for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
+      const detail::Op& op = p_.ops_[i];
+      const index_t want =
+          op.kind == detail::OpKind::kConv ? ring : static_cast<index_t>(-1);
+      if (p_.q_ring_off_[i] != want) {
+        issue(Invariant::kRing, static_cast<int>(i), -1, p_.q_ring_off_[i],
+              0, want, 0, {}, "u8 ring offset mismatch");
+      }
+      if (op.kind == detail::OpKind::kConv) {
+        ring += quant_groups(op.c_in) * detail::ring_span(op) *
+                kQuantCiGroup;
+      }
+    }
+    if (p_.q_ring_bytes_ != ring) {
+      std::ostringstream os;
+      os << "u8 ring arena holds " << p_.q_ring_bytes_
+         << " bytes, ops need " << ring
+         << " (quant_groups(c_in) * ((k-1)*dilation+1) * 4 per conv)";
+      issue(Invariant::kRing, -1, -1, p_.q_ring_bytes_, 0, ring, 0, {},
+            os.str());
+    }
+    index_t vals = 0;
+    for (std::size_t v = 0; v < p_.values_.size(); ++v) {
+      const index_t want = p_.root_[v] == static_cast<ValueId>(v)
+                               ? vals
+                               : static_cast<index_t>(-1);
+      if (p_.q_val_off_[v] != want) {
+        issue(Invariant::kRing, -1, static_cast<int>(v), p_.q_val_off_[v],
+              0, want, 0, {}, "u8 step-vector offset mismatch");
+      }
+      if (p_.root_[v] == static_cast<ValueId>(v)) {
+        vals += quant_groups(p_.values_[v].channels) * kQuantCiGroup;
+      }
+    }
+    if (p_.q_val_bytes_ != vals) {
+      issue(Invariant::kRing, -1, -1, p_.q_val_bytes_, 0, vals, 0, {},
+            "u8 step-vector arena total mismatch");
+    }
+  }
+
+  const CompiledPlan& p_;
+  Report report_;
+};
+
+Report verify_plan(const CompiledPlan& plan) {
+  return PlanVerifier(plan).run();
+}
+
+bool set_verify_enabled(bool enabled) {
+  return g_verify_enabled.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool verify_enabled() {
+  return g_verify_enabled.load(std::memory_order_relaxed);
+}
+
+void verify_or_throw(const CompiledPlan& plan, const char* where) {
+  if (!verify_enabled()) {
+    return;
+  }
+  const Report report = verify_plan(plan);
+  PIT_CHECK(report.ok(), where << ": compiled-plan verification failed — "
+                               << report.to_string());
+}
+
+}  // namespace pit::runtime::analysis

@@ -1,0 +1,113 @@
+// Static verification pass over the compiled-plan IR (runtime::analysis).
+//
+// A CompiledPlan is three hand-planned memory layouts (fp32 float arena,
+// u8 byte arena, streaming rings) executed through kernel pointers bound
+// at plan-build time. Every layout decision is made once, at compile() /
+// quantize_plan() time — which means every layout invariant can be PROVED
+// once, at the same time, instead of surfacing as UB on some forward()
+// months later. verify_plan() re-derives the plan's liveness, layouts,
+// and bindings from the op list alone and checks the stored plan against
+// them:
+//
+//   arena non-aliasing   no two simultaneously-live storage roots overlap
+//                        in the per-sample arena (fp32 floats, i8 bytes),
+//                        padded leads / tile slack / channel-group rows
+//                        included. Per-sample disjointness implies batched
+//                        disjointness: regions are contiguous blocks
+//                        scaled by N (offset*N, size*N), which preserves
+//                        interval order.
+//   footprint containment every bound kernel's reads and writes stay
+//                        inside its operands' planned regions, using the
+//                        per-variant read/write footprint model published
+//                        by nn::kernels::Registry (leads cover the
+//                        (k-1)*dilation causal look-back, slack covers the
+//                        register-tile overreach of the packed fp32 path).
+//   binding coherence    every OpBinding / QuantBinding is exactly what
+//                        the registry binds today for the op's signature
+//                        (re-bind and compare), streaming rings are sized
+//                        exactly (k-1)*dilation+1 slots per channel, and
+//                        quant scales / zero-points are finite,
+//                        non-degenerate, and consistent with the lowered
+//                        requantize constants.
+//
+// Failures are structured Issues (op index, value id, offending ranges,
+// registry key) — not asserts — so callers and tests can match on the
+// violated invariant. NetBuilder::compile() and quantize_plan() run
+// verify_or_throw() on every plan they return; see set_verify_enabled()
+// for the bench/test escape hatch.
+//
+// The dynamic layer that enforces the same model at run time (ASan arena
+// poisoning, canary slack bytes) lives in runtime/hardening.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace pit::runtime {
+
+class CompiledPlan;
+
+namespace analysis {
+
+/// The invariant class a structured diagnostic reports against.
+enum class Invariant {
+  kArenaOverlap,  // live-interval overlap / region outside the arena
+  kFootprint,     // kernel footprint not contained in a planned region
+  kBinding,       // binding differs from the registry's for the signature
+  kRing,          // streaming ring / step-vector layout mismatch
+  kQuantParams,   // degenerate or inconsistent quantization parameters
+  kParamPool,     // weight/bias/const offset outside its packed pool
+  kLayout,        // row-layout bookkeeping (stride != lead+steps+slack...)
+};
+
+/// Stable lowercase name of an invariant ("arena-overlap", ...).
+const char* invariant_name(Invariant inv);
+
+/// One verification failure, with enough structure to locate the defect:
+/// the op and/or value it anchors to, the offending range (floats for the
+/// fp32 arena, bytes for the byte arena — the message says which), the
+/// conflicting range when two regions collide, and the registry key of
+/// the binding involved.
+struct Issue {
+  Invariant invariant = Invariant::kLayout;
+  int op = -1;     // op index, or -1 when the issue is value-scoped
+  int value = -1;  // value id, or -1 when the issue is op-scoped
+  long long lo = 0, hi = 0;              // offending half-open range
+  long long other_lo = 0, other_hi = 0;  // conflicting range (overlaps)
+  std::string registry_key;              // bound kernel key, if relevant
+  std::string message;
+  std::string to_string() const;
+};
+
+/// All issues found in one pass (the verifier does not stop at the first).
+struct Report {
+  std::vector<Issue> issues;
+  bool ok() const { return issues.empty(); }
+  bool has(Invariant inv) const;
+  std::string to_string() const;
+};
+
+/// Runs the full static verification pass over a plan. Pure inspection:
+/// never mutates the plan, allocates only the report.
+Report verify_plan(const CompiledPlan& plan);
+
+/// Verifies and throws pit::Error carrying the formatted report when the
+/// plan is invalid (no-op while verification is disabled). `where` names
+/// the construction site for the error message.
+void verify_or_throw(const CompiledPlan& plan, const char* where);
+
+/// Process-wide toggle for the always-on verification inside
+/// NetBuilder::compile() / quantize_plan(). Returns the previous setting.
+/// Exists for bench_runtime's with/without-verification plan-build timing
+/// — production callers should leave it on.
+bool set_verify_enabled(bool enabled);
+bool verify_enabled();
+
+/// Friend of CompiledPlan that implements the pass (verify.cpp).
+class PlanVerifier;
+
+}  // namespace analysis
+
+}  // namespace pit::runtime

@@ -1,0 +1,249 @@
+// Test-only corruption seeding for the plan verifier (runtime/verify.hpp).
+//
+// PlanMutator is a friend of CompiledPlan that flips exactly one planned
+// invariant per mutation — arena offsets, row layouts, kernel bindings,
+// ring sizes, quantization parameters, pool offsets — so the mutation
+// suite can assert that verify_plan() rejects each corruption with a
+// diagnostic anchored to the RIGHT invariant, not merely that it fails.
+// Every mutation returns false when the plan has no site to corrupt
+// (e.g. no streaming layout to shrink), letting tests skip gracefully.
+#pragma once
+
+#include "nn/kernels/registry.hpp"
+#include "runtime/compiled_net.hpp"
+
+namespace pit::runtime {
+
+class PlanMutator {
+ public:
+  /// Two simultaneously-live fp32 arena regions forced onto one offset.
+  static bool overlap_arena_offsets(CompiledPlan& p) {
+    for (const detail::Op& op : p.ops_) {
+      const auto rin = static_cast<std::size_t>(
+          p.root_[static_cast<std::size_t>(op.in0)]);
+      const auto rout = static_cast<std::size_t>(
+          p.root_[static_cast<std::size_t>(op.out)]);
+      if (rin != rout && p.offsets_[rin] >= 0 && p.offsets_[rout] >= 0) {
+        p.offsets_[rout] = p.offsets_[rin];
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Arena truncated below the highest planned region end.
+  static bool shrink_arena(CompiledPlan& p) {
+    if (p.arena_per_sample_ <= 0) {
+      return false;
+    }
+    p.arena_per_sample_ -= 1;
+    return true;
+  }
+
+  /// A padded row's causal lead shaved by one float (stride kept
+  /// consistent, so only the kernel footprint check can object).
+  static bool truncate_lead(CompiledPlan& p) {
+    for (std::size_t v = 0; v < p.values_.size(); ++v) {
+      if (p.lead_[v] > 0 && p.offsets_[v] >= 0) {
+        p.lead_[v] -= 1;
+        p.stride_[v] -= 1;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Row-stride bookkeeping broken (stride != lead + steps + slack).
+  static bool corrupt_stride(CompiledPlan& p) {
+    for (std::size_t v = 0; v < p.values_.size(); ++v) {
+      if (p.offsets_[v] >= 0) {
+        p.stride_[v] += 1;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// A conv/linear weight offset pushed past the packed parameter pool.
+  static bool overflow_param_offset(CompiledPlan& p) {
+    for (detail::Op& op : p.ops_) {
+      if (op.kind == detail::OpKind::kConv ||
+          op.kind == detail::OpKind::kLinear) {
+        op.w_off = static_cast<index_t>(p.params_.size());
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// A packed conv's kernel binding nulled out.
+  static bool null_conv_binding(CompiledPlan& p) {
+    for (detail::Op& op : p.ops_) {
+      if (op.kind == detail::OpKind::kConv && op.packed) {
+        op.bind.conv = nullptr;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Two packed convs' bindings exchanged; falls back to nulling one when
+  /// the registry resolves both signatures to the same kernel (then a
+  /// swap would be invisible — and harmless).
+  static bool swap_conv_bindings(CompiledPlan& p) {
+    detail::Op* first = nullptr;
+    for (detail::Op& op : p.ops_) {
+      if (op.kind != detail::OpKind::kConv || !op.packed) {
+        continue;
+      }
+      if (first == nullptr) {
+        first = &op;
+        continue;
+      }
+      if (op.bind.conv != first->bind.conv ||
+          op.bind.meta != first->bind.meta) {
+        std::swap(first->bind, op.bind);
+        return true;
+      }
+    }
+    return null_conv_binding(p);
+  }
+
+  /// A streaming step binding replaced by the inline-op meta.
+  static bool corrupt_step_binding(CompiledPlan& p) {
+    for (detail::Op& op : p.ops_) {
+      if (op.kind == detail::OpKind::kConv && op.packed &&
+          op.bind.step_meta != nullptr) {
+        op.bind.step = nullptr;
+        op.bind.step_meta = &nn::kernels::Registry::inline_meta();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// fp32 streaming ring shrunk below (k-1)*dilation+1 slots per channel.
+  static bool shrink_ring(CompiledPlan& p) {
+    if (!p.streamable_ || p.ring_floats_ <= 0) {
+      return false;
+    }
+    p.ring_floats_ -= 1;
+    return true;
+  }
+
+  /// A step-vector offset nudged off the packed layout.
+  static bool corrupt_val_off(CompiledPlan& p) {
+    if (!p.streamable_) {
+      return false;
+    }
+    for (std::size_t v = 0; v < p.val_off_.size(); ++v) {
+      if (p.val_off_[v] > 0) {
+        p.val_off_[v] -= 1;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- quantized-program mutations (no-ops on fp32-only plans) ----------
+
+  /// The staged input's u8 scale zeroed (degenerate affine params).
+  static bool zero_quant_scale(CompiledPlan& p) {
+    if (!p.quantized_ || p.q_stage_ < 0) {
+      return false;
+    }
+    p.qvalue_[static_cast<std::size_t>(p.q_stage_)].scale = 0.0F;
+    return true;
+  }
+
+  /// A requantizing store's lower clamp decoupled from its ReLU/zero-point
+  /// rule.
+  static bool corrupt_out_lo(CompiledPlan& p) {
+    if (!p.quantized_) {
+      return false;
+    }
+    for (detail::QuantOp& qop : p.qops_) {
+      if (!qop.out_float) {
+        qop.out_lo += 7;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// A packed s8 weight offset pushed past the weight pool.
+  static bool overflow_qweight_offset(CompiledPlan& p) {
+    if (!p.quantized_) {
+      return false;
+    }
+    for (std::size_t i = 0; i < p.ops_.size(); ++i) {
+      const detail::OpKind k = p.ops_[i].kind;
+      if (k == detail::OpKind::kConv || k == detail::OpKind::kLinear) {
+        p.qops_[i].w_off = static_cast<index_t>(p.qweights_.size());
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Two simultaneously-live u8 byte-arena regions forced onto one offset.
+  static bool overlap_q_offsets(CompiledPlan& p) {
+    if (!p.quantized_) {
+      return false;
+    }
+    const auto in_root = static_cast<std::size_t>(
+        p.root_[static_cast<std::size_t>(p.input_)]);
+    const auto qroot = [&](ValueId v) {
+      const auto r =
+          static_cast<std::size_t>(p.root_[static_cast<std::size_t>(v)]);
+      return r == in_root ? static_cast<std::size_t>(p.q_stage_) : r;
+    };
+    for (const detail::Op& op : p.ops_) {
+      const std::size_t rin = qroot(op.in0);
+      const std::size_t rout = qroot(op.out);
+      if (rin != rout && p.q_off_[rin] >= 0 && p.q_off_[rout] >= 0) {
+        p.q_off_[rout] = p.q_off_[rin];
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// u8 streaming ring shrunk below its per-conv quad spans.
+  static bool shrink_q_ring(CompiledPlan& p) {
+    if (!p.quantized_ || !p.streamable_ || p.q_ring_bytes_ <= 0) {
+      return false;
+    }
+    p.q_ring_bytes_ -= 1;
+    return true;
+  }
+
+  /// An i8 conv binding replaced by the inline-op meta.
+  static bool swap_quant_binding(CompiledPlan& p) {
+    if (!p.quantized_) {
+      return false;
+    }
+    for (std::size_t i = 0; i < p.ops_.size(); ++i) {
+      if (p.ops_[i].kind == detail::OpKind::kConv) {
+        p.qops_[i].bind.meta = &nn::kernels::Registry::inline_meta();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // ---- hostile-kernel hook (hardening tests) ----------------------------
+
+  /// Replaces op `index`'s packed fp32 conv kernel, returning the genuine
+  /// one — lets a test run a wrapper that mis-writes on purpose and prove
+  /// the sanitizer/canary layer catches it.
+  static nn::kernels::ConvPackedF32Fn set_conv_fn(
+      CompiledPlan& p, std::size_t index, nn::kernels::ConvPackedF32Fn fn) {
+    detail::Op& op = p.ops_[index];
+    nn::kernels::ConvPackedF32Fn old = op.bind.conv;
+    op.bind.conv = fn;
+    return old;
+  }
+};
+
+}  // namespace pit::runtime
