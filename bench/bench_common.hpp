@@ -7,9 +7,12 @@
 // crossovers are (see DESIGN.md "Scaling note" and EXPERIMENTS.md).
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/pit_conv1d.hpp"
@@ -23,6 +26,73 @@
 #include "nn/losses.hpp"
 
 namespace pit::bench {
+
+// ------------------------------------------------- timing and percentiles
+//
+// Shared by the serving/runtime benches (bench_serve, bench_stream,
+// bench_quant_runtime, bench_registry) so latency accounting and JSON
+// emission cannot drift between them.
+
+using BenchClock = std::chrono::steady_clock;
+
+inline double ms_between(BenchClock::time_point a, BenchClock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+inline double us_between(BenchClock::time_point a, BenchClock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+inline double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             BenchClock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall time of `fn` after one warm-up call (arena growth,
+/// page faults, thread-pool spin-up land in the warm-up, not the figure).
+template <typename Fn>
+double time_min_ms(Fn&& fn, int reps) {
+  fn();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ms();
+    fn();
+    best = std::min(best, now_ms() - t0);
+  }
+  return best;
+}
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Sorts `samples` in place and reads the nearest-rank p50/p99.
+inline Percentiles percentiles(std::vector<double>& samples) {
+  Percentiles out;
+  if (samples.empty()) {
+    return out;
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    return samples[static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1))];
+  };
+  out.p50 = at(0.50);
+  out.p99 = at(0.99);
+  return out;
+}
+
+/// Opens a BENCH_*.json for writing, reporting the failure the way every
+/// bench binary does (caller returns nonzero on nullptr).
+inline FILE* open_bench_json(const char* path) {
+  FILE* json = std::fopen(path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+  }
+  return json;
+}
 
 // ---------------------------------------------------------- configurations
 

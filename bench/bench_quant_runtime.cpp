@@ -25,6 +25,7 @@
 #include <omp.h>
 #endif
 
+#include "bench_common.hpp"
 #include "data/dataloader.hpp"
 #include "data/dataset.hpp"
 #include "hw/gap8.hpp"
@@ -37,25 +38,7 @@
 namespace {
 
 using namespace pit;
-
-double now_ms() {
-  using clock = std::chrono::steady_clock;
-  return std::chrono::duration<double, std::milli>(
-             clock::now().time_since_epoch())
-      .count();
-}
-
-template <typename Fn>
-double time_min_ms(Fn&& fn, int reps) {
-  fn();  // warm-up (arena growth, page faults, thread pool spin-up)
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const double t0 = now_ms();
-    fn();
-    best = std::min(best, now_ms() - t0);
-  }
-  return best;
-}
+using bench::time_min_ms;
 
 struct Row {
   std::string model;
@@ -319,9 +302,8 @@ int main(int argc, char** argv) {
   std::printf("gap8 MAC cross-check: %s\n",
               macs_all_match ? "all ops match" : "MISMATCH");
 
-  FILE* json = std::fopen("BENCH_quant.json", "w");
+  FILE* json = bench::open_bench_json("BENCH_quant.json");
   if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_quant.json\n");
     return 1;
   }
   std::fprintf(json, "{\n  \"max_threads\": %d,\n", max_threads);

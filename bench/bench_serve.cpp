@@ -23,6 +23,7 @@
 #include <omp.h>
 #endif
 
+#include "bench_common.hpp"
 #include "models/temponet.hpp"
 #include "runtime/compile_models.hpp"
 #include "serve/inference_server.hpp"
@@ -31,32 +32,10 @@
 namespace {
 
 using namespace pit;
-using clock_type = std::chrono::steady_clock;
-
-double ms_between(clock_type::time_point a, clock_type::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
-}
-
-struct Percentiles {
-  double p50 = 0.0;
-  double p99 = 0.0;
-};
-
-Percentiles percentiles(std::vector<double>& latencies_ms) {
-  Percentiles out;
-  if (latencies_ms.empty()) {
-    return out;
-  }
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  const auto at = [&](double q) {
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(latencies_ms.size() - 1));
-    return latencies_ms[idx];
-  };
-  out.p50 = at(0.50);
-  out.p99 = at(0.99);
-  return out;
-}
+using bench::ms_between;
+using bench::Percentiles;
+using bench::percentiles;
+using clock_type = bench::BenchClock;
 
 struct Row {
   std::string policy;
@@ -257,9 +236,8 @@ int main(int argc, char** argv) {
               "here)\n",
               best_policy.c_str(), speedup, hw_threads);
 
-  FILE* json = std::fopen("BENCH_serve.json", "w");
+  FILE* json = bench::open_bench_json("BENCH_serve.json");
   if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
     return 1;
   }
   std::fprintf(json, "{\n  \"hardware_threads\": %d,\n", hw_threads);

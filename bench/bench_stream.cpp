@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "data/dataloader.hpp"
 #include "data/dataset.hpp"
 #include "models/temponet.hpp"
@@ -40,30 +41,10 @@
 namespace {
 
 using namespace pit;
-using clock_type = std::chrono::steady_clock;
-
-double us_between(clock_type::time_point a, clock_type::time_point b) {
-  return std::chrono::duration<double, std::micro>(b - a).count();
-}
-
-struct Percentiles {
-  double p50 = 0.0;
-  double p99 = 0.0;
-};
-
-Percentiles percentiles(std::vector<double>& v) {
-  Percentiles out;
-  if (v.empty()) {
-    return out;
-  }
-  std::sort(v.begin(), v.end());
-  const auto at = [&](double q) {
-    return v[static_cast<std::size_t>(q * static_cast<double>(v.size() - 1))];
-  };
-  out.p50 = at(0.50);
-  out.p99 = at(0.99);
-  return out;
-}
+using bench::us_between;
+using bench::Percentiles;
+using bench::percentiles;
+using clock_type = bench::BenchClock;
 
 struct Row {
   std::string dtype;
@@ -278,9 +259,8 @@ int main(int argc, char** argv) {
               "here)\n",
               tick_speedup, hw_threads);
 
-  FILE* json = std::fopen("BENCH_stream.json", "w");
+  FILE* json = bench::open_bench_json("BENCH_stream.json");
   if (json == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_stream.json\n");
     return 1;
   }
   std::fprintf(json, "{\n  \"hardware_threads\": %d,\n", hw_threads);

@@ -23,6 +23,8 @@ Bars and their hardware conditions (see docs/BENCHMARKS.md "CI gates"):
                       gap8_macs_all_match == true            (always)
   BENCH_stream.json   int8_over_fp32_stream_speedup >= 1.5   (vnni kernels)
                       tick_over_unbatched_speedup >= 2.0     (>= 4 hw threads)
+  BENCH_registry.json stream_fleet.dedup_ratio >= 1.5        (always)
+                      memoized_recompile_speedup >= 10.0     (always)
 
 A bar whose hardware condition is not met is SKIPPED (reported, not
 failed): the portable int8 fallback has no 4x MAC-density edge and a
@@ -220,12 +222,50 @@ def check_stream(gate, name, data):
         why=f"{threads} hardware threads < {MIN_PARALLEL_THREADS}")
 
 
+def check_registry(gate, name, data):
+    require(gate, name, data, "models", int)
+    require(gate, name, data, "versions_per_model", int)
+    # The dedup bar: a 3-version fleet one retrained layer apart must
+    # share the physical bytes of every unchanged layer.
+    fleet = require(gate, name, data, "stream_fleet", dict)
+    dedup = None
+    if fleet is not None:
+        require(gate, f"{name}: stream_fleet", fleet, "logical_bytes", int)
+        require(gate, f"{name}: stream_fleet", fleet, "resident_bytes", int)
+        dedup = require(gate, f"{name}: stream_fleet", fleet,
+                        "dedup_ratio", float)
+    require(gate, name, data, "fleet", dict)
+    bar(gate, name, "stream_fleet dedup_ratio", dedup, 1.5)
+    # Re-registering an identical version must answer from the
+    # (fingerprint, shape class) memo, not recompile.
+    bar(gate, name, "memoized_recompile_speedup",
+        require(gate, name, data, "memoized_recompile_speedup", float),
+        10.0)
+    # Hot-swap latency under load is tracked (trajectory), not gated: it
+    # measures the drain of whatever traffic the runner happened to have
+    # in flight, so its absolute value is not a stable bar.
+    require(gate, name, data, "swaps", int)
+    require(gate, name, data, "swap_p50_ms", float)
+    require(gate, name, data, "swap_p99_ms", float)
+    traffic = require(gate, name, data, "traffic", dict)
+    if traffic is not None:
+        for field in ("fp32_steps", "int8_steps", "window_requests"):
+            require(gate, f"{name}: traffic", traffic, field, int)
+    stats = require(gate, name, data, "registry", dict)
+    if stats is not None:
+        for field in ("compiles", "compile_hits", "lowerings",
+                      "lowering_hits", "swaps", "leases"):
+            require(gate, f"{name}: registry", stats, field, int)
+        require(gate, f"{name}: registry", stats, "pool_dedup_ratio", float)
+
+
 CHECKERS = {
     "BENCH_kernels.json": check_kernels,
     "BENCH_runtime.json": check_runtime,
     "BENCH_serve.json": check_serve,
     "BENCH_quant.json": check_quant,
     "BENCH_stream.json": check_stream,
+    "BENCH_registry.json": check_registry,
 }
 
 

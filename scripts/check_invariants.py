@@ -15,11 +15,15 @@ the executors assume but no compiler enforces:
    documented set_default_backend() override surface, read once at
    registry construction.
 
-2. serve-lock-order — src/serve acquires its mutexes in one global order
-   (tick_mutex_ -> mutex_ -> pool_mutex_ -> slot->mutex). A nested
-   acquisition that goes DOWN that order is a lock-inversion deadlock
-   waiting for the right interleaving. Tracked per function body with
-   brace-scope guard lifetimes.
+2. serve-lock-order — src/serve (and the plan registry its sessions pin
+   versions through) acquires its mutexes in one global order
+   (tick_mutex_ -> mutex_ -> pool_mutex_ -> slot->mutex ->
+   entry->swap_mutex -> registry_mutex_). The registry ranks strictly
+   after serve because an InflightTicket release may run under a slot
+   mutex; registry methods never take serve locks. A nested acquisition
+   that goes DOWN that order is a lock-inversion deadlock waiting for
+   the right interleaving. Tracked per function body with brace-scope
+   guard lifetimes.
 
 3. entry-point-checks — the runtime's throwing entry points must keep
    their guard: compile()/quantize() run verify_or_throw on every plan
@@ -86,6 +90,10 @@ LOCK_RANKS = [
     (re.compile(r"(?<![\w.>])mutex_\b"), 1, "mutex_"),
     (re.compile(r"\bpool_mutex_\b"), 2, "pool_mutex_"),
     (re.compile(r"(?:->|\.)mutex\b"), 3, "slot->mutex"),
+    # PlanRegistry locks rank after every serve lock: a ticket release can
+    # run under a slot mutex, and the registry never calls back into serve.
+    (re.compile(r"(?:->|\.)swap_mutex\b"), 4, "entry->swap_mutex"),
+    (re.compile(r"\bregistry_mutex_\b"), 5, "registry_mutex_"),
 ]
 
 
@@ -101,7 +109,9 @@ def brace_delta(code):
 
 
 def check_serve_lock_order(root, violations):
-    for path in sorted((root / "src" / "serve").glob("*.[ch]pp")):
+    paths = sorted((root / "src" / "serve").glob("*.[ch]pp"))
+    paths.append(root / "src" / "runtime" / "plan_registry.cpp")
+    for path in paths:
         depth = 0
         held = []  # (decl_depth, rank, name, lineno) of live guards
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
@@ -118,7 +128,8 @@ def check_serve_lock_order(root, violations):
                                 f"{rank}) while holding {held_name} (rank "
                                 f"{held_rank}, line {held_line}) — order "
                                 f"is tick_mutex_ -> mutex_ -> pool_mutex_ "
-                                f"-> slot->mutex")
+                                f"-> slot->mutex -> entry->swap_mutex "
+                                f"-> registry_mutex_")
                     held.append((depth, rank, name, lineno))
                 else:
                     violations.append(

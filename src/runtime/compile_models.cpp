@@ -32,7 +32,7 @@ FrozenConv freeze_temporal_conv(const nn::Module& conv) {
 }
 
 std::shared_ptr<const CompiledPlan> compile_plan(
-    const models::TempoNet& model) {
+    const models::TempoNet& model, WeightPool* pool) {
   const models::TempoNetConfig& cfg = model.config();
   NetBuilder b;
   ValueId x = b.input(cfg.input_channels, cfg.input_length);
@@ -54,11 +54,12 @@ std::shared_ptr<const CompiledPlan> compile_plan(
                /*fuse_relu=*/true);
   x = b.linear(x, model.fc2().weight(), model.fc2().bias(),
                /*fuse_relu=*/false);
-  return std::make_shared<const CompiledPlan>(std::move(b).compile(x));
+  return std::make_shared<const CompiledPlan>(std::move(b).compile(x, pool));
 }
 
 std::shared_ptr<const CompiledPlan> compile_plan(const models::ResTCN& model,
-                                                 index_t input_steps) {
+                                                 index_t input_steps,
+                                                 WeightPool* pool) {
   const models::ResTcnConfig& cfg = model.config();
   NetBuilder b;
   ValueId x = b.input(cfg.input_channels, input_steps);
@@ -78,11 +79,11 @@ std::shared_ptr<const CompiledPlan> compile_plan(const models::ResTCN& model,
     x = b.add(y, res, /*fuse_relu=*/true);
   }
   x = b.conv(x, freeze_conv(model.head()), /*fuse_relu=*/false);
-  return std::make_shared<const CompiledPlan>(std::move(b).compile(x));
+  return std::make_shared<const CompiledPlan>(std::move(b).compile(x, pool));
 }
 
 std::shared_ptr<const CompiledPlan> compile_stream_backbone(
-    const models::TempoNet& model, index_t input_steps) {
+    const models::TempoNet& model, index_t input_steps, WeightPool* pool) {
   const models::TempoNetConfig& cfg = model.config();
   NetBuilder b;
   ValueId x = b.input(cfg.input_channels, input_steps);
@@ -97,7 +98,7 @@ std::shared_ptr<const CompiledPlan> compile_stream_backbone(
     fold_batchnorm(fc, model.norm(i));
     x = b.conv(x, fc, /*fuse_relu=*/true);
   }
-  auto plan = std::make_shared<const CompiledPlan>(std::move(b).compile(x));
+  auto plan = std::make_shared<const CompiledPlan>(std::move(b).compile(x, pool));
   PIT_CHECK(plan->streamable(),
             "compile_stream_backbone(TempoNet): plan is not streamable");
   return plan;

@@ -28,13 +28,17 @@ FrozenConv freeze_temporal_conv(const nn::Module& conv);
 
 /// Compiles a trained TempoNet into the frozen runtime plan: batch-norm
 /// folded into each conv, ReLU fused, dropout dropped (eval semantics),
-/// the FC head packed. Matches Module::forward in eval mode.
-std::shared_ptr<const CompiledPlan> compile_plan(const models::TempoNet& model);
+/// the FC head packed. Matches Module::forward in eval mode. A non-null
+/// `pool` interns the packed weight blocks so identical layers dedup
+/// across plans (see runtime/plan_registry.hpp).
+std::shared_ptr<const CompiledPlan> compile_plan(const models::TempoNet& model,
+                                                 WeightPool* pool = nullptr);
 
 /// Compiles a trained ResTCN for inputs of `input_steps` time steps. The
 /// resulting plan is streamable (all ops are stride-1 convs and adds).
 std::shared_ptr<const CompiledPlan> compile_plan(const models::ResTCN& model,
-                                                 index_t input_steps);
+                                                 index_t input_steps,
+                                                 WeightPool* pool = nullptr);
 
 /// Compiles TempoNet's temporal-conv backbone — the seven BN-folded,
 /// ReLU-fused dilated convs, without the stride-2 pools and the FC head —
@@ -44,7 +48,8 @@ std::shared_ptr<const CompiledPlan> compile_plan(const models::ResTCN& model,
 /// SessionManager); the pooled-and-flattened regression head stays on the
 /// windowed forward() path.
 std::shared_ptr<const CompiledPlan> compile_stream_backbone(
-    const models::TempoNet& model, index_t input_steps);
+    const models::TempoNet& model, index_t input_steps,
+    WeightPool* pool = nullptr);
 
 /// Single-threaded facades over the plans above.
 CompiledNet compile(const models::TempoNet& model);

@@ -50,6 +50,7 @@
 #include "nn/conv1d.hpp"
 #include "nn/kernels/registry.hpp"
 #include "quant/quantize.hpp"
+#include "runtime/shared_block.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pit::runtime {
@@ -112,7 +113,7 @@ struct Op {
   index_t k = 0;                   // conv taps / pool kernel
   index_t dilation = 1, stride = 1;
   index_t t_in = 0, t_out = 0;
-  index_t w_off = -1, b_off = -1;  // offsets into the packed param block
+  index_t w_blk = -1, b_blk = -1;  // handles into the plan's param blocks
   OpBinding bind;                  // kernels resolved at plan-build time
 };
 
@@ -124,9 +125,9 @@ struct Value {
 };
 
 /// Per-op int8 lowering (parallel to the op list when the plan is
-/// quantized): offsets into the plan's packed s8 weight pool and float
-/// requantize-constant pool, plus the scalar requantize terms of the
-/// weight-less ops. Bias, input zero-point correction, and output zero
+/// quantized): the op's packed s8 weight block handle, offsets into the
+/// plan's float requantize-constant pool, plus the scalar requantize terms
+/// of the weight-less ops. Bias, input zero-point correction, and output zero
 /// point are all pre-folded into these constants — the kernels only ever
 /// compute m * acc + b.
 /// Kernels resolved for one quantized op at lowering time (the registry
@@ -140,7 +141,7 @@ struct QuantBinding {
 };
 
 struct QuantOp {
-  index_t w_off = -1;      // bytes into qweights_ (conv / linear)
+  index_t w_blk = -1;      // s8 weight block handle (conv / linear)
   index_t m_off = -1;      // floats into qconsts_: co_round multipliers
   index_t b_off = -1;      // floats into qconsts_: co_round biases
   float a_mul = 0.0F;      // add / pool: input scalings and offset
@@ -246,7 +247,7 @@ class CompiledPlan {
   double quant_error_estimate() const;
   /// Packed s8 weight bytes of the quantized program (0 when fp32-only).
   index_t quant_weight_bytes() const {
-    return static_cast<index_t>(qweights_.size());
+    return static_cast<index_t>(qweights_.total_elems());
   }
   /// Byte-arena bytes per batch sample (0 when fp32-only).
   index_t quant_arena_bytes_per_sample() const { return q_arena_bytes_; }
@@ -275,8 +276,34 @@ class CompiledPlan {
   /// sample, had nothing been reused.
   index_t activation_floats_per_sample() const;
   /// Packed parameter count (post-folding; BN has disappeared into convs).
-  index_t param_floats() const { return static_cast<index_t>(params_.size()); }
+  index_t param_floats() const {
+    return static_cast<index_t>(params_.total_elems());
+  }
   std::size_t num_ops() const { return ops_.size(); }
+  /// Visits every shared weight block (fp32 params and s8 qweights) with
+  /// (storage pointer, bytes) — the registry's dedup accounting walks this
+  /// to count bytes resident once across plans that share blocks.
+  void visit_weight_blocks(
+      const std::function<void(const void*, std::size_t)>& fn) const {
+    for (index_t i = 0; i < params_.count(); ++i) {
+      fn(params_.data(i), params_.block(i)->size() * sizeof(float));
+    }
+    for (index_t i = 0; i < qweights_.count(); ++i) {
+      fn(qweights_.data(i), qweights_.block(i)->size());
+    }
+  }
+  /// Order-sensitive content hash over all packed fp32 param blocks — the
+  /// architecture fingerprint component derived from the exported weights.
+  std::uint64_t param_content_hash() const {
+    std::uint64_t h = params_.content_hash();
+    if (qweights_.count() > 0) {
+      // An int8 lowering shares its source's fp32 blocks verbatim — the
+      // s8 table is what distinguishes the two plans' content.
+      const std::uint64_t q = qweights_.content_hash();
+      h = hash_bytes(&q, sizeof(q), h);
+    }
+    return h;
+  }
   /// Human-readable plan dump: ops, fusions, arena offsets, totals.
   std::string summary() const;
   /// summary() plus the kernel binding of every op — registry key, ISA
@@ -323,7 +350,7 @@ class CompiledPlan {
   std::vector<index_t> lead_;       // zeroed pad floats before each row
   std::vector<index_t> slack_;      // readable floats after each row
   std::vector<index_t> stride_;     // row stride = lead + steps + slack
-  std::vector<float> params_;       // packed weights/biases of all ops
+  BlockTable<float> params_;        // shared packed weight/bias blocks
   ValueId input_ = -1;
   ValueId output_ = -1;
   ValueId input_stage_ = -1;        // padded copy of the input, if needed
@@ -343,7 +370,7 @@ class CompiledPlan {
   // reference runs and per-layer comparisons.
   bool quantized_ = false;
   std::vector<detail::QuantOp> qops_;      // parallel to ops_
-  std::vector<std::int8_t> qweights_;      // packed s8 weights (all ops)
+  BlockTable<std::int8_t> qweights_;       // shared packed s8 weight blocks
   std::vector<float> qconsts_;             // requantize m / b vectors
   std::vector<quant::QuantParams> qvalue_;  // per value root
   std::vector<index_t> q_lead_;            // steps, per value root
@@ -387,8 +414,10 @@ class NetBuilder {
   ValueId flatten(ValueId x);
 
   /// Plans the arena (liveness over the recorded ops) and returns the
-  /// executable plan whose result is `output`.
-  CompiledPlan compile(ValueId output) &&;
+  /// executable plan whose result is `output`. When `pool` is given, every
+  /// packed weight/bias block is interned through it, so plans sharing a
+  /// pool share physical storage for bytewise-identical layers.
+  CompiledPlan compile(ValueId output, WeightPool* pool = nullptr) &&;
 
  private:
   ValueId new_value(index_t channels, index_t steps, ValueId alias_of = -1);
@@ -397,7 +426,7 @@ class NetBuilder {
 
   std::vector<detail::Op> ops_;
   std::vector<detail::Value> values_;
-  std::vector<float> params_;
+  BlockTable<float> params_;
   ValueId input_ = -1;
 };
 

@@ -23,8 +23,10 @@ void relu_inplace(float* y, index_t count) {
   }
 }
 
-void exec_conv(const detail::Op& op, const float* params, RowSpan x,
-               RowSpan y, index_t n, bool x_padded) {
+void exec_conv(const detail::Op& op, const BlockTable<float>& params,
+               RowSpan x, RowSpan y, index_t n, bool x_padded) {
+  const float* w = params.data(op.w_blk);
+  const float* b = op.b_blk >= 0 ? params.data(op.b_blk) : nullptr;
   nn::kernels::ConvDims dims{};
   dims.n = n;
   dims.c_in = op.c_in;
@@ -37,9 +39,8 @@ void exec_conv(const detail::Op& op, const float* params, RowSpan x,
   if (op.packed) {
     // Stride-1 fast path: overwrite semantics with bias and ReLU fused
     // into the kernel's store — no zero-fill, no separate activation pass.
-    op.bind.conv(x.p, params + op.w_off,
-                 op.b_off >= 0 ? params + op.b_off : nullptr, y.p, dims,
-                 x.stride, y.stride, x_padded, op.relu);
+    op.bind.conv(x.p, w, b, y.p, dims, x.stride, y.stride, x_padded,
+                 op.relu);
     return;
   }
   // Strided convs take the training kernels (dense layouts only), which
@@ -48,8 +49,7 @@ void exec_conv(const detail::Op& op, const float* params, RowSpan x,
   PIT_CHECK(x.stride == op.t_in && y.stride == op.t_out,
             "CompiledPlan: strided conv requires dense operand layouts");
   const index_t out_floats = n * op.c_out * op.t_out;
-  if (op.b_off >= 0) {
-    const float* b = params + op.b_off;
+  if (b != nullptr) {
 #pragma omp parallel for collapse(2) schedule(static) \
     if (out_floats >= kParallelMinFloats)
     for (index_t ni = 0; ni < n; ++ni) {
@@ -61,20 +61,20 @@ void exec_conv(const detail::Op& op, const float* params, RowSpan x,
   } else {
     std::fill(y.p, y.p + out_floats, 0.0F);
   }
-  op.bind.conv_train(x.p, params + op.w_off, nullptr, y.p, dims);
+  op.bind.conv_train(x.p, w, nullptr, y.p, dims);
   if (op.relu) {
     relu_inplace(y.p, out_floats);
   }
 }
 
-void exec_linear(const detail::Op& op, const float* params, RowSpan x,
-                 RowSpan y, index_t n) {
+void exec_linear(const detail::Op& op, const BlockTable<float>& params,
+                 RowSpan x, RowSpan y, index_t n) {
   // Dense, contiguous operands — guaranteed at compile time (flatten is
   // only legal over dense storage, and dense writers cannot produce
   // padded values), so the buffers are exactly the (n, f) / (n, o)
   // matrices the kernel wants; the row strides are irrelevant here.
-  op.bind.linear(x.p, params + op.w_off,
-                 op.b_off >= 0 ? params + op.b_off : nullptr, y.p, n,
+  op.bind.linear(x.p, params.data(op.w_blk),
+                 op.b_blk >= 0 ? params.data(op.b_blk) : nullptr, y.p, n,
                  op.c_in, op.c_out, op.relu);
 }
 
@@ -343,12 +343,11 @@ Tensor CompiledPlan::forward_fp32(const Tensor& input, ExecutionContext& ctx,
           x_padded = lead_[ri] >= (op.k - 1) * op.dilation &&
                      slack_[ri] >= nn::kernels::kPackTimeTile;
         }
-        exec_conv(op, params_.data(), span(op.in0), span(op.out), n,
-                  x_padded);
+        exec_conv(op, params_, span(op.in0), span(op.out), n, x_padded);
         break;
       }
       case detail::OpKind::kLinear:
-        exec_linear(op, params_.data(), span(op.in0), span(op.out), n);
+        exec_linear(op, params_, span(op.in0), span(op.out), n);
         break;
       case detail::OpKind::kAvgPool:
         exec_avg_pool(op, span(op.in0), span(op.out), n);

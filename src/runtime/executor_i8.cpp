@@ -185,12 +185,12 @@ Tensor CompiledPlan::forward_quantized(const Tensor& input,
         dims.stride = 1;
         const QSpan x = qspan(op.in0);
         if (qop.out_float) {
-          qop.bind.conv(x.p, qweights_.data() + qop.w_off, m, b, nullptr,
+          qop.bind.conv(x.p, qweights_.data(qop.w_blk), m, b, nullptr,
                         out_data, dims, x.stride, op.t_out, op.relu,
                         qop.out_lo);
         } else {
           const QSpan y = qspan(op.out);
-          qop.bind.conv(x.p, qweights_.data() + qop.w_off, m, b, y.p,
+          qop.bind.conv(x.p, qweights_.data(qop.w_blk), m, b, y.p,
                         nullptr, dims, x.stride, y.stride, op.relu,
                         qop.out_lo);
         }
@@ -216,11 +216,11 @@ Tensor CompiledPlan::forward_quantized(const Tensor& input,
         dims.stride = 1;
         const QSpan x = qspan(op.in0);
         if (qop.out_float) {
-          qop.bind.conv(x.p, qweights_.data() + qop.w_off, m, b, nullptr,
+          qop.bind.conv(x.p, qweights_.data(qop.w_blk), m, b, nullptr,
                         out_data, dims, 1, 1, op.relu, qop.out_lo);
         } else {
           const QSpan y = qspan(op.out);
-          qop.bind.conv(x.p, qweights_.data() + qop.w_off, m, b, y.p,
+          qop.bind.conv(x.p, qweights_.data(qop.w_blk), m, b, y.p,
                         nullptr, dims, 1, 1, op.relu, qop.out_lo);
         }
         break;

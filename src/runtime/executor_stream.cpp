@@ -94,8 +94,8 @@ void CompiledPlan::step(const float* input, float* output,
     for (index_t ci = 0; ci < op.c_in; ++ci) {
       ring[ci * span + pos] = x[ci];
     }
-    op.bind.step(ring, params_.data() + op.w_off,
-                 op.b_off >= 0 ? params_.data() + op.b_off : nullptr, y,
+    op.bind.step(ring, params_.data(op.w_blk),
+                 op.b_blk >= 0 ? params_.data(op.b_blk) : nullptr, y,
                  op.c_in, op.c_out, op.k, op.dilation, span, pos, op.relu);
   }
   const float* out_vec = vec(output_);

@@ -124,7 +124,7 @@ void CompiledPlan::step_quantized(const float* input, float* output,
     }
     const float* m = qconsts_.data() + qop.m_off;
     const float* b = qconsts_.data() + qop.b_off;
-    qop.bind.step(ring, qweights_.data() + qop.w_off, m, b,
+    qop.bind.step(ring, qweights_.data(qop.w_blk), m, b,
                   qop.out_float ? nullptr : qvec(op.out),
                   qop.out_float ? output : nullptr, op.c_in, op.c_out, op.k,
                   op.dilation, span, pos, op.relu, qop.out_lo);

@@ -70,9 +70,8 @@ const detail::Value& NetBuilder::value(ValueId v) const {
 }
 
 index_t NetBuilder::push_params(const float* data, index_t count) {
-  const auto off = static_cast<index_t>(params_.size());
-  params_.insert(params_.end(), data, data + count);
-  return off;
+  return params_.add(
+      std::vector<float>(data, data + static_cast<std::size_t>(count)));
 }
 
 ValueId NetBuilder::input(index_t channels, index_t steps) {
@@ -115,15 +114,14 @@ ValueId NetBuilder::conv(ValueId x, const FrozenConv& c, bool fuse_relu) {
     dims.c_out = c.c_out;
     dims.k = c.k;
     const index_t packed_floats = nn::kernels::packed_weight_floats(dims);
-    op.w_off = static_cast<index_t>(params_.size());
-    params_.resize(params_.size() + static_cast<std::size_t>(packed_floats));
-    nn::kernels::pack_conv_weight(c.weight.data(), dims,
-                                  params_.data() + op.w_off);
+    std::vector<float> packed(static_cast<std::size_t>(packed_floats));
+    nn::kernels::pack_conv_weight(c.weight.data(), dims, packed.data());
+    op.w_blk = params_.add(std::move(packed));
   } else {
-    op.w_off = push_params(c.weight.data(),
+    op.w_blk = push_params(c.weight.data(),
                            static_cast<index_t>(c.weight.size()));
   }
-  op.b_off = c.bias.empty()
+  op.b_blk = c.bias.empty()
                  ? -1
                  : push_params(c.bias.data(),
                                static_cast<index_t>(c.bias.size()));
@@ -150,12 +148,12 @@ ValueId NetBuilder::linear(ValueId x, const Tensor& weight, const Tensor& bias,
   op.c_out = weight.dim(0);
   op.t_in = 1;
   op.t_out = 1;
-  op.w_off = push_params(weight.data(), weight.numel());
-  op.b_off = -1;
+  op.w_blk = push_params(weight.data(), weight.numel());
+  op.b_blk = -1;
   if (bias.defined()) {
     PIT_CHECK(bias.rank() == 1 && bias.dim(0) == op.c_out,
               "NetBuilder::linear: bias " << bias.shape().to_string());
-    op.b_off = push_params(bias.data(), bias.numel());
+    op.b_blk = push_params(bias.data(), bias.numel());
   }
   op.out = new_value(op.c_out, 1);
   ops_.push_back(op);
@@ -208,7 +206,7 @@ ValueId NetBuilder::flatten(ValueId x) {
   return new_value(in.channels * in.steps, 1, x);
 }
 
-CompiledPlan NetBuilder::compile(ValueId output) && {
+CompiledPlan NetBuilder::compile(ValueId output, WeightPool* pool) && {
   PIT_CHECK(input_ >= 0, "NetBuilder: no input declared");
   PIT_CHECK(output >= 0 && output < static_cast<ValueId>(values_.size()),
             "NetBuilder: unknown output value " << output);
@@ -218,6 +216,11 @@ CompiledPlan NetBuilder::compile(ValueId output) && {
   net.ops_ = std::move(ops_);
   net.values_ = std::move(values_);
   net.params_ = std::move(params_);
+  if (pool != nullptr) {
+    // Re-intern every packed block through the shared pool: plans compiled
+    // against one pool share physical storage for identical layers.
+    net.params_.intern_all(*pool);
+  }
   net.input_ = input_;
   net.output_ = output;
 
@@ -548,7 +551,8 @@ std::string CompiledPlan::summary() const {
      << activation_floats_per_sample() << ")"
      << (streamable_ ? ", streamable" : "") << "\n";
   if (quantized_) {
-    os << "  int8 program: " << qweights_.size() << " packed weight bytes, "
+    os << "  int8 program: " << quant_weight_bytes()
+       << " packed weight bytes, "
        << q_arena_bytes_ << " arena bytes/sample, output error bound "
        << q_error_bound_ << " (rms estimate " << q_error_estimate_ << ")\n";
   }

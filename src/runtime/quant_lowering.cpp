@@ -278,6 +278,7 @@ std::shared_ptr<const CompiledPlan> QuantizedCompiler::quantize(
       // Recover the folded float weights from the fp32 program.
       const index_t cnt = op.c_in * (is_conv ? op.k : 1);
       index_t f4 = cnt;  // quantized feature count (pad lanes included)
+      const float* wsrc = q.params_.data(op.w_blk);
       std::vector<float> w(static_cast<std::size_t>(op.c_out * cnt));
       if (is_conv) {
         // Undo the fp32 inference packing: wp[(ci*k + i)*co_r4 + co].
@@ -287,8 +288,8 @@ std::shared_ptr<const CompiledPlan> QuantizedCompiler::quantize(
           for (index_t ci = 0; ci < op.c_in; ++ci) {
             for (index_t tap = 0; tap < op.k; ++tap) {
               w[static_cast<std::size_t>((co * op.c_in + ci) * op.k + tap)] =
-                  q.params_[static_cast<std::size_t>(
-                      op.w_off + (ci * op.k + tap) * co_r4 + co)];
+                  wsrc[static_cast<std::size_t>(
+                      (ci * op.k + tap) * co_r4 + co)];
             }
           }
         }
@@ -311,8 +312,8 @@ std::shared_ptr<const CompiledPlan> QuantizedCompiler::quantize(
               w[static_cast<std::size_t>(
                   o * f4 + (ch / kQuantCiGroup) * kQuantCiGroup * t_r +
                   kQuantCiGroup * ts + ch % kQuantCiGroup)] =
-                  q.params_[static_cast<std::size_t>(
-                      op.w_off + o * op.c_in + ch * t_r + ts)];
+                  wsrc[static_cast<std::size_t>(o * op.c_in + ch * t_r +
+                                                ts)];
             }
           }
         }
@@ -363,12 +364,13 @@ std::shared_ptr<const CompiledPlan> QuantizedCompiler::quantize(
       wd.c_in = is_conv ? op.c_in : f4;
       wd.c_out = op.c_out;
       wd.k = is_conv ? op.k : 1;
-      qop.w_off = static_cast<index_t>(q.qweights_.size());
-      q.qweights_.resize(q.qweights_.size() +
-                         static_cast<std::size_t>(
-                             nn::kernels::packed_weight_bytes_i8(wd)));
-      nn::kernels::pack_conv_weight_i8(wq.data(), wd,
-                                       q.qweights_.data() + qop.w_off);
+      // s8 weights depend only on the fp32 weights (not on calibration),
+      // so interning through the shared pool dedups them across versions
+      // whose layer weights are bytewise identical.
+      std::vector<std::int8_t> packed(static_cast<std::size_t>(
+          nn::kernels::packed_weight_bytes_i8(wd)));
+      nn::kernels::pack_conv_weight_i8(wq.data(), wd, packed.data());
+      qop.w_blk = q.qweights_.add(std::move(packed), options.pool);
 
       const index_t co_round =
           (op.c_out + kQuantCo - 1) / kQuantCo * kQuantCo;
@@ -388,9 +390,7 @@ std::shared_ptr<const CompiledPlan> QuantizedCompiler::quantize(
           continue;
         }
         const float bias =
-            op.b_off >= 0
-                ? q.params_[static_cast<std::size_t>(op.b_off + co)]
-                : 0.0F;
+            op.b_blk >= 0 ? q.params_.data(op.b_blk)[co] : 0.0F;
         const float sw = s_w[static_cast<std::size_t>(co)];
         const auto ws =
             static_cast<float>(wsum[static_cast<std::size_t>(co)]);

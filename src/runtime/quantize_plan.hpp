@@ -60,6 +60,11 @@ struct QuantizeOptions {
   quant::ObserverConfig observer;
   /// Calibration batches consumed from the loader (clamped to its size).
   index_t max_calibration_batches = 32;
+  /// Optional shared intern pool for the packed s8 weight blocks (weight
+  /// quantization depends only on the fp32 weights, so identical layers
+  /// dedup across plan versions). Must outlive the returned plan's use of
+  /// newly-interned blocks' siblings; nullptr keeps blocks private.
+  WeightPool* pool = nullptr;
 };
 
 /// Lowers a compiled fp32 plan to the int8 program, calibrating

@@ -452,16 +452,29 @@ class PlanVerifier {
     }
   }
 
-  // ---- packed parameter pool containment ---------------------------------
+  // ---- packed parameter block containment --------------------------------
+  // Blocks are shared (refcounted, possibly interned across plans), so the
+  // check is per handle: it must resolve inside the plan's block table AND
+  // the resolved block must hold exactly the element count the op's
+  // geometry demands — a stronger guarantee than the flat-pool offset
+  // containment this replaces.
   void check_param_pool() {
-    const auto pool = static_cast<long long>(p_.params_.size());
-    const auto contained = [&](int oi, index_t off, index_t count,
+    const index_t nblocks = p_.params_.count();
+    const auto contained = [&](int oi, index_t blk, index_t count,
                                const char* what) {
-      if (off < 0 || static_cast<long long>(off) + count > pool) {
+      if (blk < 0 || blk >= nblocks) {
         std::ostringstream os;
-        os << what << " spills the packed parameter pool";
-        issue(Invariant::kParamPool, oi, -1, off, off + count, 0, pool, {},
+        os << what << " block handle falls outside the param block table";
+        issue(Invariant::kParamPool, oi, -1, blk, blk + 1, 0, nblocks, {},
               os.str());
+        return;
+      }
+      if (p_.params_.size(blk) != count) {
+        std::ostringstream os;
+        os << what << " block holds " << p_.params_.size(blk)
+           << " floats, op geometry needs " << count;
+        issue(Invariant::kParamPool, oi, -1, p_.params_.size(blk), 0, count,
+              0, {}, os.str());
       }
     };
     for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
@@ -477,16 +490,16 @@ class PlanVerifier {
             dims.k = op.k;
             wfloats = nn::kernels::packed_weight_floats(dims);
           }
-          contained(oi, op.w_off, wfloats, "conv weights");
-          if (op.b_off >= 0) {
-            contained(oi, op.b_off, op.c_out, "conv bias");
+          contained(oi, op.w_blk, wfloats, "conv weights");
+          if (op.b_blk >= 0) {
+            contained(oi, op.b_blk, op.c_out, "conv bias");
           }
           break;
         }
         case detail::OpKind::kLinear:
-          contained(oi, op.w_off, op.c_out * op.c_in, "linear weights");
-          if (op.b_off >= 0) {
-            contained(oi, op.b_off, op.c_out, "linear bias");
+          contained(oi, op.w_blk, op.c_out * op.c_in, "linear weights");
+          if (op.b_blk >= 0) {
+            contained(oi, op.b_blk, op.c_out, "linear bias");
           }
           break;
         case detail::OpKind::kAvgPool:
@@ -787,9 +800,9 @@ class PlanVerifier {
     }
   }
 
-  // ---- packed s8 weight / requantize-const pool containment --------------
+  // ---- packed s8 weight block / requantize-const pool containment --------
   void check_quant_pools() {
-    const auto wpool = static_cast<long long>(p_.qweights_.size());
+    const index_t wblocks = p_.qweights_.count();
     const auto cpool = static_cast<long long>(p_.qconsts_.size());
     for (std::size_t i = 0; i < p_.ops_.size(); ++i) {
       const detail::Op& op = p_.ops_[i];
@@ -811,10 +824,16 @@ class PlanVerifier {
         wd.k = 1;
       }
       const index_t wbytes = nn::kernels::packed_weight_bytes_i8(wd);
-      if (qop.w_off < 0 ||
-          static_cast<long long>(qop.w_off) + wbytes > wpool) {
-        issue(Invariant::kParamPool, oi, -1, qop.w_off, qop.w_off + wbytes,
-              0, wpool, {}, "packed s8 weights spill the weight pool");
+      if (qop.w_blk < 0 || qop.w_blk >= wblocks) {
+        issue(Invariant::kParamPool, oi, -1, qop.w_blk, qop.w_blk + 1, 0,
+              wblocks, {},
+              "s8 weight block handle falls outside the block table");
+      } else if (p_.qweights_.size(qop.w_blk) != wbytes) {
+        std::ostringstream os;
+        os << "s8 weight block holds " << p_.qweights_.size(qop.w_blk)
+           << " bytes, op geometry needs " << wbytes;
+        issue(Invariant::kParamPool, oi, -1, p_.qweights_.size(qop.w_blk),
+              0, wbytes, 0, {}, os.str());
       }
       const index_t co_round = (op.c_out + nn::kernels::kQuantCo - 1) /
                                nn::kernels::kQuantCo * nn::kernels::kQuantCo;

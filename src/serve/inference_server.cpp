@@ -12,10 +12,17 @@
 
 namespace pit::serve {
 
-InferenceServer::InferenceServer(
-    std::shared_ptr<const runtime::CompiledPlan> plan, ServerOptions options)
-    : plan_(std::move(plan)), options_(options) {
-  PIT_CHECK(plan_ != nullptr, "InferenceServer: null plan");
+InferenceServer::InferenceServer(runtime::PlanHandle handle,
+                                 ServerOptions options)
+    : handle_(std::move(handle)), options_(options) {
+  PIT_CHECK(handle_, "InferenceServer: empty plan handle");
+  {
+    const runtime::PlanLease lease = handle_.acquire();
+    in_channels_ = lease->input_channels();
+    in_steps_ = lease->input_steps();
+    out_channels_ = lease->output_channels();
+    out_steps_ = lease->output_steps();
+  }
   PIT_CHECK(options_.threads >= 1,
             "InferenceServer: threads = " << options_.threads);
   PIT_CHECK(options_.max_batch >= 1,
@@ -27,11 +34,16 @@ InferenceServer::InferenceServer(
   }
 }
 
+InferenceServer::InferenceServer(
+    std::shared_ptr<const runtime::CompiledPlan> plan, ServerOptions options)
+    : InferenceServer(runtime::PlanHandle::single(std::move(plan)),
+                      options) {}
+
 InferenceServer::~InferenceServer() { shutdown(); }
 
 std::future<Tensor> InferenceServer::submit(Tensor input) {
-  const index_t c = plan_->input_channels();
-  const index_t t = plan_->input_steps();
+  const index_t c = in_channels_;
+  const index_t t = in_steps_;
   const bool flat_ok = t == 1 && input.rank() == 1 && input.dim(0) == c;
   PIT_CHECK(flat_ok || (input.rank() == 2 && input.dim(0) == c &&
                         input.dim(1) == t),
@@ -97,7 +109,11 @@ void InferenceServer::worker_loop() {
     }
     // More requests may remain queued: wake a sibling before running.
     cv_.notify_one();
-    run_batch(batch, ctx);
+    // Resolve the active version per batch: the lease pins the plan and
+    // holds a concurrent swap's drain until this batch completes; the
+    // next batch picks up the new version automatically.
+    const runtime::PlanLease lease = handle_.acquire();
+    run_batch(batch, ctx, *lease);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       stats_.completed += batch.size();
@@ -106,10 +122,11 @@ void InferenceServer::worker_loop() {
 }
 
 void InferenceServer::run_batch(std::vector<Request>& batch,
-                                runtime::ExecutionContext& ctx) const {
+                                runtime::ExecutionContext& ctx,
+                                const runtime::CompiledPlan& plan) const {
   const auto n = static_cast<index_t>(batch.size());
-  const index_t c = plan_->input_channels();
-  const index_t t = plan_->input_steps();
+  const index_t c = plan.input_channels();
+  const index_t t = plan.input_steps();
   const index_t sample_floats = c * t;
   try {
     Tensor stacked = t == 1 ? Tensor::empty(Shape{n, c})
@@ -120,9 +137,9 @@ void InferenceServer::run_batch(std::vector<Request>& batch,
                                                .input.data(),
                   static_cast<std::size_t>(sample_floats) * sizeof(float));
     }
-    const Tensor out = plan_->forward(stacked, ctx);
-    const index_t co = plan_->output_channels();
-    const index_t to = plan_->output_steps();
+    const Tensor out = plan.forward(stacked, ctx);
+    const index_t co = plan.output_channels();
+    const index_t to = plan.output_steps();
     const index_t out_floats = co * to;
     const float* src = out.data();
     for (index_t i = 0; i < n; ++i) {

@@ -1,8 +1,9 @@
 // Concurrent serving layer over the frozen inference runtime.
 //
-// InferenceServer turns one immutable CompiledPlan into a request/response
-// service: callers submit() single samples from any thread and get a
-// future; a pool of worker threads — each owning its own ExecutionContext,
+// InferenceServer turns a registry-managed model (runtime::PlanHandle) —
+// or, through the adapter constructor, one immutable CompiledPlan — into
+// a request/response service: callers submit() single samples from any
+// thread and get a future; a pool of worker threads — each owning its own ExecutionContext,
 // which is what makes concurrent execution of the shared plan safe (see
 // the thread-safety contract in runtime/compiled_net.hpp) — drains a
 // dynamic micro-batching queue. Requests coalesce until either max_batch
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "runtime/compiled_net.hpp"
+#include "runtime/plan_registry.hpp"
 
 namespace pit::serve {
 
@@ -68,6 +70,14 @@ struct ServerStats {
 /// new work, drains every queued request, and joins the workers.
 class InferenceServer {
  public:
+  /// Serves the handle's model. Each coalesced batch resolves the
+  /// version active at execution time through a PlanLease, so a hot swap
+  /// (PlanRegistry::swap_active) takes effect between batches and
+  /// completes only after in-flight batches drain.
+  explicit InferenceServer(runtime::PlanHandle handle,
+                           ServerOptions options = {});
+  /// Single-plan adapter: wraps `plan` in a one-entry registry. Behaves
+  /// exactly like the pre-registry server.
   explicit InferenceServer(std::shared_ptr<const runtime::CompiledPlan> plan,
                            ServerOptions options = {});
   ~InferenceServer();
@@ -85,7 +95,10 @@ class InferenceServer {
   void shutdown();
 
   ServerStats stats() const;
-  const runtime::CompiledPlan& plan() const { return *plan_; }
+  /// The model's currently-active plan (a fresh pin).
+  std::shared_ptr<const runtime::CompiledPlan> plan() const {
+    return handle_.acquire().plan();
+  }
 
  private:
   struct Request {
@@ -95,11 +108,17 @@ class InferenceServer {
   };
 
   void worker_loop();
-  void run_batch(std::vector<Request>& batch,
-                 runtime::ExecutionContext& ctx) const;
+  void run_batch(std::vector<Request>& batch, runtime::ExecutionContext& ctx,
+                 const runtime::CompiledPlan& plan) const;
 
-  std::shared_ptr<const runtime::CompiledPlan> plan_;
+  runtime::PlanHandle handle_;
   ServerOptions options_;
+  // Versions of one model share geometry (the registry enforces it), so
+  // submit() validates shapes without resolving the active version.
+  index_t in_channels_ = 0;
+  index_t in_steps_ = 0;
+  index_t out_channels_ = 0;
+  index_t out_steps_ = 0;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -20,20 +20,27 @@ int default_tick_threads() {
 
 }  // namespace
 
-SessionManager::SessionManager(
-    std::shared_ptr<const runtime::CompiledPlan> plan,
-    SessionManagerOptions options)
-    : plan_(std::move(plan)), options_(options) {
-  PIT_CHECK(plan_ != nullptr, "SessionManager: null plan");
-  PIT_CHECK(plan_->streamable(),
+SessionManager::SessionManager(runtime::PlanHandle handle,
+                               SessionManagerOptions options)
+    : handle_(std::move(handle)), options_(options) {
+  PIT_CHECK(handle_, "SessionManager: empty plan handle");
+  const runtime::PlanLease lease = handle_.acquire();
+  PIT_CHECK(lease->streamable(),
             "SessionManager: plan is not streamable — it contains a pool, "
             "linear, or strided conv; serve whole windows through "
             "InferenceServer instead");
+  in_channels_ = lease->input_channels();
+  out_channels_ = lease->output_channels();
   PIT_CHECK(options_.max_sessions >= 1, "SessionManager: max_sessions = 0");
   if (options_.tick_threads <= 0) {
     options_.tick_threads = default_tick_threads();
   }
 }
+
+SessionManager::SessionManager(
+    std::shared_ptr<const runtime::CompiledPlan> plan,
+    SessionManagerOptions options)
+    : SessionManager(runtime::PlanHandle::single(std::move(plan)), options) {}
 
 SessionManager::~SessionManager() {
   {
@@ -49,6 +56,10 @@ SessionManager::~SessionManager() {
 }
 
 SessionManager::SessionId SessionManager::open() {
+  // Resolve the active version before taking any serve lock: the lease's
+  // ticket covers the window until the slot pins the plan, so a swap
+  // completing concurrently cannot leave this session on a torn version.
+  runtime::PlanLease lease = handle_.acquire();
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t idx = kNpos;
@@ -76,6 +87,8 @@ SessionManager::SessionId SessionManager::open() {
   {
     std::lock_guard<std::mutex> slot_lock(slot->mutex);
     slot->ctx.reset_stream();
+    slot->plan = lease.plan();
+    slot->version = lease.version();
     slot->id = next_id_++;
     slot->steps = 0;
     slot->created = now;
@@ -97,6 +110,7 @@ void SessionManager::close(SessionId id) {
   // violation, but it must not corrupt the slot's next tenant).
   std::lock_guard<std::mutex> slot_lock(slot->mutex);
   slot->id = 0;
+  slot->plan.reset();  // a pooled slot must not pin a swapped-out version
   index_.erase(it);
   free_.push_back(idx);
   ++stats_.closed;
@@ -116,7 +130,7 @@ void SessionManager::run_step(Slot* slot, SessionId id, const float* input,
   // registry lookup and here; its current tenant must not be disturbed.
   PIT_CHECK(slot->id == id,
             "SessionManager::step: session " << id << " was evicted");
-  plan_->step(input, output, slot->ctx);
+  slot->plan->step(input, output, slot->ctx);
   ++slot->steps;
   slot->last_step.store(std::chrono::steady_clock::now(),
                         std::memory_order_relaxed);
@@ -124,15 +138,18 @@ void SessionManager::run_step(Slot* slot, SessionId id, const float* input,
 }
 
 void SessionManager::step(SessionId id, const float* input, float* output) {
+  // One in-flight ticket per step: a swap_active() of this model blocks
+  // until mid-step work like this drains off the old epoch.
+  const runtime::InflightTicket ticket = handle_.ticket();
   run_step(resolve(id), id, input, output);
 }
 
 Tensor SessionManager::step(SessionId id, const Tensor& input) {
-  PIT_CHECK(input.rank() == 1 && input.dim(0) == plan_->input_channels(),
+  PIT_CHECK(input.rank() == 1 && input.dim(0) == in_channels_,
             "SessionManager::step: expected a ("
-                << plan_->input_channels() << ",) time-step vector, got "
+                << in_channels_ << ",) time-step vector, got "
                 << input.shape().to_string());
-  Tensor out = Tensor::empty(Shape{plan_->output_channels()});
+  Tensor out = Tensor::empty(Shape{out_channels_});
   step(id, input.data(), out.data());
   return out;
 }
@@ -164,8 +181,8 @@ void SessionManager::work_on_tick() {
       end = std::min(tick_count_, begin + chunk);
       tick_next_ = end;
     }
-    const index_t c_in = plan_->input_channels();
-    const index_t c_out = plan_->output_channels();
+    const index_t c_in = in_channels_;
+    const index_t c_out = out_channels_;
     std::exception_ptr error;
     for (std::size_t i = begin; i < end; ++i) {
       try {
@@ -214,6 +231,10 @@ void SessionManager::step_tick(const SessionId* ids, std::size_t count,
   if (count == 0) {
     return;
   }
+  // One in-flight ticket covers the whole tick (each session still runs
+  // on its own pinned plan; the ticket only holds a concurrent swap's
+  // drain until the tick finishes).
+  const runtime::InflightTicket ticket = handle_.ticket();
   // One tick at a time: concurrent tickers queue here rather than
   // interleaving their jobs through the pool.
   std::lock_guard<std::mutex> tick_lock(tick_mutex_);
@@ -260,11 +281,11 @@ Tensor SessionManager::step_tick(const std::vector<SessionId>& ids,
                                  const Tensor& inputs) {
   const auto n = static_cast<index_t>(ids.size());
   PIT_CHECK(inputs.rank() == 2 && inputs.dim(0) == n &&
-                inputs.dim(1) == plan_->input_channels(),
+                inputs.dim(1) == in_channels_,
             "SessionManager::step_tick: expected ("
-                << n << ", " << plan_->input_channels() << ") inputs, got "
+                << n << ", " << in_channels_ << ") inputs, got "
                 << inputs.shape().to_string());
-  Tensor out = Tensor::empty(Shape{n, plan_->output_channels()});
+  Tensor out = Tensor::empty(Shape{n, out_channels_});
   step_tick(ids.data(), ids.size(), inputs.data(), out.data());
   return out;
 }
@@ -303,6 +324,7 @@ std::size_t SessionManager::evict_one_locked(
     }
     index_.erase(slot->id);
     slot->id = 0;
+    slot->plan.reset();
     slot->mutex.unlock();
     ++stats_.evicted;
     return idx;
@@ -323,6 +345,7 @@ std::size_t SessionManager::evict_idle(std::chrono::milliseconds min_idle) {
       continue;
     }
     slot->id = 0;
+    slot->plan.reset();
     slot->mutex.unlock();
     free_.push_back(it->second);
     it = index_.erase(it);
@@ -348,6 +371,15 @@ SessionStats SessionManager::session_stats(SessionId id) const {
   out.created = slot->created;
   out.last_step = slot->last_step.load(std::memory_order_relaxed);
   return out;
+}
+
+std::uint64_t SessionManager::session_version(SessionId id) const {
+  Slot* slot = resolve(id);
+  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+  PIT_CHECK(slot->id == id,
+            "SessionManager::session_version: session " << id
+                                                        << " was evicted");
+  return slot->version;
 }
 
 SessionManagerStats SessionManager::stats() const {

@@ -1,5 +1,11 @@
 // Session-scale streaming serving: thousands of concurrent streaming
-// sessions over ONE shared CompiledPlan (fp32 or int8).
+// sessions over one registry-managed model (fp32 or int8). The manager
+// holds a runtime::PlanHandle; each open() pins the version active at
+// that moment, so a hot swap (PlanRegistry::swap_active) moves newly
+// opened sessions to the new version while live sessions finish their
+// sequences bit-identically on the version they started with. Every
+// step takes a lock-free in-flight ticket, which is what lets the swap
+// wait out mid-step work without stalling the steady state.
 //
 // A StreamSession (stream_session.hpp) is one sequence bound to one
 // private ExecutionContext — perfect for a single sensor, useless for a
@@ -41,6 +47,7 @@
 #include <vector>
 
 #include "runtime/compiled_net.hpp"
+#include "runtime/plan_registry.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pit::serve {
@@ -82,6 +89,13 @@ class SessionManager {
  public:
   using SessionId = std::uint64_t;
 
+  /// Serves the handle's model: every open() pins the version active at
+  /// that moment (hot swap moves new sessions to the new version; live
+  /// sessions finish their sequences on the version they opened with).
+  explicit SessionManager(runtime::PlanHandle handle,
+                          SessionManagerOptions options = {});
+  /// Single-plan adapter: wraps `plan` in a one-entry registry. Behaves
+  /// exactly like the pre-registry manager.
   explicit SessionManager(std::shared_ptr<const runtime::CompiledPlan> plan,
                           SessionManagerOptions options = {});
   ~SessionManager();
@@ -125,11 +139,22 @@ class SessionManager {
   bool alive(SessionId id) const;
   SessionStats session_stats(SessionId id) const;
   SessionManagerStats stats() const;
-  const runtime::CompiledPlan& plan() const { return *plan_; }
+  /// The model's currently-active plan (a fresh pin; sessions opened
+  /// before a swap may still be running an older version).
+  std::shared_ptr<const runtime::CompiledPlan> plan() const {
+    return handle_.acquire().plan();
+  }
+  /// Registry version the session pinned at open().
+  std::uint64_t session_version(SessionId id) const;
 
  private:
   struct Slot {
     runtime::ExecutionContext ctx;
+    // The plan this tenant pinned at open() — a session streams its whole
+    // sequence on one version even while swaps move the model forward;
+    // the pin is what keeps an unswapped-away version's weights alive.
+    std::shared_ptr<const runtime::CompiledPlan> plan;
+    std::uint64_t version = 0;
     SessionId id = 0;  // 0 = pooled
     std::uint64_t steps = 0;
     std::chrono::steady_clock::time_point created;
@@ -148,8 +173,12 @@ class SessionManager {
   void worker_loop();
   void work_on_tick();
 
-  std::shared_ptr<const runtime::CompiledPlan> plan_;
+  runtime::PlanHandle handle_;
   SessionManagerOptions options_;
+  // Versions of one model share geometry (the registry enforces it), so
+  // shape validation never needs to resolve the active version.
+  index_t in_channels_ = 0;
+  index_t out_channels_ = 0;
 
   mutable std::mutex mutex_;  // registry: map, free list, stats
   std::unordered_map<SessionId, std::size_t> index_;

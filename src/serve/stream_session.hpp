@@ -23,6 +23,7 @@
 #include <utility>
 
 #include "runtime/compiled_net.hpp"
+#include "runtime/plan_registry.hpp"
 #include "tensor/error.hpp"
 
 namespace pit::serve {
@@ -37,6 +38,13 @@ class StreamSession {
               "linear, or strided conv; serve whole windows through "
               "InferenceServer instead");
   }
+
+  /// Pins the handle's active version for this session's lifetime: the
+  /// session streams its whole sequence on that version even if the
+  /// registry hot-swaps the model mid-stream (the shared_ptr pin keeps
+  /// the old version's weights alive until the session ends).
+  explicit StreamSession(const runtime::PlanHandle& handle)
+      : StreamSession(handle.acquire().plan()) {}
 
   /// Consumes one (C,) time-step vector, returns the (C_out,) output for
   /// this step. Equals column t of a whole-sequence forward().

@@ -64,12 +64,12 @@ class PlanMutator {
     return false;
   }
 
-  /// A conv/linear weight offset pushed past the packed parameter pool.
+  /// A conv/linear weight block handle pushed past the plan's block table.
   static bool overflow_param_offset(CompiledPlan& p) {
     for (detail::Op& op : p.ops_) {
       if (op.kind == detail::OpKind::kConv ||
           op.kind == detail::OpKind::kLinear) {
-        op.w_off = static_cast<index_t>(p.params_.size());
+        op.w_blk = p.params_.count();
         return true;
       }
     }
@@ -171,7 +171,7 @@ class PlanMutator {
     return false;
   }
 
-  /// A packed s8 weight offset pushed past the weight pool.
+  /// A packed s8 weight block handle pushed past the plan's block table.
   static bool overflow_qweight_offset(CompiledPlan& p) {
     if (!p.quantized_) {
       return false;
@@ -179,7 +179,7 @@ class PlanMutator {
     for (std::size_t i = 0; i < p.ops_.size(); ++i) {
       const detail::OpKind k = p.ops_[i].kind;
       if (k == detail::OpKind::kConv || k == detail::OpKind::kLinear) {
-        p.qops_[i].w_off = static_cast<index_t>(p.qweights_.size());
+        p.qops_[i].w_blk = p.qweights_.count();
         return true;
       }
     }
