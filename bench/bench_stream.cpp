@@ -195,11 +195,12 @@ int main(int argc, char** argv) {
   data::DataLoader loader(calib, 4, /*shuffle=*/false);
   const auto int8 = runtime::quantize_plan(*fp32, loader);
 
+  const std::size_t session_shards = serve::SessionManager(fp32).num_shards();
   std::printf("streaming: TempoNet conv backbone (paper width), %lld -> "
-              "%lld channels per step; i8 kernels: %s\n",
+              "%lld channels per step; i8 kernels: %s; session shards: %zu\n",
               static_cast<long long>(fp32->input_channels()),
               static_cast<long long>(fp32->output_channels()),
-              nn::kernels::quant_kernel_variant());
+              nn::kernels::quant_kernel_variant(), session_shards);
   std::printf("%-6s %-10s %9s %14s %9s %9s\n", "dtype", "mode", "sessions",
               "steps/sec", "p50_us", "p99_us");
 
@@ -264,6 +265,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(json, "{\n  \"hardware_threads\": %d,\n", hw_threads);
+  std::fprintf(json, "  \"session_shards\": %zu,\n", session_shards);
   std::fprintf(json, "  \"i8_kernel_variant\": \"%s\",\n",
                nn::kernels::quant_kernel_variant());
   std::fprintf(json, "  \"model\": \"temponet_backbone_paper\",\n");

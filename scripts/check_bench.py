@@ -25,6 +25,10 @@ Bars and their hardware conditions (see docs/BENCHMARKS.md "CI gates"):
                       tick_over_unbatched_speedup >= 2.0     (>= 4 hw threads)
   BENCH_registry.json stream_fleet.dedup_ratio >= 1.5        (always)
                       memoized_recompile_speedup >= 10.0     (always)
+  BENCH_sessions.json sharded_over_single_speedup >= 2.0     (>= 4 hw threads)
+                      evictions == 0 at >= 100k resident     (always)
+                      BENCH_sessions also requires a resident
+                      row at >= 100k sessions
 
 A bar whose hardware condition is not met is SKIPPED (reported, not
 failed): the portable int8 fallback has no 4x MAC-density edge and a
@@ -201,6 +205,7 @@ def check_quant(gate, name, data):
 
 def check_stream(gate, name, data):
     threads = require(gate, name, data, "hardware_threads", int)
+    require(gate, name, data, "session_shards", int)
     variant = require(gate, name, data, "i8_kernel_variant", str)
     require(gate, name, data, "model", str)
     rows = require_rows(gate, name, data, "results", {
@@ -259,6 +264,42 @@ def check_registry(gate, name, data):
         require(gate, f"{name}: registry", stats, "pool_dedup_ratio", float)
 
 
+def check_sessions(gate, name, data):
+    threads = require(gate, name, data, "hardware_threads", int)
+    require(gate, name, data, "shards_auto", int)
+    require(gate, name, data, "contention_threads", int)
+    require(gate, name, data, "single_shard_steps_per_sec", float)
+    require(gate, name, data, "sharded_steps_per_sec", float)
+    rows = require_rows(gate, name, data, "resident", {
+        "resident": int, "open_per_sec": float, "open_p999_us": float,
+        "step_per_sec": float, "step_p999_us": float,
+        "close_per_sec": float, "close_p999_us": float, "evictions": int,
+    })
+    # The scaling bar: striped registry + per-shard allocator must beat
+    # the single-shard (old global mutex) configuration under churn.
+    bar(gate, name, "sharded_over_single_speedup",
+        require(gate, name, data, "sharded_over_single_speedup", float),
+        2.0,
+        condition=threads is not None and threads >= MIN_PARALLEL_THREADS,
+        why=f"{threads} hardware threads < {MIN_PARALLEL_THREADS}")
+    # The thrash bar: a resident fleet within max_sessions, stepped at
+    # steady state, must never trip eviction — any nonzero count means
+    # open/step churn is recycling live sessions.
+    big = [r for r in rows if isinstance(r, dict)
+           and isinstance(r.get("resident"), int)
+           and r["resident"] >= 100000]
+    if not big:
+        gate.fail(f"{name}: no resident row at >= 100k sessions")
+    for r in big:
+        ev = r.get("evictions")
+        if isinstance(ev, int) and ev == 0:
+            gate.ok(f"{name}: {r['resident']} resident stepped with "
+                    f"0 evictions")
+        elif isinstance(ev, int):
+            gate.fail(f"{name}: {r['resident']} resident saw {ev} "
+                      f"evictions during stepping — eviction thrash")
+
+
 CHECKERS = {
     "BENCH_kernels.json": check_kernels,
     "BENCH_runtime.json": check_runtime,
@@ -266,6 +307,7 @@ CHECKERS = {
     "BENCH_quant.json": check_quant,
     "BENCH_stream.json": check_stream,
     "BENCH_registry.json": check_registry,
+    "BENCH_sessions.json": check_sessions,
 }
 
 

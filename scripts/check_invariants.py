@@ -17,12 +17,19 @@ the executors assume but no compiler enforces:
 
 2. serve-lock-order — src/serve (and the plan registry its sessions pin
    versions through) acquires its mutexes in one global order
-   (tick_mutex_ -> mutex_ -> pool_mutex_ -> slot->mutex ->
-   entry->swap_mutex -> registry_mutex_). The registry ranks strictly
-   after serve because an InflightTicket release may run under a slot
-   mutex; registry methods never take serve locks. A nested acquisition
-   that goes DOWN that order is a lock-inversion deadlock waiting for
-   the right interleaving. Tracked per function body with brace-scope
+   (tick_mutex_ -> shard.mutex -> mutex_ -> pool_mutex_ -> slot->mutex
+   -> cache_mutex -> entry->swap_mutex -> registry_mutex_). shard.mutex
+   is one SessionManager registry stripe; stripes share a rank, so
+   holding two shard mutexes at once is itself a violation of the
+   design (every sweep locks one shard at a time) — the scanner flags
+   same-rank nesting for it. cache_mutex is the session allocator's
+   per-shard cache lock; it ranks after slot->mutex because context
+   growth during a step allocates while the slot is locked, and it
+   takes nothing itself. The registry ranks strictly after serve
+   because an InflightTicket release may run under a slot mutex;
+   registry methods never take serve locks. A nested acquisition that
+   goes DOWN that order is a lock-inversion deadlock waiting for the
+   right interleaving. Tracked per function body with brace-scope
    guard lifetimes.
 
 3. entry-point-checks — the runtime's throwing entry points must keep
@@ -33,6 +40,8 @@ the executors assume but no compiler enforces:
 Usage::
 
     check_invariants.py [repo_root]    # default: script's parent repo
+    check_invariants.py --self-test    # prove the scanner catches
+                                       # inversions (negative tests)
 
 Exit 1 with a per-violation report when any rule is broken.
 """
@@ -87,14 +96,30 @@ LOCK_DECL = re.compile(
 
 LOCK_RANKS = [
     (re.compile(r"\btick_mutex_\b"), 0, "tick_mutex_"),
-    (re.compile(r"(?<![\w.>])mutex_\b"), 1, "mutex_"),
-    (re.compile(r"\bpool_mutex_\b"), 2, "pool_mutex_"),
-    (re.compile(r"(?:->|\.)mutex\b"), 3, "slot->mutex"),
+    # A SessionManager registry stripe. Ordered before the generic
+    # slot->mutex pattern (first match wins) and before the tick pool:
+    # step_tick resolves per shard under tick_mutex_, then hands off.
+    (re.compile(r"\bshard(?:->|\.)mutex\b"), 1, "shard.mutex"),
+    (re.compile(r"(?<![\w.>])mutex_\b"), 2, "mutex_"),
+    (re.compile(r"\bpool_mutex_\b"), 3, "pool_mutex_"),
+    (re.compile(r"(?:->|\.)mutex\b"), 4, "slot->mutex"),
+    # SessionAllocator's per-shard cache lock: taken during allocation,
+    # which can happen under a slot mutex mid-step; takes nothing itself.
+    (re.compile(r"\bcache_mutex\b"), 5, "cache_mutex"),
     # PlanRegistry locks rank after every serve lock: a ticket release can
     # run under a slot mutex, and the registry never calls back into serve.
-    (re.compile(r"(?:->|\.)swap_mutex\b"), 4, "entry->swap_mutex"),
-    (re.compile(r"\bregistry_mutex_\b"), 5, "registry_mutex_"),
+    (re.compile(r"(?:->|\.)swap_mutex\b"), 6, "entry->swap_mutex"),
+    (re.compile(r"\bregistry_mutex_\b"), 7, "registry_mutex_"),
 ]
+
+LOCK_ORDER_DOC = ("tick_mutex_ -> shard.mutex -> mutex_ -> pool_mutex_ "
+                  "-> slot->mutex -> cache_mutex -> entry->swap_mutex "
+                  "-> registry_mutex_")
+
+# Ranks where holding two instances at once deadlocks against a peer
+# doing the same in the opposite order (there is one mutex PER SHARD, so
+# the rank alone cannot order two of them).
+SAME_RANK_FORBIDDEN = {1}
 
 
 def lock_rank(expr):
@@ -108,36 +133,41 @@ def brace_delta(code):
     return code.count("{") - code.count("}")
 
 
+def scan_lock_order(text, relname, violations):
+    depth = 0
+    held = []  # (decl_depth, rank, name, lineno) of live guards
+    for lineno, line in enumerate(text.splitlines(), 1):
+        code = line.split("//")[0]
+        m = LOCK_DECL.search(code)
+        if m:
+            rank, name = lock_rank(m.group(1))
+            if rank is not None:
+                for _, held_rank, held_name, held_line in held:
+                    if held_rank > rank or (held_rank == rank and
+                                            rank in SAME_RANK_FORBIDDEN):
+                        violations.append(
+                            f"{relname}:{lineno}: "
+                            f"serve-lock-order: acquires {name} (rank "
+                            f"{rank}) while holding {held_name} (rank "
+                            f"{held_rank}, line {held_line}) — order "
+                            f"is {LOCK_ORDER_DOC}; two shard mutexes "
+                            f"must never be held at once")
+                held.append((depth, rank, name, lineno))
+            else:
+                violations.append(
+                    f"{relname}:{lineno}: "
+                    f"serve-lock-order: unknown mutex '{name}' — add "
+                    f"it to the lock order in check_invariants.py")
+        depth += brace_delta(code)
+        held = [g for g in held if g[0] <= depth]
+
+
 def check_serve_lock_order(root, violations):
     paths = sorted((root / "src" / "serve").glob("*.[ch]pp"))
     paths.append(root / "src" / "runtime" / "plan_registry.cpp")
     for path in paths:
-        depth = 0
-        held = []  # (decl_depth, rank, name, lineno) of live guards
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            code = line.split("//")[0]
-            m = LOCK_DECL.search(code)
-            if m:
-                rank, name = lock_rank(m.group(1))
-                if rank is not None:
-                    for _, held_rank, held_name, held_line in held:
-                        if held_rank > rank:
-                            violations.append(
-                                f"{path.relative_to(root)}:{lineno}: "
-                                f"serve-lock-order: acquires {name} (rank "
-                                f"{rank}) while holding {held_name} (rank "
-                                f"{held_rank}, line {held_line}) — order "
-                                f"is tick_mutex_ -> mutex_ -> pool_mutex_ "
-                                f"-> slot->mutex -> entry->swap_mutex "
-                                f"-> registry_mutex_")
-                    held.append((depth, rank, name, lineno))
-                else:
-                    violations.append(
-                        f"{path.relative_to(root)}:{lineno}: "
-                        f"serve-lock-order: unknown mutex '{name}' — add "
-                        f"it to the lock order in check_invariants.py")
-            depth += brace_delta(code)
-            held = [g for g in held if g[0] <= depth]
+        scan_lock_order(path.read_text(), str(path.relative_to(root)),
+                        violations)
 
 
 # ---- rule 3: entry points keep their checks --------------------------------
@@ -194,7 +224,86 @@ def check_entry_points(root, violations):
                 f"contains {marker} — the entry-point guard was removed")
 
 
+# ---- self-test: prove the lock-order scanner actually catches bugs --------
+
+# (name, snippet, expected number of violations). The snippets are the
+# exact inversions the rule exists to catch; a scanner change that stops
+# flagging them fails CI before a real inversion can slip through.
+SELF_TEST_CASES = [
+    ("correct nesting passes", """
+void ok() {
+  std::lock_guard<std::mutex> tick(tick_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::lock_guard<std::mutex> slot_lock(slot->mutex);
+  }
+  std::lock_guard<std::mutex> pool(pool_mutex_);
+}
+""", 0),
+    ("scoped release is not a nesting", """
+void ok() {
+  for (auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+  }
+  std::lock_guard<std::mutex> tick(tick_mutex_);
+}
+""", 0),
+    ("slot before shard is an inversion", """
+void bad() {
+  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+}
+""", 1),
+    ("cache before slot is an inversion", """
+void bad() {
+  std::lock_guard<std::mutex> lock(cache_mutex);
+  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+}
+""", 1),
+    ("two shard mutexes at once deadlock", """
+void bad() {
+  std::lock_guard<std::mutex> a(shard.mutex);
+  std::lock_guard<std::mutex> b(shard.mutex);
+}
+""", 1),
+    ("registry lock under a serve lock is fine, reverse is not", """
+void bad() {
+  std::lock_guard<std::mutex> reg(registry_mutex_);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+}
+""", 1),
+    ("unknown mutex is flagged", """
+void bad() {
+  std::lock_guard<std::mutex> lock(mystery_mutex_);
+}
+""", 1),
+]
+
+
+def self_test():
+    failures = 0
+    for name, snippet, expected in SELF_TEST_CASES:
+        violations = []
+        scan_lock_order(snippet, "<self-test>", violations)
+        status = "ok" if len(violations) == expected else "FAIL"
+        if status == "FAIL":
+            failures += 1
+        print(f"{status:4}  {name}: expected {expected} violation(s), "
+              f"got {len(violations)}")
+        if status == "FAIL":
+            for v in violations:
+                print(f"      {v}")
+    if failures:
+        print(f"\ncheck_invariants --self-test: {failures} case(s) failed")
+        return 1
+    print(f"check_invariants --self-test: OK "
+          f"({len(SELF_TEST_CASES)} cases)")
+    return 0
+
+
 def main(argv):
+    if len(argv) > 1 and argv[1] == "--self-test":
+        return self_test()
     root = pathlib.Path(argv[1]) if len(argv) > 1 else \
         pathlib.Path(__file__).resolve().parent.parent
     violations = []

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <memory_resource>
 #include <string>
 #include <vector>
 
@@ -165,9 +166,24 @@ class CompiledPlan;
 /// last ran it, and must only ever be driven by one thread at a time. It
 /// must not outlive the plan it is bound to. One context may serve fp32
 /// and quantized plans interchangeably (the arenas are independent).
+///
+/// ALLOCATION SEAM. Every buffer is a std::pmr vector: a context built
+/// with a memory_resource routes all growth and release through it. This
+/// is how serve::SessionManager backs a million session contexts with its
+/// per-shard caching SessionAllocator instead of a million raw mallocs; a
+/// default-constructed context keeps the global new/delete resource, so
+/// nothing changes for single-context callers. The resource must outlive
+/// the context.
 class ExecutionContext {
  public:
   ExecutionContext() = default;
+  explicit ExecutionContext(std::pmr::memory_resource* mr)
+      : arena_(mr),
+        qarena_(mr),
+        stream_ring_(mr),
+        stream_vals_(mr),
+        qstream_ring_(mr),
+        qstream_vals_(mr) {}
 
   /// Forgets the streaming history: the next step() starts a fresh
   /// sequence at t = 0 (implicit causal zero-padding again). The batch
@@ -180,19 +196,64 @@ class ExecutionContext {
   /// Time steps consumed since the last reset (streaming mode).
   std::uint64_t stream_position() const { return stream_t_; }
 
+  /// Idle compaction: releases the batched-forward scratch (the fp32 and
+  /// u8 arenas — forward() carries no state between calls, so nothing is
+  /// lost) back to the memory resource while KEEPING the streaming state:
+  /// ring buffers, per-value step vectors, position, and plan binding all
+  /// survive, so a compacted streaming session resumes its sequence
+  /// untouched. The next forward() simply regrows the arena.
+  void compact() {
+    release(arena_);
+    release(qarena_);
+  }
+
+  /// Releases every buffer — batch arenas AND streaming state — and
+  /// forgets the stream binding (the next step() starts a fresh
+  /// sequence). This is the full teardown a pooled-but-cold session slot
+  /// uses to hand its bytes back to the allocator cache.
+  void release_buffers() {
+    compact();
+    release(stream_ring_);
+    release(stream_vals_);
+    release(qstream_ring_);
+    release(qstream_vals_);
+    reset_stream();
+  }
+
+  /// Bytes currently held by the batched-forward arenas (what compact()
+  /// frees). Capacity, not size — this is the malloc footprint.
+  std::size_t batch_arena_bytes() const {
+    return arena_.capacity() * sizeof(float) + qarena_.capacity();
+  }
+  /// Bytes currently held by the streaming rings and step vectors (what
+  /// survives compact()).
+  std::size_t stream_bytes() const {
+    return (stream_ring_.capacity() + stream_vals_.capacity()) *
+               sizeof(float) +
+           qstream_ring_.capacity() + qstream_vals_.capacity();
+  }
+
  private:
   friend class CompiledPlan;
 
-  std::vector<float> arena_;        // grown to plan arena floats * max N
-  std::vector<std::uint8_t> qarena_;  // byte arena of quantized plans
+  template <typename V>
+  static void release(V& v) {
+    // swap-with-empty rather than shrink_to_fit: the standard makes
+    // shrink_to_fit a non-binding request, the swap is a guaranteed
+    // deallocation (same resource, so the pmr swap is well-formed).
+    V(v.get_allocator()).swap(v);
+  }
+
+  std::pmr::vector<float> arena_;     // grown to plan arena floats * max N
+  std::pmr::vector<std::uint8_t> qarena_;  // byte arena of quantized plans
   const CompiledPlan* stream_plan_ = nullptr;  // rings sized for this plan
-  std::vector<float> stream_ring_;  // per-conv dilated input history
-  std::vector<float> stream_vals_;  // one C-vector per live value
+  std::pmr::vector<float> stream_ring_;  // per-conv dilated input history
+  std::pmr::vector<float> stream_vals_;  // one C-vector per live value
   // Streaming state of quantized plans: the same ring/value split, held
   // as u8 bytes in the channel-group-interleaved layout (rings initialize
   // to each conv input's zero-point byte — the causal padding).
-  std::vector<std::uint8_t> qstream_ring_;
-  std::vector<std::uint8_t> qstream_vals_;
+  std::pmr::vector<std::uint8_t> qstream_ring_;
+  std::pmr::vector<std::uint8_t> qstream_vals_;
   std::uint64_t stream_t_ = 0;
 };
 

@@ -1,7 +1,7 @@
 #include "serve/session_manager.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <bit>
 #include <utility>
 
 #include "tensor/error.hpp"
@@ -10,12 +10,19 @@ namespace pit::serve {
 
 namespace {
 
-constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
-
 int default_tick_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   const int spare = hw > 1 ? static_cast<int>(hw) - 1 : 0;
   return std::min(spare, 8);
+}
+
+std::size_t pick_shards(std::size_t requested) {
+  std::size_t n = requested;
+  if (n == 0) {
+    n = std::max(1U, std::thread::hardware_concurrency());
+  }
+  n = std::bit_ceil(n);
+  return std::min<std::size_t>(n, 64);
 }
 
 }  // namespace
@@ -34,6 +41,18 @@ SessionManager::SessionManager(runtime::PlanHandle handle,
   PIT_CHECK(options_.max_sessions >= 1, "SessionManager: max_sessions = 0");
   if (options_.tick_threads <= 0) {
     options_.tick_threads = default_tick_threads();
+  }
+  options_.shards = pick_shards(options_.shards);
+  shard_bits_ =
+      static_cast<std::size_t>(std::countr_zero(options_.shards));
+  shard_mask_ = options_.shards - 1;
+  alloc_ = std::make_unique<SessionAllocator>(
+      options_.shards,
+      SessionAllocatorOptions{options_.max_cached_bytes_per_shard});
+  shards_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->index = s;
   }
 }
 
@@ -55,30 +74,12 @@ SessionManager::~SessionManager() {
   }
 }
 
-SessionManager::SessionId SessionManager::open() {
-  // Resolve the active version before taking any serve lock: the lease's
-  // ticket covers the window until the slot pins the plan, so a swap
-  // completing concurrently cannot leave this session on a torn version.
-  runtime::PlanLease lease = handle_.acquire();
-  const auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::size_t idx = kNpos;
-  if (!free_.empty()) {
-    idx = free_.back();
-    free_.pop_back();
-    ++stats_.recycled;
-  } else if (slots_.size() < options_.max_sessions) {
-    slots_.push_back(std::make_unique<Slot>());
-    idx = slots_.size() - 1;
-  } else {
-    idx = evict_one_locked(now);
-    PIT_CHECK(idx != kNpos,
-              "SessionManager::open: " << options_.max_sessions
-                                       << " live sessions and none is "
-                                          "evictable — backpressure");
-    ++stats_.recycled;
-  }
-  Slot* slot = slots_[idx].get();
+SessionManager::SessionId SessionManager::install_locked(
+    Shard& shard, std::size_t idx, runtime::PlanLease& lease,
+    std::chrono::steady_clock::time_point now) {
+  Slot* slot = shard.slots[idx].get();
+  const SessionId id =
+      (shard.next_seq++ << shard_bits_) | static_cast<SessionId>(shard.index);
   // Reset-on-reuse: the next step starts from the implicit causal padding
   // again, exactly like a freshly constructed context (the plan re-fills
   // the ring buffers on rebind). The slot mutex is held for the rewrite:
@@ -89,38 +90,151 @@ SessionManager::SessionId SessionManager::open() {
     slot->ctx.reset_stream();
     slot->plan = lease.plan();
     slot->version = lease.version();
-    slot->id = next_id_++;
+    slot->id = id;
     slot->steps = 0;
     slot->created = now;
     slot->last_step.store(now, std::memory_order_relaxed);
   }
-  index_.emplace(slot->id, idx);
-  ++stats_.opened;
-  return slot->id;
+  shard.index_map.emplace(id, idx);
+  ++shard.opened;
+  return id;
+}
+
+SessionManager::SessionId SessionManager::open() {
+  // Resolve the active version before taking any serve lock: the lease's
+  // ticket covers the window until the slot pins the plan, so a swap
+  // completing concurrently cannot leave this session on a torn version.
+  runtime::PlanLease lease = handle_.acquire();
+  const auto now = std::chrono::steady_clock::now();
+  const std::size_t start = static_cast<std::size_t>(
+      open_cursor_.fetch_add(1, std::memory_order_relaxed)) & shard_mask_;
+  // 1. Recycle a pooled slot. free_count_ is advisory (a concurrent open
+  // may win the race to a probed shard); a miss just falls through.
+  if (free_count_.load(std::memory_order_relaxed) > 0) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = *shards_[(start + i) & shard_mask_];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.free_list.empty()) {
+        continue;
+      }
+      const std::size_t idx = shard.free_list.back();
+      shard.free_list.pop_back();
+      free_count_.fetch_sub(1, std::memory_order_relaxed);
+      ++shard.recycled;
+      return install_locked(shard, idx, lease, now);
+    }
+  }
+  // 2. Create a slot if the fleet is under the global cap. The CAS is
+  // the reservation — once it wins, the slot exists and is never torn
+  // down (slots are pooled on close, not destroyed).
+  std::size_t total = total_slots_.load(std::memory_order_relaxed);
+  while (total < options_.max_sessions) {
+    if (total_slots_.compare_exchange_weak(total, total + 1,
+                                           std::memory_order_relaxed)) {
+      Shard& shard = *shards_[start];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.slots.push_back(std::make_unique<Slot>(
+          alloc_->shard_resource(shard.index), &shard));
+      return install_locked(shard, shard.slots.size() - 1, lease, now);
+    }
+  }
+  // 3. Full: evict the globally stalest timed-out session.
+  const SessionId id = open_via_eviction(lease, now);
+  PIT_CHECK(id != 0,
+            "SessionManager::open: " << options_.max_sessions
+                                     << " live sessions and none is "
+                                        "evictable — backpressure");
+  return id;
+}
+
+SessionManager::SessionId SessionManager::open_via_eviction(
+    runtime::PlanLease& lease, std::chrono::steady_clock::time_point now) {
+  if (options_.idle_timeout.count() <= 0) {
+    return 0;
+  }
+  const auto deadline = now - options_.idle_timeout;
+  // Pass 1 — collect every timed-out candidate across the shards (one
+  // shard locked at a time; the relaxed last_step read is advisory).
+  std::vector<std::pair<std::chrono::steady_clock::time_point, SessionId>>
+      candidates;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [id, idx] : shard.index_map) {
+      const auto last =
+          shard.slots[idx]->last_step.load(std::memory_order_relaxed);
+      if (last <= deadline) {
+        candidates.emplace_back(last, id);
+      }
+    }
+  }
+  // Pass 2 — stalest first, revalidate under the locks: the candidate may
+  // have been closed, stepped, or evicted by someone else since pass 1.
+  // If the stalest is mid-step (its try_lock fails — it is not actually
+  // idle), the next one is still a legitimate eviction, not a reason to
+  // throw backpressure.
+  std::sort(candidates.begin(), candidates.end());
+  for (const auto& [stamp, victim] : candidates) {
+    Shard& shard = shard_for(victim);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index_map.find(victim);
+    if (it == shard.index_map.end()) {
+      continue;  // closed or evicted since the scan
+    }
+    const std::size_t idx = it->second;
+    Slot* slot = shard.slots[idx].get();
+    if (!slot->mutex.try_lock()) {
+      continue;  // mid-step: not idle, whatever its timestamp said
+    }
+    // Authoritative re-read: the try_lock's acquire pairs with the
+    // stepping thread's unlock release, so a step that finished before
+    // we got the mutex is visible here even though the scan's relaxed
+    // read may have missed it.
+    if (slot->last_step.load(std::memory_order_relaxed) > deadline) {
+      slot->mutex.unlock();
+      continue;
+    }
+    shard.index_map.erase(it);
+    slot->id = 0;
+    slot->plan.reset();
+    slot->mutex.unlock();
+    ++shard.evicted;
+    ++shard.recycled;
+    return install_locked(shard, idx, lease, now);
+  }
+  return 0;
 }
 
 void SessionManager::close(SessionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(id);
-  PIT_CHECK(it != index_.end(),
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index_map.find(id);
+  PIT_CHECK(it != shard.index_map.end(),
             "SessionManager::close: unknown session " << id);
   const std::size_t idx = it->second;
-  Slot* slot = slots_[idx].get();
+  Slot* slot = shard.slots[idx].get();
   // Waits out a concurrent step on this session (a caller-contract
   // violation, but it must not corrupt the slot's next tenant).
   std::lock_guard<std::mutex> slot_lock(slot->mutex);
   slot->id = 0;
   slot->plan.reset();  // a pooled slot must not pin a swapped-out version
-  index_.erase(it);
-  free_.push_back(idx);
-  ++stats_.closed;
+  // A pooled slot holds no memory either: its rings and scratch go back
+  // to the shard cache (bounded, poisoned) and the next tenant draws
+  // them zero-filled — the recycle path's bit-identical-to-fresh reset.
+  slot->ctx.release_buffers();
+  shard.index_map.erase(it);
+  shard.free_list.push_back(idx);
+  free_count_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.closed;
 }
 
 SessionManager::Slot* SessionManager::resolve(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(id);
-  PIT_CHECK(it != index_.end(), "SessionManager: unknown session " << id);
-  return slots_[it->second].get();
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index_map.find(id);
+  PIT_CHECK(it != shard.index_map.end(),
+            "SessionManager: unknown session " << id);
+  return shard.slots[it->second].get();
 }
 
 void SessionManager::run_step(Slot* slot, SessionId id, const float* input,
@@ -132,9 +246,12 @@ void SessionManager::run_step(Slot* slot, SessionId id, const float* input,
             "SessionManager::step: session " << id << " was evicted");
   slot->plan->step(input, output, slot->ctx);
   ++slot->steps;
+  // Relaxed is enough: readers that act on this either hold the slot
+  // mutex (whose acquire pairs with this critical section's release) or
+  // treat the value as advisory (shard sweeps).
   slot->last_step.store(std::chrono::steady_clock::now(),
                         std::memory_order_relaxed);
-  steps_total_.fetch_add(1, std::memory_order_relaxed);
+  slot->home->steps.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SessionManager::step(SessionId id, const float* input, float* output) {
@@ -240,13 +357,30 @@ void SessionManager::step_tick(const SessionId* ids, std::size_t count,
   std::lock_guard<std::mutex> tick_lock(tick_mutex_);
   tick_slots_.resize(count);
   tick_ids_.assign(ids, ids + count);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < count; ++i) {
-      const auto it = index_.find(ids[i]);
-      PIT_CHECK(it != index_.end(),
-                "SessionManager::step_tick: unknown session " << ids[i]);
-      tick_slots_[i] = slots_[it->second].get();
+  // Resolve grouped by home shard: each shard is locked exactly once per
+  // tick instead of once per session, and no lock spans the whole batch.
+  if (tick_by_shard_.size() != shards_.size()) {
+    tick_by_shard_.resize(shards_.size());
+  }
+  for (std::vector<std::size_t>& group : tick_by_shard_) {
+    group.clear();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    tick_by_shard_[shard_of(ids[i])].push_back(i);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<std::size_t>& group = tick_by_shard_[s];
+    if (group.empty()) {
+      continue;
+    }
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const std::size_t pos : group) {
+      const auto it = shard.index_map.find(tick_ids_[pos]);
+      PIT_CHECK(it != shard.index_map.end(),
+                "SessionManager::step_tick: unknown session "
+                    << tick_ids_[pos]);
+      tick_slots_[pos] = shard.slots[it->second].get();
     }
   }
   {
@@ -268,10 +402,7 @@ void SessionManager::step_tick(const SessionId* ids, std::size_t count,
     done_cv_.wait(lock, [&] { return tick_pending_ == 0; });
     error = tick_error_;
   }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.ticks;
-  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
   if (error != nullptr) {
     std::rethrow_exception(error);
   }
@@ -298,66 +429,84 @@ void SessionManager::reset(SessionId id) {
   slot->ctx.reset_stream();
 }
 
-std::size_t SessionManager::evict_one_locked(
-    std::chrono::steady_clock::time_point now) {
-  if (options_.idle_timeout.count() <= 0) {
-    return kNpos;
-  }
-  const auto deadline = now - options_.idle_timeout;
-  // Every timed-out candidate, stalest first: if the stalest is mid-step
-  // (its try_lock fails — it is not actually idle), the next one is
-  // still a legitimate eviction, not a reason to throw backpressure.
-  std::vector<std::pair<std::chrono::steady_clock::time_point, std::size_t>>
-      candidates;
-  for (const auto& [id, idx] : index_) {
-    const auto last =
-        slots_[idx]->last_step.load(std::memory_order_relaxed);
-    if (last <= deadline) {
-      candidates.emplace_back(last, idx);
-    }
-  }
-  std::sort(candidates.begin(), candidates.end());
-  for (const auto& [last, idx] : candidates) {
-    Slot* slot = slots_[idx].get();
-    if (!slot->mutex.try_lock()) {
-      continue;  // mid-step: not idle, whatever its timestamp said
-    }
-    index_.erase(slot->id);
-    slot->id = 0;
-    slot->plan.reset();
-    slot->mutex.unlock();
-    ++stats_.evicted;
-    return idx;
-  }
-  return kNpos;
-}
-
 std::size_t SessionManager::evict_idle(std::chrono::milliseconds min_idle) {
   const auto now = std::chrono::steady_clock::now();
   const auto deadline = now - min_idle;
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t evicted = 0;
-  for (auto it = index_.begin(); it != index_.end();) {
-    Slot* slot = slots_[it->second].get();
-    if (slot->last_step.load(std::memory_order_relaxed) > deadline ||
-        !slot->mutex.try_lock()) {
-      ++it;
-      continue;
+  // Shard-local sweeps: each shard is locked on its own, so a sweep never
+  // stalls steps on the rest of the fleet.
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.index_map.begin(); it != shard.index_map.end();) {
+      Slot* slot = shard.slots[it->second].get();
+      if (slot->last_step.load(std::memory_order_relaxed) > deadline ||
+          !slot->mutex.try_lock()) {
+        ++it;
+        continue;
+      }
+      // Authoritative re-read under the slot mutex (see open_via_eviction).
+      if (slot->last_step.load(std::memory_order_relaxed) > deadline) {
+        slot->mutex.unlock();
+        ++it;
+        continue;
+      }
+      slot->id = 0;
+      slot->plan.reset();
+      slot->ctx.release_buffers();  // idle sweep: bytes back to the cache
+      slot->mutex.unlock();
+      shard.free_list.push_back(it->second);
+      free_count_.fetch_add(1, std::memory_order_relaxed);
+      it = shard.index_map.erase(it);
+      ++shard.evicted;
+      ++evicted;
     }
-    slot->id = 0;
-    slot->plan.reset();
-    slot->mutex.unlock();
-    free_.push_back(it->second);
-    it = index_.erase(it);
-    ++evicted;
   }
-  stats_.evicted += evicted;
   return evicted;
 }
 
+std::size_t SessionManager::compact_idle(std::chrono::milliseconds min_idle) {
+  const auto deadline = std::chrono::steady_clock::now() - min_idle;
+  std::size_t compacted = 0;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [id, idx] : shard.index_map) {
+      Slot* slot = shard.slots[idx].get();
+      if (slot->last_step.load(std::memory_order_relaxed) > deadline ||
+          !slot->mutex.try_lock()) {
+        continue;  // busy or fresh: skip, never block a step
+      }
+      if (slot->last_step.load(std::memory_order_relaxed) <= deadline &&
+          slot->ctx.batch_arena_bytes() > 0) {
+        slot->ctx.compact();
+        ++compacted;
+      }
+      slot->mutex.unlock();
+    }
+  }
+  return compacted;
+}
+
+void SessionManager::trim(std::size_t target_cached_bytes_per_shard) {
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const std::size_t idx : shard.free_list) {
+      Slot* slot = shard.slots[idx].get();
+      // A pooled slot is normally uncontended; a stale step() racing a
+      // close() may briefly hold the mutex, so wait rather than skip.
+      std::lock_guard<std::mutex> slot_lock(slot->mutex);
+      slot->ctx.release_buffers();
+    }
+  }
+  alloc_->trim(target_cached_bytes_per_shard);
+}
+
 bool SessionManager::alive(SessionId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return index_.count(id) > 0;
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.index_map.count(id) > 0;
 }
 
 SessionStats SessionManager::session_stats(SessionId id) const {
@@ -382,12 +531,39 @@ std::uint64_t SessionManager::session_version(SessionId id) const {
   return slot->version;
 }
 
+SessionManagerStats SessionManager::shard_stats(std::size_t shard_index) const {
+  PIT_CHECK(shard_index < shards_.size(),
+            "SessionManager::shard_stats: shard "
+                << shard_index << " out of range (have " << shards_.size()
+                << ")");
+  const Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  SessionManagerStats out;
+  out.opened = shard.opened;
+  out.closed = shard.closed;
+  out.evicted = shard.evicted;
+  out.recycled = shard.recycled;
+  out.steps = shard.steps.load(std::memory_order_relaxed);
+  out.ticks = 0;  // global only — a tick spans shards
+  out.active = shard.index_map.size();
+  out.pooled = shard.free_list.size();
+  return out;
+}
+
 SessionManagerStats SessionManager::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SessionManagerStats out = stats_;
-  out.steps = steps_total_.load(std::memory_order_relaxed);
-  out.active = index_.size();
-  out.pooled = free_.size();
+  SessionManagerStats out;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.opened += shard.opened;
+    out.closed += shard.closed;
+    out.evicted += shard.evicted;
+    out.recycled += shard.recycled;
+    out.steps += shard.steps.load(std::memory_order_relaxed);
+    out.active += shard.index_map.size();
+    out.pooled += shard.free_list.size();
+  }
+  out.ticks = ticks_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -1,4 +1,4 @@
-// Session-scale streaming serving: thousands of concurrent streaming
+// Fleet-scale streaming serving: toward a million concurrent streaming
 // sessions over one registry-managed model (fp32 or int8). The manager
 // holds a runtime::PlanHandle; each open() pins the version active at
 // that moment, so a hot swap (PlanRegistry::swap_active) moves newly
@@ -9,31 +9,57 @@
 //
 // A StreamSession (stream_session.hpp) is one sequence bound to one
 // private ExecutionContext — perfect for a single sensor, useless for a
-// fleet. SessionManager is the fleet: it owns a pool of recycled session
-// slots (each an ExecutionContext whose ring buffers are reset on reuse,
-// so a recycled session is bit-identical to a fresh one), hands out
-// opaque SessionIds, and serves three access patterns:
+// fleet. SessionManager is the fleet: pooled, recycled session slots
+// (each an ExecutionContext whose ring buffers are reset on reuse, so a
+// recycled session is bit-identical to a fresh one), opaque SessionIds,
+// and three access patterns:
 //
 //   step      — advance one session by one time step (the low-latency
 //               path; same per-step work as StreamSession),
 //   step_tick — advance MANY sessions that received a sample in the same
 //               tick: one call, one pass over a persistent worker pool,
 //               amortizing dispatch and spreading the per-session conv
-//               work across cores. This is the serving shape of a
-//               wearable fleet: every device ticks at the sensor rate and
-//               the server advances all live sequences together.
+//               work across cores.
 //   evict     — sessions idle past a deadline are evictable; open()
 //               recycles the stalest evictable slot when the manager is
 //               full, so abandoned sequences cannot pin memory forever.
 //
+// SHARDING. The registry is striped over a power-of-two number of shards
+// (options.shards; default = hardware concurrency). Each shard owns its
+// own mutex, id -> slot map, slot storage, and free list; a SessionId
+// encodes its home shard in the low bits (id = seq << shard_bits |
+// shard), so every lookup goes straight to one shard and never scans or
+// serializes against the rest of the fleet. step_tick resolves its batch
+// grouped by shard (each shard locked once per tick) and idle eviction /
+// compaction are shard-local sweeps — no global lock is ever held across
+// a step. Global limits (max_sessions) and counters are atomics summed
+// over shards, never a bottleneck lock.
+//
+// MEMORY. Session buffers come from a per-shard size-bucketed caching
+// allocator (session_allocator.hpp) through the ExecutionContext pmr
+// seam: open/close churn recycles ring and scratch blocks inside the
+// shard instead of hitting the global heap, recycled blocks are
+// zero-reset (bit-identical to fresh), and cached blocks are
+// ASan-poisoned. compact_idle() releases idle sessions' batched-forward
+// scratch back to the cache (steps reacquire lazily); trim() releases
+// pooled slots' buffers and shrinks the caches toward a target.
+//
 // THREAD SAFETY. All public methods are thread-safe. Each session must be
 // driven by one caller at a time (its sequence order is meaningless
-// otherwise); different sessions never contend beyond the registry lock.
-// Internally: a registry mutex guards the id -> slot map and the free
-// list; a per-slot mutex serializes the slot's ExecutionContext between
-// step(), step_tick() workers, and eviction (eviction only claims slots
-// whose mutex it can take without blocking — never one mid-step). A
-// stale id (closed or evicted) throws pit::Error; ids are never reused.
+// otherwise); different sessions contend only when they share a shard,
+// and then only for the map lookup. A per-slot mutex serializes the
+// slot's ExecutionContext between step(), step_tick() workers, and
+// eviction (eviction only claims slots whose mutex it can take without
+// blocking — never one mid-step). A stale id (closed or evicted) throws
+// pit::Error; ids are never reused.
+//
+// Lock order (checked by scripts/check_invariants.py): tick_mutex_ ->
+// shard.mutex -> pool_mutex_ -> slot->mutex -> cache_mutex. last_step is
+// an atomic written under the slot mutex with relaxed order; shard scans
+// read it relaxed as an ADVISORY filter only — eviction re-reads it
+// after winning the slot's try_lock (the mutex acquire synchronizes with
+// the stepping thread's release), and that re-read is the authoritative
+// idleness decision.
 #pragma once
 
 #include <atomic>
@@ -48,13 +74,15 @@
 
 #include "runtime/compiled_net.hpp"
 #include "runtime/plan_registry.hpp"
+#include "serve/session_allocator.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pit::serve {
 
 struct SessionManagerOptions {
-  /// Hard cap on live sessions. open() beyond it evicts the stalest
-  /// idle-timed-out session, or throws when nothing is evictable.
+  /// Hard cap on live sessions across all shards. open() beyond it
+  /// evicts the stalest idle-timed-out session, or throws when nothing
+  /// is evictable.
   std::size_t max_sessions = 4096;
   /// Sessions idle at least this long are evictable (by open() under
   /// pressure and by evict_idle()). Zero disables idle eviction.
@@ -64,6 +92,12 @@ struct SessionManagerOptions {
   /// minus one, capped at 8. The pool starts on the first tick; pure
   /// step() callers never pay for it.
   int tick_threads = 0;
+  /// Registry shards (rounded up to a power of two, capped at 64).
+  /// 0 picks hardware concurrency. One shard reproduces the old
+  /// single-mutex behavior exactly.
+  std::size_t shards = 0;
+  /// Per-shard cap for the session allocator's recycled-block cache.
+  std::size_t max_cached_bytes_per_shard = 8ULL << 20;  // 8 MiB
 };
 
 /// Per-session counters (a snapshot; the session keeps moving).
@@ -74,13 +108,17 @@ struct SessionStats {
   std::chrono::steady_clock::time_point last_step;
 };
 
+/// Fleet counters — global via stats(), striped via shard_stats().
+/// Every field of the per-shard snapshots sums to the global snapshot
+/// except ticks: a tick spans shards, so it is reported globally only
+/// (shard_stats().ticks is always 0).
 struct SessionManagerStats {
   std::uint64_t opened = 0;
   std::uint64_t closed = 0;
   std::uint64_t evicted = 0;
-  std::uint64_t recycled = 0;  ///< opens served from the pooled free list
+  std::uint64_t recycled = 0;  ///< opens served from a pooled free slot
   std::uint64_t steps = 0;     ///< session-steps across all sessions
-  std::uint64_t ticks = 0;     ///< step_tick calls
+  std::uint64_t ticks = 0;     ///< step_tick calls (global only)
   std::size_t active = 0;
   std::size_t pooled = 0;      ///< free slots holding recyclable state
 };
@@ -104,9 +142,9 @@ class SessionManager {
 
   /// Starts a new sequence and returns its id. Recycles a pooled slot
   /// when one exists (reset to the implicit causal padding — bit-identical
-  /// to a fresh session); under pressure evicts the stalest timed-out
-  /// session; throws pit::Error when the manager is full of live,
-  /// non-evictable sessions.
+  /// to a fresh session); under pressure evicts the globally stalest
+  /// timed-out session; throws pit::Error when the manager is full of
+  /// live, non-evictable sessions.
   SessionId open();
 
   /// Ends a sequence and pools its slot for reuse. Throws on a stale id.
@@ -132,13 +170,34 @@ class SessionManager {
   void reset(SessionId id);
 
   /// Evicts every session idle at least `min_idle` (pass the options'
-  /// idle_timeout for the configured policy). Returns how many.
+  /// idle_timeout for the configured policy). Shard-local sweeps; never
+  /// touches a session mid-step. Returns how many.
   std::size_t evict_idle(std::chrono::milliseconds min_idle);
+
+  /// Releases the batched-forward scratch of every session idle at least
+  /// `min_idle` back to the shard caches (ring buffers and step scratch
+  /// stay — the sequence is untouched and the next step is bit-identical;
+  /// a later batched forward simply reacquires). Returns how many
+  /// sessions shrank.
+  std::size_t compact_idle(std::chrono::milliseconds min_idle);
+
+  /// Releases every pooled slot's buffers and trims each shard's
+  /// allocator cache to `target_cached_bytes_per_shard` (0 = release
+  /// everything reclaimable to the OS). Live sessions are untouched.
+  void trim(std::size_t target_cached_bytes_per_shard = 0);
 
   /// True while `id` names a live (non-closed, non-evicted) session.
   bool alive(SessionId id) const;
   SessionStats session_stats(SessionId id) const;
   SessionManagerStats stats() const;
+  /// One shard's slice of stats() (ticks excepted — see the struct doc).
+  SessionManagerStats shard_stats(std::size_t shard) const;
+  SessionAllocatorStats allocator_stats() const { return alloc_->stats(); }
+  std::size_t num_shards() const { return shards_.size(); }
+  /// Home shard encoded in an id (ids are never rehomed).
+  std::size_t shard_of(SessionId id) const {
+    return static_cast<std::size_t>(id) & shard_mask_;
+  }
   /// The model's currently-active plan (a fresh pin; sessions opened
   /// before a swap may still be running an older version).
   std::shared_ptr<const runtime::CompiledPlan> plan() const {
@@ -148,8 +207,13 @@ class SessionManager {
   std::uint64_t session_version(SessionId id) const;
 
  private:
+  struct Shard;
+
   struct Slot {
+    Slot(std::pmr::memory_resource* mr, Shard* home_shard)
+        : ctx(mr), home(home_shard) {}
     runtime::ExecutionContext ctx;
+    Shard* home;  // fixed at creation; per-shard step counter lives here
     // The plan this tenant pinned at open() — a session streams its whole
     // sequence on one version even while swaps move the model forward;
     // the pin is what keeps an unswapped-away version's weights alive.
@@ -158,17 +222,43 @@ class SessionManager {
     SessionId id = 0;  // 0 = pooled
     std::uint64_t steps = 0;
     std::chrono::steady_clock::time_point created;
-    // Atomic: written under the slot mutex by run_step but read by the
-    // eviction scans, which hold only the registry mutex.
+    // Written (relaxed) under the slot mutex by run_step; shard sweeps
+    // read it relaxed as an advisory pre-filter and must re-read after
+    // taking the slot mutex before acting on it (see the header doc).
     std::atomic<std::chrono::steady_clock::time_point> last_step;
     std::mutex mutex;  // serializes ctx between step/tick/eviction
   };
 
+  /// One registry stripe: everything below is guarded by `mutex` except
+  /// `steps`, which run_step bumps lock-free on the hot path.
+  struct Shard {
+    std::size_t index = 0;
+    mutable std::mutex mutex;  // map, slot storage, free list, counters
+    std::unordered_map<SessionId, std::size_t> index_map;
+    std::vector<std::unique_ptr<Slot>> slots;
+    std::vector<std::size_t> free_list;
+    std::uint64_t next_seq = 1;
+    std::uint64_t opened = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t recycled = 0;
+    std::atomic<std::uint64_t> steps{0};
+  };
+
+  Shard& shard_for(SessionId id) const {
+    return *shards_[static_cast<std::size_t>(id) & shard_mask_];
+  }
   Slot* resolve(SessionId id) const;
+  /// shard.mutex held: installs a new tenant into slot `idx` and maps it.
+  SessionId install_locked(Shard& shard, std::size_t idx,
+                           runtime::PlanLease& lease,
+                           std::chrono::steady_clock::time_point now);
+  /// Evicts the globally stalest timed-out session and installs the new
+  /// tenant in its slot. Returns 0 when nothing is evictable.
+  SessionId open_via_eviction(runtime::PlanLease& lease,
+                              std::chrono::steady_clock::time_point now);
   void run_step(Slot* slot, SessionId id, const float* input,
                 float* output);
-  /// Registry lock held. Returns the freed slot index or npos.
-  std::size_t evict_one_locked(std::chrono::steady_clock::time_point now);
   void ensure_pool_locked();
   void worker_loop();
   void work_on_tick();
@@ -180,15 +270,20 @@ class SessionManager {
   index_t in_channels_ = 0;
   index_t out_channels_ = 0;
 
-  mutable std::mutex mutex_;  // registry: map, free list, stats
-  std::unordered_map<SessionId, std::size_t> index_;
-  std::vector<std::unique_ptr<Slot>> slots_;
-  std::vector<std::size_t> free_;
-  SessionId next_id_ = 1;
-  SessionManagerStats stats_;  // steps live in steps_total_ instead
-  // Atomic so the per-step hot path touches the registry mutex once
-  // (resolve) instead of twice (resolve + counter bump).
-  std::atomic<std::uint64_t> steps_total_{0};
+  // alloc_ is declared before shards_ so it outlives every slot's
+  // ExecutionContext (their pmr vectors return blocks to it on destroy).
+  std::unique_ptr<SessionAllocator> alloc_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_bits_ = 0;
+  std::size_t shard_mask_ = 0;
+  // Global accounting: atomics, not a lock, so open/close on different
+  // shards never serialize. total_slots_ is CAS-reserved against
+  // max_sessions before creating a slot; free_count_ makes the
+  // recycle-before-create probe O(1) when nothing is pooled.
+  std::atomic<std::size_t> total_slots_{0};
+  std::atomic<std::size_t> free_count_{0};
+  std::atomic<std::uint64_t> open_cursor_{0};  // round-robin shard choice
+  std::atomic<std::uint64_t> ticks_{0};
 
   // step_tick pool: one job at a time, guarded by tick_mutex_ (callers
   // serialize on it), handed to the workers through job fields + a
@@ -200,9 +295,11 @@ class SessionManager {
   std::vector<std::thread> workers_;
   bool pool_stop_ = false;
   std::uint64_t tick_gen_ = 0;
-  // Current job (valid while pending_ > 0).
+  // Current job (valid while pending_ > 0). tick_by_shard_ is the
+  // per-shard grouping scratch reused across ticks (tick_mutex_ held).
   std::vector<Slot*> tick_slots_;
   std::vector<SessionId> tick_ids_;
+  std::vector<std::vector<std::size_t>> tick_by_shard_;
   const float* tick_inputs_ = nullptr;
   float* tick_outputs_ = nullptr;
   std::size_t tick_count_ = 0;

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <utility>
 
 #include "runtime/compiled_net.hpp"
@@ -31,13 +32,7 @@ namespace pit::serve {
 class StreamSession {
  public:
   explicit StreamSession(std::shared_ptr<const runtime::CompiledPlan> plan)
-      : plan_(std::move(plan)) {
-    PIT_CHECK(plan_ != nullptr, "StreamSession: null plan");
-    PIT_CHECK(plan_->streamable(),
-              "StreamSession: plan is not streamable — it contains a pool, "
-              "linear, or strided conv; serve whole windows through "
-              "InferenceServer instead");
-  }
+      : StreamSession(std::move(plan), std::pmr::get_default_resource()) {}
 
   /// Pins the handle's active version for this session's lifetime: the
   /// session streams its whole sequence on that version even if the
@@ -45,6 +40,20 @@ class StreamSession {
   /// the old version's weights alive until the session ends).
   explicit StreamSession(const runtime::PlanHandle& handle)
       : StreamSession(handle.acquire().plan()) {}
+
+  /// Routes this session's buffers through `mr` — the same pmr seam
+  /// SessionManager uses to put fleet sessions on a shard's caching
+  /// allocator (serve::SessionAllocator::shard_resource). `mr` must
+  /// outlive the session.
+  StreamSession(std::shared_ptr<const runtime::CompiledPlan> plan,
+                std::pmr::memory_resource* mr)
+      : plan_(std::move(plan)), ctx_(mr) {
+    PIT_CHECK(plan_ != nullptr, "StreamSession: null plan");
+    PIT_CHECK(plan_->streamable(),
+              "StreamSession: plan is not streamable — it contains a pool, "
+              "linear, or strided conv; serve whole windows through "
+              "InferenceServer instead");
+  }
 
   /// Consumes one (C,) time-step vector, returns the (C_out,) output for
   /// this step. Equals column t of a whole-sequence forward().
@@ -59,6 +68,11 @@ class StreamSession {
   void reset() { ctx_.reset_stream(); }
   /// Steps consumed since construction or the last reset().
   std::uint64_t position() const { return ctx_.stream_position(); }
+
+  /// Releases batched-forward scratch back to the allocator (the ring
+  /// history stays — the next step() is bit-identical; a later batched
+  /// forward through the same context simply reacquires).
+  void compact() { ctx_.compact(); }
 
   const runtime::CompiledPlan& plan() const { return *plan_; }
 

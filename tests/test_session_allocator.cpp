@@ -1,0 +1,198 @@
+// SessionAllocator: the per-shard caching allocator behind the session
+// fleet. Property tests pin its contract — recycled buckets are
+// zero-reset (bit-identical to fresh, no cross-session bleed), the
+// per-shard cache bound holds under churn, stats balance back to
+// baseline — and an ASan death test proves cached blocks are poisoned
+// while they sit in a free list.
+#include "serve/session_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory_resource>
+#include <vector>
+
+#include "runtime/hardening.hpp"
+#include "tensor/error.hpp"
+
+namespace pit::serve {
+namespace {
+
+TEST(SessionAllocator, BucketMathRoundsUpToPowersOfTwo) {
+  EXPECT_EQ(SessionAllocator::bucket_class(1), 0u);
+  EXPECT_EQ(SessionAllocator::bucket_class(64), 0u);
+  EXPECT_EQ(SessionAllocator::bucket_class(65), 1u);
+  EXPECT_EQ(SessionAllocator::bucket_class(128), 1u);
+  EXPECT_EQ(SessionAllocator::bucket_class(129), 2u);
+  EXPECT_EQ(SessionAllocator::bucket_bytes(0), 64u);
+  EXPECT_EQ(SessionAllocator::bucket_bytes(1), 128u);
+  // The largest cached class covers kMaxBucketBytes exactly.
+  EXPECT_EQ(
+      SessionAllocator::bucket_bytes(SessionAllocator::kNumBuckets - 1),
+      SessionAllocator::kMaxBucketBytes);
+  for (std::size_t n : {1u, 63u, 64u, 100u, 4096u, 70000u}) {
+    const std::size_t cls = SessionAllocator::bucket_class(n);
+    EXPECT_GE(SessionAllocator::bucket_bytes(cls), n) << "n = " << n;
+    if (cls > 0) {
+      EXPECT_LT(SessionAllocator::bucket_bytes(cls - 1), n) << "n = " << n;
+    }
+  }
+}
+
+TEST(SessionAllocator, RecycledBucketIsZeroResetAndBitIdenticalToFresh) {
+  SessionAllocator alloc(1);
+  std::pmr::memory_resource* mr = alloc.shard_resource(0);
+  constexpr std::size_t kBytes = 1024;
+  // Fresh block: zero-filled.
+  auto* fresh = static_cast<std::uint8_t*>(mr->allocate(kBytes, 64));
+  std::vector<std::uint8_t> fresh_copy(fresh, fresh + kBytes);
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    ASSERT_EQ(fresh[i], 0u) << "fresh byte " << i;
+  }
+  // Dirty it thoroughly, release it into the cache, take it back.
+  std::memset(fresh, 0xC7, kBytes);
+  mr->deallocate(fresh, kBytes, 64);
+  auto* recycled = static_cast<std::uint8_t*>(mr->allocate(kBytes, 64));
+  EXPECT_EQ(alloc.stats().cache_hits, 1u);  // same bucket, served cached
+  // Bit-identical to the fresh allocation: all zeros again.
+  EXPECT_EQ(std::memcmp(recycled, fresh_copy.data(), kBytes), 0);
+  mr->deallocate(recycled, kBytes, 64);
+}
+
+TEST(SessionAllocator, NoCrossSessionBleedThroughRecycledBlocks) {
+  SessionAllocator alloc(1);
+  std::pmr::memory_resource* mr = alloc.shard_resource(0);
+  // "Session A" writes a recognizable secret into every byte it owns.
+  constexpr std::size_t kBytes = 4096;
+  auto* a = static_cast<std::uint8_t*>(mr->allocate(kBytes, 64));
+  std::memset(a, 0x5E, kBytes);
+  mr->deallocate(a, kBytes, 64);
+  // "Session B" lands on the recycled block (different request size,
+  // same bucket) and must see none of A's bytes.
+  const std::size_t b_bytes = kBytes - 100;
+  ASSERT_EQ(SessionAllocator::bucket_class(b_bytes),
+            SessionAllocator::bucket_class(kBytes));
+  auto* b = static_cast<std::uint8_t*>(mr->allocate(b_bytes, 64));
+  EXPECT_EQ(alloc.stats().cache_hits, 1u);
+  for (std::size_t i = 0; i < b_bytes; ++i) {
+    ASSERT_EQ(b[i], 0u) << "session A's data bled through at byte " << i;
+  }
+  mr->deallocate(b, b_bytes, 64);
+}
+
+TEST(SessionAllocator, CacheBoundHoldsUnderChurnAndTrimsInBulk) {
+  SessionAllocatorOptions options;
+  options.max_cached_bytes_per_shard = 64 << 10;  // 64 KiB
+  SessionAllocator alloc(2, options);
+  for (std::size_t shard = 0; shard < alloc.shards(); ++shard) {
+    std::pmr::memory_resource* mr = alloc.shard_resource(shard);
+    std::uint64_t state = 0x9E3779B97F4A7C15ULL * (shard + 1);
+    for (int round = 0; round < 60; ++round) {
+      // A burst of live sessions: enough concurrent blocks that their
+      // release overflows the 64 KiB cache and forces bulk trims.
+      std::vector<std::pair<void*, std::size_t>> live;
+      for (int i = 0; i < 24; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::size_t bytes = 64 + (state >> 33) % (8 << 10);
+        live.emplace_back(mr->allocate(bytes, 64), bytes);
+      }
+      for (auto [p, bytes] : live) {
+        mr->deallocate(p, bytes, 64);
+        // The bound is an invariant, not an eventual property: it must
+        // hold after EVERY release, bulk trims keeping it that way.
+        ASSERT_LE(alloc.shard_stats(shard).cached_bytes,
+                  options.max_cached_bytes_per_shard)
+            << "shard " << shard << ", round " << round;
+      }
+    }
+  }
+  const SessionAllocatorStats stats = alloc.stats();
+  EXPECT_GT(stats.trims, 0u) << "churn never crossed the bound";
+  EXPECT_GT(stats.trimmed_blocks, 0u);
+  EXPECT_EQ(stats.live_bytes, 0u);
+  EXPECT_EQ(stats.live_blocks, 0u);
+  // trim(0) releases everything reclaimable.
+  alloc.trim(0);
+  EXPECT_EQ(alloc.stats().cached_bytes, 0u);
+  EXPECT_EQ(alloc.stats().cached_blocks, 0u);
+}
+
+TEST(SessionAllocator, OversizeRequestsPassThroughUncached) {
+  SessionAllocator alloc(1);
+  std::pmr::memory_resource* mr = alloc.shard_resource(0);
+  const std::size_t bytes = SessionAllocator::kMaxBucketBytes + 1;
+  auto* p = static_cast<std::uint8_t*>(mr->allocate(bytes, 64));
+  EXPECT_EQ(p[0], 0u);  // still zeroed
+  EXPECT_EQ(p[bytes - 1], 0u);
+  EXPECT_EQ(alloc.stats().live_bytes, bytes);
+  mr->deallocate(p, bytes, 64);
+  const SessionAllocatorStats stats = alloc.stats();
+  EXPECT_EQ(stats.live_bytes, 0u);
+  EXPECT_EQ(stats.cached_bytes, 0u);  // not worth caching: straight back
+  EXPECT_EQ(stats.cached_blocks, 0u);
+}
+
+TEST(SessionAllocator, StatsBalanceAcrossShardsAndBackToBaseline) {
+  SessionAllocator alloc(4);
+  std::vector<std::pair<void*, std::size_t>> blocks;
+  for (std::size_t shard = 0; shard < alloc.shards(); ++shard) {
+    for (std::size_t i = 1; i <= 3; ++i) {
+      blocks.emplace_back(
+          alloc.shard_resource(shard)->allocate(i * 256, 64), shard);
+    }
+  }
+  SessionAllocatorStats sum;
+  for (std::size_t shard = 0; shard < alloc.shards(); ++shard) {
+    const SessionAllocatorStats s = alloc.shard_stats(shard);
+    sum.allocations += s.allocations;
+    sum.live_bytes += s.live_bytes;
+    sum.live_blocks += s.live_blocks;
+  }
+  const SessionAllocatorStats global = alloc.stats();
+  EXPECT_EQ(sum.allocations, global.allocations);
+  EXPECT_EQ(sum.live_bytes, global.live_bytes);
+  EXPECT_EQ(sum.live_blocks, global.live_blocks);
+  EXPECT_EQ(global.live_blocks, blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const std::size_t shard = blocks[i].second;
+    alloc.shard_resource(shard)->deallocate(blocks[i].first,
+                                            (i % 3 + 1) * 256, 64);
+  }
+  alloc.trim(0);
+  const SessionAllocatorStats end = alloc.stats();
+  EXPECT_EQ(end.live_bytes, 0u);
+  EXPECT_EQ(end.live_blocks, 0u);
+  EXPECT_EQ(end.cached_bytes, 0u);
+  EXPECT_EQ(end.cached_blocks, 0u);
+}
+
+TEST(SessionAllocator, RejectsOverAlignedRequestsLoudly) {
+  SessionAllocator alloc(1);
+  EXPECT_THROW(static_cast<void>(alloc.shard_resource(0)->allocate(256, 128)),
+               Error);
+  EXPECT_THROW(alloc.shard_resource(5), Error);  // out-of-range shard
+}
+
+#if PIT_ASAN
+// The cache's whole point is keeping blocks mapped — which would turn a
+// use-after-release into a silent read of stale memory. The poisoning
+// contract closes that hole: touching a block while it sits in a free
+// list must die at the faulting instruction.
+TEST(SessionAllocatorDeath, CachedBlocksArePoisonedUntilReissued) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SessionAllocator alloc(1);
+        std::pmr::memory_resource* mr = alloc.shard_resource(0);
+        auto* p = static_cast<std::uint8_t*>(mr->allocate(512, 64));
+        p[0] = 1;  // live: fine
+        mr->deallocate(p, 512, 64);
+        p[0] = 2;  // cached: poisoned — must trap
+      },
+      "AddressSanitizer");
+}
+#endif
+
+}  // namespace
+}  // namespace pit::serve
