@@ -24,6 +24,7 @@
 #include "models/restcn.hpp"
 #include "models/temponet.hpp"
 #include "nn/losses.hpp"
+#include "runtime/compile_models.hpp"
 
 namespace pit::bench {
 
@@ -66,9 +67,10 @@ double time_min_ms(Fn&& fn, int reps) {
 struct Percentiles {
   double p50 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;  ///< tail beyond p99; loadgen_frontend reports it
 };
 
-/// Sorts `samples` in place and reads the nearest-rank p50/p99.
+/// Sorts `samples` in place and reads the nearest-rank p50/p99/p99.9.
 inline Percentiles percentiles(std::vector<double>& samples) {
   Percentiles out;
   if (samples.empty()) {
@@ -81,6 +83,7 @@ inline Percentiles percentiles(std::vector<double>& samples) {
   };
   out.p50 = at(0.50);
   out.p99 = at(0.99);
+  out.p999 = at(0.999);
   return out;
 }
 
@@ -114,6 +117,30 @@ inline models::ResTcnConfig scaled_restcn_config() {
 }
 
 inline constexpr index_t kNottinghamSeqLen = 49;  // 48 usable frames
+
+/// The model the network front end serves: a seeded, BN-warmed TEMPONet
+/// at bench scale, compiled both ways. The seed fixes the weights, so
+/// example_frontend_server and loadgen_frontend (in-process mode) serve
+/// and drive the same function.
+struct ServedPlans {
+  std::shared_ptr<const runtime::CompiledPlan> submit_plan;  ///< windowed
+  std::shared_ptr<const runtime::CompiledPlan> stream_plan;  ///< backbone
+};
+
+inline ServedPlans make_served_temponet_plans(std::uint64_t seed = 17) {
+  models::TempoNetConfig cfg = scaled_temponet_config();
+  RandomEngine rng(seed);
+  models::TempoNet model(cfg, models::dilated_conv_factory(rng, cfg.dilations),
+                         rng);
+  model.train();
+  model.forward(
+      Tensor::randn(Shape{8, cfg.input_channels, cfg.input_length}, rng));
+  model.eval();
+  ServedPlans out;
+  out.submit_plan = runtime::compile_plan(model);
+  out.stream_plan = runtime::compile_stream_backbone(model, cfg.input_length);
+  return out;
+}
 
 // ----------------------------------------------------------------- loaders
 

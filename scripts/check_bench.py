@@ -29,6 +29,10 @@ Bars and their hardware conditions (see docs/BENCHMARKS.md "CI gates"):
                       evictions == 0 at >= 100k resident     (always)
                       BENCH_sessions also requires a resident
                       row at >= 100k sessions
+  BENCH_frontend.json overload goodput_over_capacity >= 0.70 (>= 4 hw threads)
+                      shed_probe shed_p99_ms <= 250.0        (probe shed > 0)
+                      overload/stream/shed_probe errors == 0 (always)
+                      stream steps > 0                       (always)
 
 A bar whose hardware condition is not met is SKIPPED (reported, not
 failed): the portable int8 fallback has no 4x MAC-density edge and a
@@ -300,6 +304,72 @@ def check_sessions(gate, name, data):
                       f"evictions during stepping — eviction thrash")
 
 
+def check_frontend(gate, name, data):
+    if require(gate, name, data, "bench", str) != "frontend":
+        gate.fail(f"{name}: bench != 'frontend'")
+    threads = require(gate, name, data, "hw_threads", int)
+    require(gate, name, data, "mode", str)
+    capacity = require(gate, name, data, "capacity", dict)
+    if capacity is not None:
+        require(gate, f"{name}: capacity", capacity, "completed", int)
+        for field in ("rps", "p50_ms", "p99_ms", "p999_ms"):
+            require(gate, f"{name}: capacity", capacity, field, float)
+    overload = require(gate, name, data, "overload", dict)
+    goodput = None
+    if overload is not None:
+        for field in ("offered", "completed", "shed", "errors"):
+            require(gate, f"{name}: overload", overload, field, int)
+        for field in ("goodput_rps", "p50_ms", "p99_ms", "p999_ms"):
+            require(gate, f"{name}: overload", overload, field, float)
+        goodput = require(gate, f"{name}: overload", overload,
+                          "goodput_over_capacity", float)
+    # The overload bar: at 2x the measured capacity, admission control
+    # must keep goodput near capacity (shedding the excess fast) instead
+    # of collapsing into queueing. Meaningless when the load generator
+    # and the server share one core — the client cannot offer 2x.
+    bar(gate, name, "overload goodput_over_capacity", goodput, 0.70,
+        condition=threads is not None and threads >= MIN_PARALLEL_THREADS,
+        why=f"{threads} hardware threads < {MIN_PARALLEL_THREADS} — "
+            f"loadgen and server share cores, overload is not real")
+    probe = require(gate, name, data, "shed_probe", dict)
+    if probe is not None:
+        require(gate, f"{name}: shed_probe", probe, "burst", int)
+        require(gate, f"{name}: shed_probe", probe, "admitted", int)
+        shed = require(gate, f"{name}: shed_probe", probe, "shed", int)
+        require(gate, f"{name}: shed_probe", probe, "errors", int)
+        p99 = require(gate, f"{name}: shed_probe", probe, "shed_p99_ms",
+                      float)
+        # Sheds must be fast rejects, not timeouts: a RETRY_AFTER answer
+        # to a burst past the budget has to come back in milliseconds.
+        if shed is not None and p99 is not None:
+            if shed == 0:
+                gate.skip(f"{name}: shed_probe shed_p99_ms SKIPPED: the "
+                          f"burst never exceeded the admission budget")
+            elif p99 <= 250.0:
+                gate.ok(f"{name}: shed_probe shed_p99_ms = {p99:.2f} "
+                        f"<= 250.0 ({shed} fast-rejects)")
+            else:
+                gate.fail(f"{name}: shed_probe shed_p99_ms = {p99:.2f} "
+                          f"EXCEEDS 250.0 — sheds are timing out, not "
+                          f"fast-rejecting")
+    stream = require(gate, name, data, "stream", dict)
+    if stream is not None:
+        steps = require(gate, f"{name}: stream", stream, "steps", int)
+        require(gate, f"{name}: stream", stream, "errors", int)
+        for field in ("p50_ms", "p99_ms", "p999_ms"):
+            require(gate, f"{name}: stream", stream, field, float)
+        if steps is not None and steps <= 0:
+            gate.fail(f"{name}: stream ran no steps")
+    # Any protocol/transport error during the run is a failure outright;
+    # sheds are the only acceptable non-answer.
+    for section, d in (("overload", overload), ("shed_probe", probe),
+                       ("stream", stream)):
+        if d is not None and isinstance(d.get("errors"), int) \
+                and d["errors"] > 0:
+            gate.fail(f"{name}: {section} recorded {d['errors']} "
+                      f"error(s) — only RETRY_AFTER sheds are acceptable")
+
+
 CHECKERS = {
     "BENCH_kernels.json": check_kernels,
     "BENCH_runtime.json": check_runtime,
@@ -308,6 +378,7 @@ CHECKERS = {
     "BENCH_stream.json": check_stream,
     "BENCH_registry.json": check_registry,
     "BENCH_sessions.json": check_sessions,
+    "BENCH_frontend.json": check_frontend,
 }
 
 

@@ -15,19 +15,25 @@ the executors assume but no compiler enforces:
    documented set_default_backend() override surface, read once at
    registry construction.
 
-2. serve-lock-order — src/serve (and the plan registry its sessions pin
-   versions through) acquires its mutexes in one global order
-   (tick_mutex_ -> shard.mutex -> mutex_ -> pool_mutex_ -> slot->mutex
-   -> cache_mutex -> entry->swap_mutex -> registry_mutex_). shard.mutex
-   is one SessionManager registry stripe; stripes share a rank, so
-   holding two shard mutexes at once is itself a violation of the
-   design (every sweep locks one shard at a time) — the scanner flags
-   same-rank nesting for it. cache_mutex is the session allocator's
-   per-shard cache lock; it ranks after slot->mutex because context
-   growth during a step allocates while the slot is locked, and it
-   takes nothing itself. The registry ranks strictly after serve
-   because an InflightTicket release may run under a slot mutex;
-   registry methods never take serve locks. A nested acquisition that
+2. serve-lock-order — src/serve, src/net, and the plan registry their
+   sessions pin versions through acquire their mutexes in one global
+   order (lifecycle_mutex_ -> tick_mutex_ -> shard.mutex -> mutex_ ->
+   pool_mutex_ -> slot->mutex -> cache_mutex -> entry->swap_mutex ->
+   registry_mutex_ -> completions_mutex). shard.mutex is one
+   SessionManager registry stripe; stripes share a rank, so holding two
+   shard mutexes at once is itself a violation of the design (every
+   sweep locks one shard at a time) — the scanner flags same-rank
+   nesting for it. cache_mutex is the session allocator's per-shard
+   cache lock; it ranks after slot->mutex because context growth during
+   a step allocates while the slot is locked, and it takes nothing
+   itself. The registry ranks strictly after serve because an
+   InflightTicket release may run under a slot mutex; registry methods
+   never take serve locks. The front end brackets the order:
+   lifecycle_mutex_ (FrontEnd start/stop serialization) ranks first —
+   stop() joins the event loop, which may take any serve lock — and
+   completions_mutex (the SUBMIT completion queue) ranks last because
+   it is a strict leaf: a server worker takes it holding no serve lock,
+   and nothing is ever acquired under it. A nested acquisition that
    goes DOWN that order is a lock-inversion deadlock waiting for the
    right interleaving. Tracked per function body with brace-scope
    guard lifetimes.
@@ -95,31 +101,44 @@ LOCK_DECL = re.compile(
     r"std::(?:lock_guard|unique_lock|scoped_lock)<[^>]*>\s+\w+\(([^)]*)\)")
 
 LOCK_RANKS = [
-    (re.compile(r"\btick_mutex_\b"), 0, "tick_mutex_"),
+    # FrontEnd start()/stop() serialization. First in the order because
+    # stop() joins the event loop thread, which can take any serve lock
+    # — so nothing below may ever be held when lifecycle is taken.
+    (re.compile(r"\blifecycle_mutex_\b"), 0, "lifecycle_mutex_"),
+    (re.compile(r"\btick_mutex_\b"), 1, "tick_mutex_"),
     # A SessionManager registry stripe. Ordered before the generic
     # slot->mutex pattern (first match wins) and before the tick pool:
     # step_tick resolves per shard under tick_mutex_, then hands off.
-    (re.compile(r"\bshard(?:->|\.)mutex\b"), 1, "shard.mutex"),
-    (re.compile(r"(?<![\w.>])mutex_\b"), 2, "mutex_"),
-    (re.compile(r"\bpool_mutex_\b"), 3, "pool_mutex_"),
-    (re.compile(r"(?:->|\.)mutex\b"), 4, "slot->mutex"),
+    (re.compile(r"\bshard(?:->|\.)mutex\b"), 2, "shard.mutex"),
+    (re.compile(r"(?<![\w.>])mutex_\b"), 3, "mutex_"),
+    (re.compile(r"\bpool_mutex_\b"), 4, "pool_mutex_"),
+    # Matched before the generic slot pattern: "completions_mutex" via a
+    # member access would otherwise be unreachable (it never is today —
+    # the queue is always named — but first-match order should not care).
+    (re.compile(r"\bcompletions_mutex\b"), 9, "completions_mutex"),
+    (re.compile(r"(?:->|\.)mutex\b"), 5, "slot->mutex"),
     # SessionAllocator's per-shard cache lock: taken during allocation,
     # which can happen under a slot mutex mid-step; takes nothing itself.
-    (re.compile(r"\bcache_mutex\b"), 5, "cache_mutex"),
+    (re.compile(r"\bcache_mutex\b"), 6, "cache_mutex"),
     # PlanRegistry locks rank after every serve lock: a ticket release can
     # run under a slot mutex, and the registry never calls back into serve.
-    (re.compile(r"(?:->|\.)swap_mutex\b"), 6, "entry->swap_mutex"),
-    (re.compile(r"\bregistry_mutex_\b"), 7, "registry_mutex_"),
+    (re.compile(r"(?:->|\.)swap_mutex\b"), 7, "entry->swap_mutex"),
+    (re.compile(r"\bregistry_mutex_\b"), 8, "registry_mutex_"),
+    # The front end's completion queue (rank 9, declared above for
+    # first-match order): a strict leaf — InferenceServer workers take it
+    # holding no server lock, the event loop takes it holding nothing,
+    # and no code acquires anything under it.
 ]
 
-LOCK_ORDER_DOC = ("tick_mutex_ -> shard.mutex -> mutex_ -> pool_mutex_ "
-                  "-> slot->mutex -> cache_mutex -> entry->swap_mutex "
-                  "-> registry_mutex_")
+LOCK_ORDER_DOC = ("lifecycle_mutex_ -> tick_mutex_ -> shard.mutex -> "
+                  "mutex_ -> pool_mutex_ -> slot->mutex -> cache_mutex "
+                  "-> entry->swap_mutex -> registry_mutex_ -> "
+                  "completions_mutex")
 
 # Ranks where holding two instances at once deadlocks against a peer
 # doing the same in the opposite order (there is one mutex PER SHARD, so
 # the rank alone cannot order two of them).
-SAME_RANK_FORBIDDEN = {1}
+SAME_RANK_FORBIDDEN = {2}
 
 
 def lock_rank(expr):
@@ -164,6 +183,7 @@ def scan_lock_order(text, relname, violations):
 
 def check_serve_lock_order(root, violations):
     paths = sorted((root / "src" / "serve").glob("*.[ch]pp"))
+    paths.extend(sorted((root / "src" / "net").glob("*.[ch]pp")))
     paths.append(root / "src" / "runtime" / "plan_registry.cpp")
     for path in paths:
         scan_lock_order(path.read_text(), str(path.relative_to(root)),
@@ -275,6 +295,24 @@ void bad() {
     ("unknown mutex is flagged", """
 void bad() {
   std::lock_guard<std::mutex> lock(mystery_mutex_);
+}
+""", 1),
+    ("completion queue lock under a serve lock is fine", """
+void ok() {
+  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+  std::lock_guard<std::mutex> lock(cq->completions_mutex);
+}
+""", 0),
+    ("completions_mutex is a leaf: nothing nests under it", """
+void bad() {
+  std::lock_guard<std::mutex> lock(cq->completions_mutex);
+  std::lock_guard<std::mutex> slot_lock(slot->mutex);
+}
+""", 1),
+    ("serve locks never nest under the front-end lifecycle reversal", """
+void bad() {
+  std::lock_guard<std::mutex> tick(tick_mutex_);
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
 }
 """, 1),
 ]

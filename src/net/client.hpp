@@ -1,0 +1,322 @@
+// Minimal C++ client for the PIT wire protocol (docs/PROTOCOL.md).
+//
+// Two layers, both header-only and dependency-free beyond the codec:
+//
+//   ClientConn — one TCP connection: blocking connect/send, plus frame
+//     receive with a timeout (recv_frame) or without blocking at all
+//     (poll_frame). The open-loop load generator drives this directly so
+//     it can keep many requests in flight per connection.
+//   BlockingClient — one-request-at-a-time convenience wrapper (HELLO on
+//     connect, submit/open/step/close returning decoded payloads) used by
+//     the loopback tests and the server binary's self-check. Server-sent
+//     ERROR frames land in last_error() instead of being exceptions: the
+//     shed path (RETRY_AFTER) is an expected answer, not a failure.
+//
+// Thread-compatibility only: one connection, one thread.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace pit::net {
+
+class ClientConn {
+ public:
+  ClientConn() = default;
+  ~ClientConn() { close(); }
+  ClientConn(const ClientConn&) = delete;
+  ClientConn& operator=(const ClientConn&) = delete;
+
+  bool connect(const std::string& host, std::uint16_t port,
+               std::string* error = nullptr) {
+    close();
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string port_str = std::to_string(port);
+    if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+        res == nullptr) {
+      if (error != nullptr) {
+        *error = "cannot resolve " + host;
+      }
+      return false;
+    }
+    fd_ = ::socket(res->ai_family, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ >= 0 && ::connect(fd_, res->ai_addr, res->ai_addrlen) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd_ < 0) {
+      if (error != nullptr) {
+        *error = "cannot connect to " + host + ":" + port_str;
+      }
+      return false;
+    }
+    int one = 1;
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Blocking write of a complete buffer (frames already encoded).
+  bool send_bytes(const std::uint8_t* data, std::size_t n) {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t sent = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+      if (sent > 0) {
+        off += static_cast<std::size_t>(sent);
+        continue;
+      }
+      if (sent < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    return true;
+  }
+  bool send_frames(const std::vector<std::uint8_t>& buf) {
+    return send_bytes(buf.data(), buf.size());
+  }
+
+  /// Next complete frame, waiting up to timeout_ms for bytes to arrive.
+  /// kNeedMore means the timeout expired (or the peer closed) first; the
+  /// view stays valid until the next recv_frame/poll_frame call.
+  FrameReader::Status recv_frame(FrameView& out, int timeout_ms = 5000) {
+    for (;;) {
+      const FrameReader::Status status = reader_.next(out);
+      if (status != FrameReader::Status::kNeedMore) {
+        return status;
+      }
+      if (!fill(timeout_ms)) {
+        return FrameReader::Status::kNeedMore;
+      }
+    }
+  }
+
+  /// Like recv_frame but never waits: only already-buffered bytes and
+  /// whatever a single non-blocking read returns.
+  FrameReader::Status poll_frame(FrameView& out) {
+    const FrameReader::Status status = reader_.next(out);
+    if (status != FrameReader::Status::kNeedMore) {
+      return status;
+    }
+    if (!fill(0)) {
+      return FrameReader::Status::kNeedMore;
+    }
+    return reader_.next(out);
+  }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  /// One poll+read round; false when nothing arrived (timeout/EOF/error).
+  bool fill(int timeout_ms) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      return false;
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got <= 0) {
+      return false;
+    }
+    reader_.feed(buf, static_cast<std::size_t>(got));
+    return true;
+  }
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+/// The last ERROR frame a BlockingClient call received (or a transport
+/// failure synthesized as kInternal with an explanatory message).
+struct ClientError {
+  ErrCode code = ErrCode::kInternal;
+  std::uint32_t retry_after_ms = 0;
+  std::string message;
+};
+
+class BlockingClient {
+ public:
+  /// Connects and negotiates (HELLO/HELLO_OK). On failure last_error()
+  /// explains — including the server answering with ERROR (e.g. version).
+  bool connect(const std::string& host, std::uint16_t port,
+               int timeout_ms = 5000) {
+    std::string err;
+    if (!conn_.connect(host, port, &err)) {
+      return fail_transport(err);
+    }
+    scratch_.clear();
+    encode_hello(scratch_, HelloMsg{});
+    if (!conn_.send_frames(scratch_)) {
+      return fail_transport("HELLO send failed");
+    }
+    FrameView frame;
+    if (!expect(frame, MsgType::kHelloOk, timeout_ms)) {
+      return false;
+    }
+    ErrCode code{};
+    if (!decode_hello_ok(frame.payload, hello_, code)) {
+      return fail_transport("malformed HELLO_OK from server");
+    }
+    return true;
+  }
+
+  const HelloOkMsg& hello() const { return hello_; }
+  const ClientError& last_error() const { return error_; }
+  ClientConn& conn() { return conn_; }
+
+  /// One SUBMIT -> RESULT round trip. `input` must carry
+  /// hello().submit_in_channels * submit_in_steps floats; `output` is
+  /// resized to the result window. False on ERROR (see last_error() —
+  /// kRetryAfter here is the shed path, not a bug).
+  bool submit(const float* input, std::vector<float>& output,
+              int timeout_ms = 5000) {
+    scratch_.clear();
+    encode_submit(scratch_, next_req_id_++, hello_.submit_in_channels,
+                  hello_.submit_in_steps, input);
+    if (!conn_.send_frames(scratch_)) {
+      return fail_transport("SUBMIT send failed");
+    }
+    FrameView frame;
+    if (!expect(frame, MsgType::kResult, timeout_ms)) {
+      return false;
+    }
+    ResultMsg msg;
+    ErrCode code{};
+    if (!decode_result(frame.payload, msg, code)) {
+      return fail_transport("malformed RESULT from server");
+    }
+    const std::size_t n =
+        static_cast<std::size_t>(msg.channels) * msg.steps;
+    output.resize(n);
+    copy_floats(msg.data, output.data(), n);
+    return true;
+  }
+
+  bool open_session(std::uint32_t& handle, int timeout_ms = 5000) {
+    scratch_.clear();
+    encode_open(scratch_, next_req_id_++);
+    if (!conn_.send_frames(scratch_)) {
+      return fail_transport("OPEN send failed");
+    }
+    FrameView frame;
+    if (!expect(frame, MsgType::kOpened, timeout_ms)) {
+      return false;
+    }
+    OpenedMsg msg;
+    ErrCode code{};
+    if (!decode_opened(frame.payload, msg, code)) {
+      return fail_transport("malformed OPENED from server");
+    }
+    handle = msg.session;
+    return true;
+  }
+
+  /// One STEP -> STEP_OUT round trip; `input` carries
+  /// hello().stream_in_channels floats.
+  bool step(std::uint32_t handle, const float* input,
+            std::vector<float>& output, int timeout_ms = 5000) {
+    scratch_.clear();
+    encode_step(scratch_, next_req_id_++, handle, input,
+                hello_.stream_in_channels);
+    if (!conn_.send_frames(scratch_)) {
+      return fail_transport("STEP send failed");
+    }
+    FrameView frame;
+    if (!expect(frame, MsgType::kStepOut, timeout_ms)) {
+      return false;
+    }
+    StepOutMsg msg;
+    ErrCode code{};
+    if (!decode_step_out(frame.payload, msg, code)) {
+      return fail_transport("malformed STEP_OUT from server");
+    }
+    output.resize(hello_.stream_out_channels);
+    copy_floats(msg.data, output.data(), output.size());
+    return true;
+  }
+
+  bool close_session(std::uint32_t handle, int timeout_ms = 5000) {
+    scratch_.clear();
+    encode_close(scratch_, next_req_id_++, handle);
+    if (!conn_.send_frames(scratch_)) {
+      return fail_transport("CLOSE send failed");
+    }
+    FrameView frame;
+    return expect(frame, MsgType::kClosed, timeout_ms);
+  }
+
+  bool ping(int timeout_ms = 5000) {
+    scratch_.clear();
+    encode_ping(scratch_, next_req_id_++);
+    if (!conn_.send_frames(scratch_)) {
+      return fail_transport("PING send failed");
+    }
+    FrameView frame;
+    return expect(frame, MsgType::kPong, timeout_ms);
+  }
+
+ private:
+  /// Receives the next frame and requires it to be `want`. An ERROR frame
+  /// becomes last_error(); anything else (timeout, wrong type) a
+  /// transport-level failure.
+  bool expect(FrameView& frame, MsgType want, int timeout_ms) {
+    if (conn_.recv_frame(frame, timeout_ms) !=
+        FrameReader::Status::kFrame) {
+      return fail_transport("no reply from server (timeout or close)");
+    }
+    if (frame.type == want) {
+      return true;
+    }
+    if (frame.type == MsgType::kError) {
+      ErrorMsg msg;
+      ErrCode code{};
+      if (decode_error(frame.payload, msg, code)) {
+        error_ = {msg.code, msg.retry_after_ms, std::move(msg.message)};
+        return false;
+      }
+      return fail_transport("malformed ERROR from server");
+    }
+    return fail_transport(std::string("unexpected frame type: ") +
+                          std::string(type_name(frame.type)));
+  }
+
+  bool fail_transport(std::string what) {
+    error_ = {ErrCode::kInternal, 0, std::move(what)};
+    return false;
+  }
+
+  ClientConn conn_;
+  HelloOkMsg hello_;
+  ClientError error_;
+  std::uint64_t next_req_id_ = 1;
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace pit::net

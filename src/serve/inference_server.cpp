@@ -41,16 +41,22 @@ InferenceServer::InferenceServer(
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
-std::future<Tensor> InferenceServer::submit(Tensor input) {
-  const index_t c = in_channels_;
-  const index_t t = in_steps_;
+namespace {
+
+void check_sample_shape(const Tensor& input, index_t c, index_t t,
+                        const char* who) {
   const bool flat_ok = t == 1 && input.rank() == 1 && input.dim(0) == c;
   PIT_CHECK(flat_ok || (input.rank() == 2 && input.dim(0) == c &&
                         input.dim(1) == t),
-            "InferenceServer::submit: expected one (" << c << ", " << t
-                                                      << ") sample, got "
-                                                      << input.shape()
-                                                             .to_string());
+            who << ": expected one (" << c << ", " << t << ") sample, got "
+                << input.shape().to_string());
+}
+
+}  // namespace
+
+std::future<Tensor> InferenceServer::submit(Tensor input) {
+  check_sample_shape(input, in_channels_, in_steps_,
+                     "InferenceServer::submit");
   Request req;
   req.input = std::move(input);
   req.enqueued = std::chrono::steady_clock::now();
@@ -66,6 +72,27 @@ std::future<Tensor> InferenceServer::submit(Tensor input) {
   }
   cv_.notify_one();
   return fut;
+}
+
+bool InferenceServer::try_submit(Tensor input, Completion done) {
+  check_sample_shape(input, in_channels_, in_steps_,
+                     "InferenceServer::try_submit");
+  PIT_CHECK(done, "InferenceServer::try_submit: empty completion");
+  Request req;
+  req.input = std::move(input);
+  req.done = std::move(done);
+  req.async = true;
+  req.enqueued = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= options_.max_queue) {
+      return false;  // load/lifecycle reject — the callback never runs
+    }
+    queue_.push_back(std::move(req));
+    ++stats_.requests;
+  }
+  cv_.notify_one();
+  return true;
 }
 
 void InferenceServer::worker_loop() {
@@ -147,11 +174,27 @@ void InferenceServer::run_batch(std::vector<Request>& batch,
                              : Tensor::empty(Shape{co, to});
       std::memcpy(slice.data(), src + i * out_floats,
                   static_cast<std::size_t>(out_floats) * sizeof(float));
-      batch[static_cast<std::size_t>(i)].promise.set_value(std::move(slice));
+      Request& req = batch[static_cast<std::size_t>(i)];
+      req.delivered = true;  // before the handoff: a throwing callback
+                             // must not get a second (error) delivery
+      if (req.async) {
+        req.done(std::move(slice), nullptr);
+      } else {
+        req.promise.set_value(std::move(slice));
+      }
     }
   } catch (...) {
     const std::exception_ptr err = std::current_exception();
     for (Request& req : batch) {
+      if (req.delivered) {
+        continue;  // success already handed out before the throw
+      }
+      if (req.async) {
+        Tensor none;
+        req.done(std::move(none), err);
+        req.delivered = true;
+        continue;
+      }
       try {
         req.promise.set_exception(err);
       } catch (const std::future_error&) {

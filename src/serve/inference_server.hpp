@@ -25,6 +25,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,21 @@ class InferenceServer {
   /// full, or after shutdown. The future carries any execution error.
   std::future<Tensor> submit(Tensor input);
 
+  /// Completion callback for try_submit. Exactly one of the arguments is
+  /// meaningful: on success the output tensor, on failure the exception
+  /// that killed the batch. Runs on a worker thread holding NO server
+  /// lock — it may call back into the server, but must not block (it
+  /// stalls the whole batch's worker).
+  using Completion = std::function<void(Tensor&&, std::exception_ptr)>;
+
+  /// Callback flavor of submit() for event-loop callers that must never
+  /// park a thread on a future (src/net/front_end.cpp). Same queue, same
+  /// batching, same shape validation (a bad shape still throws — that is
+  /// a caller bug, not load). Returns false instead of throwing when the
+  /// queue is full or the server is shutting down: those are load/
+  /// lifecycle signals the caller turns into fast-reject responses.
+  bool try_submit(Tensor input, Completion done);
+
   /// Stops accepting submissions, runs everything still queued, joins the
   /// workers. Idempotent; the destructor calls it.
   void shutdown();
@@ -103,7 +119,10 @@ class InferenceServer {
  private:
   struct Request {
     Tensor input;
-    std::promise<Tensor> promise;
+    std::promise<Tensor> promise;  // future path (unused when async)
+    Completion done;               // callback path (async == true)
+    bool async = false;
+    bool delivered = false;  // success already handed out (error barrier)
     std::chrono::steady_clock::time_point enqueued;
   };
 

@@ -1,0 +1,451 @@
+// Wire-protocol codec tests (src/net/protocol.hpp): byte-exact encode/
+// decode round trips, torn-frame reassembly across EVERY possible split
+// point, and rejection of junk, oversized, and truncated frames with the
+// error code docs/PROTOCOL.md specifies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+using namespace pit::net;
+
+namespace {
+
+/// Feeds `bytes` whole into a fresh reader and returns the one frame it
+/// must contain.
+FrameView one_frame(FrameReader& reader,
+                    const std::vector<std::uint8_t>& bytes) {
+  reader.feed(bytes.data(), bytes.size());
+  FrameView frame;
+  EXPECT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  return frame;
+}
+
+}  // namespace
+
+TEST(NetProtocol, HelloRoundTrip) {
+  HelloMsg in;
+  in.ver_min = 1;
+  in.ver_max = 7;
+  in.max_payload = 123456;
+  std::vector<std::uint8_t> bytes;
+  encode_hello(bytes, in);
+  ASSERT_EQ(bytes.size(), kHeaderBytes + 12);
+
+  FrameReader reader;
+  const FrameView frame = one_frame(reader, bytes);
+  EXPECT_EQ(frame.type, MsgType::kHello);
+  HelloMsg out;
+  ErrCode err{};
+  ASSERT_TRUE(decode_hello(frame.payload, out, err));
+  EXPECT_EQ(out.ver_min, in.ver_min);
+  EXPECT_EQ(out.ver_max, in.ver_max);
+  EXPECT_EQ(out.max_payload, in.max_payload);
+}
+
+TEST(NetProtocol, HelloOkRoundTrip) {
+  HelloOkMsg in;
+  in.version = 1;
+  in.submit_available = true;
+  in.stream_available = true;
+  in.max_payload = 4U << 20;
+  in.submit_in_channels = 4;
+  in.submit_in_steps = 64;
+  in.submit_out_channels = 1;
+  in.submit_out_steps = 1;
+  in.stream_in_channels = 4;
+  in.stream_out_channels = 32;
+  in.max_inflight = 256;
+  std::vector<std::uint8_t> bytes;
+  encode_hello_ok(bytes, in);
+  ASSERT_EQ(bytes.size(), kHeaderBytes + 36);
+
+  FrameReader reader;
+  const FrameView frame = one_frame(reader, bytes);
+  EXPECT_EQ(frame.type, MsgType::kHelloOk);
+  HelloOkMsg out;
+  ErrCode err{};
+  ASSERT_TRUE(decode_hello_ok(frame.payload, out, err));
+  EXPECT_EQ(out.version, in.version);
+  EXPECT_EQ(out.submit_available, in.submit_available);
+  EXPECT_EQ(out.stream_available, in.stream_available);
+  EXPECT_EQ(out.submit_in_channels, in.submit_in_channels);
+  EXPECT_EQ(out.submit_in_steps, in.submit_in_steps);
+  EXPECT_EQ(out.submit_out_channels, in.submit_out_channels);
+  EXPECT_EQ(out.submit_out_steps, in.submit_out_steps);
+  EXPECT_EQ(out.stream_in_channels, in.stream_in_channels);
+  EXPECT_EQ(out.stream_out_channels, in.stream_out_channels);
+  EXPECT_EQ(out.max_inflight, in.max_inflight);
+}
+
+TEST(NetProtocol, SubmitRoundTripIsBitExact) {
+  // Hostile floats: the transport must be raw IEEE-754 bytes, so NaN
+  // payloads, infinities, denormals, and negative zero survive exactly.
+  const std::vector<float> samples = {
+      0.0F, -0.0F, 1.5F, -3.25e-7F,
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::denorm_min()};
+  std::vector<std::uint8_t> bytes;
+  encode_submit(bytes, 0xDEADBEEFCAFEF00DULL, 2, 4, samples.data());
+  ASSERT_EQ(bytes.size(), kHeaderBytes + 16 + samples.size() * 4);
+
+  FrameReader reader;
+  const FrameView frame = one_frame(reader, bytes);
+  EXPECT_EQ(frame.type, MsgType::kSubmit);
+  SubmitMsg out;
+  ErrCode err{};
+  ASSERT_TRUE(decode_submit(frame.payload, out, err));
+  EXPECT_EQ(out.req_id, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(out.channels, 2U);
+  EXPECT_EQ(out.steps, 4U);
+  std::vector<float> decoded(samples.size());
+  copy_floats(out.data, decoded.data(), decoded.size());
+  EXPECT_EQ(std::memcmp(decoded.data(), samples.data(),
+                        samples.size() * sizeof(float)),
+            0);
+}
+
+TEST(NetProtocol, SessionMessagesRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  encode_open(bytes, 11);
+  encode_opened(bytes, 11, 5);
+  const float tick[3] = {1.0F, -2.0F, 3.5F};
+  encode_step(bytes, 12, 5, tick, 3);
+  encode_step_out(bytes, 12, 5, tick, 3);
+  encode_close(bytes, 13, 5);
+  encode_closed(bytes, 13, 5);
+  encode_ping(bytes, 14);
+  encode_pong(bytes, 14);
+
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  FrameView frame;
+  ErrCode err{};
+
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  OpenMsg open;
+  ASSERT_TRUE(decode_open(frame.payload, open, err));
+  EXPECT_EQ(open.req_id, 11U);
+
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  OpenedMsg opened;
+  ASSERT_TRUE(decode_opened(frame.payload, opened, err));
+  EXPECT_EQ(opened.req_id, 11U);
+  EXPECT_EQ(opened.session, 5U);
+
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  StepMsg step;
+  ASSERT_TRUE(decode_step(frame.payload, step, err));
+  EXPECT_EQ(step.session, 5U);
+  ASSERT_EQ(step.data.size(), 12U);
+  float got[3];
+  copy_floats(step.data, got, 3);
+  EXPECT_EQ(std::memcmp(got, tick, sizeof(tick)), 0);
+
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  StepOutMsg step_out;
+  ASSERT_TRUE(decode_step_out(frame.payload, step_out, err));
+  EXPECT_EQ(step_out.req_id, 12U);
+
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  CloseMsg close;
+  ASSERT_TRUE(decode_close(frame.payload, close, err));
+  EXPECT_EQ(close.session, 5U);
+
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  ClosedMsg closed;
+  ASSERT_TRUE(decode_closed(frame.payload, closed, err));
+  EXPECT_EQ(closed.req_id, 13U);
+
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  PingMsg ping;
+  ASSERT_TRUE(decode_ping(frame.payload, ping, err));
+  EXPECT_EQ(ping.req_id, 14U);
+
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  PingMsg pong;
+  ASSERT_TRUE(decode_pong(frame.payload, pong, err));
+  EXPECT_EQ(pong.req_id, 14U);
+
+  EXPECT_EQ(reader.next(frame), FrameReader::Status::kNeedMore);
+  EXPECT_EQ(reader.pending_bytes(), 0U);
+}
+
+TEST(NetProtocol, ErrorRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  encode_error(bytes, 42, ErrCode::kRetryAfter, 25, "budget exhausted");
+  FrameReader reader;
+  const FrameView frame = one_frame(reader, bytes);
+  EXPECT_EQ(frame.type, MsgType::kError);
+  ErrorMsg out;
+  ErrCode err{};
+  ASSERT_TRUE(decode_error(frame.payload, out, err));
+  EXPECT_EQ(out.req_id, 42U);
+  EXPECT_EQ(out.code, ErrCode::kRetryAfter);
+  EXPECT_EQ(out.retry_after_ms, 25U);
+  EXPECT_EQ(out.message, "budget exhausted");
+
+  // Empty message is legal (the 16-byte fixed prefix alone).
+  bytes.clear();
+  encode_error(bytes, 0, ErrCode::kShuttingDown, 0, "");
+  FrameReader reader2;
+  const FrameView frame2 = one_frame(reader2, bytes);
+  ASSERT_TRUE(decode_error(frame2.payload, out, err));
+  EXPECT_EQ(out.code, ErrCode::kShuttingDown);
+  EXPECT_TRUE(out.message.empty());
+}
+
+TEST(NetProtocol, TornFramesAtEverySplitPoint) {
+  // Four frames of different types and sizes; reassembly must produce
+  // the identical sequence no matter where the stream tears.
+  std::vector<std::uint8_t> stream;
+  encode_ping(stream, 1);
+  const float window[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  encode_submit(stream, 2, 2, 4, window);
+  encode_error(stream, 3, ErrCode::kBadShape, 0, "nope");
+  encode_open(stream, 4);
+
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    FrameReader reader;
+    std::vector<MsgType> seen;
+    FrameView frame;
+    reader.feed(stream.data(), split);
+    while (reader.next(frame) == FrameReader::Status::kFrame) {
+      seen.push_back(frame.type);
+    }
+    reader.feed(stream.data() + split, stream.size() - split);
+    while (reader.next(frame) == FrameReader::Status::kFrame) {
+      seen.push_back(frame.type);
+    }
+    ASSERT_EQ(seen.size(), 4U) << "split at byte " << split;
+    EXPECT_EQ(seen[0], MsgType::kPing);
+    EXPECT_EQ(seen[1], MsgType::kSubmit);
+    EXPECT_EQ(seen[2], MsgType::kError);
+    EXPECT_EQ(seen[3], MsgType::kOpen);
+    EXPECT_EQ(reader.pending_bytes(), 0U);
+  }
+}
+
+TEST(NetProtocol, ByteAtATimeFeedReassembles) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    encode_ping(stream, i);
+  }
+  FrameReader reader;
+  std::uint64_t frames = 0;
+  FrameView frame;
+  for (const std::uint8_t byte : stream) {
+    reader.feed(&byte, 1);
+    while (reader.next(frame) == FrameReader::Status::kFrame) {
+      PingMsg msg;
+      ErrCode err{};
+      ASSERT_TRUE(decode_ping(frame.payload, msg, err));
+      EXPECT_EQ(msg.req_id, frames);
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 50U);
+}
+
+TEST(NetProtocol, ReaderCompactionSurvivesLongStreams) {
+  // Enough traffic to force internal compaction several times over;
+  // every frame must still parse and in order.
+  FrameReader reader;
+  std::vector<std::uint8_t> chunk;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  FrameView frame;
+  for (int round = 0; round < 200; ++round) {
+    chunk.clear();
+    for (int i = 0; i < 17; ++i) {
+      encode_ping(chunk, sent++);
+    }
+    // Deliberately misaligned feed sizes.
+    std::size_t off = 0;
+    while (off < chunk.size()) {
+      const std::size_t n = std::min<std::size_t>(13, chunk.size() - off);
+      reader.feed(chunk.data() + off, n);
+      off += n;
+      while (reader.next(frame) == FrameReader::Status::kFrame) {
+        PingMsg msg;
+        ErrCode err{};
+        ASSERT_TRUE(decode_ping(frame.payload, msg, err));
+        ASSERT_EQ(msg.req_id, received);
+        ++received;
+      }
+    }
+  }
+  EXPECT_EQ(received, sent);
+}
+
+TEST(NetProtocol, OversizedFrameIsFatalTooLarge) {
+  FrameReader reader(1024);  // small cap
+  std::vector<std::uint8_t> bytes(kHeaderBytes, 0);
+  const std::uint32_t huge = 2048;
+  std::memcpy(bytes.data(), &huge, 4);
+  bytes[4] = 0x02;  // SUBMIT
+  reader.feed(bytes.data(), bytes.size());
+  FrameView frame;
+  EXPECT_EQ(reader.next(frame), FrameReader::Status::kError);
+  EXPECT_EQ(reader.error(), ErrCode::kTooLarge);
+  // The error latches: more bytes cannot resurrect the stream.
+  std::vector<std::uint8_t> ping;
+  encode_ping(ping, 1);
+  reader.feed(ping.data(), ping.size());
+  EXPECT_EQ(reader.next(frame), FrameReader::Status::kError);
+}
+
+TEST(NetProtocol, JunkReservedHeaderBytesAreFatal) {
+  std::vector<std::uint8_t> bytes;
+  encode_ping(bytes, 9);
+  bytes[6] = 0x5A;  // reserved header byte must be zero
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  FrameView frame;
+  EXPECT_EQ(reader.next(frame), FrameReader::Status::kError);
+  EXPECT_EQ(reader.error(), ErrCode::kBadFrame);
+}
+
+TEST(NetProtocol, TruncatedPayloadsRejectedWithBadFrame) {
+  const auto reject = [](auto decode, std::size_t size) {
+    std::vector<std::uint8_t> payload(size, 0);
+    ErrCode err{};
+    EXPECT_FALSE(decode(payload, err)) << "payload size " << size;
+    EXPECT_EQ(err, ErrCode::kBadFrame) << "payload size " << size;
+  };
+  reject([](std::span<const std::uint8_t> p, ErrCode& e) {
+    HelloMsg m;
+    return decode_hello(p, m, e);
+  }, 11);
+  reject([](std::span<const std::uint8_t> p, ErrCode& e) {
+    HelloOkMsg m;
+    return decode_hello_ok(p, m, e);
+  }, 35);
+  reject([](std::span<const std::uint8_t> p, ErrCode& e) {
+    SubmitMsg m;
+    return decode_submit(p, m, e);
+  }, 15);
+  reject([](std::span<const std::uint8_t> p, ErrCode& e) {
+    OpenMsg m;
+    return decode_open(p, m, e);
+  }, 7);
+  reject([](std::span<const std::uint8_t> p, ErrCode& e) {
+    OpenedMsg m;
+    return decode_opened(p, m, e);
+  }, 11);
+  reject([](std::span<const std::uint8_t> p, ErrCode& e) {
+    StepMsg m;
+    return decode_step(p, m, e);
+  }, 11);
+  reject([](std::span<const std::uint8_t> p, ErrCode& e) {
+    StepMsg m;
+    return decode_step(p, m, e);  // 12 + tail not divisible by 4
+  }, 14);
+  reject([](std::span<const std::uint8_t> p, ErrCode& e) {
+    ErrorMsg m;
+    return decode_error(p, m, e);
+  }, 15);
+}
+
+TEST(NetProtocol, SubmitGeometryMustMatchPayloadLength) {
+  const float window[8] = {};
+  std::vector<std::uint8_t> bytes;
+  encode_submit(bytes, 1, 2, 4, window);
+  // Corrupt the declared channel count: 3 * 4 floats != 8 floats of data.
+  const std::uint32_t bad_channels = 3;
+  std::memcpy(bytes.data() + kHeaderBytes + 8, &bad_channels, 4);
+  FrameReader reader;
+  const FrameView frame = one_frame(reader, bytes);
+  SubmitMsg msg;
+  ErrCode err{};
+  EXPECT_FALSE(decode_submit(frame.payload, msg, err));
+  EXPECT_EQ(err, ErrCode::kBadFrame);
+}
+
+TEST(NetProtocol, HelloRejectsBadMagicAndInvertedRange) {
+  std::vector<std::uint8_t> bytes;
+  encode_hello(bytes, HelloMsg{});
+  bytes[kHeaderBytes] = 'X';  // corrupt the magic
+  FrameReader reader;
+  const FrameView frame = one_frame(reader, bytes);
+  HelloMsg msg;
+  ErrCode err{};
+  EXPECT_FALSE(decode_hello(frame.payload, msg, err));
+  EXPECT_EQ(err, ErrCode::kBadFrame);
+
+  bytes.clear();
+  HelloMsg inverted;
+  inverted.ver_min = 3;
+  inverted.ver_max = 1;
+  encode_hello(bytes, inverted);
+  FrameReader reader2;
+  const FrameView frame2 = one_frame(reader2, bytes);
+  EXPECT_FALSE(decode_hello(frame2.payload, msg, err));
+  EXPECT_EQ(err, ErrCode::kBadFrame);
+}
+
+TEST(NetProtocol, HelloOkRejectsUnknownFlagsAndReservedByte) {
+  HelloOkMsg ok;
+  ok.submit_available = true;
+  std::vector<std::uint8_t> bytes;
+  encode_hello_ok(bytes, ok);
+  bytes[kHeaderBytes + 2] |= 0x04;  // unknown capability bit
+  FrameReader reader;
+  const FrameView frame = one_frame(reader, bytes);
+  HelloOkMsg msg;
+  ErrCode err{};
+  EXPECT_FALSE(decode_hello_ok(frame.payload, msg, err));
+  EXPECT_EQ(err, ErrCode::kBadFrame);
+
+  bytes.clear();
+  encode_hello_ok(bytes, ok);
+  bytes[kHeaderBytes + 3] = 1;  // reserved byte must be zero
+  FrameReader reader2;
+  const FrameView frame2 = one_frame(reader2, bytes);
+  EXPECT_FALSE(decode_hello_ok(frame2.payload, msg, err));
+  EXPECT_EQ(err, ErrCode::kBadFrame);
+}
+
+TEST(NetProtocol, ErrorRejectsUnknownCodesAndReservedBits) {
+  std::vector<std::uint8_t> bytes;
+  encode_error(bytes, 1, ErrCode::kInternal, 0, "x");
+  // Code 0 and codes past kInternal are invalid on the wire.
+  for (const std::uint16_t bad : {std::uint16_t{0}, std::uint16_t{11},
+                                  std::uint16_t{999}}) {
+    std::vector<std::uint8_t> copy = bytes;
+    std::memcpy(copy.data() + kHeaderBytes + 8, &bad, 2);
+    FrameReader reader;
+    const FrameView frame = one_frame(reader, copy);
+    ErrorMsg msg;
+    ErrCode err{};
+    EXPECT_FALSE(decode_error(frame.payload, msg, err)) << "code " << bad;
+    EXPECT_EQ(err, ErrCode::kBadFrame);
+  }
+  std::vector<std::uint8_t> copy = bytes;
+  copy[kHeaderBytes + 10] = 1;  // reserved u16 must be zero
+  FrameReader reader;
+  const FrameView frame = one_frame(reader, copy);
+  ErrorMsg msg;
+  ErrCode err{};
+  EXPECT_FALSE(decode_error(frame.payload, msg, err));
+  EXPECT_EQ(err, ErrCode::kBadFrame);
+}
+
+TEST(NetProtocol, FatalityClassification) {
+  EXPECT_TRUE(is_fatal(ErrCode::kUnsupportedVersion));
+  EXPECT_TRUE(is_fatal(ErrCode::kBadFrame));
+  EXPECT_TRUE(is_fatal(ErrCode::kTooLarge));
+  EXPECT_TRUE(is_fatal(ErrCode::kShuttingDown));
+  EXPECT_FALSE(is_fatal(ErrCode::kBadShape));
+  EXPECT_FALSE(is_fatal(ErrCode::kUnknownSession));
+  EXPECT_FALSE(is_fatal(ErrCode::kSessionLimit));
+  EXPECT_FALSE(is_fatal(ErrCode::kRetryAfter));
+  EXPECT_FALSE(is_fatal(ErrCode::kNotAvailable));
+  EXPECT_FALSE(is_fatal(ErrCode::kInternal));
+}
